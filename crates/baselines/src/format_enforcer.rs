@@ -1,0 +1,276 @@
+//! lm-format-enforcer-style backend: per-step character walking, regular
+//! structures only.
+//!
+//! lm-format-enforcer keeps a character-level automaton for the (regex-
+//! expressible) structure and, at every decoding step, walks each vocabulary
+//! token's characters through it from the current state — organized as a
+//! character trie so shared prefixes are walked once. There is no
+//! preprocessing phase and no support for context-free grammars; recursive
+//! grammars are rejected at compile time, matching the original ("a
+//! regex-based method that does not support CFG", paper §4.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use xg_automata::fsa::{Fsa, StateId};
+use xg_core::TokenBitmask;
+use xg_grammar::Grammar;
+use xg_tokenizer::{TokenId, Vocabulary};
+
+use crate::regex_unroll::{grammar_is_recursive, unroll_grammar_to_fsa};
+use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend};
+
+/// lm-format-enforcer-style backend (character trie walking, regex only).
+#[derive(Debug)]
+pub struct FormatEnforcerBackend {
+    vocab: Arc<Vocabulary>,
+}
+
+impl FormatEnforcerBackend {
+    /// Creates the backend for a vocabulary.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        FormatEnforcerBackend { vocab }
+    }
+}
+
+impl ConstrainedBackend for FormatEnforcerBackend {
+    fn name(&self) -> &'static str {
+        "lm-format-enforcer (char trie)"
+    }
+
+    fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
+        if grammar_is_recursive(grammar) {
+            return Err(BackendError::UnsupportedGrammar {
+                backend: "lm-format-enforcer (char trie)",
+                reason: "recursive context-free grammars cannot be expressed as a regex".into(),
+            });
+        }
+        let fsa = unroll_grammar_to_fsa(grammar, 64, 500_000).map_err(|e| {
+            BackendError::UnsupportedGrammar {
+                backend: "lm-format-enforcer (char trie)",
+                reason: e.to_string(),
+            }
+        })?;
+        Ok(Arc::new(EnforcerCompiled {
+            shared: Arc::new(EnforcerShared {
+                fsa,
+                trie: TokenTrie::build(&self.vocab),
+                vocab: Arc::clone(&self.vocab),
+            }),
+        }))
+    }
+}
+
+/// A byte trie over the vocabulary: each node stores its children and the
+/// tokens that end exactly at that node.
+#[derive(Debug)]
+pub(crate) struct TokenTrie {
+    nodes: Vec<TrieNode>,
+}
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: Vec<(u8, u32)>,
+    terminal_tokens: Vec<TokenId>,
+}
+
+impl TokenTrie {
+    pub(crate) fn build(vocab: &Vocabulary) -> TokenTrie {
+        let mut trie = TokenTrie {
+            nodes: vec![TrieNode::default()],
+        };
+        for (token, bytes) in vocab.iter() {
+            if vocab.is_special(token) {
+                continue;
+            }
+            let mut cur = 0u32;
+            for &b in bytes {
+                cur = match trie.nodes[cur as usize]
+                    .children
+                    .iter()
+                    .find(|(cb, _)| *cb == b)
+                {
+                    Some((_, child)) => *child,
+                    None => {
+                        let idx = trie.nodes.len() as u32;
+                        trie.nodes.push(TrieNode::default());
+                        trie.nodes[cur as usize].children.push((b, idx));
+                        idx
+                    }
+                };
+            }
+            trie.nodes[cur as usize].terminal_tokens.push(token);
+        }
+        trie
+    }
+
+    /// Number of trie nodes (for statistics).
+    pub(crate) fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+struct EnforcerShared {
+    fsa: Fsa,
+    trie: TokenTrie,
+    vocab: Arc<Vocabulary>,
+}
+
+impl fmt::Debug for EnforcerShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EnforcerShared")
+            .field("fsa_states", &self.fsa.len())
+            .field("trie_nodes", &self.trie.len())
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct EnforcerCompiled {
+    shared: Arc<EnforcerShared>,
+}
+
+impl CompiledConstraint for EnforcerCompiled {
+    fn new_session(&self) -> Box<dyn BackendSession> {
+        let mut state = BTreeSet::new();
+        state.insert(self.shared.fsa.start());
+        Box::new(EnforcerSession {
+            shared: Arc::clone(&self.shared),
+            state,
+        })
+    }
+}
+
+#[derive(Debug)]
+struct EnforcerSession {
+    shared: Arc<EnforcerShared>,
+    state: BTreeSet<StateId>,
+}
+
+impl EnforcerSession {
+    /// Depth-first walk of the token trie, carrying the automaton state set;
+    /// every terminal token reached with a non-empty state set is allowed.
+    fn walk(&self, trie_node: u32, states: &BTreeSet<StateId>, mask: &mut TokenBitmask) {
+        let node = &self.shared.trie.nodes[trie_node as usize];
+        for &token in &node.terminal_tokens {
+            mask.allow(token);
+        }
+        for &(byte, child) in &node.children {
+            let next = self.shared.fsa.step(states, byte);
+            if !next.is_empty() {
+                self.walk(child, &next, mask);
+            }
+        }
+    }
+}
+
+impl BackendSession for EnforcerSession {
+    fn fill_mask(&mut self, mask: &mut TokenBitmask) {
+        mask.reject_all();
+        // Skip the terminal tokens of the trie root (the empty string is not
+        // a token) by walking children only; the root has no terminal tokens
+        // in practice.
+        self.walk(0, &self.state.clone(), mask);
+        if self.can_terminate() {
+            if let Some(eos) = self.shared.vocab.eos() {
+                mask.allow(eos);
+            }
+        }
+    }
+
+    fn accept_token(&mut self, token: TokenId) -> bool {
+        if Some(token) == self.shared.vocab.eos() {
+            return self.can_terminate();
+        }
+        if self.shared.vocab.is_special(token) {
+            return false;
+        }
+        let mut states = self.state.clone();
+        for &b in self.shared.vocab.token_bytes(token) {
+            states = self.shared.fsa.step(&states, b);
+            if states.is_empty() {
+                return false;
+            }
+        }
+        self.state = states;
+        true
+    }
+
+    fn can_terminate(&mut self) -> bool {
+        self.state.iter().any(|s| self.shared.fsa.is_final(*s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{drive_session_bytes, small_vocab};
+
+    #[test]
+    fn enforcer_rejects_recursive_grammars() {
+        let vocab = small_vocab();
+        let backend = FormatEnforcerBackend::new(vocab);
+        let err = backend
+            .compile(&xg_grammar::builtin::json_grammar())
+            .unwrap_err();
+        assert!(matches!(err, BackendError::UnsupportedGrammar { .. }));
+    }
+
+    #[test]
+    fn enforcer_enforces_regular_structures() {
+        let vocab = small_vocab();
+        let backend = FormatEnforcerBackend::new(Arc::clone(&vocab));
+        let grammar = xg_grammar::parse_ebnf(
+            r#"root ::= "{\"id\": " [0-9]+ ", \"ok\": " ("true" | "false") "}""#,
+            "root",
+        )
+        .unwrap();
+        let compiled = backend.compile(&grammar).unwrap();
+        let mut session = compiled.new_session();
+        assert!(drive_session_bytes(
+            &vocab,
+            session.as_mut(),
+            br#"{"id": 17, "ok": true}"#
+        ));
+        assert!(session.can_terminate());
+    }
+
+    #[test]
+    fn enforcer_masks_match_xgrammar_for_regular_grammars() {
+        let vocab = small_vocab();
+        let grammar = xg_grammar::parse_ebnf(r#"root ::= "v" [0-9]{2}"#, "root").unwrap();
+        let enforcer = FormatEnforcerBackend::new(Arc::clone(&vocab));
+        let xg = crate::XGrammarBackend::new(Arc::clone(&vocab));
+        let mut a_session = enforcer.compile(&grammar).unwrap().new_session();
+        let mut b_session = xg.compile(&grammar).unwrap().new_session();
+        let mut a = TokenBitmask::new_all_rejected(vocab.len());
+        let mut b = TokenBitmask::new_all_rejected(vocab.len());
+        a_session.fill_mask(&mut a);
+        b_session.fill_mask(&mut b);
+        assert_eq!(a, b);
+
+        // Advance both with a valid token and compare again.
+        let v = vocab.iter().find(|(_, t)| *t == b"v").unwrap().0;
+        assert!(a_session.accept_token(v));
+        assert!(b_session.accept_token(v));
+        a_session.fill_mask(&mut a);
+        b_session.fill_mask(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn token_trie_shares_prefixes() {
+        let vocab = small_vocab();
+        let trie = TokenTrie::build(&vocab);
+        // The trie must be smaller than the sum of token lengths (prefixes
+        // are shared) but larger than the number of tokens.
+        let total_bytes: usize = vocab.iter().map(|(_, t)| t.len()).sum();
+        assert!(trie.len() < total_bytes);
+        assert!(trie.len() > 256);
+    }
+}

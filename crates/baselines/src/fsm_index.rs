@@ -1,0 +1,278 @@
+//! Outlines-style FSM backend: lazy DFA over the unrolled grammar plus a
+//! memoized per-state token index.
+//!
+//! Outlines (Willard & Louf, 2023) compiles the structure into a finite-state
+//! machine and precomputes, for every FSM state, the set of vocabulary tokens
+//! whose characters can be consumed from that state. Mask generation then is
+//! a dictionary lookup. The approach is fast once a state's index exists, but
+//!
+//! * context-free grammars have to be approximated by depth-bounded
+//!   unrolling (see [`crate::unroll_grammar_to_fsa`]), which blows up the
+//!   number of states for recursive structures, and
+//! * every *newly visited* DFA state pays a full vocabulary scan, which is
+//!   exactly the per-token cost the paper measures for CFG workloads.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use xg_automata::fsa::{Fsa, StateId};
+use xg_core::TokenBitmask;
+use xg_grammar::Grammar;
+use xg_tokenizer::{TokenId, Vocabulary};
+
+use crate::regex_unroll::unroll_grammar_to_fsa;
+use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend};
+
+/// Default recursion-unrolling depth (enough for the nesting present in the
+/// evaluation datasets).
+pub const DEFAULT_UNROLL_DEPTH: usize = 8;
+/// Default state budget for the unrolled automaton.
+pub const DEFAULT_MAX_STATES: usize = 200_000;
+
+/// Outlines-style FSM-index backend.
+#[derive(Debug)]
+pub struct FsmIndexBackend {
+    vocab: Arc<Vocabulary>,
+    unroll_depth: usize,
+    max_states: usize,
+}
+
+impl FsmIndexBackend {
+    /// Creates the backend with default unrolling limits.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        FsmIndexBackend {
+            vocab,
+            unroll_depth: DEFAULT_UNROLL_DEPTH,
+            max_states: DEFAULT_MAX_STATES,
+        }
+    }
+
+    /// Creates the backend with explicit unrolling limits.
+    pub fn with_limits(vocab: Arc<Vocabulary>, unroll_depth: usize, max_states: usize) -> Self {
+        FsmIndexBackend {
+            vocab,
+            unroll_depth,
+            max_states,
+        }
+    }
+}
+
+impl ConstrainedBackend for FsmIndexBackend {
+    fn name(&self) -> &'static str {
+        "Outlines (FSM index)"
+    }
+
+    fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
+        let fsa = unroll_grammar_to_fsa(grammar, self.unroll_depth, self.max_states).map_err(
+            |e| BackendError::UnsupportedGrammar {
+                backend: "Outlines (FSM index)",
+                reason: e.to_string(),
+            },
+        )?;
+        Ok(Arc::new(FsmCompiled {
+            shared: Arc::new(FsmShared {
+                fsa,
+                vocab: Arc::clone(&self.vocab),
+                index: Mutex::new(HashMap::new()),
+            }),
+        }))
+    }
+}
+
+/// A DFA state: a set of NFA states.
+type DfaState = BTreeSet<StateId>;
+
+struct FsmShared {
+    fsa: Fsa,
+    vocab: Arc<Vocabulary>,
+    /// Memoized per-DFA-state token index: allowed tokens and, per allowed
+    /// token, the DFA state reached after consuming it.
+    #[allow(clippy::type_complexity)]
+    index: Mutex<HashMap<DfaState, Arc<StateIndex>>>,
+}
+
+struct StateIndex {
+    allowed: Vec<(TokenId, DfaState)>,
+    can_terminate: bool,
+}
+
+impl fmt::Debug for FsmShared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FsmShared")
+            .field("nfa_states", &self.fsa.len())
+            .field("indexed_states", &self.index.lock().len())
+            .finish()
+    }
+}
+
+impl FsmShared {
+    fn start_state(&self) -> DfaState {
+        let mut s = BTreeSet::new();
+        s.insert(self.fsa.start());
+        s
+    }
+
+    fn state_index(&self, state: &DfaState) -> Arc<StateIndex> {
+        if let Some(hit) = self.index.lock().get(state) {
+            return Arc::clone(hit);
+        }
+        // Full vocabulary scan for this state (the expensive part of the
+        // Outlines approach).
+        let mut allowed = Vec::new();
+        for (token, bytes) in self.vocab.iter() {
+            if self.vocab.is_special(token) {
+                continue;
+            }
+            let mut cur = state.clone();
+            let mut ok = true;
+            for &b in bytes {
+                cur = self.fsa.step(&cur, b);
+                if cur.is_empty() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                allowed.push((token, cur));
+            }
+        }
+        let can_terminate = state.iter().any(|s| self.fsa.is_final(*s));
+        let entry = Arc::new(StateIndex {
+            allowed,
+            can_terminate,
+        });
+        self.index.lock().insert(state.clone(), Arc::clone(&entry));
+        entry
+    }
+}
+
+#[derive(Debug)]
+struct FsmCompiled {
+    shared: Arc<FsmShared>,
+}
+
+impl CompiledConstraint for FsmCompiled {
+    fn new_session(&self) -> Box<dyn BackendSession> {
+        Box::new(FsmSession {
+            shared: Arc::clone(&self.shared),
+            state: self.shared.start_state(),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct FsmSession {
+    shared: Arc<FsmShared>,
+    state: DfaState,
+}
+
+impl BackendSession for FsmSession {
+    fn fill_mask(&mut self, mask: &mut TokenBitmask) {
+        mask.reject_all();
+        let index = self.shared.state_index(&self.state);
+        for (token, _) in &index.allowed {
+            mask.allow(*token);
+        }
+        if index.can_terminate {
+            if let Some(eos) = self.shared.vocab.eos() {
+                mask.allow(eos);
+            }
+        }
+    }
+
+    fn accept_token(&mut self, token: TokenId) -> bool {
+        if Some(token) == self.shared.vocab.eos() {
+            return self.shared.state_index(&self.state).can_terminate;
+        }
+        if self.shared.vocab.is_special(token) {
+            return false;
+        }
+        let index = self.shared.state_index(&self.state);
+        match index.allowed.iter().find(|(t, _)| *t == token) {
+            Some((_, next)) => {
+                self.state = next.clone();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn can_terminate(&mut self) -> bool {
+        self.shared.state_index(&self.state).can_terminate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{drive_session_bytes, small_vocab};
+
+    #[test]
+    fn fsm_backend_enforces_flat_structures() {
+        let vocab = small_vocab();
+        let backend = FsmIndexBackend::new(Arc::clone(&vocab));
+        let grammar =
+            xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ ("," [0-9]+)* "]""#, "root").unwrap();
+        let compiled = backend.compile(&grammar).unwrap();
+        let mut session = compiled.new_session();
+        assert!(drive_session_bytes(&vocab, session.as_mut(), b"[1,23,4]"));
+        assert!(session.can_terminate());
+    }
+
+    #[test]
+    fn fsm_backend_masks_match_xgrammar_for_regular_grammars() {
+        let vocab = small_vocab();
+        let grammar = xg_grammar::parse_ebnf(r#"root ::= "id-" [0-9]{3}"#, "root").unwrap();
+        let fsm = FsmIndexBackend::new(Arc::clone(&vocab));
+        let xg = crate::XGrammarBackend::new(Arc::clone(&vocab));
+        let mut fsm_session = fsm.compile(&grammar).unwrap().new_session();
+        let mut xg_session = xg.compile(&grammar).unwrap().new_session();
+        let mut a = TokenBitmask::new_all_rejected(vocab.len());
+        let mut b = TokenBitmask::new_all_rejected(vocab.len());
+        fsm_session.fill_mask(&mut a);
+        xg_session.fill_mask(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recursive_grammar_is_depth_limited_but_usable() {
+        let vocab = small_vocab();
+        let backend = FsmIndexBackend::with_limits(Arc::clone(&vocab), 6, 500_000);
+        let grammar = xg_grammar::parse_ebnf(
+            r#"
+            root ::= value
+            value ::= "[" (value ("," value)*)? "]" | [0-9]+
+            "#,
+            "root",
+        )
+        .unwrap();
+        let compiled = backend.compile(&grammar).unwrap();
+        let mut session = compiled.new_session();
+        assert!(drive_session_bytes(&vocab, session.as_mut(), b"[1,[2,[3]]]"));
+        assert!(session.can_terminate());
+        // Nesting beyond the unrolling depth is not representable: the mask
+        // at some point refuses to open yet another bracket.
+        let mut deep_session = compiled.new_session();
+        assert!(!drive_session_bytes(
+            &vocab,
+            deep_session.as_mut(),
+            b"[[[[[[[[[[1]]]]]]]]]]"
+        ));
+    }
+
+    #[test]
+    fn state_budget_violation_is_reported() {
+        let vocab = small_vocab();
+        let backend = FsmIndexBackend::with_limits(Arc::clone(&vocab), 10, 64);
+        let err = backend
+            .compile(&xg_grammar::builtin::json_grammar())
+            .unwrap_err();
+        assert!(matches!(err, BackendError::UnsupportedGrammar { .. }));
+    }
+}

@@ -1,0 +1,148 @@
+//! Baseline constrained-decoding engines used as comparators in the paper's
+//! evaluation (Figure 9, Figure 10, Table 3).
+//!
+//! Three families of baselines are reimplemented as algorithmic equivalents
+//! of the systems the paper compares against (see DESIGN.md for the
+//! substitution rationale):
+//!
+//! * [`NaivePdaBackend`] — interprets the pushdown automaton directly and
+//!   scans the *entire* vocabulary at every step with copied stacks. This is
+//!   the behaviour of llama.cpp's grammar engine and the "PDA Baseline" row
+//!   of the ablation study.
+//! * [`FsmIndexBackend`] — an Outlines-style FSM approach: the grammar is
+//!   unrolled into a finite automaton up to a bounded recursion depth, a
+//!   lazy DFA is built over it, and for every DFA state the set of allowed
+//!   tokens is computed by scanning the vocabulary once and memoized. Mask
+//!   generation is then a table lookup, but unbounded recursion cannot be
+//!   expressed and every newly visited state costs a full vocabulary scan.
+//! * [`FormatEnforcerBackend`] — an lm-format-enforcer-style character-level
+//!   walker: no precomputation at all; every step walks every vocabulary
+//!   token through the automaton from the current state. Like the original,
+//!   it only supports regular (non-recursive) structures.
+//!
+//! All backends implement the common [`ConstrainedBackend`] /
+//! [`BackendSession`] interface so the benchmark harness and the serving
+//! engine can swap them freely.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod format_enforcer;
+mod fsm_index;
+mod naive_pda;
+mod regex_unroll;
+mod xgrammar_backend;
+
+pub use format_enforcer::FormatEnforcerBackend;
+pub use fsm_index::FsmIndexBackend;
+pub use naive_pda::NaivePdaBackend;
+pub use regex_unroll::{unroll_grammar_to_fsa, UnrollError};
+pub use xgrammar_backend::XGrammarBackend;
+
+use std::fmt;
+use std::sync::Arc;
+
+use xg_core::TokenBitmask;
+use xg_grammar::Grammar;
+use xg_tokenizer::{TokenId, Vocabulary};
+
+/// Errors produced when a backend cannot handle a grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The grammar is recursive (or exceeds the unrolling depth) and this
+    /// backend only supports regular structures.
+    UnsupportedGrammar {
+        /// Backend name.
+        backend: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::UnsupportedGrammar { backend, reason } => {
+                write!(f, "backend {backend} cannot handle this grammar: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A constrained-decoding backend: compiles grammars into per-request
+/// sessions.
+pub trait ConstrainedBackend: Send + Sync + fmt::Debug {
+    /// Human-readable backend name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// The vocabulary the backend was built for.
+    fn vocabulary(&self) -> &Arc<Vocabulary>;
+
+    /// Prepares a grammar, returning a factory for per-request sessions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::UnsupportedGrammar`] if the backend cannot
+    /// express the grammar (e.g. recursion in a regex-only backend).
+    fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError>;
+}
+
+/// A compiled constraint shared between requests.
+pub trait CompiledConstraint: Send + Sync + fmt::Debug {
+    /// Creates a fresh matching session positioned at the start of the
+    /// grammar.
+    fn new_session(&self) -> Box<dyn BackendSession>;
+}
+
+/// Per-request incremental matching state.
+pub trait BackendSession: Send + fmt::Debug {
+    /// Fills the bitmask of allowed next tokens.
+    fn fill_mask(&mut self, mask: &mut TokenBitmask);
+
+    /// Advances the session with a sampled token. Returns `false` if the
+    /// token violates the constraint (the session state is then unspecified
+    /// and the request should be aborted).
+    fn accept_token(&mut self, token: TokenId) -> bool;
+
+    /// Returns `true` if the text generated so far is a complete instance of
+    /// the structure (end-of-sequence is allowed).
+    fn can_terminate(&mut self) -> bool;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use xg_tokenizer::test_vocabulary;
+
+    /// Drives a session over the byte string `text` by feeding it the
+    /// single-byte tokens of the synthetic vocabulary, asserting every token
+    /// is allowed by the freshly generated mask before accepting it.
+    pub fn drive_session_bytes(
+        vocab: &Vocabulary,
+        session: &mut dyn BackendSession,
+        text: &[u8],
+    ) -> bool {
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        for &b in text {
+            let token = vocab
+                .iter()
+                .find(|(_, t)| *t == [b])
+                .map(|(id, _)| id)
+                .expect("single-byte token exists");
+            session.fill_mask(&mut mask);
+            if !mask.is_allowed(token) {
+                return false;
+            }
+            if !session.accept_token(token) {
+                return false;
+            }
+        }
+        true
+    }
+
+    pub fn small_vocab() -> Arc<Vocabulary> {
+        Arc::new(test_vocabulary(600))
+    }
+}

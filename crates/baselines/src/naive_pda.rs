@@ -1,0 +1,192 @@
+//! The naive PDA baseline: full-vocabulary scan per decoding step.
+//!
+//! This reproduces the strategy of llama.cpp's grammar engine (and of the
+//! "PDA Baseline" row in the paper's ablation, Table 3): the pushdown
+//! automaton is interpreted directly; at every step each vocabulary token is
+//! checked by cloning the current matching stacks and pushing the token's
+//! bytes through them. No token classification, no cache, no persistent
+//! stack, no prefix sharing.
+
+use std::fmt;
+use std::sync::Arc;
+
+use xg_automata::{build_pda_default, Pda, SimpleMatcher, StepResult};
+use xg_core::TokenBitmask;
+use xg_grammar::Grammar;
+use xg_tokenizer::{TokenId, Vocabulary};
+
+use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend};
+
+/// Baseline backend interpreting the PDA with full-vocabulary scans.
+#[derive(Debug)]
+pub struct NaivePdaBackend {
+    vocab: Arc<Vocabulary>,
+}
+
+impl NaivePdaBackend {
+    /// Creates the backend for a vocabulary.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        NaivePdaBackend { vocab }
+    }
+}
+
+impl ConstrainedBackend for NaivePdaBackend {
+    fn name(&self) -> &'static str {
+        "llama.cpp-Grammar (naive PDA)"
+    }
+
+    fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
+        Ok(Arc::new(NaiveCompiled {
+            pda: build_pda_default(grammar),
+            vocab: Arc::clone(&self.vocab),
+        }))
+    }
+}
+
+struct NaiveCompiled {
+    pda: Pda,
+    vocab: Arc<Vocabulary>,
+}
+
+impl fmt::Debug for NaiveCompiled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NaiveCompiled")
+            .field("nodes", &self.pda.node_count())
+            .finish()
+    }
+}
+
+impl CompiledConstraint for NaiveCompiled {
+    fn new_session(&self) -> Box<dyn BackendSession> {
+        let stacks = vec![vec![self.pda.root_start()]];
+        Box::new(NaiveSession {
+            pda: self.pda.clone(),
+            vocab: Arc::clone(&self.vocab),
+            stacks,
+        })
+    }
+}
+
+/// Per-request session: the current matching stacks are kept as plain owned
+/// vectors (no sharing, no persistence), exactly like the baseline engines.
+#[derive(Debug)]
+struct NaiveSession {
+    pda: Pda,
+    vocab: Arc<Vocabulary>,
+    stacks: Vec<xg_automata::MatchStack>,
+}
+
+impl NaiveSession {
+    fn matcher(&self) -> SimpleMatcher<'_> {
+        SimpleMatcher::from_stacks(&self.pda, self.stacks.clone())
+    }
+}
+
+impl BackendSession for NaiveSession {
+    fn fill_mask(&mut self, mask: &mut TokenBitmask) {
+        mask.reject_all();
+        let base = self.matcher();
+        if base.is_dead() {
+            return;
+        }
+        for (token, bytes) in self.vocab.iter() {
+            if self.vocab.is_special(token) {
+                continue;
+            }
+            let mut probe = base.clone();
+            let mut ok = true;
+            for &b in bytes {
+                if probe.advance_byte(b) == StepResult::Dead {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                mask.allow(token);
+            }
+        }
+        if let Some(eos) = self.vocab.eos() {
+            if base.can_terminate() {
+                mask.allow(eos);
+            }
+        }
+    }
+
+    fn accept_token(&mut self, token: TokenId) -> bool {
+        if Some(token) == self.vocab.eos() {
+            return self.matcher().can_terminate();
+        }
+        if self.vocab.is_special(token) {
+            return false;
+        }
+        let bytes = self.vocab.token_bytes(token).to_vec();
+        let mut m = self.matcher();
+        if !m.advance_bytes(&bytes) {
+            return false;
+        }
+        self.stacks = m.stacks().to_vec();
+        true
+    }
+
+    fn can_terminate(&mut self) -> bool {
+        self.matcher().can_terminate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{drive_session_bytes, small_vocab};
+
+    #[test]
+    fn naive_backend_enforces_json() {
+        let vocab = small_vocab();
+        let backend = NaivePdaBackend::new(Arc::clone(&vocab));
+        let compiled = backend
+            .compile(&xg_grammar::builtin::json_grammar())
+            .unwrap();
+        let mut session = compiled.new_session();
+        assert!(drive_session_bytes(&vocab, session.as_mut(), br#"{"a": 1}"#));
+        assert!(session.can_terminate());
+    }
+
+    #[test]
+    fn naive_backend_rejects_invalid_tokens() {
+        let vocab = small_vocab();
+        let backend = NaivePdaBackend::new(Arc::clone(&vocab));
+        let compiled = backend
+            .compile(&xg_grammar::builtin::json_grammar())
+            .unwrap();
+        let mut session = compiled.new_session();
+        let x_token = vocab.iter().find(|(_, t)| *t == b"x").unwrap().0;
+        assert!(!session.accept_token(x_token));
+        let brace = vocab.iter().find(|(_, t)| *t == b"{").unwrap().0;
+        assert!(session.accept_token(brace));
+    }
+
+    #[test]
+    fn mask_matches_xgrammar_reference() {
+        // The naive scan and the cached XGrammar engine must produce the same
+        // set of allowed tokens.
+        let vocab = small_vocab();
+        let grammar = xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+
+        let naive = NaivePdaBackend::new(Arc::clone(&vocab));
+        let naive_compiled = naive.compile(&grammar).unwrap();
+        let mut naive_session = naive_compiled.new_session();
+
+        let xg = crate::XGrammarBackend::new(Arc::clone(&vocab));
+        let xg_compiled = xg.compile(&grammar).unwrap();
+        let mut xg_session = xg_compiled.new_session();
+
+        let mut mask_a = TokenBitmask::new_all_rejected(vocab.len());
+        let mut mask_b = TokenBitmask::new_all_rejected(vocab.len());
+        naive_session.fill_mask(&mut mask_a);
+        xg_session.fill_mask(&mut mask_b);
+        assert_eq!(mask_a, mask_b);
+    }
+}

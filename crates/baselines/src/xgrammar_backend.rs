@@ -1,0 +1,120 @@
+//! Adapter exposing the `xg-core` engine through the common backend
+//! interface, so the benchmark harness and the serving engine can swap it
+//! against the baselines.
+
+use std::sync::Arc;
+
+use xg_core::{CompiledGrammar, CompilerConfig, GrammarCompiler, GrammarMatcher, TokenBitmask};
+use xg_grammar::Grammar;
+use xg_tokenizer::{TokenId, Vocabulary};
+
+use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend};
+
+/// The XGrammar engine behind the common backend interface.
+#[derive(Debug)]
+pub struct XGrammarBackend {
+    compiler: GrammarCompiler,
+}
+
+impl XGrammarBackend {
+    /// Creates the backend with the default (fully optimized) configuration.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        Self::with_config(vocab, CompilerConfig::default())
+    }
+
+    /// Creates the backend with an explicit compiler configuration (used by
+    /// the ablation study).
+    pub fn with_config(vocab: Arc<Vocabulary>, config: CompilerConfig) -> Self {
+        XGrammarBackend {
+            compiler: GrammarCompiler::with_config(vocab, config),
+        }
+    }
+
+    /// Access to the underlying compiler (e.g. for preprocessing statistics).
+    pub fn compiler(&self) -> &GrammarCompiler {
+        &self.compiler
+    }
+}
+
+impl ConstrainedBackend for XGrammarBackend {
+    fn name(&self) -> &'static str {
+        "XGrammar"
+    }
+
+    fn vocabulary(&self) -> &Arc<Vocabulary> {
+        self.compiler.vocabulary()
+    }
+
+    fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
+        Ok(Arc::new(XGrammarCompiled {
+            compiled: self.compiler.compile_grammar(grammar),
+        }))
+    }
+}
+
+#[derive(Debug)]
+struct XGrammarCompiled {
+    compiled: Arc<CompiledGrammar>,
+}
+
+impl CompiledConstraint for XGrammarCompiled {
+    fn new_session(&self) -> Box<dyn BackendSession> {
+        Box::new(XGrammarSession {
+            matcher: GrammarMatcher::new(Arc::clone(&self.compiled)),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct XGrammarSession {
+    matcher: GrammarMatcher,
+}
+
+impl BackendSession for XGrammarSession {
+    fn fill_mask(&mut self, mask: &mut TokenBitmask) {
+        self.matcher.fill_next_token_bitmask(mask);
+    }
+
+    fn accept_token(&mut self, token: TokenId) -> bool {
+        self.matcher.accept_token(token).is_ok()
+    }
+
+    fn can_terminate(&mut self) -> bool {
+        self.matcher.can_terminate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{drive_session_bytes, small_vocab};
+    use crate::ConstrainedBackend;
+
+    #[test]
+    fn xgrammar_backend_roundtrip() {
+        let vocab = small_vocab();
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let compiled = backend
+            .compile(&xg_grammar::builtin::json_grammar())
+            .unwrap();
+        let mut session = compiled.new_session();
+        assert!(drive_session_bytes(&vocab, session.as_mut(), br#"[1, {"k": "v"}]"#));
+        assert!(session.can_terminate());
+        // EOS is accepted once the structure is complete.
+        assert!(session.accept_token(vocab.eos().unwrap()));
+    }
+
+    #[test]
+    fn ablation_configs_produce_working_backends() {
+        let vocab = small_vocab();
+        for config in [CompilerConfig::baseline(), CompilerConfig::default()] {
+            let backend = XGrammarBackend::with_config(Arc::clone(&vocab), config);
+            let compiled = backend
+                .compile(&xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap())
+                .unwrap();
+            let mut session = compiled.new_session();
+            assert!(drive_session_bytes(&vocab, session.as_mut(), b"[12]"));
+            assert!(session.can_terminate());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion bench for Figure 9: per-token mask-generation latency of
+//! XGrammar and the baselines on the four workloads.
+//!
+//! Run with `cargo bench -p xg-bench --bench fig9_mask_gen`. The bench uses a
+//! 16k-token vocabulary so a full sweep stays within a few minutes; the
+//! `run_experiments` binary covers the 32k/128k configurations.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xg_bench::{bench_vocabulary, BackendKind, Workload};
+use xg_core::TokenBitmask;
+use xg_engine::{LlmBehavior, SimulatedLlm};
+
+fn bench_mask_generation(c: &mut Criterion) {
+    let vocab = bench_vocabulary(16_000);
+    let mut group = c.benchmark_group("fig9_mask_gen");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+
+    for workload in Workload::all() {
+        let (grammar, refs) = workload.grammar_and_references(2);
+        for kind in [
+            BackendKind::XGrammar,
+            BackendKind::Outlines,
+            BackendKind::LlamaCppGrammar,
+            BackendKind::FormatEnforcer,
+        ] {
+            let backend = kind.build(Arc::clone(&vocab));
+            let Ok(compiled) = backend.compile(&grammar) else {
+                continue; // regex-only backends skip recursive CFGs
+            };
+            let llm = SimulatedLlm::new(
+                Arc::clone(&vocab),
+                LlmBehavior {
+                    prose_probability: 0.0,
+                    type_error_probability: 0.0,
+                    seed: 0,
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), workload.name()),
+                &refs,
+                |b, refs| {
+                    b.iter(|| {
+                        // One full constrained generation of the first
+                        // reference: mask + accept per token.
+                        let mut session = compiled.new_session();
+                        let mut state = llm.start_request(&refs[0], 0);
+                        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+                        for _ in 0..20 {
+                            session.fill_mask(&mut mask);
+                            let Some(token) = state.propose_constrained(&mask) else {
+                                break;
+                            };
+                            if Some(token) == vocab.eos() || !session.accept_token(token) {
+                                break;
+                            }
+                            state.advance(token);
+                        }
+                        mask.count_allowed()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mask_generation);
+criterion_main!(benches);

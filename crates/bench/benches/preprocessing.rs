@@ -1,0 +1,46 @@
+//! Criterion bench for the preprocessing phase (grammar compilation +
+//! adaptive token mask cache construction), the quantity the paper overlaps
+//! with prefill (§3.5) and the main cost Syncode-style approaches pay
+//! offline.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xg_bench::bench_vocabulary;
+use xg_core::{CompilerConfig, GrammarCompiler};
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let vocab = bench_vocabulary(16_000);
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_secs(1));
+
+    let grammars = [
+        ("json", xg_grammar::builtin::json_grammar()),
+        ("xml", xg_grammar::builtin::xml_grammar()),
+        ("python_dsl", xg_grammar::builtin::python_dsl_grammar()),
+    ];
+    for (name, grammar) in &grammars {
+        group.bench_with_input(
+            BenchmarkId::new("compile_with_mask_cache", name),
+            grammar,
+            |b, grammar| {
+                b.iter(|| {
+                    // A fresh compiler each iteration so the grammar cache
+                    // does not short-circuit the work being measured.
+                    let compiler = GrammarCompiler::with_config(
+                        Arc::clone(&vocab),
+                        CompilerConfig::default(),
+                    );
+                    compiler.compile_grammar(grammar).stats().memory_bytes
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

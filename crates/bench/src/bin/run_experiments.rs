@@ -1,0 +1,489 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p xg-bench --release --bin run_experiments -- [experiment] [--full]
+//! ```
+//!
+//! `experiment` is one of `fig9`, `fig10`, `table1`, `table2`, `table3`,
+//! `table4`, `fig11`, `fig12`, `stats`, or `all` (default). `--full` uses the
+//! 128k-token vocabulary and larger request counts (slower); the default uses
+//! a 32k vocabulary so the whole suite finishes in a few minutes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xg_baselines::{ConstrainedBackend, XGrammarBackend};
+use xg_bench::{
+    ablation_backend, bench_vocabulary, measure_mask_generation, BackendKind, Workload,
+};
+use xg_core::{GrammarCompiler, GrammarMatcher, TokenBitmask};
+use xg_engine::{
+    run_accuracy_experiment, AccuracyTask, EngineRequest, ExecutionMode, LlmBehavior,
+    ModelProfile, ServingEngine, SimulatedLlm,
+};
+use xg_tokenizer::Vocabulary;
+
+struct Config {
+    vocab_size: usize,
+    fig9_references: usize,
+    engine_requests: usize,
+    accuracy_requests: usize,
+    time_scale: f64,
+}
+
+impl Config {
+    fn quick() -> Config {
+        Config {
+            vocab_size: 32_000,
+            fig9_references: 4,
+            engine_requests: 4,
+            accuracy_requests: 10,
+            time_scale: 0.05,
+        }
+    }
+
+    fn full() -> Config {
+        Config {
+            vocab_size: 128_000,
+            fig9_references: 10,
+            engine_requests: 8,
+            accuracy_requests: 50,
+            time_scale: 1.0,
+        }
+    }
+}
+
+fn fmt_us(d: Duration) -> String {
+    format!("{:>10.1}", d.as_secs_f64() * 1e6)
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:>8.2}", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let config = if full { Config::full() } else { Config::quick() };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    println!("# XGrammar reproduction — experiment harness");
+    println!(
+        "vocabulary: {} tokens (synthetic Llama-3.1-like), mode: {}",
+        config.vocab_size,
+        if full { "full" } else { "quick" }
+    );
+    let vocab = bench_vocabulary(config.vocab_size);
+    println!();
+
+    let run = |name: &str| which == "all" || which == name;
+    if run("stats") {
+        experiment_stats(&vocab);
+    }
+    if run("fig9") {
+        experiment_fig9(&vocab, &config);
+    }
+    if run("table3") {
+        experiment_table3(&vocab, &config);
+    }
+    if run("fig10") {
+        experiment_fig10(&vocab, &config);
+    }
+    if run("table1") {
+        experiment_table1(&vocab, &config);
+    }
+    if run("table2") {
+        experiment_table2(&vocab, &config);
+    }
+    if run("table4") {
+        experiment_table4(&vocab, &config);
+    }
+    if run("fig11") {
+        experiment_fig11(&vocab, &config);
+    }
+    if run("fig12") {
+        experiment_fig12(&vocab, &config);
+    }
+}
+
+/// §3.1–§3.3 headline statistics for the JSON grammar.
+fn experiment_stats(vocab: &Arc<Vocabulary>) {
+    println!("## Preprocessing statistics (paper §3.1–§3.3, JSON grammar)");
+    let compiler = GrammarCompiler::new(Arc::clone(vocab));
+    let compiled = compiler.compile_builtin_json();
+    let stats = compiled.stats();
+    let sorted = compiled.sorted_vocabulary();
+    println!("  automaton nodes                        : {}", stats.nodes);
+    println!(
+        "  context-dependent tokens (worst node)  : {} / {} ({:.2}%)",
+        stats.max_context_dependent_per_node,
+        stats.classified_tokens,
+        100.0 * stats.max_context_dependent_per_node as f64 / stats.classified_tokens.max(1) as f64
+    );
+    println!(
+        "  context-dependent before -> after context expansion (sum over nodes): {} -> {} ({:.0}% removed)",
+        stats.context_dependent_before_expansion,
+        stats.context_dependent_after_expansion,
+        100.0 * stats.expansion_reduction()
+    );
+    println!(
+        "  mask cache memory: adaptive {:.3} MB vs dense {:.3} MB ({:.2}% of dense)",
+        stats.memory_bytes as f64 / 1e6,
+        stats.dense_memory_bytes as f64 / 1e6,
+        100.0 * stats.memory_ratio()
+    );
+    println!(
+        "  preprocessing characters matched vs naive: {:.0}% (sorted-prefix rollback, §3.3)",
+        100.0 * stats.preprocessing_check_fraction()
+    );
+    println!(
+        "  vocabulary prefix-sharing fraction (chars to check): {:.0}%",
+        100.0 * sorted.check_fraction()
+    );
+    println!(
+        "  preprocessing wall-clock time: {:.1} ms",
+        compiled.preprocessing_time().as_secs_f64() * 1e3
+    );
+    println!();
+}
+
+/// Figure 9: per-token mask generation latency.
+fn experiment_fig9(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Figure 9 — per-token mask generation latency (us/token)");
+    println!(
+        "{:<28} {:>11} {:>11} {:>11} {:>11}",
+        "workload", "XGrammar", "Outlines", "llama.cpp", "lm-fmt-enf"
+    );
+    for workload in Workload::all() {
+        let mut row = format!("{:<28}", workload.name());
+        for kind in BackendKind::all() {
+            let backend = kind.build(Arc::clone(vocab));
+            let result =
+                measure_mask_generation(&backend, workload, config.fig9_references, 40);
+            match result {
+                Some(m) => row.push_str(&format!(" {}", fmt_us(m.per_token))),
+                None => row.push_str(&format!(" {:>10}", "unsupported")),
+            }
+        }
+        println!("{row}");
+    }
+    println!();
+}
+
+/// Table 3: ablation of the optimization techniques on CFG (JSON).
+fn experiment_table3(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Table 3 — ablation study, per-token mask latency on CFG (JSON)");
+    let mut previous: Option<Duration> = None;
+    for step in 0..5 {
+        let (name, backend) = ablation_backend(Arc::clone(vocab), step);
+        let m = measure_mask_generation(&backend, Workload::CfgJson, config.fig9_references, 30)
+            .expect("XGrammar handles every workload");
+        let speedup = previous
+            .map(|p| {
+                format!(
+                    "({:.1}x vs previous)",
+                    p.as_secs_f64() / m.per_token.as_secs_f64().max(1e-9)
+                )
+            })
+            .unwrap_or_default();
+        println!("  {:<30} {} us/token {}", name, fmt_us(m.per_token), speedup);
+        previous = Some(m.per_token);
+    }
+    println!();
+}
+
+fn schema_requests(count: usize) -> Vec<EngineRequest> {
+    xg_datasets::json_mode_eval_like(count, 0xE2E)
+        .into_iter()
+        .map(|t| EngineRequest {
+            grammar: Some(xg_grammar::json_schema_to_grammar(&t.schema).expect("schema converts")),
+            prompt_tokens: 139,
+            reference: t.reference,
+            max_tokens: 120,
+        })
+        .collect()
+}
+
+fn cfg_requests(count: usize) -> Vec<EngineRequest> {
+    xg_datasets::json_documents(count, 0xE2E)
+        .into_iter()
+        .map(|t| EngineRequest {
+            grammar: Some(xg_grammar::builtin::json_grammar()),
+            prompt_tokens: 139,
+            reference: t.reference,
+            max_tokens: 160,
+        })
+        .collect()
+}
+
+/// Figure 10: end-to-end TPOT vs batch size for different engines.
+fn experiment_fig10(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Figure 10 — end-to-end TPOT (ms) vs batch size, Llama-3.1-8B profile");
+    let profile = ModelProfile::llama31_8b_h100().scaled(config.time_scale);
+    println!(
+        "  (simulated GPU, time scale {}; compare engines within a column)",
+        config.time_scale
+    );
+    for (task_name, base_requests) in [
+        ("JSON Schema", schema_requests(config.engine_requests)),
+        ("CFG (JSON)", cfg_requests(config.engine_requests)),
+    ] {
+        println!("  {task_name}:");
+        println!(
+            "    {:<28} {:>10} {:>10} {:>10}",
+            "engine", "batch=1", "batch=8", "batch=16"
+        );
+        let engines: Vec<(&str, Arc<dyn ConstrainedBackend>, ExecutionMode)> = vec![
+            (
+                "llama.cpp (serial)",
+                Arc::new(xg_baselines::NaivePdaBackend::new(Arc::clone(vocab))),
+                ExecutionMode::Serial,
+            ),
+            (
+                "vLLM w/ Outlines (serial)",
+                Arc::new(xg_baselines::FsmIndexBackend::with_limits(
+                    Arc::clone(vocab),
+                    6,
+                    400_000,
+                )),
+                ExecutionMode::Serial,
+            ),
+            (
+                "SGLang w/ XGrammar",
+                Arc::new(XGrammarBackend::new(Arc::clone(vocab))),
+                ExecutionMode::Overlapped,
+            ),
+            (
+                "XGrammar Engine",
+                Arc::new(XGrammarBackend::new(Arc::clone(vocab))),
+                ExecutionMode::Overlapped,
+            ),
+        ];
+        for (name, backend, mode) in engines {
+            let mut row = format!("    {:<28}", name);
+            for batch in [1usize, 8, 16] {
+                let mut requests = Vec::new();
+                while requests.len() < batch {
+                    requests.extend(base_requests.iter().cloned());
+                }
+                requests.truncate(batch);
+                let engine = ServingEngine::new(Arc::clone(&backend), profile.clone(), mode);
+                match engine.run_batch(&requests) {
+                    Ok((_, metrics)) => row.push_str(&format!(" {}", fmt_ms(metrics.tpot))),
+                    Err(_) => row.push_str(&format!(" {:>8}", "unsup.")),
+                }
+            }
+            println!("{row}");
+        }
+    }
+    println!();
+}
+
+/// Table 1: TPOT across models (SGLang + Outlines vs SGLang + XGrammar).
+fn experiment_table1(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Table 1 — TPOT (ms) across models on the JSON Schema task");
+    let requests = schema_requests(config.engine_requests.max(4));
+    for profile in [
+        ModelProfile::llama31_8b_h100().scaled(config.time_scale),
+        ModelProfile::deepseek_v2_lite_h100().scaled(config.time_scale),
+    ] {
+        let outlines: Arc<dyn ConstrainedBackend> = Arc::new(
+            xg_baselines::FsmIndexBackend::with_limits(Arc::clone(vocab), 6, 400_000),
+        );
+        let xgrammar: Arc<dyn ConstrainedBackend> =
+            Arc::new(XGrammarBackend::new(Arc::clone(vocab)));
+        let tpot_outlines = ServingEngine::new(outlines, profile.clone(), ExecutionMode::Serial)
+            .run_batch(&requests)
+            .map(|(_, m)| m.tpot)
+            .unwrap_or(Duration::ZERO);
+        let tpot_xgrammar =
+            ServingEngine::new(xgrammar, profile.clone(), ExecutionMode::Overlapped)
+                .run_batch(&requests)
+                .expect("xgrammar backend always compiles")
+                .1
+                .tpot;
+        println!(
+            "  {:<38} SGLang+Outlines {} ms   SGLang+XGrammar {} ms",
+            profile.name,
+            fmt_ms(tpot_outlines),
+            fmt_ms(tpot_xgrammar)
+        );
+    }
+    println!();
+}
+
+/// Table 2: TPOT with and without XGrammar on the MLC-LLM-style engine.
+fn experiment_table2(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Table 2 — TPOT (ms) with and without XGrammar (overlapped engine)");
+    let profile = ModelProfile::llama31_8b_h100().scaled(config.time_scale);
+    let backend: Arc<dyn ConstrainedBackend> = Arc::new(XGrammarBackend::new(Arc::clone(vocab)));
+    for (task, requests) in [
+        ("JSON Schema", schema_requests(config.engine_requests)),
+        ("CFG (JSON)", cfg_requests(config.engine_requests)),
+    ] {
+        for batch in [1usize, 8] {
+            let mut batch_requests = Vec::new();
+            while batch_requests.len() < batch {
+                batch_requests.extend(requests.iter().cloned());
+            }
+            batch_requests.truncate(batch);
+            let unconstrained: Vec<EngineRequest> = batch_requests
+                .iter()
+                .cloned()
+                .map(|mut r| {
+                    r.grammar = None;
+                    r
+                })
+                .collect();
+            let engine = ServingEngine::new(
+                Arc::clone(&backend),
+                profile.clone(),
+                ExecutionMode::Overlapped,
+            );
+            let without = engine.run_batch(&unconstrained).expect("runs").1.tpot;
+            let with = engine.run_batch(&batch_requests).expect("runs").1.tpot;
+            println!(
+                "  {:<14} batch {:>2}: TPOT w/o XGrammar {} ms   w/ XGrammar {} ms",
+                task,
+                batch,
+                fmt_ms(without),
+                fmt_ms(with)
+            );
+        }
+    }
+    println!();
+}
+
+/// Table 4: syntactic accuracy with and without constrained decoding.
+fn experiment_table4(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Table 4 — syntactic accuracy of structured generation tasks");
+    for (name, task) in [
+        ("Function calling (JSON Schema)", AccuracyTask::FunctionCalling),
+        ("XML code generation", AccuracyTask::XmlGeneration),
+    ] {
+        let result = run_accuracy_experiment(
+            Arc::clone(vocab),
+            task,
+            config.accuracy_requests,
+            LlmBehavior::default(),
+        );
+        println!(
+            "  {:<32} accuracy w/o XGrammar {:>5.0}%   w/ XGrammar {:>5.0}%",
+            name,
+            100.0 * result.unconstrained_accuracy(),
+            100.0 * result.constrained_accuracy()
+        );
+    }
+    println!();
+}
+
+/// Figure 11: jump-forward decoding combined with constrained decoding.
+fn experiment_fig11(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Figure 11 — time per output token (ms) with and without jump-forward decoding");
+    let profile = ModelProfile::llama31_8b_h100().scaled(config.time_scale);
+    let tasks = xg_datasets::json_mode_eval_like(config.engine_requests.max(4), 0x11F);
+    let compiler = GrammarCompiler::new(Arc::clone(vocab));
+    let llm = SimulatedLlm::new(
+        Arc::clone(vocab),
+        LlmBehavior {
+            prose_probability: 0.0,
+            type_error_probability: 0.0,
+            seed: 0,
+        },
+    );
+
+    for (label, use_jump_forward) in [("w/o jump-forward", false), ("w/ jump-forward", true)] {
+        let mut total_time = Duration::ZERO;
+        let mut total_sampled = 0usize;
+        let mut total_output_tokens = 0usize;
+        for (i, task) in tasks.iter().enumerate() {
+            let compiled = compiler
+                .compile_json_schema(&task.schema)
+                .expect("schema converts");
+            let mut matcher = GrammarMatcher::new(compiled);
+            let mut state = llm.start_request(&task.reference, i as u64);
+            let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+            let start = Instant::now();
+            let mut sampled = 0usize;
+            let mut output_tokens = 0usize;
+            while sampled < 200 {
+                if use_jump_forward {
+                    let jump = matcher.find_jump_forward_string();
+                    if !jump.is_empty() && matcher.accept_bytes(&jump).is_ok() {
+                        state.advance_bytes(&jump);
+                        // The jumped text still counts as output tokens but
+                        // needs no GPU decoding step.
+                        output_tokens += jump.len().div_ceil(4).max(1);
+                    }
+                }
+                matcher.fill_next_token_bitmask(&mut mask);
+                let Some(token) = state.propose_constrained(&mask) else {
+                    break;
+                };
+                // Each sampled token pays one simulated GPU decoding step.
+                std::thread::sleep(profile.decode_step_time(1));
+                sampled += 1;
+                output_tokens += 1;
+                if Some(token) == vocab.eos() {
+                    break;
+                }
+                if matcher.accept_token(token).is_err() {
+                    break;
+                }
+                state.advance(token);
+            }
+            total_time += start.elapsed();
+            total_sampled += sampled;
+            total_output_tokens += output_tokens.max(1);
+        }
+        println!(
+            "  XGrammar {:<18}: {:.2} ms per output token ({} sampled of {} output tokens)",
+            label,
+            total_time.as_secs_f64() * 1e3 / total_output_tokens as f64,
+            total_sampled,
+            total_output_tokens
+        );
+    }
+    println!();
+}
+
+/// Figure 12: cross-platform TTFT / TPOT, structured vs unstructured.
+fn experiment_fig12(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Figure 12 — cross-platform TTFT (ms) and TPOT (ms), structured vs unstructured");
+    let requests = schema_requests(2);
+    for profile in [
+        ModelProfile::llama31_8b_4bit_m3max().scaled(config.time_scale),
+        ModelProfile::qwen25_05b_iphone().scaled(config.time_scale),
+    ] {
+        let backend: Arc<dyn ConstrainedBackend> =
+            Arc::new(XGrammarBackend::new(Arc::clone(vocab)));
+        let engine = ServingEngine::new(
+            Arc::clone(&backend),
+            profile.clone(),
+            ExecutionMode::Overlapped,
+        );
+        let structured = engine.run_batch(&requests).expect("runs").1;
+        let unconstrained: Vec<EngineRequest> = requests
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.grammar = None;
+                r
+            })
+            .collect();
+        let unstructured = engine.run_batch(&unconstrained).expect("runs").1;
+        println!(
+            "  {:<40} structured TTFT {} / TPOT {}   unstructured TTFT {} / TPOT {}",
+            profile.name,
+            fmt_ms(structured.ttft),
+            fmt_ms(structured.tpot),
+            fmt_ms(unstructured.ttft),
+            fmt_ms(unstructured.tpot)
+        );
+    }
+    println!();
+}

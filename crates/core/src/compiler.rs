@@ -1,0 +1,346 @@
+//! Grammar compilation: grammar + tokenizer info → [`CompiledGrammar`].
+//!
+//! Compilation runs the whole preprocessing pipeline of the paper: PDA
+//! construction with structure optimizations (§3.4), expanded-suffix
+//! extraction (§3.2) and adaptive token mask cache construction (§3.1). The
+//! result is immutable and shared (`Arc`) between any number of
+//! [`GrammarMatcher`](crate::GrammarMatcher)s, mirroring how one compiled
+//! grammar serves many concurrent requests in a serving engine.
+//!
+//! [`GrammarCompiler`] additionally memoizes compiled grammars keyed by the
+//! grammar text and compiler configuration, since serving workloads reuse a
+//! small set of schemas across many requests.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use xg_automata::{build_pda, extract_all_suffix_fsas, Fsa, Pda, PdaBuildOptions};
+use xg_grammar::{Grammar, GrammarError};
+use xg_tokenizer::{SortedVocabulary, TokenId, Vocabulary};
+
+use crate::mask_cache::{build_mask_cache, MaskCache, MaskCacheBuildOptions, MaskCacheStats};
+
+/// Configuration of the grammar compiler. The four boolean switches are the
+/// ablation axes of the paper's Table 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilerConfig {
+    /// Inline fragment rules into their parents (§3.4).
+    pub enable_rule_inlining: bool,
+    /// Merge equivalent automaton nodes (§3.4).
+    pub enable_node_merging: bool,
+    /// Precompute the adaptive token mask cache (§3.1). When disabled, every
+    /// token is treated as context-dependent and checked at runtime — the
+    /// "PDA baseline" configuration.
+    pub enable_mask_cache: bool,
+    /// Apply context expansion to shrink the context-dependent sets (§3.2).
+    pub enable_context_expansion: bool,
+    /// Number of preprocessing threads (0 = available parallelism).
+    pub num_threads: usize,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig {
+            enable_rule_inlining: true,
+            enable_node_merging: true,
+            enable_mask_cache: true,
+            enable_context_expansion: true,
+            num_threads: 0,
+        }
+    }
+}
+
+impl CompilerConfig {
+    /// The fully un-optimized configuration (the "PDA Baseline" ablation row).
+    pub fn baseline() -> Self {
+        CompilerConfig {
+            enable_rule_inlining: false,
+            enable_node_merging: false,
+            enable_mask_cache: false,
+            enable_context_expansion: false,
+            num_threads: 0,
+        }
+    }
+
+    fn pda_options(&self) -> PdaBuildOptions {
+        PdaBuildOptions {
+            inline_rules: self.enable_rule_inlining,
+            merge_nodes: self.enable_node_merging,
+            ..Default::default()
+        }
+    }
+}
+
+/// A grammar compiled against a specific vocabulary, ready to instantiate
+/// matchers.
+#[derive(Debug)]
+pub struct CompiledGrammar {
+    pda: Pda,
+    vocab: Arc<Vocabulary>,
+    sorted: SortedVocabulary,
+    mask_cache: Option<MaskCache>,
+    suffix_fsas: Vec<Fsa>,
+    config: CompilerConfig,
+    /// Wall-clock time spent in preprocessing.
+    preprocessing_time: std::time::Duration,
+}
+
+impl CompiledGrammar {
+    /// Compiles `grammar` against `vocab` with the given configuration.
+    pub fn compile(
+        grammar: &Grammar,
+        vocab: Arc<Vocabulary>,
+        config: &CompilerConfig,
+    ) -> CompiledGrammar {
+        let start = std::time::Instant::now();
+        let pda = build_pda(grammar, &config.pda_options());
+        let sorted = SortedVocabulary::new(&vocab);
+        let suffix_fsas = extract_all_suffix_fsas(&pda);
+        let mask_cache = if config.enable_mask_cache {
+            Some(build_mask_cache(
+                &pda,
+                &vocab,
+                &sorted,
+                Some(&suffix_fsas),
+                &MaskCacheBuildOptions {
+                    context_expansion: config.enable_context_expansion,
+                    num_threads: config.num_threads,
+                },
+            ))
+        } else {
+            None
+        };
+        CompiledGrammar {
+            pda,
+            vocab,
+            sorted,
+            mask_cache,
+            suffix_fsas,
+            config: config.clone(),
+            preprocessing_time: start.elapsed(),
+        }
+    }
+
+    /// The compiled pushdown automaton.
+    pub fn pda(&self) -> &Pda {
+        &self.pda
+    }
+
+    /// The vocabulary this grammar was compiled against.
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// The lexicographically sorted token index.
+    pub fn sorted_vocabulary(&self) -> &SortedVocabulary {
+        &self.sorted
+    }
+
+    /// The adaptive token mask cache, if enabled.
+    pub fn mask_cache(&self) -> Option<&MaskCache> {
+        self.mask_cache.as_ref()
+    }
+
+    /// The expanded-suffix automata, one per PDA rule.
+    pub fn suffix_fsas(&self) -> &[Fsa] {
+        &self.suffix_fsas
+    }
+
+    /// The configuration used to compile this grammar.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Preprocessing statistics (empty default when the mask cache is
+    /// disabled).
+    pub fn stats(&self) -> MaskCacheStats {
+        self.mask_cache
+            .as_ref()
+            .map(|c| *c.stats())
+            .unwrap_or_default()
+    }
+
+    /// Wall-clock preprocessing time.
+    pub fn preprocessing_time(&self) -> std::time::Duration {
+        self.preprocessing_time
+    }
+
+    /// The end-of-sequence token of the vocabulary, if any.
+    pub fn eos_token(&self) -> Option<TokenId> {
+        self.vocab.eos()
+    }
+}
+
+/// A caching grammar compiler bound to one vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use xg_core::GrammarCompiler;
+/// use xg_tokenizer::test_vocabulary;
+///
+/// let compiler = GrammarCompiler::new(Arc::new(test_vocabulary(600)));
+/// let grammar = xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+/// let compiled = compiler.compile_grammar(&grammar);
+/// let again = compiler.compile_grammar(&grammar);
+/// assert!(Arc::ptr_eq(&compiled, &again)); // served from the cache
+/// ```
+#[derive(Debug)]
+pub struct GrammarCompiler {
+    vocab: Arc<Vocabulary>,
+    config: CompilerConfig,
+    cache: Mutex<HashMap<u64, Arc<CompiledGrammar>>>,
+}
+
+impl GrammarCompiler {
+    /// Creates a compiler with the default configuration.
+    pub fn new(vocab: Arc<Vocabulary>) -> Self {
+        Self::with_config(vocab, CompilerConfig::default())
+    }
+
+    /// Creates a compiler with an explicit configuration.
+    pub fn with_config(vocab: Arc<Vocabulary>, config: CompilerConfig) -> Self {
+        GrammarCompiler {
+            vocab,
+            config,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The vocabulary this compiler is bound to.
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// The compiler configuration.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    fn cache_key(&self, grammar: &Grammar) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        grammar.to_string().hash(&mut hasher);
+        format!("{:?}", self.config).hash(&mut hasher);
+        hasher.finish()
+    }
+
+    /// Compiles a grammar, reusing a previously compiled instance when the
+    /// same grammar (and configuration) was compiled before.
+    pub fn compile_grammar(&self, grammar: &Grammar) -> Arc<CompiledGrammar> {
+        let key = self.cache_key(grammar);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Arc::clone(hit);
+        }
+        let compiled = Arc::new(CompiledGrammar::compile(
+            grammar,
+            Arc::clone(&self.vocab),
+            &self.config,
+        ));
+        self.cache.lock().insert(key, Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Parses and compiles a GBNF-style EBNF grammar text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/validation error of [`xg_grammar::parse_ebnf`].
+    pub fn compile_ebnf(&self, text: &str, root: &str) -> Result<Arc<CompiledGrammar>, GrammarError> {
+        let grammar = xg_grammar::parse_ebnf(text, root)?;
+        Ok(self.compile_grammar(&grammar))
+    }
+
+    /// Converts and compiles a JSON Schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conversion error of [`xg_grammar::json_schema_to_grammar`].
+    pub fn compile_json_schema(
+        &self,
+        schema: &serde_json::Value,
+    ) -> Result<Arc<CompiledGrammar>, GrammarError> {
+        let grammar = xg_grammar::json_schema_to_grammar(schema)?;
+        Ok(self.compile_grammar(&grammar))
+    }
+
+    /// Compiles the built-in unconstrained JSON grammar (ECMA-404).
+    pub fn compile_builtin_json(&self) -> Arc<CompiledGrammar> {
+        self.compile_grammar(&xg_grammar::builtin::json_grammar())
+    }
+
+    /// Number of compiled grammars currently cached.
+    pub fn cached_count(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xg_tokenizer::test_vocabulary;
+
+    fn compiler() -> GrammarCompiler {
+        GrammarCompiler::new(Arc::new(test_vocabulary(800)))
+    }
+
+    #[test]
+    fn compile_ebnf_and_cache() {
+        let c = compiler();
+        let a = c.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+        let b = c.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(c.cached_count(), 1);
+        let other = c.compile_ebnf(r#"root ::= "x""#, "root").unwrap();
+        assert!(!Arc::ptr_eq(&a, &other));
+        assert_eq!(c.cached_count(), 2);
+    }
+
+    #[test]
+    fn compile_json_schema() {
+        let c = compiler();
+        let schema = serde_json::json!({
+            "type": "object",
+            "properties": {"name": {"type": "string"}},
+            "required": ["name"]
+        });
+        let compiled = c.compile_json_schema(&schema).unwrap();
+        assert!(compiled.mask_cache().is_some());
+        assert!(compiled.stats().nodes > 0);
+    }
+
+    #[test]
+    fn baseline_config_skips_mask_cache() {
+        let c = GrammarCompiler::with_config(
+            Arc::new(test_vocabulary(600)),
+            CompilerConfig::baseline(),
+        );
+        let compiled = c.compile_ebnf(r#"root ::= "[" [a-z]* "]""#, "root").unwrap();
+        assert!(compiled.mask_cache().is_none());
+        assert_eq!(compiled.stats(), MaskCacheStats::default());
+    }
+
+    #[test]
+    fn invalid_grammar_propagates_error() {
+        let c = compiler();
+        assert!(c.compile_ebnf(r#"root ::= missing"#, "root").is_err());
+        assert!(c
+            .compile_json_schema(&serde_json::json!(false))
+            .is_err());
+    }
+
+    #[test]
+    fn config_differences_produce_distinct_cache_entries() {
+        let vocab = Arc::new(test_vocabulary(600));
+        let full = GrammarCompiler::new(Arc::clone(&vocab));
+        let base = GrammarCompiler::with_config(vocab, CompilerConfig::baseline());
+        let g = xg_grammar::parse_ebnf(r#"root ::= "a" | "b""#, "root").unwrap();
+        let a = full.compile_grammar(&g);
+        let b = base.compile_grammar(&g);
+        assert!(a.mask_cache().is_some());
+        assert!(b.mask_cache().is_none());
+    }
+}

@@ -1,0 +1,373 @@
+//! Execution of the byte-level PDA over persistent stacks.
+//!
+//! This module contains the low-level stepping machinery shared by the
+//! preprocessing phase (classifying tokens per automaton node for the
+//! adaptive token mask cache) and the runtime phase (checking
+//! context-dependent tokens against the full stack, and advancing the
+//! matcher when a token is accepted).
+
+use std::collections::HashSet;
+
+use xg_automata::{Pda, PdaEdge};
+
+use crate::persistent_stack::{PersistentStackTree, StackHandle};
+
+/// Hard cap on the number of parallel stacks tracked at once. Grammars that
+/// exceed it are pathological; exceeding the cap degrades to tracking a
+/// subset (documented behaviour, never observed for the evaluated grammars).
+pub const MAX_PARALLEL_STACKS: usize = 512;
+
+/// Expands a set of stack heads into their epsilon closure: every
+/// configuration reachable without consuming a byte, by entering referenced
+/// rules (push) or returning from completed rules (pop).
+///
+/// `on_popout` is invoked for every configuration that reaches the final node
+/// of the *bottom* frame — i.e. that could pop out of the frame the matching
+/// started in, which the caller interprets as either "needs parent context"
+/// (preprocessing) or "the whole grammar can terminate here" (runtime).
+pub fn closure(
+    pda: &Pda,
+    tree: &mut PersistentStackTree,
+    heads: &[StackHandle],
+    mut on_popout: impl FnMut(StackHandle),
+) -> Vec<StackHandle> {
+    let mut seen: HashSet<StackHandle> = HashSet::with_capacity(heads.len() * 2);
+    let mut queue: Vec<StackHandle> = Vec::with_capacity(heads.len() * 2);
+    let mut out: Vec<StackHandle> = Vec::with_capacity(heads.len() * 2);
+    for &h in heads {
+        if seen.insert(h) {
+            queue.push(h);
+        }
+    }
+    while let Some(h) = queue.pop() {
+        out.push(h);
+        if out.len() >= MAX_PARALLEL_STACKS {
+            break;
+        }
+        let top = tree.top(h).expect("stack heads always carry a top node");
+        let is_final = pda.node(top).is_final;
+        // Expand rule references (push). Collect edges first to appease the
+        // borrow checker (tree is mutated while pushing).
+        let rule_edges: Vec<(u32, xg_automata::NodeId)> = pda
+            .node(top)
+            .edges
+            .iter()
+            .filter_map(|e| match e {
+                PdaEdge::Rule { rule, target } => Some((rule.0, *target)),
+                PdaEdge::Bytes { .. } => None,
+            })
+            .collect();
+        for (rule, ret) in rule_edges {
+            let with_return = tree.replace_top(h, ret);
+            let child = tree.push(with_return, pda.rule(xg_automata::PdaRuleId(rule)).start);
+            if seen.insert(child) {
+                queue.push(child);
+            }
+        }
+        // Return to the parent rule (pop), or report a pop-out of the bottom
+        // frame.
+        if is_final {
+            if tree.depth(h) > 1 {
+                let popped = tree.pop(h);
+                if seen.insert(popped) {
+                    queue.push(popped);
+                }
+            } else {
+                on_popout(h);
+            }
+        }
+    }
+    out
+}
+
+/// Advances a set of stack heads over one byte. Returns the deduplicated set
+/// of surviving heads (empty when the byte is not matchable).
+pub fn advance_byte(
+    pda: &Pda,
+    tree: &mut PersistentStackTree,
+    heads: &[StackHandle],
+    byte: u8,
+    on_popout: impl FnMut(StackHandle),
+) -> Vec<StackHandle> {
+    let expanded = closure(pda, tree, heads, on_popout);
+    let mut seen: HashSet<StackHandle> = HashSet::with_capacity(expanded.len());
+    let mut out: Vec<StackHandle> = Vec::with_capacity(expanded.len());
+    for h in expanded {
+        let top = tree.top(h).expect("stack heads always carry a top node");
+        let byte_edges: Vec<xg_automata::NodeId> = pda
+            .node(top)
+            .edges
+            .iter()
+            .filter_map(|e| match e {
+                PdaEdge::Bytes { range, target } if range.contains(byte) => Some(*target),
+                _ => None,
+            })
+            .collect();
+        for target in byte_edges {
+            let nh = tree.replace_top(h, target);
+            if seen.insert(nh) {
+                out.push(nh);
+            }
+        }
+        if out.len() >= MAX_PARALLEL_STACKS {
+            break;
+        }
+    }
+    out
+}
+
+/// Returns `true` if, without consuming more bytes, some stack can pop out of
+/// its bottom frame (for a matcher whose bottom frame is the root rule this
+/// means the generated text is a complete sentence).
+pub fn can_pop_out(pda: &Pda, tree: &mut PersistentStackTree, heads: &[StackHandle]) -> bool {
+    let mut can = false;
+    let _ = closure(pda, tree, heads, |_| can = true);
+    can
+}
+
+/// A resumable byte-matching trail: the sequence of stack-head sets after
+/// each consumed byte, kept so that matching can be rolled back to any prefix
+/// length in O(1).
+///
+/// This is the mechanism of paper §3.3: when checking a sorted list of tokens
+/// (during preprocessing, or the context-dependent tokens of one stack at
+/// runtime), adjacent tokens share long prefixes; the trail rolls back to the
+/// shared prefix instead of re-matching it.
+#[derive(Debug)]
+pub struct TokenTrail {
+    /// `states[i]` = heads after consuming `i` bytes (`states[0]` = initial).
+    states: Vec<Vec<StackHandle>>,
+    /// `popout[i]` = while advancing from `states[i]`, some configuration
+    /// could pop out of the bottom frame (so the remainder starting at byte
+    /// offset `i` would have to be matched by parent context).
+    popout: Vec<bool>,
+    /// Bytes consumed so far (the current prefix).
+    prefix: Vec<u8>,
+    /// Total number of bytes actually advanced (for the §3.3 statistic).
+    bytes_advanced: u64,
+}
+
+impl TokenTrail {
+    /// Creates a trail starting from the given heads.
+    pub fn new(initial: Vec<StackHandle>) -> Self {
+        TokenTrail {
+            states: vec![initial],
+            popout: Vec::new(),
+            prefix: Vec::new(),
+            bytes_advanced: 0,
+        }
+    }
+
+    /// Current prefix length in bytes.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix.len()
+    }
+
+    /// Rolls the trail back so that only `len` bytes remain matched.
+    pub fn rollback_to(&mut self, len: usize) {
+        debug_assert!(len <= self.prefix.len());
+        self.prefix.truncate(len);
+        self.states.truncate(len + 1);
+        self.popout.truncate(len);
+    }
+
+    /// Advances the trail by one byte. Returns `true` if at least one stack
+    /// survived.
+    pub fn advance(&mut self, pda: &Pda, tree: &mut PersistentStackTree, byte: u8) -> bool {
+        let current = self.states.last().expect("states is never empty");
+        let mut popout_here = false;
+        let next = if current.is_empty() {
+            Vec::new()
+        } else {
+            advance_byte(pda, tree, current, byte, |_| popout_here = true)
+        };
+        self.bytes_advanced += 1;
+        self.prefix.push(byte);
+        self.popout.push(popout_here);
+        let alive = !next.is_empty();
+        self.states.push(next);
+        alive
+    }
+
+    /// Matches `token` assuming the trail currently holds a prefix of it of
+    /// length `keep` (the caller computes the longest common prefix with the
+    /// previously matched token). Returns the final state's liveness.
+    pub fn match_token(
+        &mut self,
+        pda: &Pda,
+        tree: &mut PersistentStackTree,
+        token: &[u8],
+        keep: usize,
+    ) -> bool {
+        self.rollback_to(keep);
+        let mut alive = !self.current_heads().is_empty();
+        for &b in &token[keep..] {
+            alive = self.advance(pda, tree, b);
+            // Keep advancing even when dead: pop-out offsets recorded earlier
+            // still apply, and later tokens sharing a longer prefix need the
+            // states to exist. Dead states advance to dead states cheaply.
+            if !alive && self.prefix.len() >= token.len() {
+                break;
+            }
+            if !alive {
+                // Fill the remaining positions with dead states without
+                // doing automaton work.
+                while self.prefix.len() < token.len() {
+                    self.prefix.push(token[self.prefix.len()]);
+                    self.popout.push(false);
+                    self.states.push(Vec::new());
+                }
+                break;
+            }
+        }
+        alive && self.prefix.len() == token.len()
+    }
+
+    /// Heads after the full current prefix.
+    pub fn current_heads(&self) -> &[StackHandle] {
+        self.states.last().expect("states is never empty")
+    }
+
+    /// Byte offsets `o < len` at which a pop-out of the bottom frame was
+    /// possible (the remainder `token[o..]` would be matched by the parent
+    /// context). Only offsets within the current prefix are reported.
+    pub fn popout_offsets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.popout
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| if p { Some(i) } else { None })
+    }
+
+    /// Total number of bytes advanced over the lifetime of the trail
+    /// (counting only real automaton work, not rolled-back reuse).
+    pub fn bytes_advanced(&self) -> u64 {
+        self.bytes_advanced
+    }
+}
+
+/// Longest common prefix length of two byte strings.
+pub fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xg_automata::{build_pda, PdaBuildOptions};
+    use xg_grammar::parse_ebnf;
+
+    fn json_pda() -> Pda {
+        build_pda(
+            &xg_grammar::builtin::json_grammar(),
+            &PdaBuildOptions::default(),
+        )
+    }
+
+    fn start_heads(pda: &Pda, tree: &mut PersistentStackTree) -> Vec<StackHandle> {
+        vec![tree.push(StackHandle::ROOT, pda.root_start())]
+    }
+
+    #[test]
+    fn advance_byte_matches_simple_matcher() {
+        let pda = json_pda();
+        let mut tree = PersistentStackTree::new();
+        let mut heads = start_heads(&pda, &mut tree);
+        let input = br#"{"a": [1, {"b": null}]}"#;
+        let mut simple = xg_automata::SimpleMatcher::new(&pda);
+        for &b in input.iter() {
+            heads = advance_byte(&pda, &mut tree, &heads, b, |_| {});
+            let simple_alive = simple.advance_byte(b) == xg_automata::StepResult::Alive;
+            assert_eq!(!heads.is_empty(), simple_alive, "divergence at byte {b}");
+        }
+        assert!(can_pop_out(&pda, &mut tree, &heads));
+    }
+
+    #[test]
+    fn rejection_matches_simple_matcher() {
+        let pda = json_pda();
+        let mut tree = PersistentStackTree::new();
+        let mut heads = start_heads(&pda, &mut tree);
+        for &b in br#"{"a" 1}"#.iter() {
+            heads = advance_byte(&pda, &mut tree, &heads, b, |_| {});
+            if heads.is_empty() {
+                break;
+            }
+        }
+        assert!(heads.is_empty());
+    }
+
+    #[test]
+    fn trail_rollback_reuses_prefixes() {
+        let pda = json_pda();
+        let mut tree = PersistentStackTree::new();
+        let heads = start_heads(&pda, &mut tree);
+        let mut trail = TokenTrail::new(heads);
+        // Match two tokens sharing the prefix `{"na`.
+        assert!(trail.match_token(&pda, &mut tree, br#"{"name"#, 0));
+        let advanced_first = trail.bytes_advanced();
+        let lcp = common_prefix_len(br#"{"name"#, br#"{"nam_x"#);
+        assert!(trail.match_token(&pda, &mut tree, br#"{"nam_x"#, lcp));
+        // Only the divergent suffix was re-matched.
+        assert_eq!(trail.bytes_advanced(), advanced_first + (7 - lcp) as u64);
+    }
+
+    #[test]
+    fn trail_records_popout_offsets() {
+        // str is referenced from a bracketed context; matching `"ab"]` from
+        // the str rule start pops out after the closing quote (offset 4).
+        let g = parse_ebnf(
+            r#"
+            root ::= "[" str "]"
+            str ::= "\"" [a-z]* "\""
+            "#,
+            "root",
+        )
+        .unwrap();
+        let pda = build_pda(
+            &g,
+            &PdaBuildOptions {
+                inline_rules: false,
+                ..Default::default()
+            },
+        );
+        let str_start = pda
+            .rules()
+            .iter()
+            .find(|r| r.name == "str")
+            .map(|r| r.start)
+            .expect("str rule exists");
+        let mut tree = PersistentStackTree::new();
+        let head = tree.push(StackHandle::ROOT, str_start);
+        let mut trail = TokenTrail::new(vec![head]);
+        let alive = trail.match_token(&pda, &mut tree, b"\"ab\"]", 0);
+        // The token is not matchable locally (the `]` belongs to the parent)…
+        assert!(!alive);
+        // …but a pop-out at offset 4 was recorded (remainder `]`).
+        let offsets: Vec<usize> = trail.popout_offsets().collect();
+        assert_eq!(offsets, vec![4]);
+    }
+
+    #[test]
+    fn dead_trail_can_still_be_extended_and_rolled_back() {
+        let pda = json_pda();
+        let mut tree = PersistentStackTree::new();
+        let heads = start_heads(&pda, &mut tree);
+        let mut trail = TokenTrail::new(heads);
+        assert!(!trail.match_token(&pda, &mut tree, b"{x}", 0));
+        // Next token shares the prefix `{` only; after rollback it matches.
+        assert!(trail.match_token(&pda, &mut tree, b"{}", 1));
+    }
+
+    #[test]
+    fn closure_reports_termination_via_popout() {
+        let g = parse_ebnf(r#"root ::= "ab""#, "root").unwrap();
+        let pda = build_pda(&g, &PdaBuildOptions::default());
+        let mut tree = PersistentStackTree::new();
+        let mut heads = vec![tree.push(StackHandle::ROOT, pda.root_start())];
+        assert!(!can_pop_out(&pda, &mut tree, &heads));
+        for &b in b"ab" {
+            heads = advance_byte(&pda, &mut tree, &heads, b, |_| {});
+        }
+        assert!(can_pop_out(&pda, &mut tree, &heads));
+    }
+}

@@ -1,0 +1,60 @@
+//! XGrammar core engine (reproduction): flexible and efficient structured
+//! generation for large language models.
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * the **adaptive token mask cache** (§3.1): per-automaton-node
+//!   classification of the vocabulary into context-independent and
+//!   context-dependent tokens, stored in accept-heavy / reject-heavy / bitset
+//!   form ([`MaskCache`], [`NodeMaskEntry`]),
+//! * **context expansion** (§3.2): expanded-suffix automata prune
+//!   context-dependent tokens during preprocessing (automata extraction lives
+//!   in `xg-automata`, its application in [`mask_cache`](MaskCache)
+//!   construction),
+//! * the **persistent execution stack** (§3.3): all matching stacks live in
+//!   one shared tree with O(1) branching and rollback
+//!   ([`PersistentStackTree`]),
+//! * the **grammar matcher and compiler** used by serving engines
+//!   ([`GrammarCompiler`], [`CompiledGrammar`], [`GrammarMatcher`],
+//!   [`TokenBitmask`]), including jump-forward string detection (Appendix B).
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xg_core::{GrammarCompiler, GrammarMatcher, TokenBitmask};
+//! use xg_tokenizer::test_vocabulary;
+//!
+//! // 1. Compile a grammar against a vocabulary (expensive, cached, shared).
+//! let vocab = Arc::new(test_vocabulary(1000));
+//! let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+//! let compiled = compiler.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root")?;
+//!
+//! // 2. Per request: create a matcher and alternate mask generation with
+//! //    token acceptance.
+//! let mut matcher = GrammarMatcher::new(compiled);
+//! let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+//! matcher.fill_next_token_bitmask(&mut mask);
+//! assert!(mask.count_allowed() > 0);
+//! # Ok::<(), xg_grammar::GrammarError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod compiler;
+mod error;
+pub mod executor;
+mod mask;
+mod mask_cache;
+mod matcher;
+mod persistent_stack;
+
+pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler};
+pub use error::{AcceptError, RollbackError};
+pub use mask::TokenBitmask;
+pub use mask_cache::{
+    build_mask_cache, MaskCache, MaskCacheBuildOptions, MaskCacheStats, NodeMaskEntry,
+};
+pub use matcher::{GrammarMatcher, MatcherStats, DEFAULT_MAX_ROLLBACK_TOKENS};
+pub use persistent_stack::{PersistentStackTree, StackHandle};

@@ -1,0 +1,225 @@
+//! Token bitmask: one bit per vocabulary entry, set when the token is
+//! allowed at the next decoding step.
+//!
+//! This is the object handed to the sampler (Figure 2 of the paper): invalid
+//! tokens have their logits forced to `-inf` before softmax.
+
+use xg_tokenizer::TokenId;
+
+/// A dense bitmask over the vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use xg_core::TokenBitmask;
+/// use xg_tokenizer::TokenId;
+///
+/// let mut mask = TokenBitmask::new_all_rejected(100);
+/// mask.allow(TokenId(3));
+/// assert!(mask.is_allowed(TokenId(3)));
+/// assert!(!mask.is_allowed(TokenId(4)));
+/// assert_eq!(mask.count_allowed(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenBitmask {
+    words: Vec<u64>,
+    vocab_size: usize,
+}
+
+impl TokenBitmask {
+    /// Creates a mask with every token rejected.
+    pub fn new_all_rejected(vocab_size: usize) -> Self {
+        TokenBitmask {
+            words: vec![0; vocab_size.div_ceil(64)],
+            vocab_size,
+        }
+    }
+
+    /// Creates a mask with every token allowed.
+    pub fn new_all_allowed(vocab_size: usize) -> Self {
+        let mut mask = Self::new_all_rejected(vocab_size);
+        mask.allow_all();
+        mask
+    }
+
+    /// Vocabulary size this mask covers.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Allows every token.
+    pub fn allow_all(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.clear_padding();
+    }
+
+    /// Rejects every token.
+    pub fn reject_all(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    fn clear_padding(&mut self) {
+        let extra = self.words.len() * 64 - self.vocab_size;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    /// Allows a single token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token id is out of range.
+    #[inline]
+    pub fn allow(&mut self, token: TokenId) {
+        assert!(token.index() < self.vocab_size, "token id out of range");
+        self.words[token.index() / 64] |= 1u64 << (token.index() % 64);
+    }
+
+    /// Rejects a single token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token id is out of range.
+    #[inline]
+    pub fn reject(&mut self, token: TokenId) {
+        assert!(token.index() < self.vocab_size, "token id out of range");
+        self.words[token.index() / 64] &= !(1u64 << (token.index() % 64));
+    }
+
+    /// Returns `true` if the token is allowed.
+    #[inline]
+    pub fn is_allowed(&self, token: TokenId) -> bool {
+        if token.index() >= self.vocab_size {
+            return false;
+        }
+        self.words[token.index() / 64] & (1u64 << (token.index() % 64)) != 0
+    }
+
+    /// Number of allowed tokens.
+    pub fn count_allowed(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the allowed token ids.
+    pub fn allowed_tokens(&self) -> impl Iterator<Item = TokenId> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut bits = w;
+            let mut out = Vec::new();
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                out.push(TokenId((wi * 64 + bit) as u32));
+                bits &= bits - 1;
+            }
+            out
+        })
+    }
+
+    /// In-place union with another mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary sizes differ.
+    pub fn union_with(&mut self, other: &TokenBitmask) {
+        assert_eq!(self.vocab_size, other.vocab_size, "mask size mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with another mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary sizes differ.
+    pub fn intersect_with(&mut self, other: &TokenBitmask) {
+        assert_eq!(self.vocab_size, other.vocab_size, "mask size mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Raw 64-bit words of the mask (for the engine's masked sampling).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Heap memory used by the mask in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_reject_roundtrip() {
+        let mut m = TokenBitmask::new_all_rejected(130);
+        assert_eq!(m.count_allowed(), 0);
+        m.allow(TokenId(0));
+        m.allow(TokenId(64));
+        m.allow(TokenId(129));
+        assert_eq!(m.count_allowed(), 3);
+        assert!(m.is_allowed(TokenId(129)));
+        m.reject(TokenId(64));
+        assert_eq!(m.count_allowed(), 2);
+        assert!(!m.is_allowed(TokenId(64)));
+    }
+
+    #[test]
+    fn all_allowed_respects_vocab_size() {
+        let m = TokenBitmask::new_all_allowed(70);
+        assert_eq!(m.count_allowed(), 70);
+        assert!(!m.is_allowed(TokenId(70)));
+        assert!(!m.is_allowed(TokenId(1000)));
+    }
+
+    #[test]
+    fn allowed_tokens_iterates_in_order() {
+        let mut m = TokenBitmask::new_all_rejected(200);
+        for id in [5u32, 63, 64, 65, 199] {
+            m.allow(TokenId(id));
+        }
+        let ids: Vec<u32> = m.allowed_tokens().map(|t| t.0).collect();
+        assert_eq!(ids, vec![5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = TokenBitmask::new_all_rejected(100);
+        let mut b = TokenBitmask::new_all_rejected(100);
+        a.allow(TokenId(1));
+        a.allow(TokenId(2));
+        b.allow(TokenId(2));
+        b.allow(TokenId(3));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count_allowed(), 3);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.count_allowed(), 1);
+        assert!(i.is_allowed(TokenId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mask size mismatch")]
+    fn union_size_mismatch_panics() {
+        let mut a = TokenBitmask::new_all_rejected(10);
+        let b = TokenBitmask::new_all_rejected(20);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn memory_is_proportional_to_vocab() {
+        let m = TokenBitmask::new_all_rejected(128_000);
+        assert_eq!(m.memory_bytes(), 128_000usize.div_ceil(64) * 8);
+    }
+}

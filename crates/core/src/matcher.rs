@@ -1,0 +1,726 @@
+//! The grammar matcher: the runtime half of the engine.
+//!
+//! A [`GrammarMatcher`] tracks the matching stacks of one generation request.
+//! Each decoding step it produces a [`TokenBitmask`] (mostly by reading the
+//! adaptive token mask cache and resolving the few context-dependent tokens
+//! against the full stack), and after sampling it consumes the chosen token
+//! to advance the stacks. It also supports O(1) rollback of recent tokens and
+//! jump-forward string detection (Appendix B).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use xg_automata::PdaEdge;
+use xg_tokenizer::TokenId;
+
+use crate::compiler::CompiledGrammar;
+use crate::error::{AcceptError, RollbackError};
+use crate::executor::{advance_byte, can_pop_out, common_prefix_len, TokenTrail};
+use crate::mask::TokenBitmask;
+use crate::mask_cache::NodeMaskEntry;
+use crate::persistent_stack::{PersistentStackTree, StackHandle};
+
+/// Default number of recently accepted tokens that can be rolled back.
+pub const DEFAULT_MAX_ROLLBACK_TOKENS: usize = 32;
+
+/// Runtime statistics of a matcher, used by the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatcherStats {
+    /// Number of masks generated.
+    pub masks_generated: u64,
+    /// Number of tokens accepted.
+    pub tokens_accepted: u64,
+    /// Context-dependent tokens checked at runtime across all masks.
+    pub context_dependent_checked: u64,
+    /// Tokens whose validity was read directly from the cache.
+    pub context_independent_hits: u64,
+}
+
+/// The incremental grammar matcher for one generation request.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use xg_core::{GrammarCompiler, GrammarMatcher, TokenBitmask};
+/// use xg_tokenizer::test_vocabulary;
+///
+/// let vocab = Arc::new(test_vocabulary(600));
+/// let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+/// let compiled = compiler.compile_builtin_json();
+/// let mut matcher = GrammarMatcher::new(compiled);
+///
+/// let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+/// matcher.fill_next_token_bitmask(&mut mask);
+/// assert!(mask.count_allowed() > 0);
+/// ```
+#[derive(Debug)]
+pub struct GrammarMatcher {
+    compiled: Arc<CompiledGrammar>,
+    tree: PersistentStackTree,
+    heads: Vec<StackHandle>,
+    /// Snapshots of `heads` *before* each accepted token, newest last.
+    history: Vec<Vec<StackHandle>>,
+    max_rollback: usize,
+    terminated: bool,
+    stats: MatcherStats,
+}
+
+impl GrammarMatcher {
+    /// Creates a matcher with the default rollback window.
+    pub fn new(compiled: Arc<CompiledGrammar>) -> Self {
+        Self::with_max_rollback(compiled, DEFAULT_MAX_ROLLBACK_TOKENS)
+    }
+
+    /// Creates a matcher that can roll back up to `max_rollback` recently
+    /// accepted tokens.
+    pub fn with_max_rollback(compiled: Arc<CompiledGrammar>, max_rollback: usize) -> Self {
+        let mut tree = PersistentStackTree::new();
+        let start = tree.push(StackHandle::ROOT, compiled.pda().root_start());
+        GrammarMatcher {
+            compiled,
+            tree,
+            heads: vec![start],
+            history: Vec::new(),
+            max_rollback,
+            terminated: false,
+            stats: MatcherStats::default(),
+        }
+    }
+
+    /// The compiled grammar this matcher runs.
+    pub fn compiled(&self) -> &Arc<CompiledGrammar> {
+        &self.compiled
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> MatcherStats {
+        self.stats
+    }
+
+    /// Number of parallel matching stacks currently alive.
+    pub fn stack_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Returns `true` if end-of-sequence has been accepted.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Returns `true` if the text consumed so far is a complete sentence of
+    /// the grammar (end-of-sequence would be accepted now).
+    pub fn can_terminate(&mut self) -> bool {
+        if self.terminated {
+            return false;
+        }
+        can_pop_out(self.compiled.pda(), &mut self.tree, &self.heads)
+    }
+
+    /// Resets the matcher to the start of the grammar, clearing all history.
+    pub fn reset(&mut self) {
+        self.tree = PersistentStackTree::new();
+        let start = self
+            .tree
+            .push(StackHandle::ROOT, self.compiled.pda().root_start());
+        self.heads = vec![start];
+        self.history.clear();
+        self.terminated = false;
+    }
+
+    // -----------------------------------------------------------------
+    // Mask generation
+    // -----------------------------------------------------------------
+
+    /// Fills `mask` with the set of tokens allowed at the next decoding step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask's vocabulary size differs from the compiled
+    /// grammar's vocabulary.
+    pub fn fill_next_token_bitmask(&mut self, mask: &mut TokenBitmask) {
+        let vocab = Arc::clone(self.compiled.vocabulary());
+        assert_eq!(
+            mask.vocab_size(),
+            vocab.len(),
+            "mask size must match the vocabulary"
+        );
+        mask.reject_all();
+        self.stats.masks_generated += 1;
+        if self.terminated {
+            return;
+        }
+
+        let compiled = Arc::clone(&self.compiled);
+        if compiled.mask_cache().is_some() {
+            self.fill_mask_with_cache(&compiled, mask);
+        } else {
+            self.fill_mask_naive(&compiled, mask);
+        }
+
+        // Special tokens are never produced by the grammar; EOS is allowed
+        // exactly when the structure is complete.
+        for special in vocab.special_ids() {
+            mask.reject(special);
+        }
+        if let Some(eos) = vocab.eos() {
+            if self.can_terminate() {
+                mask.allow(eos);
+            }
+        }
+    }
+
+    /// Mask generation using the adaptive token mask cache and the
+    /// set-based merge of Algorithm 1.
+    fn fill_mask_with_cache(&mut self, compiled: &CompiledGrammar, mask: &mut TokenBitmask) {
+        let cache = compiled.mask_cache().expect("checked by caller");
+        let vocab = compiled.vocabulary();
+
+        if self.heads.len() == 1 {
+            // Fast path: single stack, write the mask directly.
+            let head = self.heads[0];
+            let top = self.tree.top(head).expect("heads carry a top node");
+            let entry = cache.entry(top);
+            let resolved = self.resolve_uncertain(compiled, head, entry.uncertain());
+            match entry {
+                NodeMaskEntry::AcceptHeavy { rejected, uncertain } => {
+                    mask.allow_all();
+                    for &t in rejected {
+                        mask.reject(t);
+                    }
+                    for (i, &t) in uncertain.iter().enumerate() {
+                        if !resolved[i] {
+                            mask.reject(t);
+                        }
+                    }
+                    self.stats.context_independent_hits +=
+                        (vocab.len() - rejected.len() - uncertain.len()) as u64;
+                }
+                NodeMaskEntry::RejectHeavy { accepted, uncertain } => {
+                    for &t in accepted {
+                        mask.allow(t);
+                    }
+                    for (i, &t) in uncertain.iter().enumerate() {
+                        if resolved[i] {
+                            mask.allow(t);
+                        }
+                    }
+                    self.stats.context_independent_hits += accepted.len() as u64;
+                }
+                NodeMaskEntry::Bitset { accepted, uncertain } => {
+                    mask.union_with(accepted);
+                    for (i, &t) in uncertain.iter().enumerate() {
+                        if resolved[i] {
+                            mask.allow(t);
+                        }
+                    }
+                    self.stats.context_independent_hits += accepted.count_allowed() as u64;
+                }
+            }
+            return;
+        }
+
+        // Multiple parallel stacks: Algorithm 1. `partial_rej = None` encodes
+        // "the whole vocabulary".
+        let mut partial_acc: HashSet<TokenId> = HashSet::new();
+        let mut partial_rej: Option<HashSet<TokenId>> = None;
+        let heads = self.heads.clone();
+        for head in heads {
+            let top = self.tree.top(head).expect("heads carry a top node");
+            let entry = cache.entry(top);
+            let resolved = self.resolve_uncertain(compiled, head, entry.uncertain());
+            match entry {
+                NodeMaskEntry::AcceptHeavy { rejected, uncertain } => {
+                    // This stack rejects `rejected ∪ {unresolved uncertain}`.
+                    let mut stack_rej: HashSet<TokenId> = rejected.iter().copied().collect();
+                    for (i, &t) in uncertain.iter().enumerate() {
+                        if !resolved[i] {
+                            stack_rej.insert(t);
+                        }
+                    }
+                    partial_rej = Some(match partial_rej.take() {
+                        None => stack_rej,
+                        Some(prev) => prev.intersection(&stack_rej).copied().collect(),
+                    });
+                    self.stats.context_independent_hits +=
+                        (vocab.len() - rejected.len() - uncertain.len()) as u64;
+                }
+                NodeMaskEntry::RejectHeavy { accepted, uncertain } => {
+                    partial_acc.extend(accepted.iter().copied());
+                    for (i, &t) in uncertain.iter().enumerate() {
+                        if resolved[i] {
+                            partial_acc.insert(t);
+                        }
+                    }
+                    self.stats.context_independent_hits += accepted.len() as u64;
+                }
+                NodeMaskEntry::Bitset { accepted, uncertain } => {
+                    partial_acc.extend(accepted.allowed_tokens());
+                    for (i, &t) in uncertain.iter().enumerate() {
+                        if resolved[i] {
+                            partial_acc.insert(t);
+                        }
+                    }
+                    self.stats.context_independent_hits += accepted.count_allowed() as u64;
+                }
+            }
+        }
+        // Final mask: rejected = partial_rej \ partial_acc; everything else is
+        // allowed (when no accept-heavy stack was seen, allowed = partial_acc).
+        match partial_rej {
+            Some(rej) => {
+                mask.allow_all();
+                for t in rej {
+                    if !partial_acc.contains(&t) {
+                        mask.reject(t);
+                    }
+                }
+            }
+            None => {
+                for t in partial_acc {
+                    mask.allow(t);
+                }
+            }
+        }
+    }
+
+    /// Mask generation without the cache: every token is checked against the
+    /// full stack (the "PDA baseline" of the ablation study). Tokens are still
+    /// checked in sorted order to share prefixes.
+    fn fill_mask_naive(&mut self, compiled: &CompiledGrammar, mask: &mut TokenBitmask) {
+        let vocab = Arc::clone(compiled.vocabulary());
+        let sorted_ids: Vec<TokenId> = compiled.sorted_vocabulary().ids().to_vec();
+        let pda = compiled.pda();
+        let mut trail = TokenTrail::new(self.heads.clone());
+        let mut prev: &[u8] = &[];
+        for &token in &sorted_ids {
+            let bytes = vocab.token_bytes(token);
+            let keep = common_prefix_len(prev, bytes);
+            let ok = trail.match_token(pda, &mut self.tree, bytes, keep);
+            if ok {
+                mask.allow(token);
+            }
+            prev = bytes;
+            self.stats.context_dependent_checked += 1;
+        }
+    }
+
+    /// Resolves the context-dependent tokens of one stack by matching them
+    /// against the full stack, reusing shared prefixes between consecutive
+    /// tokens. Returns one boolean per uncertain token (true = allowed).
+    fn resolve_uncertain(
+        &mut self,
+        compiled: &CompiledGrammar,
+        head: StackHandle,
+        uncertain: &[TokenId],
+    ) -> Vec<bool> {
+        if uncertain.is_empty() {
+            return Vec::new();
+        }
+        let vocab = Arc::clone(compiled.vocabulary());
+        let pda = compiled.pda();
+        let mut out = Vec::with_capacity(uncertain.len());
+        let mut trail = TokenTrail::new(vec![head]);
+        let mut prev: &[u8] = &[];
+        for &token in uncertain {
+            let bytes = vocab.token_bytes(token);
+            let keep = common_prefix_len(prev, bytes);
+            out.push(trail.match_token(pda, &mut self.tree, bytes, keep));
+            prev = bytes;
+            self.stats.context_dependent_checked += 1;
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------
+    // Advancing and rolling back
+    // -----------------------------------------------------------------
+
+    /// Accepts a sampled token, advancing the matcher state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AcceptError`] (leaving the state unchanged) when the
+    /// token violates the grammar, is unknown, is a non-EOS special token, or
+    /// when EOS is offered before the structure is complete.
+    pub fn accept_token(&mut self, token: TokenId) -> Result<(), AcceptError> {
+        if self.terminated {
+            return Err(AcceptError::AlreadyTerminated);
+        }
+        let vocab = Arc::clone(self.compiled.vocabulary());
+        if token.index() >= vocab.len() {
+            return Err(AcceptError::UnknownToken { token });
+        }
+        if vocab.is_special(token) {
+            if Some(token) == vocab.eos() {
+                if self.can_terminate() {
+                    self.push_history();
+                    self.terminated = true;
+                    self.stats.tokens_accepted += 1;
+                    return Ok(());
+                }
+                return Err(AcceptError::CannotTerminate);
+            }
+            return Err(AcceptError::SpecialTokenRejected { token });
+        }
+        let bytes = vocab.token_bytes(token).to_vec();
+        let compiled = Arc::clone(&self.compiled);
+        let mut heads = self.heads.clone();
+        for (i, &b) in bytes.iter().enumerate() {
+            heads = advance_byte(compiled.pda(), &mut self.tree, &heads, b, |_| {});
+            if heads.is_empty() {
+                return Err(AcceptError::TokenRejected {
+                    token,
+                    matched_bytes: i,
+                });
+            }
+        }
+        self.push_history();
+        self.heads = self.canonicalize_heads(&compiled, heads);
+        self.stats.tokens_accepted += 1;
+        Ok(())
+    }
+
+    /// Eagerly pops completed rules whose final node has no further local
+    /// edges: such a node carries no information beyond "return to the
+    /// parent", so replacing it with the parent frame keeps stack tops on
+    /// informative nodes (whose cache entries have few context-dependent
+    /// tokens) without changing the recognized language.
+    fn canonicalize_heads(
+        &mut self,
+        compiled: &CompiledGrammar,
+        heads: Vec<StackHandle>,
+    ) -> Vec<StackHandle> {
+        let pda = compiled.pda();
+        let mut out = Vec::with_capacity(heads.len());
+        let mut seen = HashSet::new();
+        for mut h in heads {
+            loop {
+                let top = self.tree.top(h).expect("heads carry a top node");
+                let node = pda.node(top);
+                if node.is_final && node.edges.is_empty() && self.tree.depth(h) > 1 {
+                    h = self.tree.pop(h);
+                } else {
+                    break;
+                }
+            }
+            if seen.insert(h) {
+                out.push(h);
+            }
+        }
+        out
+    }
+
+    /// Accepts a raw string (used by jump-forward decoding, Appendix B, where
+    /// deterministic text is appended without sampling). The string is
+    /// recorded as a single rollback unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceptError::TokenRejected`] (with a placeholder token id)
+    /// if the bytes violate the grammar; the state is unchanged.
+    pub fn accept_bytes(&mut self, bytes: &[u8]) -> Result<(), AcceptError> {
+        if self.terminated {
+            return Err(AcceptError::AlreadyTerminated);
+        }
+        let compiled = Arc::clone(&self.compiled);
+        let mut heads = self.heads.clone();
+        for (i, &b) in bytes.iter().enumerate() {
+            heads = advance_byte(compiled.pda(), &mut self.tree, &heads, b, |_| {});
+            if heads.is_empty() {
+                return Err(AcceptError::TokenRejected {
+                    token: TokenId(u32::MAX),
+                    matched_bytes: i,
+                });
+            }
+        }
+        self.push_history();
+        self.heads = self.canonicalize_heads(&compiled, heads);
+        Ok(())
+    }
+
+    fn push_history(&mut self) {
+        if self.max_rollback == 0 {
+            return;
+        }
+        self.history.push(self.heads.clone());
+        if self.history.len() > self.max_rollback {
+            self.history.remove(0);
+        }
+    }
+
+    /// Number of accepted tokens that can currently be rolled back.
+    pub fn rollback_window(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Rolls back the last `num_tokens` accepted tokens (or jump-forward
+    /// strings). Rollback is O(1) per token: it only restores stack handles
+    /// saved in the persistent stack tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RollbackError`] if more tokens are requested than the
+    /// rollback window holds; the state is unchanged.
+    pub fn rollback(&mut self, num_tokens: usize) -> Result<(), RollbackError> {
+        if num_tokens == 0 {
+            return Ok(());
+        }
+        if num_tokens > self.history.len() {
+            return Err(RollbackError {
+                requested: num_tokens,
+                available: self.history.len(),
+            });
+        }
+        // The state before the k-th most recent token is the k-th entry from
+        // the back of the history.
+        let target = self.history.len() - num_tokens;
+        self.heads = self.history[target].clone();
+        self.history.truncate(target);
+        self.terminated = false;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Jump-forward decoding support
+    // -----------------------------------------------------------------
+
+    /// Finds the longest string that is *forced* by the grammar from the
+    /// current position: while exactly one next byte is possible (and the
+    /// grammar cannot terminate instead), that byte is appended. The matcher
+    /// state is not modified.
+    pub fn find_jump_forward_string(&mut self) -> Vec<u8> {
+        const MAX_JUMP_FORWARD_BYTES: usize = 512;
+        let compiled = Arc::clone(&self.compiled);
+        let pda = compiled.pda();
+        let mut heads = self.heads.clone();
+        let mut out = Vec::new();
+        if self.terminated {
+            return out;
+        }
+        loop {
+            if out.len() >= MAX_JUMP_FORWARD_BYTES {
+                break;
+            }
+            // If the grammar can terminate here, the next byte is not forced.
+            if can_pop_out(pda, &mut self.tree, &heads) {
+                break;
+            }
+            let Some(byte) = Self::sole_next_byte(pda, &mut self.tree, &heads) else {
+                break;
+            };
+            let next = advance_byte(pda, &mut self.tree, &heads, byte, |_| {});
+            if next.is_empty() {
+                break;
+            }
+            out.push(byte);
+            heads = next;
+        }
+        out
+    }
+
+    /// Returns the unique next byte if exactly one byte value can be consumed
+    /// from the given heads, or `None` if zero or more than one byte is
+    /// possible.
+    fn sole_next_byte(
+        pda: &xg_automata::Pda,
+        tree: &mut PersistentStackTree,
+        heads: &[StackHandle],
+    ) -> Option<u8> {
+        let expanded = crate::executor::closure(pda, tree, heads, |_| {});
+        let mut candidate: Option<u8> = None;
+        for h in expanded {
+            let top = tree.top(h).expect("heads carry a top node");
+            for edge in &pda.node(top).edges {
+                if let PdaEdge::Bytes { range, .. } = edge {
+                    if range.lo != range.hi {
+                        return None;
+                    }
+                    match candidate {
+                        None => candidate = Some(range.lo),
+                        Some(existing) if existing == range.lo => {}
+                        Some(_) => return None,
+                    }
+                }
+            }
+        }
+        candidate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompilerConfig, GrammarCompiler};
+    use std::sync::Arc;
+    use xg_tokenizer::{test_vocabulary, Vocabulary};
+
+    fn setup(grammar: &str) -> (Arc<Vocabulary>, GrammarMatcher) {
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let compiled = compiler.compile_ebnf(grammar, "root").unwrap();
+        (vocab, GrammarMatcher::new(compiled))
+    }
+
+    fn token_for(vocab: &Vocabulary, bytes: &[u8]) -> TokenId {
+        vocab
+            .iter()
+            .find(|(_, t)| *t == bytes)
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| panic!("token {:?} not in vocabulary", String::from_utf8_lossy(bytes)))
+    }
+
+    #[test]
+    fn mask_agrees_with_naive_full_scan() {
+        // The cached mask must equal the mask produced by checking every
+        // token against the full stack.
+        let vocab = Arc::new(test_vocabulary(800));
+        let grammar = xg_grammar::builtin::json_grammar();
+        let cached = GrammarCompiler::new(Arc::clone(&vocab)).compile_grammar(&grammar);
+        let naive = GrammarCompiler::with_config(
+            Arc::clone(&vocab),
+            CompilerConfig {
+                enable_mask_cache: false,
+                ..Default::default()
+            },
+        )
+        .compile_grammar(&grammar);
+        let mut m_cached = GrammarMatcher::new(cached);
+        let mut m_naive = GrammarMatcher::new(naive);
+        let mut mask_cached = TokenBitmask::new_all_rejected(vocab.len());
+        let mut mask_naive = TokenBitmask::new_all_rejected(vocab.len());
+
+        let prefix = br#"{"name": ["a", 1"#;
+        for step in 0..=prefix.len() {
+            m_cached.fill_next_token_bitmask(&mut mask_cached);
+            m_naive.fill_next_token_bitmask(&mut mask_naive);
+            assert_eq!(
+                mask_cached, mask_naive,
+                "masks diverge after {step} bytes of prefix"
+            );
+            if step < prefix.len() {
+                m_cached.accept_bytes(&prefix[step..step + 1]).unwrap();
+                m_naive.accept_bytes(&prefix[step..step + 1]).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn accept_token_rejects_invalid_tokens() {
+        let (vocab, mut matcher) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        let open = token_for(&vocab, b"[");
+        let digit = token_for(&vocab, b"7");
+        let alpha = token_for(&vocab, b"x");
+        matcher.accept_token(open).unwrap();
+        assert!(matches!(
+            matcher.accept_token(alpha),
+            Err(AcceptError::TokenRejected { .. })
+        ));
+        matcher.accept_token(digit).unwrap();
+        assert_eq!(matcher.stats().tokens_accepted, 2);
+    }
+
+    #[test]
+    fn eos_only_allowed_when_complete() {
+        let (vocab, mut matcher) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        let eos = vocab.eos().unwrap();
+        assert!(matches!(
+            matcher.accept_token(eos),
+            Err(AcceptError::CannotTerminate)
+        ));
+        for tok in [&b"["[..], b"4", b"2", b"]"] {
+            matcher.accept_token(token_for(&vocab, tok)).unwrap();
+        }
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(eos));
+        matcher.accept_token(eos).unwrap();
+        assert!(matcher.is_terminated());
+        assert!(matches!(
+            matcher.accept_token(token_for(&vocab, b"1")),
+            Err(AcceptError::AlreadyTerminated)
+        ));
+    }
+
+    #[test]
+    fn mask_only_allows_grammatical_tokens() {
+        let (vocab, mut matcher) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        matcher.fill_next_token_bitmask(&mut mask);
+        // Every allowed token must start with '['.
+        for t in mask.allowed_tokens() {
+            let bytes = vocab.token_bytes(t);
+            assert_eq!(bytes[0], b'[', "unexpected allowed token {:?}", bytes);
+        }
+        assert!(mask.count_allowed() > 0);
+        // BOS is never allowed.
+        assert!(!mask.is_allowed(TokenId(0)));
+    }
+
+    #[test]
+    fn rollback_restores_previous_state() {
+        let (vocab, mut matcher) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        let open = token_for(&vocab, b"[");
+        let digit = token_for(&vocab, b"3");
+        let close = token_for(&vocab, b"]");
+        matcher.accept_token(open).unwrap();
+        matcher.accept_token(digit).unwrap();
+        matcher.accept_token(close).unwrap();
+        assert!(matcher.can_terminate());
+        // Roll back the `]` and one digit, then take a different path.
+        matcher.rollback(2).unwrap();
+        assert!(!matcher.can_terminate());
+        matcher.accept_token(token_for(&vocab, b"9")).unwrap();
+        matcher.accept_token(close).unwrap();
+        assert!(matcher.can_terminate());
+        // Rolling back more than the window is an error.
+        assert!(matcher.rollback(100).is_err());
+    }
+
+    #[test]
+    fn rollback_after_eos_reopens_the_matcher() {
+        let (vocab, mut matcher) = setup(r#"root ::= "ok""#);
+        matcher.accept_bytes(b"ok").unwrap();
+        matcher.accept_token(vocab.eos().unwrap()).unwrap();
+        assert!(matcher.is_terminated());
+        matcher.rollback(1).unwrap();
+        assert!(!matcher.is_terminated());
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn jump_forward_finds_forced_strings() {
+        // After `{`, the schema-like grammar forces the literal key.
+        let (_vocab, mut matcher) =
+            setup(r#"root ::= "{\"name\": \"" [a-z]+ "\"}""#);
+        let jump = matcher.find_jump_forward_string();
+        assert_eq!(jump, b"{\"name\": \"".to_vec());
+        // The state is unchanged by the search.
+        assert_eq!(matcher.stats().tokens_accepted, 0);
+        matcher.accept_bytes(&jump).unwrap();
+        // Inside [a-z]+ nothing is forced.
+        assert!(matcher.find_jump_forward_string().is_empty());
+    }
+
+    #[test]
+    fn reset_returns_to_initial_state() {
+        let (vocab, mut matcher) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        matcher.accept_token(token_for(&vocab, b"[")).unwrap();
+        matcher.reset();
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        matcher.fill_next_token_bitmask(&mut mask);
+        for t in mask.allowed_tokens() {
+            assert_eq!(vocab.token_bytes(t)[0], b'[');
+        }
+    }
+
+    #[test]
+    fn terminated_matcher_allows_nothing() {
+        let (vocab, mut matcher) = setup(r#"root ::= "ok""#);
+        matcher.accept_bytes(b"ok").unwrap();
+        matcher.accept_token(vocab.eos().unwrap()).unwrap();
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert_eq!(mask.count_allowed(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Mixed text corpus used to train the BPE tokenizer substitute.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{json_documents, python_dsl_tasks, xml_tasks};
+
+const PROSE_WORDS: &[&str] = &[
+    "the", "model", "generates", "structured", "output", "for", "downstream", "agents", "and",
+    "tools", "with", "low", "latency", "on", "every", "request", "while", "keeping", "quality",
+    "high", "users", "expect", "valid", "json", "responses", "from", "function", "calls",
+    "grammar", "constrained", "decoding", "masks", "invalid", "tokens", "at", "each", "step",
+];
+
+/// Builds a deterministic mixed corpus (prose + JSON + XML + Python DSL) of
+/// roughly `target_bytes` bytes, suitable for
+/// [`xg_tokenizer::BpeModel::train`].
+///
+/// # Examples
+///
+/// ```
+/// let corpus = xg_datasets::training_corpus(20_000, 1);
+/// assert!(corpus.len() >= 20_000);
+/// assert!(corpus.contains('{'));
+/// ```
+pub fn training_corpus(target_bytes: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(target_bytes + 1024);
+    let json = json_documents(64, seed ^ 0x1);
+    let xml = xml_tasks(32, seed ^ 0x2);
+    let python = python_dsl_tasks(32, seed ^ 0x3);
+    let mut i = 0;
+    while out.len() < target_bytes {
+        match i % 4 {
+            0 => {
+                for _ in 0..rng.gen_range(8..20) {
+                    out.push_str(PROSE_WORDS[rng.gen_range(0..PROSE_WORDS.len())]);
+                    out.push(' ');
+                }
+                out.push('\n');
+            }
+            1 => {
+                let doc = &json[rng.gen_range(0..json.len())];
+                out.push_str(&String::from_utf8_lossy(&doc.reference));
+                out.push('\n');
+            }
+            2 => {
+                let doc = &xml[rng.gen_range(0..xml.len())];
+                out.push_str(&String::from_utf8_lossy(&doc.reference));
+                out.push('\n');
+            }
+            _ => {
+                let doc = &python[rng.gen_range(0..python.len())];
+                out.push_str(&String::from_utf8_lossy(&doc.reference));
+                out.push('\n');
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_mixed() {
+        let a = training_corpus(30_000, 5);
+        let b = training_corpus(30_000, 5);
+        assert_eq!(a, b);
+        assert!(a.len() >= 30_000);
+        assert!(a.contains('{') && a.contains('<') && a.contains('='));
+    }
+}

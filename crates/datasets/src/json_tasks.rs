@@ -1,0 +1,370 @@
+//! Function-calling (JSON Schema) and free-form JSON workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+
+use crate::GenerationTask;
+
+/// One function-calling task: the JSON Schema of the function arguments, a
+/// natural-language prompt, and a reference argument object that satisfies
+/// the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionCallTask {
+    /// Name of the callable function.
+    pub function_name: String,
+    /// JSON Schema of the arguments object.
+    pub schema: Value,
+    /// Natural-language instruction (≈139 tokens like json-mode-eval).
+    pub prompt: String,
+    /// A reference argument object satisfying the schema, serialized.
+    pub reference: Vec<u8>,
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "alice", "bob", "carol", "david", "erin", "frank", "grace", "henry", "irene", "jack",
+    "karen", "liam", "maria", "nathan", "olivia", "peter", "quinn", "rachel", "samuel", "tina",
+];
+const CITIES: &[&str] = &[
+    "paris", "london", "tokyo", "sydney", "toronto", "berlin", "madrid", "oslo", "dublin",
+    "vienna", "prague", "lisbon", "zurich", "seattle", "austin",
+];
+const PRODUCTS: &[&str] = &[
+    "laptop", "keyboard", "monitor", "headphones", "webcam", "microphone", "dock", "tablet",
+    "charger", "router",
+];
+
+fn filler_sentence(rng: &mut SmallRng) -> String {
+    let subjects = ["The user", "Our customer", "The agent", "A client", "The operator"];
+    let verbs = ["needs", "wants", "requests", "requires", "expects"];
+    let objects = [
+        "a precise structured answer",
+        "the response in the exact JSON format",
+        "machine-readable output for the downstream pipeline",
+        "a schema-conforming reply without extra prose",
+        "a result that can be parsed programmatically",
+    ];
+    format!(
+        "{} {} {}.",
+        subjects[rng.gen_range(0..subjects.len())],
+        verbs[rng.gen_range(0..verbs.len())],
+        objects[rng.gen_range(0..objects.len())]
+    )
+}
+
+fn make_prompt(rng: &mut SmallRng, instruction: &str) -> String {
+    // Pad the instruction with filler context so the prompt length matches
+    // the ≈139-token average of json-mode-eval.
+    let mut prompt = String::new();
+    prompt.push_str("You are a helpful assistant that always answers with a single JSON object ");
+    prompt.push_str("matching the provided schema, with no additional commentary. ");
+    for _ in 0..6 {
+        prompt.push_str(&filler_sentence(rng));
+        prompt.push(' ');
+    }
+    prompt.push_str(instruction);
+    prompt
+}
+
+/// Generates `count` deterministic function-calling tasks in the style of the
+/// `json-mode-eval` dataset.
+///
+/// # Examples
+///
+/// ```
+/// let tasks = xg_datasets::json_mode_eval_like(5, 42);
+/// assert_eq!(tasks.len(), 5);
+/// // The reference answer satisfies its own schema syntactically.
+/// let parsed: serde_json::Value = serde_json::from_slice(&tasks[0].reference).unwrap();
+/// assert!(parsed.is_object());
+/// ```
+pub fn json_mode_eval_like(count: usize, seed: u64) -> Vec<FunctionCallTask> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let kind = i % 5;
+            match kind {
+                0 => weather_task(&mut rng),
+                1 => person_task(&mut rng),
+                2 => order_task(&mut rng),
+                3 => search_task(&mut rng),
+                _ => event_task(&mut rng),
+            }
+        })
+        .collect()
+}
+
+fn weather_task(rng: &mut SmallRng) -> FunctionCallTask {
+    let city = CITIES[rng.gen_range(0..CITIES.len())];
+    let unit = if rng.gen_bool(0.5) { "celsius" } else { "fahrenheit" };
+    let days = rng.gen_range(1..7);
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "location": {"type": "string"},
+            "unit": {"enum": ["celsius", "fahrenheit"]},
+            "days": {"type": "integer"}
+        },
+        "required": ["location", "unit", "days"],
+        "additionalProperties": false
+    });
+    let reference = json!({"location": city, "unit": unit, "days": days});
+    FunctionCallTask {
+        function_name: "get_weather_forecast".into(),
+        prompt: make_prompt(
+            rng,
+            &format!("Call get_weather_forecast for {city} in {unit} for the next {days} days."),
+        ),
+        schema,
+        reference: serde_json::to_vec(&reference).expect("serializable"),
+    }
+}
+
+fn person_task(rng: &mut SmallRng) -> FunctionCallTask {
+    let name = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let age = rng.gen_range(18..80);
+    let city = CITIES[rng.gen_range(0..CITIES.len())];
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "name": {"type": "string"},
+            "age": {"type": "integer"},
+            "email": {"type": "string"},
+            "address": {
+                "type": "object",
+                "properties": {
+                    "city": {"type": "string"},
+                    "zip": {"type": "string"}
+                },
+                "required": ["city"]
+            }
+        },
+        "required": ["name", "age", "address"],
+        "additionalProperties": false
+    });
+    let reference = json!({
+        "name": name,
+        "age": age,
+        "email": format!("{name}@example.com"),
+        "address": {"city": city, "zip": format!("{:05}", rng.gen_range(10000..99999))}
+    });
+    FunctionCallTask {
+        function_name: "register_person".into(),
+        prompt: make_prompt(
+            rng,
+            &format!("Register {name}, aged {age}, living in {city}, as a JSON object."),
+        ),
+        schema,
+        reference: serde_json::to_vec(&reference).expect("serializable"),
+    }
+}
+
+fn order_task(rng: &mut SmallRng) -> FunctionCallTask {
+    let product = PRODUCTS[rng.gen_range(0..PRODUCTS.len())];
+    let quantity = rng.gen_range(1..9);
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "items": {
+                "type": "array",
+                "minItems": 1,
+                "items": {
+                    "type": "object",
+                    "properties": {
+                        "product": {"type": "string"},
+                        "quantity": {"type": "integer"},
+                        "gift_wrap": {"type": "boolean"}
+                    },
+                    "required": ["product", "quantity"]
+                }
+            },
+            "express": {"type": "boolean"}
+        },
+        "required": ["items", "express"],
+        "additionalProperties": false
+    });
+    let reference = json!({
+        "items": [{"product": product, "quantity": quantity, "gift_wrap": rng.gen_bool(0.3)}],
+        "express": rng.gen_bool(0.5)
+    });
+    FunctionCallTask {
+        function_name: "place_order".into(),
+        prompt: make_prompt(
+            rng,
+            &format!("Place an order for {quantity} {product}(s) and state whether shipping is express."),
+        ),
+        schema,
+        reference: serde_json::to_vec(&reference).expect("serializable"),
+    }
+}
+
+fn search_task(rng: &mut SmallRng) -> FunctionCallTask {
+    let term = PRODUCTS[rng.gen_range(0..PRODUCTS.len())];
+    let max_price = rng.gen_range(50..900);
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "query": {"type": "string"},
+            "max_price": {"type": "number"},
+            "in_stock": {"type": "boolean"},
+            "sort": {"enum": ["price", "rating", "relevance"]}
+        },
+        "required": ["query", "max_price"],
+        "additionalProperties": false
+    });
+    let reference = json!({
+        "query": term,
+        "max_price": max_price,
+        "in_stock": true,
+        "sort": "price"
+    });
+    FunctionCallTask {
+        function_name: "search_products".into(),
+        prompt: make_prompt(
+            rng,
+            &format!("Search for {term} under {max_price} dollars, sorted by price."),
+        ),
+        schema,
+        reference: serde_json::to_vec(&reference).expect("serializable"),
+    }
+}
+
+fn event_task(rng: &mut SmallRng) -> FunctionCallTask {
+    let name = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let hour = rng.gen_range(8..19);
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "title": {"type": "string"},
+            "start": {"type": "string"},
+            "duration_minutes": {"type": "integer"},
+            "attendees": {"type": "array", "items": {"type": "string"}, "minItems": 1},
+            "online": {"type": "boolean"}
+        },
+        "required": ["title", "start", "duration_minutes", "attendees"],
+        "additionalProperties": false
+    });
+    let reference = json!({
+        "title": format!("sync with {name}"),
+        "start": format!("2025-06-{:02}T{:02}:00:00", rng.gen_range(1..28), hour),
+        "duration_minutes": 30,
+        "attendees": [name, "me"],
+        "online": true
+    });
+    FunctionCallTask {
+        function_name: "create_event".into(),
+        prompt: make_prompt(
+            rng,
+            &format!("Schedule a 30 minute meeting with {name} at {hour}:00."),
+        ),
+        schema,
+        reference: serde_json::to_vec(&reference).expect("serializable"),
+    }
+}
+
+/// Generates free-form JSON documents (nested objects/arrays) used by the
+/// CFG (unconstrained JSON) workload.
+pub fn json_documents(count: usize, seed: u64) -> Vec<GenerationTask> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let value = random_json(&mut rng, 3);
+            GenerationTask::new(
+                "Produce a JSON document describing the requested record.".to_string(),
+                serde_json::to_vec(&value).expect("serializable"),
+            )
+        })
+        .collect()
+}
+
+fn random_json(rng: &mut SmallRng, depth: usize) -> Value {
+    if depth == 0 {
+        return match rng.gen_range(0..4) {
+            0 => json!(rng.gen_range(0..1000)),
+            1 => json!(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())]),
+            2 => json!(rng.gen_bool(0.5)),
+            _ => Value::Null,
+        };
+    }
+    match rng.gen_range(0..3) {
+        0 => {
+            let n = rng.gen_range(1..4);
+            let mut map = serde_json::Map::new();
+            for i in 0..n {
+                map.insert(format!("field_{i}"), random_json(rng, depth - 1));
+            }
+            Value::Object(map)
+        }
+        1 => {
+            let n = rng.gen_range(1..4);
+            Value::Array((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => json!({
+            "name": FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+            "score": rng.gen_range(0..100),
+            "tags": [PRODUCTS[rng.gen_range(0..PRODUCTS.len())]]
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_are_deterministic_per_seed() {
+        let a = json_mode_eval_like(10, 7);
+        let b = json_mode_eval_like(10, 7);
+        assert_eq!(a, b);
+        let c = json_mode_eval_like(10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn references_parse_and_match_required_fields() {
+        for task in json_mode_eval_like(25, 3) {
+            let value: Value = serde_json::from_slice(&task.reference).expect("valid JSON");
+            let obj = value.as_object().expect("object");
+            let required = task.schema["required"].as_array().expect("required list");
+            for field in required {
+                assert!(
+                    obj.contains_key(field.as_str().unwrap()),
+                    "reference of {} misses required field {field}",
+                    task.function_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn references_conform_to_their_schema_grammar() {
+        // The generated reference must be accepted by the grammar compiled
+        // from its own schema — this ties the dataset to the grammar stack.
+        for task in json_mode_eval_like(10, 11) {
+            let grammar = xg_grammar::json_schema_to_grammar(&task.schema).expect("schema converts");
+            let pda = xg_automata::build_pda_default(&grammar);
+            assert!(
+                xg_automata::SimpleMatcher::new(&pda).accepts(&task.reference),
+                "reference {:?} rejected by schema grammar of {}",
+                String::from_utf8_lossy(&task.reference),
+                task.function_name
+            );
+        }
+    }
+
+    #[test]
+    fn prompts_are_long_enough_to_mimic_json_mode_eval() {
+        for task in json_mode_eval_like(10, 5) {
+            let words = task.prompt.split_whitespace().count();
+            assert!(words >= 60, "prompt too short: {words} words");
+        }
+    }
+
+    #[test]
+    fn json_documents_are_valid_json() {
+        for task in json_documents(20, 9) {
+            let value: Result<Value, _> = serde_json::from_slice(&task.reference);
+            assert!(value.is_ok());
+        }
+    }
+}

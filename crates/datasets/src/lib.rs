@@ -1,0 +1,49 @@
+//! Synthetic workload generators for the XGrammar reproduction.
+//!
+//! The paper evaluates on the `NousResearch/json-mode-eval` dataset (JSON
+//! Schema / function calling), plus synthetic XML and Python-DSL corpora.
+//! None of those can be bundled here, so this crate generates deterministic
+//! equivalents with matching size statistics (≈139 prompt tokens and ≈53
+//! output tokens per request — paper §4.2):
+//!
+//! * [`json_mode_eval_like`] — function-calling tasks: a JSON Schema, a
+//!   prompt, and a reference answer that satisfies the schema,
+//! * [`xml_tasks`] — XML code-generation tasks for the CFG (XML) workload,
+//! * [`python_dsl_tasks`] — Python-DSL generation tasks,
+//! * [`json_documents`] — free-form JSON documents for the CFG (JSON)
+//!   workload,
+//! * [`training_corpus`] — mixed text used to train the BPE tokenizer
+//!   substitute.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod corpus;
+mod json_tasks;
+mod python_tasks;
+mod xml_tasks_mod;
+
+pub use corpus::training_corpus;
+pub use json_tasks::{json_documents, json_mode_eval_like, FunctionCallTask};
+pub use python_tasks::python_dsl_tasks;
+pub use xml_tasks_mod::xml_tasks;
+
+/// A generic generation task: a natural-language prompt plus the reference
+/// structured answer the simulated LLM will try to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationTask {
+    /// Natural-language instruction shown to the (simulated) model.
+    pub prompt: String,
+    /// Reference structured output (bytes of the target document).
+    pub reference: Vec<u8>,
+}
+
+impl GenerationTask {
+    /// Creates a task.
+    pub fn new(prompt: impl Into<String>, reference: impl Into<Vec<u8>>) -> Self {
+        GenerationTask {
+            prompt: prompt.into(),
+            reference: reference.into(),
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated LLM serving engine for the XGrammar reproduction.
+//!
+//! This crate provides the end-to-end substrate behind the paper's serving
+//! experiments (§4.2, §4.4, Appendix B/C):
+//!
+//! * [`ModelProfile`] — calibrated latency models standing in for the real
+//!   GPUs (H100, RTX 4090, Apple M3 Max, iPhone),
+//! * [`SimulatedLlm`] — a deterministic token proposer with configurable
+//!   formatting-error injection,
+//! * [`ServingEngine`] — fixed-batch decoding with serial or overlapped
+//!   (CPU ∥ GPU) execution of grammar work,
+//! * [`run_accuracy_experiment`] — the Table 4 syntactic-correctness
+//!   experiment,
+//! * jump-forward decoding support through `xg-core`'s matcher (used by the
+//!   Figure 11 harness in `xg-bench`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accuracy;
+mod engine;
+mod llm;
+mod profiles;
+
+pub use accuracy::{run_accuracy_experiment, AccuracyResult, AccuracyTask};
+pub use engine::{BatchMetrics, EngineRequest, ExecutionMode, RequestResult, ServingEngine};
+pub use llm::{LlmBehavior, LlmRequestState, SimulatedLlm};
+pub use profiles::ModelProfile;

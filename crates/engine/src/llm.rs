@@ -1,0 +1,339 @@
+//! Simulated LLM: a deterministic token proposer standing in for the real
+//! model's sampler.
+//!
+//! The grammar engine never looks at logits; it only needs *some* next-token
+//! choice to constrain. The simulated LLM therefore proposes, at each step,
+//! the token that greedily continues a *reference output* (taken from the
+//! dataset), optionally corrupted to mimic the failure modes the paper
+//! reports for unconstrained generation (§4.4): explanatory prose around the
+//! structured answer and wrong value types. The sampler then either takes the
+//! proposal as-is (unconstrained) or picks the best allowed token under the
+//! grammar mask (constrained decoding).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use xg_core::TokenBitmask;
+use xg_tokenizer::{TokenId, Vocabulary};
+
+/// Controls how often the unconstrained model misbehaves.
+#[derive(Debug, Clone)]
+pub struct LlmBehavior {
+    /// Probability of wrapping the structured answer in explanatory prose.
+    pub prose_probability: f64,
+    /// Probability of emitting a wrong value type (e.g. quoting a number).
+    pub type_error_probability: f64,
+    /// RNG seed (per-request seeds are derived from it).
+    pub seed: u64,
+}
+
+impl Default for LlmBehavior {
+    fn default() -> Self {
+        LlmBehavior {
+            // Calibrated so that roughly 60% of function-calling outputs are
+            // directly parseable without constraints, matching Table 4's 62%.
+            prose_probability: 0.25,
+            type_error_probability: 0.20,
+            seed: 0xced,
+        }
+    }
+}
+
+/// A simulated LLM bound to a vocabulary.
+#[derive(Debug, Clone)]
+pub struct SimulatedLlm {
+    vocab: Arc<Vocabulary>,
+    behavior: LlmBehavior,
+    /// Tokens grouped by their first byte, so greedy proposal only scans the
+    /// tokens that can possibly match.
+    first_byte_index: Arc<Vec<Vec<TokenId>>>,
+}
+
+impl SimulatedLlm {
+    /// Creates a simulated LLM.
+    pub fn new(vocab: Arc<Vocabulary>, behavior: LlmBehavior) -> Self {
+        let mut index: Vec<Vec<TokenId>> = vec![Vec::new(); 256];
+        for (token, bytes) in vocab.iter() {
+            if !vocab.is_special(token) {
+                if let Some(&first) = bytes.first() {
+                    index[first as usize].push(token);
+                }
+            }
+        }
+        SimulatedLlm {
+            vocab,
+            behavior,
+            first_byte_index: Arc::new(index),
+        }
+    }
+
+    /// The vocabulary.
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// Creates the per-request generation state for a reference output.
+    /// `request_seed` individualizes the injected errors per request.
+    pub fn start_request(&self, reference: &[u8], request_seed: u64) -> LlmRequestState {
+        let mut rng = SmallRng::seed_from_u64(self.behavior.seed ^ request_seed);
+        let mut intended = reference.to_vec();
+        if rng.gen_bool(self.behavior.type_error_probability) {
+            intended = inject_type_error(&intended);
+        }
+        if rng.gen_bool(self.behavior.prose_probability) {
+            let mut wrapped = b"Sure! Here is the JSON you asked for:\n".to_vec();
+            wrapped.extend_from_slice(&intended);
+            wrapped.extend_from_slice(b"\nLet me know if you need anything else.");
+            intended = wrapped;
+        }
+        LlmRequestState {
+            vocab: Arc::clone(&self.vocab),
+            first_byte_index: Arc::clone(&self.first_byte_index),
+            intended,
+            position: 0,
+        }
+    }
+}
+
+/// Finds the first occurrence of `needle` inside `haystack`.
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Wraps a quoted string around the first bare integer of a JSON document
+/// (a "wrong type" mistake), or appends a dangling brace when there is none.
+fn inject_type_error(reference: &[u8]) -> Vec<u8> {
+    let text = String::from_utf8_lossy(reference);
+    // Find a `: <digits>` fragment and drop the closing context so the value
+    // becomes syntactically broken (e.g. `"age": 30` -> `"age": 30"`).
+    if let Some(pos) = text.find(": ") {
+        let mut out = reference.to_vec();
+        let insert_at = pos + 2;
+        out.insert(insert_at, b'"');
+        return out;
+    }
+    let mut out = reference.to_vec();
+    out.push(b'}');
+    out
+}
+
+/// Per-request state: the byte string the model "wants" to produce and the
+/// current position within it.
+#[derive(Debug, Clone)]
+pub struct LlmRequestState {
+    vocab: Arc<Vocabulary>,
+    first_byte_index: Arc<Vec<Vec<TokenId>>>,
+    intended: Vec<u8>,
+    position: usize,
+}
+
+impl LlmRequestState {
+    /// The full byte string the unconstrained model intends to produce.
+    pub fn intended_output(&self) -> &[u8] {
+        &self.intended
+    }
+
+    /// Greedily proposes the next token: the longest vocabulary token that
+    /// matches the upcoming bytes of the intended output, or EOS when the
+    /// intended output is exhausted.
+    pub fn propose(&self) -> TokenId {
+        if self.position >= self.intended.len() {
+            return self.vocab.eos().expect("vocabulary has an EOS token");
+        }
+        let remaining = &self.intended[self.position..];
+        let mut best: Option<TokenId> = None;
+        let mut best_len = 0usize;
+        for &token in &self.first_byte_index[remaining[0] as usize] {
+            let bytes = self.vocab.token_bytes(token);
+            if bytes.len() > best_len && remaining.starts_with(bytes) {
+                best = Some(token);
+                best_len = bytes.len();
+            }
+        }
+        best.expect("byte-fallback tokens guarantee a match")
+    }
+
+    /// Chooses the next token under a grammar mask, modelling how a greedy
+    /// decoder behaves when its top choice is masked out:
+    ///
+    /// 1. the unconstrained proposal, if allowed;
+    /// 2. the longest allowed token that continues the intended output;
+    /// 3. the allowed token that occurs *earliest* in the remaining intended
+    ///    output (the model "skips" forced-away text such as a prose
+    ///    preamble and resumes from there);
+    /// 4. the first allowed non-whitespace token;
+    /// 5. the first allowed token.
+    pub fn propose_constrained(&self, mask: &TokenBitmask) -> Option<TokenId> {
+        let proposal = self.propose();
+        if mask.is_allowed(proposal) {
+            return Some(proposal);
+        }
+        let remaining = if self.position < self.intended.len() {
+            &self.intended[self.position..]
+        } else {
+            &[]
+        };
+        // 2. Longest allowed continuation of the intention.
+        let mut best: Option<TokenId> = None;
+        let mut best_len = 0usize;
+        for token in mask.allowed_tokens() {
+            let bytes = self.vocab.token_bytes(token);
+            if !remaining.is_empty() && remaining.starts_with(bytes) && bytes.len() > best_len {
+                best = Some(token);
+                best_len = bytes.len();
+            }
+        }
+        if best.is_some() {
+            return best;
+        }
+        // 3. Allowed token occurring earliest (then longest) later in the
+        //    intention.
+        let mut resync: Option<(usize, usize, TokenId)> = None; // (offset, -len, token)
+        for token in mask.allowed_tokens() {
+            let bytes = self.vocab.token_bytes(token);
+            if bytes.is_empty() || bytes.iter().all(|b| b.is_ascii_whitespace()) {
+                continue;
+            }
+            if let Some(offset) = find_subslice(remaining, bytes) {
+                let candidate = (offset, usize::MAX - bytes.len(), token);
+                if resync.map(|r| candidate < r).unwrap_or(true) {
+                    resync = Some(candidate);
+                }
+            }
+        }
+        if let Some((_, _, token)) = resync {
+            return Some(token);
+        }
+        // 4./5. Deterministic fallback.
+        mask.allowed_tokens()
+            .find(|t| {
+                let bytes = self.vocab.token_bytes(*t);
+                !bytes.iter().all(|b| b.is_ascii_whitespace())
+            })
+            .or_else(|| mask.allowed_tokens().next())
+    }
+
+    /// Records that `token` was emitted, advancing the intended-output cursor
+    /// when the token matches it (otherwise the cursor is left unchanged and
+    /// the model keeps trying to steer back towards its intention).
+    pub fn advance(&mut self, token: TokenId) {
+        if Some(token) == self.vocab.eos() {
+            self.position = self.intended.len();
+            return;
+        }
+        let bytes = self.vocab.token_bytes(token);
+        let remaining = &self.intended[self.position.min(self.intended.len())..];
+        if remaining.starts_with(bytes) {
+            self.position += bytes.len();
+            return;
+        }
+        // The constrained decoder forced different text (e.g. it skipped a
+        // prose preamble). Re-condition the intention on the forced prefix by
+        // jumping to its next occurrence, mimicking how a real model keeps
+        // producing coherent content after a forced token.
+        if let Some(offset) = find_subslice(remaining, bytes) {
+            self.position += offset + bytes.len();
+        }
+    }
+
+    /// Records that `bytes` were emitted without sampling (jump-forward
+    /// decoding): the cursor advances over them if they match the intention,
+    /// re-synchronizing like [`LlmRequestState::advance`] otherwise.
+    pub fn advance_bytes(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let remaining = &self.intended[self.position.min(self.intended.len())..];
+        if remaining.starts_with(bytes) {
+            self.position += bytes.len();
+        } else if let Some(offset) = find_subslice(remaining, bytes) {
+            self.position += offset + bytes.len();
+        }
+    }
+
+    /// Returns `true` if the intended output has been fully emitted.
+    pub fn finished(&self) -> bool {
+        self.position >= self.intended.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xg_tokenizer::test_vocabulary;
+
+    fn clean_llm(vocab: Arc<Vocabulary>) -> SimulatedLlm {
+        SimulatedLlm::new(
+            vocab,
+            LlmBehavior {
+                prose_probability: 0.0,
+                type_error_probability: 0.0,
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn unconstrained_generation_reproduces_reference() {
+        let vocab = Arc::new(test_vocabulary(800));
+        let llm = clean_llm(Arc::clone(&vocab));
+        let reference = br#"{"name": "alice", "age": 30}"#;
+        let mut state = llm.start_request(reference, 7);
+        let mut out = Vec::new();
+        loop {
+            let token = state.propose();
+            if Some(token) == vocab.eos() {
+                break;
+            }
+            out.extend_from_slice(vocab.token_bytes(token));
+            state.advance(token);
+        }
+        assert_eq!(out, reference.to_vec());
+    }
+
+    #[test]
+    fn error_injection_produces_invalid_json() {
+        let vocab = Arc::new(test_vocabulary(800));
+        let llm = SimulatedLlm::new(
+            Arc::clone(&vocab),
+            LlmBehavior {
+                prose_probability: 1.0,
+                type_error_probability: 1.0,
+                seed: 3,
+            },
+        );
+        let state = llm.start_request(br#"{"age": 30}"#, 1);
+        let intended = state.intended_output();
+        assert!(serde_json::from_slice::<serde_json::Value>(intended).is_err());
+    }
+
+    #[test]
+    fn constrained_proposal_respects_mask() {
+        let vocab = Arc::new(test_vocabulary(800));
+        let llm = clean_llm(Arc::clone(&vocab));
+        let state = llm.start_request(b"hello", 0);
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        // Only allow the byte token `h` and an unrelated token.
+        let h = vocab.iter().find(|(_, t)| *t == b"h").unwrap().0;
+        let z = vocab.iter().find(|(_, t)| *t == b"z").unwrap().0;
+        mask.allow(z);
+        mask.allow(h);
+        let chosen = state.propose_constrained(&mask).unwrap();
+        assert_eq!(chosen, h);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let vocab = Arc::new(test_vocabulary(800));
+        let llm = SimulatedLlm::new(Arc::clone(&vocab), LlmBehavior::default());
+        let a = llm.start_request(br#"{"x": 1}"#, 42);
+        let b = llm.start_request(br#"{"x": 1}"#, 42);
+        assert_eq!(a.intended_output(), b.intended_output());
+    }
+}

@@ -1,0 +1,159 @@
+//! Built-in grammars used throughout the paper's evaluation:
+//! unconstrained JSON (ECMA-404), an XML subset and a Python DSL.
+
+use crate::ast::Grammar;
+use crate::ebnf::parse_ebnf;
+
+/// EBNF text of the unconstrained JSON grammar (ECMA-404).
+pub const JSON_EBNF: &str = r#"
+# Unconstrained JSON per ECMA-404.
+root    ::= ws value ws
+value   ::= object | array | string | number | "true" | "false" | "null"
+object  ::= "{" ws "}" | "{" ws member ("," ws member)* ws "}"
+member  ::= string ws ":" ws value
+array   ::= "[" ws "]" | "[" ws value ws ("," ws value ws)* "]"
+string  ::= "\"" char* "\""
+char    ::= [^"\\\x00-\x1f] | "\\" escape
+escape  ::= ["\\/bfnrt] | "u" hex hex hex hex
+hex     ::= [0-9a-fA-F]
+number  ::= int frac? exp?
+int     ::= "-"? ("0" | [1-9] [0-9]*)
+frac    ::= "." [0-9]+
+exp     ::= [eE] [-+]? [0-9]+
+ws      ::= [ \t\n\r]*
+"#;
+
+/// EBNF text of the XML-subset grammar (based on XML 1.0, without DTDs,
+/// processing instructions or namespace matching of open/close tags — tag
+/// name agreement is not context-free).
+pub const XML_EBNF: &str = r#"
+# Simplified XML 1.0: prolog, nested elements, attributes, text and comments.
+root       ::= prolog? ws element ws
+prolog     ::= "<?xml" attrs ws "?>" ws
+element    ::= open_tag content close_tag | self_tag
+open_tag   ::= "<" name attrs ws ">"
+close_tag  ::= "</" name ws ">"
+self_tag   ::= "<" name attrs ws "/>"
+content    ::= (element | text | comment)*
+comment    ::= "<!--" [^-]* "-->"
+attrs      ::= (sp attr)*
+attr       ::= name ws "=" ws "\"" [^"<&]* "\""
+name       ::= [a-zA-Z_] [a-zA-Z0-9_.:-]*
+text       ::= [^<&]+
+sp         ::= [ \t\n\r]+
+ws         ::= [ \t\n\r]*
+"#;
+
+/// EBNF text of the Python DSL grammar. It covers the paper's scope: basic
+/// control flow (`if`, `for`, `while`), the `str`/`int`/`float`/`bool` data
+/// types, assignments, calls and expressions, and it ignores indentation
+/// (newlines separate statements; blocks are flat).
+pub const PYTHON_DSL_EBNF: &str = r#"
+# A Python-like DSL: control flow and simple expressions, indentation ignored.
+root        ::= ws stmt (stmt_sep stmt)* ws
+stmt        ::= if_stmt | for_stmt | while_stmt | simple_stmt
+stmt_sep    ::= ws_inline "\n" ws | ws_inline ";" ws
+simple_stmt ::= assign | ret_stmt | expr_stmt | pass_stmt | break_stmt | continue_stmt
+assign      ::= target ws_inline aug_op? "=" ws_inline expr
+aug_op      ::= "+" | "-" | "*" | "/"
+target      ::= ident ("." ident | "[" ws expr ws "]")*
+ret_stmt    ::= "return" (ws_inline expr)?
+pass_stmt   ::= "pass"
+break_stmt  ::= "break"
+continue_stmt ::= "continue"
+expr_stmt   ::= expr
+if_stmt     ::= "if" ws_req expr ws_inline ":" ws block (elif_part)* (else_part)?
+elif_part   ::= "elif" ws_req expr ws_inline ":" ws block
+else_part   ::= "else" ws_inline ":" ws block
+for_stmt    ::= "for" ws_req ident ws_req "in" ws_req expr ws_inline ":" ws block
+while_stmt  ::= "while" ws_req expr ws_inline ":" ws block
+block       ::= simple_stmt (stmt_sep simple_stmt)*
+expr        ::= or_expr
+or_expr     ::= and_expr (ws_req "or" ws_req and_expr)*
+and_expr    ::= not_expr (ws_req "and" ws_req not_expr)*
+not_expr    ::= "not" ws_req not_expr | comparison
+comparison  ::= arith (ws_inline comp_op ws_inline arith)*
+comp_op     ::= "==" | "!=" | "<=" | ">=" | "<" | ">" | "in"
+arith       ::= term (ws_inline add_op ws_inline term)*
+add_op      ::= "+" | "-"
+term        ::= factor (ws_inline mul_op ws_inline factor)*
+mul_op      ::= "*" | "//" | "/" | "%"
+factor      ::= "-" factor | power
+power       ::= atom_trailer ("**" factor)?
+atom_trailer ::= atom trailer*
+trailer     ::= "(" ws arglist? ws ")" | "[" ws expr ws "]" | "." ident
+arglist     ::= expr (ws "," ws expr)* (ws ",")?
+atom        ::= ident | number | pystring | boolean | none | list_lit | dict_lit | tuple_lit
+list_lit    ::= "[" ws "]" | "[" ws expr (ws "," ws expr)* ws "]"
+dict_lit    ::= "{" ws "}" | "{" ws dict_item (ws "," ws dict_item)* ws "}"
+dict_item   ::= expr ws ":" ws expr
+tuple_lit   ::= "(" ws expr (ws "," ws expr)+ ws ")"
+boolean     ::= "True" | "False"
+none        ::= "None"
+ident       ::= [a-zA-Z_] [a-zA-Z0-9_]*
+number      ::= "-"? [0-9]+ ("." [0-9]+)? ([eE] [-+]? [0-9]+)?
+pystring    ::= "\"" [^"\\\n]* "\"" | "'" [^'\\\n]* "'"
+ws_req      ::= [ \t]+
+ws_inline   ::= [ \t]*
+ws          ::= [ \t\n]*
+"#;
+
+/// Returns the unconstrained JSON grammar (ECMA-404).
+///
+/// # Examples
+///
+/// ```
+/// let grammar = xg_grammar::builtin::json_grammar();
+/// assert!(grammar.rule_id("object").is_some());
+/// ```
+pub fn json_grammar() -> Grammar {
+    parse_ebnf(JSON_EBNF, "root").expect("builtin JSON grammar must parse")
+}
+
+/// Returns the XML-subset grammar used for the CFG (XML) workload.
+pub fn xml_grammar() -> Grammar {
+    parse_ebnf(XML_EBNF, "root").expect("builtin XML grammar must parse")
+}
+
+/// Returns the Python-DSL grammar used for the CFG (Python DSL) workload.
+pub fn python_dsl_grammar() -> Grammar {
+    parse_ebnf(PYTHON_DSL_EBNF, "root").expect("builtin Python DSL grammar must parse")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_grammar_parses_and_validates() {
+        let g = json_grammar();
+        assert!(g.rules().len() >= 10);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.rule(g.root()).name, "root");
+    }
+
+    #[test]
+    fn xml_grammar_parses_and_validates() {
+        let g = xml_grammar();
+        assert!(g.rule_id("element").is_some());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn python_dsl_grammar_parses_and_validates() {
+        let g = python_dsl_grammar();
+        assert!(g.rule_id("if_stmt").is_some());
+        assert!(g.rule_id("while_stmt").is_some());
+        assert!(g.rule_id("for_stmt").is_some());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn builtin_grammars_roundtrip_through_display() {
+        for g in [json_grammar(), xml_grammar(), python_dsl_grammar()] {
+            let text = g.to_string();
+            let reparsed = crate::ebnf::parse_ebnf(&text, "root").unwrap();
+            assert_eq!(g.rules().len(), reparsed.rules().len());
+        }
+    }
+}

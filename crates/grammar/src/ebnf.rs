@@ -1,0 +1,729 @@
+//! Parser for the GBNF-style EBNF text format.
+//!
+//! The syntax is the same family as llama.cpp's GBNF and xgrammar's EBNF:
+//!
+//! ```text
+//! # comments start with '#'
+//! root   ::= object
+//! object ::= "{" ws member ("," ws member)* ws "}" | "{" ws "}"
+//! member ::= string ws ":" ws value
+//! string ::= "\"" [^"\\]* "\""
+//! ws     ::= [ \t\n\r]*
+//! digit  ::= [0-9]
+//! count  ::= digit{1,3}
+//! ```
+//!
+//! Supported constructs: rule definitions with `::=`, double-quoted literals
+//! with escapes (`\n \r \t \" \\ \xHH \uHHHH`), character classes `[...]` and
+//! negated classes `[^...]` with ranges and the same escapes, grouping
+//! `( ... )`, alternation `|`, repetition postfixes `* + ?` and `{m}`,
+//! `{m,}`, `{m,n}`, and `#` line comments.
+
+use crate::ast::{CharClass, CharRange, Grammar, GrammarBuilder, GrammarExpr};
+use crate::error::{GrammarError, Result};
+
+/// Parses a GBNF-style grammar text, using `root_rule` as the root.
+///
+/// # Errors
+///
+/// Returns a [`GrammarError::Parse`] with line/column information for syntax
+/// errors, [`GrammarError::UndefinedRule`] for dangling references, and the
+/// validation errors of [`Grammar::validate`].
+///
+/// # Examples
+///
+/// ```
+/// let grammar = xg_grammar::parse_ebnf(r#"
+///     root ::= greeting " " name
+///     greeting ::= "hello" | "hi"
+///     name ::= [a-zA-Z]+
+/// "#, "root").unwrap();
+/// assert_eq!(grammar.rules().len(), 3);
+/// ```
+pub fn parse_ebnf(text: &str, root_rule: &str) -> Result<Grammar> {
+    let tokens = Lexer::new(text).tokenize()?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        builder: GrammarBuilder::new(),
+        defined: Vec::new(),
+    };
+    parser.parse_grammar()?;
+    // Every referenced rule must have been defined (not just declared).
+    if let Some((name, referenced_from)) = parser.undefined_references() {
+        return Err(GrammarError::UndefinedRule {
+            name,
+            referenced_from,
+        });
+    }
+    let grammar = parser.builder.build(root_rule)?;
+    grammar.validate()?;
+    Ok(grammar)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Define, // ::=
+    Literal(Vec<u8>),
+    Class(CharClass),
+    Pipe,
+    LParen,
+    RParen,
+    Star,
+    Plus,
+    Question,
+    Repeat { min: u32, max: Option<u32> },
+    NewRule, // implicit separator before "ident ::=" on a new line
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            chars: text.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> GrammarError {
+        GrammarError::Parse {
+            line: self.line,
+            column: self.column,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>> {
+        let mut out: Vec<Spanned> = Vec::new();
+        while let Some(c) = self.peek() {
+            let (line, column) = (self.line, self.column);
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                        if self.peek() == Some('=') {
+                            self.bump();
+                            out.push(Spanned {
+                                tok: Tok::Define,
+                                line,
+                                column,
+                            });
+                        } else {
+                            return Err(self.err("expected `=` after `::`"));
+                        }
+                    } else {
+                        return Err(self.err("unexpected `:`"));
+                    }
+                }
+                '"' => {
+                    let lit = self.lex_literal()?;
+                    out.push(Spanned {
+                        tok: Tok::Literal(lit),
+                        line,
+                        column,
+                    });
+                }
+                '[' => {
+                    let class = self.lex_class()?;
+                    out.push(Spanned {
+                        tok: Tok::Class(class),
+                        line,
+                        column,
+                    });
+                }
+                '|' => {
+                    self.bump();
+                    out.push(Spanned {
+                        tok: Tok::Pipe,
+                        line,
+                        column,
+                    });
+                }
+                '(' => {
+                    self.bump();
+                    out.push(Spanned {
+                        tok: Tok::LParen,
+                        line,
+                        column,
+                    });
+                }
+                ')' => {
+                    self.bump();
+                    out.push(Spanned {
+                        tok: Tok::RParen,
+                        line,
+                        column,
+                    });
+                }
+                '*' => {
+                    self.bump();
+                    out.push(Spanned {
+                        tok: Tok::Star,
+                        line,
+                        column,
+                    });
+                }
+                '+' => {
+                    self.bump();
+                    out.push(Spanned {
+                        tok: Tok::Plus,
+                        line,
+                        column,
+                    });
+                }
+                '?' => {
+                    self.bump();
+                    out.push(Spanned {
+                        tok: Tok::Question,
+                        line,
+                        column,
+                    });
+                }
+                '{' => {
+                    let rep = self.lex_repeat()?;
+                    out.push(Spanned {
+                        tok: rep,
+                        line,
+                        column,
+                    });
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let ident = self.lex_ident();
+                    out.push(Spanned {
+                        tok: Tok::Ident(ident),
+                        line,
+                        column,
+                    });
+                }
+                other => {
+                    return Err(self.err(format!("unexpected character `{other}`")));
+                }
+            }
+        }
+        // Insert NewRule separators: an Ident immediately followed by Define
+        // starts a new rule. This keeps the grammar format newline-insensitive.
+        let mut with_seps: Vec<Spanned> = Vec::with_capacity(out.len() + 8);
+        for (i, sp) in out.iter().enumerate() {
+            if i > 0
+                && matches!(sp.tok, Tok::Ident(_))
+                && matches!(out.get(i + 1).map(|s| &s.tok), Some(Tok::Define))
+            {
+                with_seps.push(Spanned {
+                    tok: Tok::NewRule,
+                    line: sp.line,
+                    column: sp.column,
+                });
+            }
+            with_seps.push(sp.clone());
+        }
+        Ok(with_seps)
+    }
+
+    fn lex_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn lex_escape(&mut self) -> Result<char> {
+        match self.bump() {
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('t') => Ok('\t'),
+            Some('0') => Ok('\0'),
+            Some('"') => Ok('"'),
+            Some('\\') => Ok('\\'),
+            Some(']') => Ok(']'),
+            Some('[') => Ok('['),
+            Some('^') => Ok('^'),
+            Some('-') => Ok('-'),
+            Some('/') => Ok('/'),
+            Some('x') => {
+                let hi = self.hex_digit()?;
+                let lo = self.hex_digit()?;
+                char::from_u32(hi * 16 + lo).ok_or_else(|| self.err("invalid \\x escape"))
+            }
+            Some('u') => {
+                let mut v: u32 = 0;
+                for _ in 0..4 {
+                    v = v * 16 + self.hex_digit()?;
+                }
+                char::from_u32(v).ok_or_else(|| self.err("invalid \\u escape"))
+            }
+            Some(other) => Err(self.err(format!("unknown escape `\\{other}`"))),
+            None => Err(self.err("unterminated escape")),
+        }
+    }
+
+    fn hex_digit(&mut self) -> Result<u32> {
+        match self.bump() {
+            Some(c) if c.is_ascii_hexdigit() => Ok(c.to_digit(16).expect("hexdigit")),
+            _ => Err(self.err("expected hex digit")),
+        }
+    }
+
+    fn lex_literal(&mut self) -> Result<Vec<u8>> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => out.push(self.lex_escape()?),
+                Some(c) => out.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        Ok(out.into_bytes())
+    }
+
+    fn lex_class(&mut self) -> Result<CharClass> {
+        self.bump(); // '['
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<CharRange> = Vec::new();
+        loop {
+            let c = match self.bump() {
+                Some(']') => break,
+                Some('\\') => self.lex_escape()?,
+                Some(c) => c,
+                None => return Err(self.err("unterminated character class")),
+            };
+            // Range `a-b` (a `-` right before `]` is a literal dash).
+            if self.peek() == Some('-') {
+                let mut look = self.chars.clone();
+                look.next();
+                if look.peek() != Some(&']') {
+                    self.bump(); // '-'
+                    let end = match self.bump() {
+                        Some('\\') => self.lex_escape()?,
+                        Some(e) => e,
+                        None => return Err(self.err("unterminated character class range")),
+                    };
+                    if end < c {
+                        return Err(self.err("character range end precedes start"));
+                    }
+                    ranges.push(CharRange::new(c, end));
+                    continue;
+                }
+            }
+            ranges.push(CharRange::single(c));
+        }
+        Ok(if negated {
+            CharClass::negated(ranges)
+        } else {
+            CharClass::new(ranges)
+        })
+    }
+
+    fn lex_repeat(&mut self) -> Result<Tok> {
+        self.bump(); // '{'
+        let min = self.lex_number()?;
+        match self.bump() {
+            Some('}') => Ok(Tok::Repeat {
+                min,
+                max: Some(min),
+            }),
+            Some(',') => {
+                if self.peek() == Some('}') {
+                    self.bump();
+                    Ok(Tok::Repeat { min, max: None })
+                } else {
+                    let max = self.lex_number()?;
+                    if self.bump() != Some('}') {
+                        return Err(self.err("expected `}` to close repetition"));
+                    }
+                    if max < min {
+                        return Err(GrammarError::InvalidRepetition { min, max });
+                    }
+                    Ok(Tok::Repeat {
+                        min,
+                        max: Some(max),
+                    })
+                }
+            }
+            _ => Err(self.err("expected `,` or `}` in repetition")),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<u32> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s.parse()
+            .map_err(|_| self.err("expected a number in repetition"))
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    builder: GrammarBuilder,
+    /// For each declared rule id, whether a definition (`name ::= ...`) was seen,
+    /// plus the first rule that referenced it (for error reporting).
+    defined: Vec<(bool, Option<String>)>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_at(&self, sp: Option<&Spanned>, message: impl Into<String>) -> GrammarError {
+        let (line, column) = sp.map(|s| (s.line, s.column)).unwrap_or((0, 0));
+        GrammarError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn ensure_slot(&mut self, idx: usize) {
+        while self.defined.len() <= idx {
+            self.defined.push((false, None));
+        }
+    }
+
+    fn undefined_references(&self) -> Option<(String, String)> {
+        for (i, (defined, referenced_from)) in self.defined.iter().enumerate() {
+            if !defined {
+                if let Some(from) = referenced_from {
+                    let name = self
+                        .builder
+                        .rule_name(crate::ast::RuleId(i as u32))
+                        .unwrap_or("?")
+                        .to_string();
+                    return Some((name, from.clone()));
+                }
+            }
+        }
+        None
+    }
+
+    fn parse_grammar(&mut self) -> Result<()> {
+        while self.peek().is_some() {
+            self.parse_rule()?;
+        }
+        Ok(())
+    }
+
+    fn parse_rule(&mut self) -> Result<()> {
+        // Skip a NewRule separator if present.
+        if matches!(self.peek().map(|s| &s.tok), Some(Tok::NewRule)) {
+            self.bump();
+        }
+        let name_tok = self.bump();
+        let name = match name_tok.as_ref().map(|s| &s.tok) {
+            Some(Tok::Ident(name)) => name.clone(),
+            _ => return Err(self.err_at(name_tok.as_ref(), "expected rule name")),
+        };
+        let def = self.bump();
+        if !matches!(def.as_ref().map(|s| &s.tok), Some(Tok::Define)) {
+            return Err(self.err_at(def.as_ref(), "expected `::=` after rule name"));
+        }
+        let body = self.parse_choice(&name)?;
+        let id = self.builder.add_rule(&name, body);
+        self.ensure_slot(id.index());
+        self.defined[id.index()].0 = true;
+        Ok(())
+    }
+
+    fn at_rule_end(&self) -> bool {
+        matches!(
+            self.peek().map(|s| &s.tok),
+            None | Some(Tok::NewRule) | Some(Tok::RParen)
+        )
+    }
+
+    fn parse_choice(&mut self, current_rule: &str) -> Result<GrammarExpr> {
+        let mut alts = vec![self.parse_sequence(current_rule)?];
+        while matches!(self.peek().map(|s| &s.tok), Some(Tok::Pipe)) {
+            self.bump();
+            alts.push(self.parse_sequence(current_rule)?);
+        }
+        Ok(GrammarExpr::choice(alts))
+    }
+
+    fn parse_sequence(&mut self, current_rule: &str) -> Result<GrammarExpr> {
+        let mut items = Vec::new();
+        while !self.at_rule_end() && !matches!(self.peek().map(|s| &s.tok), Some(Tok::Pipe)) {
+            items.push(self.parse_postfix(current_rule)?);
+        }
+        Ok(GrammarExpr::seq(items))
+    }
+
+    fn parse_postfix(&mut self, current_rule: &str) -> Result<GrammarExpr> {
+        let mut expr = self.parse_atom(current_rule)?;
+        loop {
+            match self.peek().map(|s| &s.tok) {
+                Some(Tok::Star) => {
+                    self.bump();
+                    expr = GrammarExpr::star(expr);
+                }
+                Some(Tok::Plus) => {
+                    self.bump();
+                    expr = GrammarExpr::plus(expr);
+                }
+                Some(Tok::Question) => {
+                    self.bump();
+                    expr = GrammarExpr::optional(expr);
+                }
+                Some(Tok::Repeat { min, max }) => {
+                    let (min, max) = (*min, *max);
+                    self.bump();
+                    expr = GrammarExpr::Repeat {
+                        expr: Box::new(expr),
+                        min,
+                        max,
+                    };
+                }
+                _ => return Ok(expr),
+            }
+        }
+    }
+
+    fn parse_atom(&mut self, current_rule: &str) -> Result<GrammarExpr> {
+        let sp = self.bump();
+        match sp.as_ref().map(|s| s.tok.clone()) {
+            Some(Tok::Literal(bytes)) => Ok(if bytes.is_empty() {
+                GrammarExpr::Empty
+            } else {
+                GrammarExpr::Literal(bytes)
+            }),
+            Some(Tok::Class(class)) => Ok(GrammarExpr::CharClass(class)),
+            Some(Tok::Ident(name)) => {
+                let id = self.builder.declare(&name);
+                self.ensure_slot(id.index());
+                if self.defined[id.index()].1.is_none() {
+                    self.defined[id.index()].1 = Some(current_rule.to_string());
+                }
+                Ok(GrammarExpr::RuleRef(id))
+            }
+            Some(Tok::LParen) => {
+                let inner = self.parse_choice(current_rule)?;
+                let close = self.bump();
+                if !matches!(close.as_ref().map(|s| &s.tok), Some(Tok::RParen)) {
+                    return Err(self.err_at(close.as_ref(), "expected `)`"));
+                }
+                Ok(inner)
+            }
+            _ => Err(self.err_at(sp.as_ref(), "expected literal, class, rule name or `(`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GrammarExpr;
+
+    #[test]
+    fn parses_simple_grammar() {
+        let g = parse_ebnf(
+            r#"
+            # a tiny grammar
+            root ::= "hello" ws name
+            ws ::= [ \t]*
+            name ::= [a-zA-Z_] [a-zA-Z0-9_]*
+            "#,
+            "root",
+        )
+        .unwrap();
+        assert_eq!(g.rules().len(), 3);
+        assert_eq!(g.rule(g.root()).name, "root");
+    }
+
+    #[test]
+    fn parses_alternation_and_grouping() {
+        let g = parse_ebnf(r#"root ::= ("a" | "b")+ ("x" "y")?"#, "root").unwrap();
+        match &g.rule(g.root()).body {
+            GrammarExpr::Sequence(items) => assert_eq!(items.len(), 2),
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_bounded_repetition() {
+        let g = parse_ebnf(r#"root ::= [0-9]{2,4}"#, "root").unwrap();
+        match &g.rule(g.root()).body {
+            GrammarExpr::Repeat { min, max, .. } => {
+                assert_eq!(*min, 2);
+                assert_eq!(*max, Some(4));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exact_repetition_and_open_repetition() {
+        let g = parse_ebnf(r#"root ::= [0-9]{3} [a-z]{1,}"#, "root").unwrap();
+        match &g.rule(g.root()).body {
+            GrammarExpr::Sequence(items) => {
+                assert!(matches!(
+                    items[0],
+                    GrammarExpr::Repeat {
+                        min: 3,
+                        max: Some(3),
+                        ..
+                    }
+                ));
+                assert!(matches!(
+                    items[1],
+                    GrammarExpr::Repeat {
+                        min: 1,
+                        max: None,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escapes_in_literals_and_classes() {
+        let g = parse_ebnf(r#"root ::= "\"\\\n" [^"\\]*"#, "root").unwrap();
+        match &g.rule(g.root()).body {
+            GrammarExpr::Sequence(items) => {
+                assert_eq!(items[0], GrammarExpr::Literal(b"\"\\\n".to_vec()));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_rule_reference_is_reported() {
+        let err = parse_ebnf(r#"root ::= missing"#, "root").unwrap_err();
+        assert!(matches!(err, GrammarError::UndefinedRule { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_root_is_reported() {
+        let err = parse_ebnf(r#"a ::= "x""#, "root").unwrap_err();
+        assert!(matches!(err, GrammarError::MissingRoot { .. }));
+    }
+
+    #[test]
+    fn syntax_error_has_position() {
+        let err = parse_ebnf("root ::= )", "root").unwrap_err();
+        match err {
+            GrammarError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_literal_is_an_error() {
+        assert!(parse_ebnf(r#"root ::= "abc"#, "root").is_err());
+    }
+
+    #[test]
+    fn rules_can_reference_later_rules() {
+        let g = parse_ebnf(
+            r#"
+            root ::= item ("," item)*
+            item ::= [a-z]+
+            "#,
+            "root",
+        )
+        .unwrap();
+        assert_eq!(g.rules().len(), 2);
+    }
+
+    #[test]
+    fn unicode_escape_in_literal() {
+        let g = parse_ebnf(r#"root ::= "é""#, "root").unwrap();
+        match &g.rule(g.root()).body {
+            GrammarExpr::Literal(bytes) => assert_eq!(bytes, "é".as_bytes()),
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_recursive_grammar_rejected_at_parse() {
+        let err = parse_ebnf(r#"expr ::= expr "+" expr | [0-9]+"#, "expr").unwrap_err();
+        assert!(matches!(err, GrammarError::LeftRecursion { .. }));
+    }
+
+    #[test]
+    fn dash_at_end_of_class_is_literal() {
+        let g = parse_ebnf(r#"root ::= [a-z-]+"#, "root").unwrap();
+        match &g.rule(g.root()).body {
+            GrammarExpr::Repeat { expr, .. } => match expr.as_ref() {
+                GrammarExpr::CharClass(cc) => {
+                    assert!(cc.contains('-'));
+                    assert!(cc.contains('m'));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,801 @@
+//! JSON Schema → grammar conversion.
+//!
+//! Converts (a practical subset of) JSON Schema documents into a [`Grammar`]
+//! whose language is exactly the set of JSON documents accepted by the
+//! schema, which is what the paper's "JSON Schema" workload (function
+//! calling) requires.
+//!
+//! Supported keywords: `type` (object/array/string/integer/number/boolean/
+//! null, or a list of types), `properties`, `required`,
+//! `additionalProperties` (boolean or schema), `items`, `prefixItems`,
+//! `minItems`, `maxItems`, `enum`, `const`, `anyOf`, `oneOf`, `allOf` (single
+//! element only), `$ref` into `#/definitions` or `#/$defs`, `minLength`,
+//! `maxLength`. Unsupported keywords that do not affect syntax (e.g.
+//! `description`, `title`, `default`, `format`) are ignored; unsupported
+//! keywords that would affect syntax produce [`GrammarError::Schema`].
+
+use serde_json::Value;
+
+use crate::ast::{CharClass, CharRange, Grammar, GrammarBuilder, GrammarExpr, RuleId};
+use crate::error::{GrammarError, Result};
+
+/// Options controlling the generated grammar.
+#[derive(Debug, Clone)]
+pub struct JsonSchemaOptions {
+    /// Whether whitespace is allowed between JSON punctuation. The paper's
+    /// engine (and OpenAI-style function calling) generally wants compact or
+    /// lightly-spaced output; allowing arbitrary whitespace enlarges the
+    /// automaton but is more faithful to free-form JSON.
+    pub allow_whitespace: bool,
+    /// Value of `additionalProperties` assumed when a schema does not set it.
+    pub default_additional_properties: bool,
+}
+
+impl Default for JsonSchemaOptions {
+    fn default() -> Self {
+        JsonSchemaOptions {
+            allow_whitespace: true,
+            default_additional_properties: false,
+        }
+    }
+}
+
+/// Converts a JSON Schema document (already parsed into a
+/// [`serde_json::Value`]) into a [`Grammar`] with default options.
+///
+/// # Errors
+///
+/// Returns [`GrammarError::Schema`] for malformed or unsupported schemas.
+///
+/// # Examples
+///
+/// ```
+/// let schema: serde_json::Value = serde_json::json!({
+///     "type": "object",
+///     "properties": {
+///         "name": {"type": "string"},
+///         "age": {"type": "integer"}
+///     },
+///     "required": ["name"]
+/// });
+/// let grammar = xg_grammar::json_schema_to_grammar(&schema).unwrap();
+/// assert!(grammar.rules().len() > 3);
+/// ```
+pub fn json_schema_to_grammar(schema: &Value) -> Result<Grammar> {
+    json_schema_to_grammar_with_options(schema, &JsonSchemaOptions::default())
+}
+
+/// Converts a JSON Schema document with explicit [`JsonSchemaOptions`].
+///
+/// # Errors
+///
+/// Returns [`GrammarError::Schema`] for malformed or unsupported schemas.
+pub fn json_schema_to_grammar_with_options(
+    schema: &Value,
+    options: &JsonSchemaOptions,
+) -> Result<Grammar> {
+    let mut conv = Converter {
+        builder: GrammarBuilder::new(),
+        options: options.clone(),
+        root_schema: schema,
+        counter: 0,
+        basics: Basics::default(),
+    };
+    conv.install_basic_rules();
+    let root_expr = conv.convert(schema, "#")?;
+    let ws = conv.ws_expr();
+    let root_body = GrammarExpr::seq(vec![ws.clone(), root_expr, ws]);
+    conv.builder.add_rule("root", root_body);
+    let grammar = conv.builder.build("root")?;
+    grammar.validate()?;
+    Ok(grammar)
+}
+
+#[derive(Debug, Default)]
+struct Basics {
+    ws: Option<RuleId>,
+    string: Option<RuleId>,
+    integer: Option<RuleId>,
+    number: Option<RuleId>,
+    boolean: Option<RuleId>,
+    null: Option<RuleId>,
+    any: Option<RuleId>,
+}
+
+struct Converter<'a> {
+    builder: GrammarBuilder,
+    options: JsonSchemaOptions,
+    root_schema: &'a Value,
+    counter: usize,
+    basics: Basics,
+}
+
+impl<'a> Converter<'a> {
+    fn schema_err(&self, path: &str, message: impl Into<String>) -> GrammarError {
+        GrammarError::Schema {
+            path: path.to_string(),
+            message: message.into(),
+        }
+    }
+
+    fn fresh_name(&mut self, hint: &str) -> String {
+        self.counter += 1;
+        format!("{}_{}", hint, self.counter)
+    }
+
+    fn ws_expr(&self) -> GrammarExpr {
+        match self.basics.ws {
+            Some(id) => GrammarExpr::RuleRef(id),
+            None => GrammarExpr::Empty,
+        }
+    }
+
+    fn install_basic_rules(&mut self) {
+        if self.options.allow_whitespace {
+            let ws = self.builder.add_rule(
+                "json_ws",
+                GrammarExpr::star(GrammarExpr::CharClass(CharClass::new(vec![
+                    CharRange::single(' '),
+                    CharRange::single('\t'),
+                    CharRange::single('\n'),
+                    CharRange::single('\r'),
+                ]))),
+            );
+            self.basics.ws = Some(ws);
+        }
+
+        // json_string: "\"" char* "\""
+        let char_class = GrammarExpr::choice(vec![
+            GrammarExpr::CharClass(CharClass::negated(vec![
+                CharRange::single('"'),
+                CharRange::single('\\'),
+                CharRange::new('\0', '\u{1f}'),
+            ])),
+            GrammarExpr::seq(vec![
+                GrammarExpr::literal("\\"),
+                GrammarExpr::choice(vec![
+                    GrammarExpr::CharClass(CharClass::new(vec![
+                        CharRange::single('"'),
+                        CharRange::single('\\'),
+                        CharRange::single('/'),
+                        CharRange::single('b'),
+                        CharRange::single('f'),
+                        CharRange::single('n'),
+                        CharRange::single('r'),
+                        CharRange::single('t'),
+                    ])),
+                    GrammarExpr::seq(vec![
+                        GrammarExpr::literal("u"),
+                        GrammarExpr::Repeat {
+                            expr: Box::new(GrammarExpr::CharClass(CharClass::new(vec![
+                                CharRange::new('0', '9'),
+                                CharRange::new('a', 'f'),
+                                CharRange::new('A', 'F'),
+                            ]))),
+                            min: 4,
+                            max: Some(4),
+                        },
+                    ]),
+                ]),
+            ]),
+        ]);
+        let json_char = self.builder.add_rule("json_char", char_class);
+        let string = self.builder.add_rule(
+            "json_string",
+            GrammarExpr::seq(vec![
+                GrammarExpr::literal("\""),
+                GrammarExpr::star(GrammarExpr::RuleRef(json_char)),
+                GrammarExpr::literal("\""),
+            ]),
+        );
+        self.basics.string = Some(string);
+
+        let digit = GrammarExpr::CharClass(CharClass::new(vec![CharRange::new('0', '9')]));
+        let nonzero = GrammarExpr::CharClass(CharClass::new(vec![CharRange::new('1', '9')]));
+        let int_expr = GrammarExpr::seq(vec![
+            GrammarExpr::optional(GrammarExpr::literal("-")),
+            GrammarExpr::choice(vec![
+                GrammarExpr::literal("0"),
+                GrammarExpr::seq(vec![nonzero, GrammarExpr::star(digit.clone())]),
+            ]),
+        ]);
+        let integer = self.builder.add_rule("json_integer", int_expr);
+        self.basics.integer = Some(integer);
+
+        let number_expr = GrammarExpr::seq(vec![
+            GrammarExpr::RuleRef(integer),
+            GrammarExpr::optional(GrammarExpr::seq(vec![
+                GrammarExpr::literal("."),
+                GrammarExpr::plus(digit.clone()),
+            ])),
+            GrammarExpr::optional(GrammarExpr::seq(vec![
+                GrammarExpr::CharClass(CharClass::new(vec![
+                    CharRange::single('e'),
+                    CharRange::single('E'),
+                ])),
+                GrammarExpr::optional(GrammarExpr::CharClass(CharClass::new(vec![
+                    CharRange::single('+'),
+                    CharRange::single('-'),
+                ]))),
+                GrammarExpr::plus(digit),
+            ])),
+        ]);
+        let number = self.builder.add_rule("json_number", number_expr);
+        self.basics.number = Some(number);
+
+        let boolean = self.builder.add_rule(
+            "json_boolean",
+            GrammarExpr::choice(vec![GrammarExpr::literal("true"), GrammarExpr::literal("false")]),
+        );
+        self.basics.boolean = Some(boolean);
+
+        let null = self.builder.add_rule("json_null", GrammarExpr::literal("null"));
+        self.basics.null = Some(null);
+
+        // json_any: a full JSON value (used for untyped schemas and
+        // additionalProperties: true). Mutually recursive, so declare first.
+        let any = self.builder.declare("json_any");
+        let ws = self.ws_expr();
+        let any_member = GrammarExpr::seq(vec![
+            GrammarExpr::RuleRef(string),
+            ws.clone(),
+            GrammarExpr::literal(":"),
+            ws.clone(),
+            GrammarExpr::RuleRef(any),
+        ]);
+        let any_object = GrammarExpr::choice(vec![
+            GrammarExpr::seq(vec![
+                GrammarExpr::literal("{"),
+                ws.clone(),
+                GrammarExpr::literal("}"),
+            ]),
+            GrammarExpr::seq(vec![
+                GrammarExpr::literal("{"),
+                ws.clone(),
+                any_member.clone(),
+                GrammarExpr::star(GrammarExpr::seq(vec![
+                    ws.clone(),
+                    GrammarExpr::literal(","),
+                    ws.clone(),
+                    any_member,
+                ])),
+                ws.clone(),
+                GrammarExpr::literal("}"),
+            ]),
+        ]);
+        let any_array = GrammarExpr::choice(vec![
+            GrammarExpr::seq(vec![
+                GrammarExpr::literal("["),
+                ws.clone(),
+                GrammarExpr::literal("]"),
+            ]),
+            GrammarExpr::seq(vec![
+                GrammarExpr::literal("["),
+                ws.clone(),
+                GrammarExpr::RuleRef(any),
+                GrammarExpr::star(GrammarExpr::seq(vec![
+                    ws.clone(),
+                    GrammarExpr::literal(","),
+                    ws.clone(),
+                    GrammarExpr::RuleRef(any),
+                ])),
+                ws.clone(),
+                GrammarExpr::literal("]"),
+            ]),
+        ]);
+        self.builder.set_body(
+            any,
+            GrammarExpr::choice(vec![
+                any_object,
+                any_array,
+                GrammarExpr::RuleRef(string),
+                GrammarExpr::RuleRef(number),
+                GrammarExpr::RuleRef(boolean),
+                GrammarExpr::RuleRef(null),
+            ]),
+        );
+        self.basics.any = Some(any);
+    }
+
+    fn resolve_ref<'b>(&self, reference: &str, path: &str) -> Result<&'a Value>
+    where
+        'a: 'b,
+    {
+        let rest = reference
+            .strip_prefix("#/")
+            .ok_or_else(|| self.schema_err(path, format!("unsupported $ref `{reference}`")))?;
+        let mut node = self.root_schema;
+        for part in rest.split('/') {
+            node = node
+                .get(part)
+                .ok_or_else(|| self.schema_err(path, format!("$ref target `{reference}` not found")))?;
+        }
+        Ok(node)
+    }
+
+    /// Converts a schema node into an expression matching one JSON value.
+    fn convert(&mut self, schema: &Value, path: &str) -> Result<GrammarExpr> {
+        match schema {
+            Value::Bool(true) => Ok(GrammarExpr::RuleRef(self.basics.any.expect("installed"))),
+            Value::Bool(false) => Err(self.schema_err(path, "schema `false` matches nothing")),
+            Value::Object(obj) => {
+                if let Some(reference) = obj.get("$ref").and_then(Value::as_str) {
+                    let target = self.resolve_ref(reference, path)?;
+                    return self.convert(target, &format!("{path}/$ref"));
+                }
+                if let Some(constant) = obj.get("const") {
+                    return Ok(GrammarExpr::Literal(
+                        serde_json::to_string(constant)
+                            .expect("serializing a Value cannot fail")
+                            .into_bytes(),
+                    ));
+                }
+                if let Some(variants) = obj.get("enum") {
+                    return self.convert_enum(variants, path);
+                }
+                if let Some(any_of) = obj.get("anyOf").or_else(|| obj.get("oneOf")) {
+                    return self.convert_any_of(any_of, path);
+                }
+                if let Some(all_of) = obj.get("allOf") {
+                    let arr = all_of
+                        .as_array()
+                        .ok_or_else(|| self.schema_err(path, "allOf must be an array"))?;
+                    if arr.len() == 1 {
+                        return self.convert(&arr[0], &format!("{path}/allOf/0"));
+                    }
+                    return Err(self.schema_err(path, "allOf with more than one schema"));
+                }
+                match obj.get("type") {
+                    Some(Value::String(t)) => self.convert_typed(t, obj, path),
+                    Some(Value::Array(types)) => {
+                        let mut alts = Vec::new();
+                        for (i, t) in types.iter().enumerate() {
+                            let t = t.as_str().ok_or_else(|| {
+                                self.schema_err(path, "type array entries must be strings")
+                            })?;
+                            alts.push(self.convert_typed(t, obj, &format!("{path}/type/{i}"))?);
+                        }
+                        Ok(GrammarExpr::choice(alts))
+                    }
+                    Some(other) => {
+                        Err(self.schema_err(path, format!("invalid `type`: {other}")))
+                    }
+                    None => Ok(GrammarExpr::RuleRef(self.basics.any.expect("installed"))),
+                }
+            }
+            other => Err(self.schema_err(path, format!("schema must be an object, got {other}"))),
+        }
+    }
+
+    fn convert_enum(&mut self, variants: &Value, path: &str) -> Result<GrammarExpr> {
+        let arr = variants
+            .as_array()
+            .ok_or_else(|| self.schema_err(path, "enum must be an array"))?;
+        if arr.is_empty() {
+            return Err(self.schema_err(path, "enum must not be empty"));
+        }
+        let alts = arr
+            .iter()
+            .map(|v| {
+                GrammarExpr::Literal(
+                    serde_json::to_string(v)
+                        .expect("serializing a Value cannot fail")
+                        .into_bytes(),
+                )
+            })
+            .collect();
+        Ok(GrammarExpr::choice(alts))
+    }
+
+    fn convert_any_of(&mut self, any_of: &Value, path: &str) -> Result<GrammarExpr> {
+        let arr = any_of
+            .as_array()
+            .ok_or_else(|| self.schema_err(path, "anyOf/oneOf must be an array"))?;
+        if arr.is_empty() {
+            return Err(self.schema_err(path, "anyOf/oneOf must not be empty"));
+        }
+        let mut alts = Vec::new();
+        for (i, sub) in arr.iter().enumerate() {
+            alts.push(self.convert(sub, &format!("{path}/anyOf/{i}"))?);
+        }
+        Ok(GrammarExpr::choice(alts))
+    }
+
+    fn convert_typed(
+        &mut self,
+        type_name: &str,
+        obj: &serde_json::Map<String, Value>,
+        path: &str,
+    ) -> Result<GrammarExpr> {
+        match type_name {
+            "string" => self.convert_string(obj, path),
+            "integer" => Ok(GrammarExpr::RuleRef(self.basics.integer.expect("installed"))),
+            "number" => Ok(GrammarExpr::RuleRef(self.basics.number.expect("installed"))),
+            "boolean" => Ok(GrammarExpr::RuleRef(self.basics.boolean.expect("installed"))),
+            "null" => Ok(GrammarExpr::RuleRef(self.basics.null.expect("installed"))),
+            "object" => self.convert_object(obj, path),
+            "array" => self.convert_array(obj, path),
+            other => Err(self.schema_err(path, format!("unsupported type `{other}`"))),
+        }
+    }
+
+    fn convert_string(
+        &mut self,
+        obj: &serde_json::Map<String, Value>,
+        _path: &str,
+    ) -> Result<GrammarExpr> {
+        let min = obj.get("minLength").and_then(Value::as_u64).unwrap_or(0) as u32;
+        let max = obj.get("maxLength").and_then(Value::as_u64).map(|v| v as u32);
+        if min == 0 && max.is_none() {
+            return Ok(GrammarExpr::RuleRef(self.basics.string.expect("installed")));
+        }
+        // Bounded string: "\"" char{min,max} "\"".
+        let char_rule = self
+            .builder
+            .rule_id("json_char")
+            .expect("json_char installed");
+        Ok(GrammarExpr::seq(vec![
+            GrammarExpr::literal("\""),
+            GrammarExpr::Repeat {
+                expr: Box::new(GrammarExpr::RuleRef(char_rule)),
+                min,
+                max,
+            },
+            GrammarExpr::literal("\""),
+        ]))
+    }
+
+    fn convert_object(
+        &mut self,
+        obj: &serde_json::Map<String, Value>,
+        path: &str,
+    ) -> Result<GrammarExpr> {
+        let ws = self.ws_expr();
+        let empty_map = serde_json::Map::new();
+        let properties = obj
+            .get("properties")
+            .and_then(Value::as_object)
+            .unwrap_or(&empty_map);
+        let required: Vec<&str> = obj
+            .get("required")
+            .and_then(Value::as_array)
+            .map(|a| a.iter().filter_map(Value::as_str).collect())
+            .unwrap_or_default();
+        let additional = obj.get("additionalProperties");
+        let (allow_additional, additional_schema) = match additional {
+            None => (self.options.default_additional_properties, None),
+            Some(Value::Bool(b)) => (*b, None),
+            Some(schema) => (true, Some(schema)),
+        };
+
+        // Build member expressions for each declared property, in order.
+        let mut members: Vec<(GrammarExpr, bool)> = Vec::new();
+        for (name, prop_schema) in properties {
+            let value_expr = self.convert(prop_schema, &format!("{path}/properties/{name}"))?;
+            let key_literal = GrammarExpr::Literal(
+                serde_json::to_string(&Value::String(name.clone()))
+                    .expect("serializing a string cannot fail")
+                    .into_bytes(),
+            );
+            let member = GrammarExpr::seq(vec![
+                key_literal,
+                ws.clone(),
+                GrammarExpr::literal(":"),
+                ws.clone(),
+                value_expr,
+            ]);
+            members.push((member, required.contains(&name.as_str())));
+        }
+
+        // Additional members expression (used when additionalProperties allows them).
+        let additional_member = if allow_additional {
+            let value_expr = match additional_schema {
+                Some(schema) => {
+                    self.convert(schema, &format!("{path}/additionalProperties"))?
+                }
+                None => GrammarExpr::RuleRef(self.basics.any.expect("installed")),
+            };
+            Some(GrammarExpr::seq(vec![
+                GrammarExpr::RuleRef(self.basics.string.expect("installed")),
+                ws.clone(),
+                GrammarExpr::literal(":"),
+                ws.clone(),
+                value_expr,
+            ]))
+        } else {
+            None
+        };
+
+        // Recursive construction over property suffixes. For each suffix we
+        // build two expressions: one assuming no member has been emitted yet
+        // (`first`) and one assuming a comma is needed (`rest`).
+        let comma = GrammarExpr::seq(vec![ws.clone(), GrammarExpr::literal(","), ws.clone()]);
+        let additional_tail = additional_member.as_ref().map(|m| {
+            GrammarExpr::star(GrammarExpr::seq(vec![comma.clone(), m.clone()]))
+        });
+        // `rest` for the empty suffix.
+        let mut rest_suffix: GrammarExpr = additional_tail.clone().unwrap_or(GrammarExpr::Empty);
+        // `first` for the empty suffix: either nothing, or additional members.
+        let mut first_suffix: GrammarExpr = match &additional_member {
+            Some(m) => GrammarExpr::optional(GrammarExpr::seq(vec![
+                m.clone(),
+                additional_tail.clone().unwrap_or(GrammarExpr::Empty),
+            ])),
+            None => GrammarExpr::Empty,
+        };
+        let mut suffix_nullable = true;
+        for (member, is_required) in members.into_iter().rev() {
+            let hint = self.fresh_name("props");
+            // Materialize current suffixes as rules to keep expressions small.
+            let rest_rule = self.builder.add_rule(&format!("{hint}_rest"), rest_suffix.clone());
+            let first_rule = self
+                .builder
+                .add_rule(&format!("{hint}_first"), first_suffix.clone());
+            let new_rest = if is_required {
+                GrammarExpr::seq(vec![
+                    comma.clone(),
+                    member.clone(),
+                    GrammarExpr::RuleRef(rest_rule),
+                ])
+            } else {
+                GrammarExpr::choice(vec![
+                    GrammarExpr::seq(vec![
+                        comma.clone(),
+                        member.clone(),
+                        GrammarExpr::RuleRef(rest_rule),
+                    ]),
+                    GrammarExpr::RuleRef(rest_rule),
+                ])
+            };
+            let new_first = if is_required {
+                GrammarExpr::seq(vec![member.clone(), GrammarExpr::RuleRef(rest_rule)])
+            } else {
+                GrammarExpr::choice(vec![
+                    GrammarExpr::seq(vec![member, GrammarExpr::RuleRef(rest_rule)]),
+                    GrammarExpr::RuleRef(first_rule),
+                ])
+            };
+            suffix_nullable = suffix_nullable && !is_required;
+            rest_suffix = new_rest;
+            first_suffix = new_first;
+        }
+
+        let body_rule_name = self.fresh_name("object_members");
+        let members_rule = self.builder.add_rule(&body_rule_name, first_suffix);
+        Ok(GrammarExpr::seq(vec![
+            GrammarExpr::literal("{"),
+            ws.clone(),
+            GrammarExpr::RuleRef(members_rule),
+            ws,
+            GrammarExpr::literal("}"),
+        ]))
+    }
+
+    fn convert_array(
+        &mut self,
+        obj: &serde_json::Map<String, Value>,
+        path: &str,
+    ) -> Result<GrammarExpr> {
+        let ws = self.ws_expr();
+        let min_items = obj.get("minItems").and_then(Value::as_u64).unwrap_or(0) as u32;
+        let max_items = obj.get("maxItems").and_then(Value::as_u64).map(|v| v as u32);
+        if let (Some(max), true) = (max_items, max_items.is_some()) {
+            if max < min_items {
+                return Err(GrammarError::InvalidRepetition {
+                    min: min_items,
+                    max,
+                });
+            }
+        }
+
+        // prefixItems (tuple validation).
+        if let Some(prefix) = obj.get("prefixItems").and_then(Value::as_array) {
+            let mut parts = vec![GrammarExpr::literal("["), ws.clone()];
+            for (i, sub) in prefix.iter().enumerate() {
+                if i > 0 {
+                    parts.push(ws.clone());
+                    parts.push(GrammarExpr::literal(","));
+                    parts.push(ws.clone());
+                }
+                parts.push(self.convert(sub, &format!("{path}/prefixItems/{i}"))?);
+            }
+            parts.push(ws.clone());
+            parts.push(GrammarExpr::literal("]"));
+            return Ok(GrammarExpr::seq(parts));
+        }
+
+        let item_expr = match obj.get("items") {
+            Some(items) => self.convert(items, &format!("{path}/items"))?,
+            None => GrammarExpr::RuleRef(self.basics.any.expect("installed")),
+        };
+        let item_rule_name = self.fresh_name("array_item");
+        let item_rule = self.builder.add_rule(&item_rule_name, item_expr);
+        let item = GrammarExpr::RuleRef(item_rule);
+        let comma_item = GrammarExpr::seq(vec![
+            ws.clone(),
+            GrammarExpr::literal(","),
+            ws.clone(),
+            item.clone(),
+        ]);
+
+        let empty_array = GrammarExpr::seq(vec![
+            GrammarExpr::literal("["),
+            ws.clone(),
+            GrammarExpr::literal("]"),
+        ]);
+        let non_empty = GrammarExpr::seq(vec![
+            GrammarExpr::literal("["),
+            ws.clone(),
+            item,
+            GrammarExpr::Repeat {
+                expr: Box::new(comma_item),
+                min: min_items.saturating_sub(1),
+                max: max_items.map(|m| m.saturating_sub(1)),
+            },
+            ws.clone(),
+            GrammarExpr::literal("]"),
+        ]);
+        if min_items == 0 {
+            if max_items == Some(0) {
+                return Ok(empty_array);
+            }
+            Ok(GrammarExpr::choice(vec![empty_array, non_empty]))
+        } else {
+            Ok(non_empty)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn simple_object_schema_converts() {
+        let schema = json!({
+            "type": "object",
+            "properties": {
+                "name": {"type": "string"},
+                "age": {"type": "integer"},
+                "active": {"type": "boolean"}
+            },
+            "required": ["name", "age"]
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+        assert!(g.rules().len() > 8);
+    }
+
+    #[test]
+    fn enum_and_const_convert_to_literals() {
+        let schema = json!({
+            "type": "object",
+            "properties": {
+                "unit": {"enum": ["celsius", "fahrenheit"]},
+                "version": {"const": 2}
+            },
+            "required": ["unit", "version"]
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn nested_objects_and_arrays() {
+        let schema = json!({
+            "type": "object",
+            "properties": {
+                "tags": {"type": "array", "items": {"type": "string"}, "minItems": 1},
+                "address": {
+                    "type": "object",
+                    "properties": {
+                        "street": {"type": "string"},
+                        "zip": {"type": "string"}
+                    },
+                    "required": ["street"]
+                }
+            },
+            "required": ["tags"]
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn ref_into_defs_resolves() {
+        let schema = json!({
+            "type": "object",
+            "properties": {"child": {"$ref": "#/$defs/leaf"}},
+            "required": ["child"],
+            "$defs": {"leaf": {"type": "string"}}
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_ref_is_an_error() {
+        let schema = json!({"$ref": "#/$defs/nope"});
+        assert!(matches!(
+            json_schema_to_grammar(&schema),
+            Err(GrammarError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn any_of_becomes_choice() {
+        let schema = json!({
+            "anyOf": [{"type": "string"}, {"type": "integer"}, {"type": "null"}]
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn untyped_schema_matches_any_json() {
+        let schema = json!(true);
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.rule_id("json_any").is_some());
+    }
+
+    #[test]
+    fn false_schema_is_rejected() {
+        let schema = json!(false);
+        assert!(json_schema_to_grammar(&schema).is_err());
+    }
+
+    #[test]
+    fn bounded_arrays_and_strings() {
+        let schema = json!({
+            "type": "object",
+            "properties": {
+                "code": {"type": "string", "minLength": 2, "maxLength": 4},
+                "points": {"type": "array", "items": {"type": "number"}, "minItems": 2, "maxItems": 3}
+            },
+            "required": ["code", "points"]
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn type_list_becomes_choice() {
+        let schema = json!({"type": ["string", "null"]});
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn additional_properties_schema() {
+        let schema = json!({
+            "type": "object",
+            "properties": {"id": {"type": "integer"}},
+            "required": ["id"],
+            "additionalProperties": {"type": "string"}
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn prefix_items_tuple() {
+        let schema = json!({
+            "type": "array",
+            "prefixItems": [{"type": "string"}, {"type": "integer"}]
+        });
+        let g = json_schema_to_grammar(&schema).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn compact_mode_has_no_ws_rule() {
+        let schema = json!({"type": "object", "properties": {"a": {"type": "integer"}}, "required": ["a"]});
+        let opts = JsonSchemaOptions {
+            allow_whitespace: false,
+            ..Default::default()
+        };
+        let g = json_schema_to_grammar_with_options(&schema, &opts).unwrap();
+        assert!(g.rule_id("json_ws").is_none());
+    }
+}

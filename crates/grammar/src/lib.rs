@@ -1,0 +1,45 @@
+//! Grammar front end for the XGrammar reproduction.
+//!
+//! This crate provides everything needed to *describe* a structure before it
+//! is compiled into a byte-level pushdown automaton by `xg-automata` and
+//! executed by `xg-core`:
+//!
+//! * a grammar AST ([`Grammar`], [`GrammarExpr`], [`CharClass`]),
+//! * a parser for the GBNF-style EBNF text format ([`parse_ebnf`]),
+//! * a JSON Schema → grammar converter ([`json_schema_to_grammar`]),
+//! * the built-in grammars used in the paper's evaluation
+//!   ([`builtin::json_grammar`], [`builtin::xml_grammar`],
+//!   [`builtin::python_dsl_grammar`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use xg_grammar::parse_ebnf;
+//!
+//! let grammar = parse_ebnf(r#"
+//!     root  ::= "[" item ("," item)* "]"
+//!     item  ::= [0-9]+
+//! "#, "root")?;
+//! assert_eq!(grammar.rules().len(), 2);
+//! # Ok::<(), xg_grammar::GrammarError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ast;
+pub mod builtin;
+mod display;
+mod ebnf;
+mod error;
+mod json_schema;
+
+pub use ast::{
+    char_class, char_class_negated, CharClass, CharRange, Grammar, GrammarBuilder, GrammarExpr,
+    Rule, RuleId,
+};
+pub use ebnf::parse_ebnf;
+pub use error::{GrammarError, Result};
+pub use json_schema::{
+    json_schema_to_grammar, json_schema_to_grammar_with_options, JsonSchemaOptions,
+};

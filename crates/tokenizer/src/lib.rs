@@ -1,0 +1,38 @@
+//! Tokenizer / vocabulary substrate for the XGrammar reproduction.
+//!
+//! The grammar engine validates *token byte strings* against a pushdown
+//! automaton; this crate provides those byte strings:
+//!
+//! * [`Vocabulary`] — the token table (byte strings + special tokens),
+//! * [`BpeModel`] — a from-scratch byte-level BPE trainer/encoder for
+//!   corpus-driven vocabularies,
+//! * [`synthetic_vocabulary`] — deterministic generation of large,
+//!   realistic vocabularies (the Llama-3.1 substitution documented in
+//!   DESIGN.md),
+//! * [`SortedVocabulary`] — lexicographically sorted index with shared-prefix
+//!   statistics, used by the mask-cache preprocessing of `xg-core`.
+//!
+//! # Examples
+//!
+//! ```
+//! use xg_tokenizer::{test_vocabulary, SortedVocabulary};
+//!
+//! let vocab = test_vocabulary(2000);
+//! let sorted = SortedVocabulary::new(&vocab);
+//! assert_eq!(sorted.len(), vocab.len() - 2); // specials excluded
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bpe;
+mod sorted;
+mod synthetic;
+mod vocab;
+
+pub use bpe::{BpeModel, BpeTrainConfig};
+pub use sorted::SortedVocabulary;
+pub use synthetic::{
+    llama31_like_vocabulary, synthetic_vocabulary, test_vocabulary, SyntheticVocabConfig,
+};
+pub use vocab::{SpecialToken, TokenId, Vocabulary};

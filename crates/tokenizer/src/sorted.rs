@@ -1,0 +1,150 @@
+//! Lexicographically sorted view of a vocabulary with shared-prefix
+//! information.
+//!
+//! The persistent execution stack (paper §3.3) checks tokens in
+//! lexicographic order and rolls the automaton state back to the end of the
+//! common prefix with the previously checked token, so the characters of
+//! shared prefixes are only ever matched once. This module precomputes that
+//! ordering and the prefix lengths, and exposes the "fraction of characters
+//! that still need checking" statistic the paper reports (≈30 % for the
+//! Llama-3.1 vocabulary).
+
+use crate::vocab::{TokenId, Vocabulary};
+
+/// A sorted token index with longest-common-prefix information.
+#[derive(Debug, Clone)]
+pub struct SortedVocabulary {
+    /// Token ids in lexicographic byte order (special tokens excluded).
+    ids: Vec<TokenId>,
+    /// `lcp[i]` = length of the longest common prefix between token `ids[i]`
+    /// and token `ids[i - 1]` (0 for the first token).
+    lcp: Vec<usize>,
+    /// Total bytes across the sorted tokens.
+    total_bytes: usize,
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+}
+
+impl SortedVocabulary {
+    /// Builds the sorted index for a vocabulary.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xg_tokenizer::{SortedVocabulary, Vocabulary};
+    ///
+    /// let vocab = Vocabulary::from_tokens(
+    ///     vec![b"read".to_vec(), b"reader".to_vec(), b"ready".to_vec()], None);
+    /// let sorted = SortedVocabulary::new(&vocab);
+    /// // "reader" and "ready" share the prefix "read"/"reade" with their
+    /// // predecessors, so most characters are skipped.
+    /// assert!(sorted.chars_to_check() < sorted.total_bytes());
+    /// ```
+    pub fn new(vocab: &Vocabulary) -> Self {
+        let ids = vocab.sorted_token_ids();
+        let mut lcp = Vec::with_capacity(ids.len());
+        let mut total_bytes = 0;
+        for (i, id) in ids.iter().enumerate() {
+            let bytes = vocab.token_bytes(*id);
+            total_bytes += bytes.len();
+            if i == 0 {
+                lcp.push(0);
+            } else {
+                lcp.push(common_prefix_len(bytes, vocab.token_bytes(ids[i - 1])));
+            }
+        }
+        SortedVocabulary {
+            ids,
+            lcp,
+            total_bytes,
+        }
+    }
+
+    /// Sorted token ids.
+    pub fn ids(&self) -> &[TokenId] {
+        &self.ids
+    }
+
+    /// Longest-common-prefix lengths (`lcp()[i]` refers to `ids()[i]` and its
+    /// predecessor).
+    pub fn lcp(&self) -> &[usize] {
+        &self.lcp
+    }
+
+    /// Number of tokens in the sorted index.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total number of bytes across all indexed tokens.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Number of bytes that actually need to be matched when tokens are
+    /// checked in sorted order with prefix-sharing rollback: for each token,
+    /// only the bytes after the common prefix with its predecessor.
+    pub fn chars_to_check(&self) -> usize {
+        self.total_bytes - self.lcp.iter().sum::<usize>()
+    }
+
+    /// Fraction of characters that still need checking
+    /// (`chars_to_check / total_bytes`), the statistic reported in §3.3.
+    pub fn check_fraction(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        self.chars_to_check() as f64 / self.total_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcp_matches_manual_computation() {
+        let vocab = Vocabulary::from_tokens(
+            vec![
+                b"read".to_vec(),
+                b"ready".to_vec(),
+                b"reader".to_vec(),
+                b"zebra".to_vec(),
+                b"apple".to_vec(),
+            ],
+            None,
+        );
+        let sorted = SortedVocabulary::new(&vocab);
+        // Sorted order: apple, read, reader, ready, zebra.
+        // LCP(reader, read) = 4, LCP(ready, reader) = 4.
+        assert_eq!(sorted.lcp(), &[0, 0, 4, 4, 0]);
+        assert_eq!(sorted.total_bytes(), 4 + 5 + 6 + 5 + 5);
+        assert_eq!(sorted.chars_to_check(), sorted.total_bytes() - 8);
+    }
+
+    #[test]
+    fn check_fraction_is_below_one_for_prefix_heavy_vocab() {
+        let tokens: Vec<Vec<u8>> = (0..100)
+            .map(|i| format!("common_prefix_{i:03}").into_bytes())
+            .collect();
+        let vocab = Vocabulary::from_tokens(tokens, None);
+        let sorted = SortedVocabulary::new(&vocab);
+        assert!(sorted.check_fraction() < 0.5);
+        assert!(sorted.check_fraction() > 0.0);
+    }
+
+    #[test]
+    fn empty_vocabulary_is_handled() {
+        let vocab = Vocabulary::from_tokens(vec![], None);
+        let sorted = SortedVocabulary::new(&vocab);
+        assert!(sorted.is_empty());
+        assert_eq!(sorted.check_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Facade crate for the XGrammar reproduction: a single dependency exposing
+//! the full public API.
+//!
+//! The implementation lives in focused crates; this crate re-exports them so
+//! downstream users can write `use xgrammar::{GrammarCompiler, GrammarMatcher}`
+//! and not think about the workspace layout:
+//!
+//! * [`grammar`] — grammar AST, EBNF parser, JSON-Schema conversion,
+//!   built-in grammars (`xg-grammar`),
+//! * [`automata`] — byte-level FSA/PDA construction and optimizations
+//!   (`xg-automata`),
+//! * [`tokenizer`] — vocabularies, BPE training, synthetic vocabularies
+//!   (`xg-tokenizer`),
+//! * the core engine types re-exported at the crate root (`xg-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xgrammar::{GrammarCompiler, GrammarMatcher, TokenBitmask};
+//!
+//! let vocab = Arc::new(xgrammar::tokenizer::test_vocabulary(1000));
+//! let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+//! let compiled = compiler.compile_ebnf(r#"root ::= "yes" | "no""#, "root")?;
+//! let mut matcher = GrammarMatcher::new(compiled);
+//! let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+//! matcher.fill_next_token_bitmask(&mut mask);
+//! assert!(mask.count_allowed() > 0);
+//! # Ok::<(), xgrammar::GrammarError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+/// Grammar front end (re-export of `xg-grammar`).
+pub mod grammar {
+    pub use xg_grammar::*;
+}
+
+/// Automata substrate (re-export of `xg-automata`).
+pub mod automata {
+    pub use xg_automata::*;
+}
+
+/// Tokenizer / vocabulary substrate (re-export of `xg-tokenizer`).
+pub mod tokenizer {
+    pub use xg_tokenizer::*;
+}
+
+pub use xg_core::{
+    AcceptError, CompiledGrammar, CompilerConfig, GrammarCompiler, GrammarMatcher, MaskCache,
+    MaskCacheStats, MatcherStats, NodeMaskEntry, PersistentStackTree, RollbackError, StackHandle,
+    TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
+};
+pub use xg_grammar::{
+    builtin, json_schema_to_grammar, parse_ebnf, Grammar, GrammarError, GrammarExpr,
+};
+pub use xg_tokenizer::{TokenId, Vocabulary};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let grammar = crate::parse_ebnf(r#"root ::= "x""#, "root").unwrap();
+        assert_eq!(grammar.rules().len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Grammar playground: parse an EBNF grammar (from a file or the built-in
+//! JSON grammar), print its automaton statistics, and check candidate strings
+//! against it.
+//!
+//! ```text
+//! cargo run --example grammar_playground -- path/to/grammar.ebnf "input to check"
+//! cargo run --example grammar_playground            # built-in JSON grammar demo
+//! ```
+
+use xgrammar::automata::{build_pda_default, SimpleMatcher};
+use xgrammar::builtin;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (grammar, inputs): (xgrammar::Grammar, Vec<String>) = match args.split_first() {
+        Some((path, rest)) if std::path::Path::new(path).exists() => {
+            let text = std::fs::read_to_string(path)?;
+            (xgrammar::parse_ebnf(&text, "root")?, rest.to_vec())
+        }
+        Some((first, rest)) => {
+            // No file: treat every argument as an input against the JSON grammar.
+            let mut inputs = vec![first.clone()];
+            inputs.extend(rest.iter().cloned());
+            (builtin::json_grammar(), inputs)
+        }
+        None => (
+            builtin::json_grammar(),
+            vec![
+                r#"{"name": "ada", "tags": ["math", "code"], "age": 36}"#.to_string(),
+                r#"{"name": ada}"#.to_string(),
+                "[1, 2, 3,]".to_string(),
+            ],
+        ),
+    };
+
+    println!("grammar ({} rules):", grammar.rules().len());
+    println!("{grammar}");
+    let pda = build_pda_default(&grammar);
+    let stats = pda.stats();
+    println!(
+        "pushdown automaton: {} nodes, {} byte edges, {} rule edges, {} rules after inlining",
+        stats.nodes, stats.byte_edges, stats.rule_edges, stats.rules
+    );
+    println!();
+    for input in inputs {
+        let accepted = SimpleMatcher::new(&pda).accepts(input.as_bytes());
+        println!(
+            "  {}  {}",
+            if accepted { "ACCEPT" } else { "REJECT" },
+            input
+        );
+    }
+    Ok(())
+}

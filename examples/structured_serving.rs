@@ -1,0 +1,65 @@
+//! Batched structured serving: compare serial vs overlapped execution and
+//! XGrammar vs the naive full-scan baseline on the simulated engine (the
+//! paper's §4.2 scenario in miniature).
+//!
+//! ```text
+//! cargo run --release --example structured_serving
+//! ```
+
+use std::sync::Arc;
+
+use xg_baselines::{ConstrainedBackend, NaivePdaBackend, XGrammarBackend};
+use xg_engine::{EngineRequest, ExecutionMode, ModelProfile, ServingEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vocab = Arc::new(xgrammar::tokenizer::test_vocabulary(16_000));
+    let profile = ModelProfile::llama31_8b_h100().scaled(0.1);
+
+    let requests: Vec<EngineRequest> = xg_datasets::json_mode_eval_like(8, 7)
+        .into_iter()
+        .map(|task| EngineRequest {
+            grammar: Some(xgrammar::json_schema_to_grammar(&task.schema).expect("schema converts")),
+            prompt_tokens: 139,
+            reference: task.reference,
+            max_tokens: 96,
+        })
+        .collect();
+
+    println!("batch of {} function-calling requests", requests.len());
+    println!(
+        "{:<34} {:>12} {:>12} {:>12}",
+        "engine", "TPOT (ms)", "mask (ms)", "GPU (ms)"
+    );
+    let configurations: Vec<(&str, Arc<dyn ConstrainedBackend>, ExecutionMode)> = vec![
+        (
+            "naive PDA scan, serial",
+            Arc::new(NaivePdaBackend::new(Arc::clone(&vocab))),
+            ExecutionMode::Serial,
+        ),
+        (
+            "XGrammar, serial",
+            Arc::new(XGrammarBackend::new(Arc::clone(&vocab))),
+            ExecutionMode::Serial,
+        ),
+        (
+            "XGrammar, overlapped (co-design)",
+            Arc::new(XGrammarBackend::new(Arc::clone(&vocab))),
+            ExecutionMode::Overlapped,
+        ),
+    ];
+    for (name, backend, mode) in configurations {
+        let engine = ServingEngine::new(backend, profile.clone(), mode);
+        let (_, metrics) = engine.run_batch(&requests)?;
+        println!(
+            "{:<34} {:>12.2} {:>12.2} {:>12.2}",
+            name,
+            metrics.tpot.as_secs_f64() * 1e3,
+            metrics.mask_time.as_secs_f64() * 1e3,
+            metrics.gpu_time.as_secs_f64() * 1e3
+        );
+    }
+    println!();
+    println!("The overlapped XGrammar engine hides grammar work under the simulated GPU step,");
+    println!("reproducing the paper's near-zero-overhead structured generation result.");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Workspace root crate: re-exports the facade and hosts the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! Use the [`xgrammar`] facade crate (or the individual `xg-*` crates) from
+//! downstream code; this crate only exists to give the repository-level
+//! examples and integration tests a home.
+
+#![warn(missing_docs)]
+
+pub use xgrammar;

@@ -1,0 +1,208 @@
+//! Cross-crate integration tests: grammar front end → automata → core engine
+//! → baselines → datasets, exercised together the way the benchmark harness
+//! and the serving engine use them.
+
+use std::sync::Arc;
+
+use xg_baselines::{ConstrainedBackend, NaivePdaBackend, XGrammarBackend};
+use xg_core::{CompilerConfig, GrammarCompiler, GrammarMatcher, TokenBitmask};
+use xg_tokenizer::{test_vocabulary, Vocabulary};
+
+fn vocab() -> Arc<Vocabulary> {
+    Arc::new(test_vocabulary(1500))
+}
+
+/// Greedily drives a matcher along a reference output, asserting that every
+/// chosen token was allowed by the freshly generated mask.
+fn drive_reference(
+    vocab: &Vocabulary,
+    matcher: &mut GrammarMatcher,
+    reference: &[u8],
+) -> Vec<u8> {
+    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+    let mut output = Vec::new();
+    let mut cursor = 0;
+    while cursor < reference.len() {
+        matcher.fill_next_token_bitmask(&mut mask);
+        let mut best = None;
+        let mut best_len = 0;
+        for token in mask.allowed_tokens() {
+            let bytes = vocab.token_bytes(token);
+            if reference[cursor..].starts_with(bytes) && bytes.len() > best_len {
+                best = Some(token);
+                best_len = bytes.len();
+            }
+        }
+        let token = best.unwrap_or_else(|| {
+            panic!(
+                "no allowed token continues the reference at byte {cursor} of {:?}",
+                String::from_utf8_lossy(reference)
+            )
+        });
+        matcher.accept_token(token).expect("token was allowed by the mask");
+        output.extend_from_slice(vocab.token_bytes(token));
+        cursor += best_len;
+    }
+    output
+}
+
+#[test]
+fn schema_constrained_generation_reproduces_every_dataset_reference() {
+    let vocab = vocab();
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    for task in xg_datasets::json_mode_eval_like(15, 0xE2E) {
+        let compiled = compiler
+            .compile_json_schema(&task.schema)
+            .expect("dataset schemas convert");
+        let mut matcher = GrammarMatcher::new(compiled);
+        let output = drive_reference(&vocab, &mut matcher, &task.reference);
+        assert_eq!(output, task.reference);
+        assert!(matcher.can_terminate(), "reference must complete the schema");
+        let eos = vocab.eos().unwrap();
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(eos));
+    }
+}
+
+#[test]
+fn builtin_grammars_accept_their_dataset_outputs_through_the_matcher() {
+    let vocab = vocab();
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let cases = [
+        (
+            xg_grammar::builtin::json_grammar(),
+            xg_datasets::json_documents(5, 1)
+                .into_iter()
+                .map(|t| t.reference)
+                .collect::<Vec<_>>(),
+        ),
+        (
+            xg_grammar::builtin::xml_grammar(),
+            xg_datasets::xml_tasks(5, 1)
+                .into_iter()
+                .map(|t| t.reference)
+                .collect(),
+        ),
+        (
+            xg_grammar::builtin::python_dsl_grammar(),
+            xg_datasets::python_dsl_tasks(5, 1)
+                .into_iter()
+                .map(|t| t.reference)
+                .collect(),
+        ),
+    ];
+    for (grammar, references) in cases {
+        let compiled = compiler.compile_grammar(&grammar);
+        for reference in references {
+            let mut matcher = GrammarMatcher::new(Arc::clone(&compiled));
+            let out = drive_reference(&vocab, &mut matcher, &reference);
+            assert_eq!(out, reference);
+            assert!(matcher.can_terminate());
+        }
+    }
+}
+
+#[test]
+fn cached_engine_and_naive_baseline_agree_on_masks_along_a_generation() {
+    let vocab = vocab();
+    let grammar = xg_grammar::builtin::json_grammar();
+    let xg = XGrammarBackend::new(Arc::clone(&vocab));
+    let naive = NaivePdaBackend::new(Arc::clone(&vocab));
+    let mut xg_session = xg.compile(&grammar).unwrap().new_session();
+    let mut naive_session = naive.compile(&grammar).unwrap().new_session();
+
+    let reference = br#"{"items": [1, {"name": "x"}], "ok": true}"#;
+    let mut xg_mask = TokenBitmask::new_all_rejected(vocab.len());
+    let mut naive_mask = TokenBitmask::new_all_rejected(vocab.len());
+    // Step the two engines with the single-byte tokens of the reference and
+    // compare the full masks at every position.
+    for (i, &b) in reference.iter().enumerate() {
+        xg_session.fill_mask(&mut xg_mask);
+        naive_session.fill_mask(&mut naive_mask);
+        assert_eq!(
+            xg_mask, naive_mask,
+            "mask divergence at byte {i} of the reference"
+        );
+        let token = vocab.iter().find(|(_, t)| *t == [b]).unwrap().0;
+        assert!(xg_mask.is_allowed(token));
+        assert!(xg_session.accept_token(token));
+        assert!(naive_session.accept_token(token));
+    }
+    assert!(xg_session.can_terminate());
+    assert!(naive_session.can_terminate());
+}
+
+#[test]
+fn ablation_configurations_all_produce_correct_masks() {
+    let vocab = vocab();
+    let grammar = xg_grammar::parse_ebnf(
+        r#"
+        root ::= "[" value ("," value)* "]"
+        value ::= [0-9]+ | "\"" [a-z]* "\""
+        "#,
+        "root",
+    )
+    .unwrap();
+    let reference = br#"[12,"ab",7]"#;
+    let mut outputs = Vec::new();
+    for config in [
+        CompilerConfig::baseline(),
+        CompilerConfig {
+            enable_mask_cache: true,
+            ..CompilerConfig::baseline()
+        },
+        CompilerConfig::default(),
+    ] {
+        let compiler = GrammarCompiler::with_config(Arc::clone(&vocab), config);
+        let compiled = compiler.compile_grammar(&grammar);
+        let mut matcher = GrammarMatcher::new(compiled);
+        outputs.push(drive_reference(&vocab, &mut matcher, reference));
+    }
+    assert!(outputs.iter().all(|o| o == reference));
+}
+
+#[test]
+fn rollback_supports_tree_structured_exploration() {
+    // Tree-of-thought style usage (§3.3): branch the generation, explore one
+    // branch, roll back, explore another.
+    let vocab = vocab();
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let compiled = compiler
+        .compile_ebnf(r#"root ::= "[" [0-9]{1,3} "]""#, "root")
+        .unwrap();
+    let mut matcher = GrammarMatcher::new(compiled);
+    let token = |bytes: &[u8]| vocab.iter().find(|(_, t)| *t == bytes).unwrap().0;
+
+    matcher.accept_token(token(b"[")).unwrap();
+    matcher.accept_token(token(b"1")).unwrap();
+    matcher.accept_token(token(b"]")).unwrap();
+    assert!(matcher.can_terminate());
+    // Roll the closing bracket and the digit back, try a longer number.
+    matcher.rollback(2).unwrap();
+    matcher.accept_token(token(b"4")).unwrap();
+    matcher.accept_token(token(b"2")).unwrap();
+    matcher.accept_token(token(b"]")).unwrap();
+    assert!(matcher.can_terminate());
+}
+
+#[test]
+fn tokenizer_bpe_vocabulary_works_with_the_core_engine() {
+    // Train a small BPE vocabulary on the synthetic corpus and run the whole
+    // pipeline on top of it (tokenizer substrate → core engine).
+    let corpus = xg_datasets::training_corpus(60_000, 3);
+    let model = xg_tokenizer::BpeModel::train(
+        &corpus,
+        &xg_tokenizer::BpeTrainConfig {
+            vocab_size: 1200,
+            min_pair_frequency: 2,
+        },
+    );
+    let vocab = Arc::new(model.vocabulary());
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let compiled = compiler.compile_builtin_json();
+    let mut matcher = GrammarMatcher::new(compiled);
+    let reference = br#"{"name": "alice", "age": 30}"#;
+    let out = drive_reference(&vocab, &mut matcher, reference);
+    assert_eq!(out, reference);
+}
