@@ -16,7 +16,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use xg_automata::fsa::{Fsa, StateId};
 use xg_core::TokenBitmask;
 use xg_grammar::Grammar;
@@ -106,7 +106,7 @@ impl fmt::Debug for FsmShared {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FsmShared")
             .field("nfa_states", &self.fsa.len())
-            .field("indexed_states", &self.index.lock().len())
+            .field("indexed_states", &self.index.lock().unwrap_or_else(|e| e.into_inner()).len())
             .finish()
     }
 }
@@ -119,7 +119,7 @@ impl FsmShared {
     }
 
     fn state_index(&self, state: &DfaState) -> Arc<StateIndex> {
-        if let Some(hit) = self.index.lock().get(state) {
+        if let Some(hit) = self.index.lock().unwrap_or_else(|e| e.into_inner()).get(state) {
             return Arc::clone(hit);
         }
         // Full vocabulary scan for this state (the expensive part of the
@@ -147,7 +147,7 @@ impl FsmShared {
             allowed,
             can_terminate,
         });
-        self.index.lock().insert(state.clone(), Arc::clone(&entry));
+        self.index.lock().unwrap_or_else(|e| e.into_inner()).insert(state.clone(), Arc::clone(&entry));
         entry
     }
 }

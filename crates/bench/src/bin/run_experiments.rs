@@ -70,6 +70,29 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+    // Single source of truth for both name validation and dispatch.
+    type Experiment = fn(&Arc<Vocabulary>, &Config);
+    let experiments: [(&str, Experiment); 9] = [
+        ("stats", |vocab, _| experiment_stats(vocab)),
+        ("fig9", experiment_fig9),
+        ("table3", experiment_table3),
+        ("fig10", experiment_fig10),
+        ("table1", experiment_table1),
+        ("table2", experiment_table2),
+        ("table4", experiment_table4),
+        ("fig11", experiment_fig11),
+        ("fig12", experiment_fig12),
+    ];
+    if which != "all" && !experiments.iter().any(|(name, _)| *name == which) {
+        let names: Vec<&str> = std::iter::once("all")
+            .chain(experiments.iter().map(|(name, _)| *name))
+            .collect();
+        eprintln!(
+            "unknown experiment `{which}`; expected one of: {}",
+            names.join(", ")
+        );
+        std::process::exit(2);
+    }
 
     println!("# XGrammar reproduction — experiment harness");
     println!(
@@ -80,33 +103,10 @@ fn main() {
     let vocab = bench_vocabulary(config.vocab_size);
     println!();
 
-    let run = |name: &str| which == "all" || which == name;
-    if run("stats") {
-        experiment_stats(&vocab);
-    }
-    if run("fig9") {
-        experiment_fig9(&vocab, &config);
-    }
-    if run("table3") {
-        experiment_table3(&vocab, &config);
-    }
-    if run("fig10") {
-        experiment_fig10(&vocab, &config);
-    }
-    if run("table1") {
-        experiment_table1(&vocab, &config);
-    }
-    if run("table2") {
-        experiment_table2(&vocab, &config);
-    }
-    if run("table4") {
-        experiment_table4(&vocab, &config);
-    }
-    if run("fig11") {
-        experiment_fig11(&vocab, &config);
-    }
-    if run("fig12") {
-        experiment_fig12(&vocab, &config);
+    for (name, experiment) in experiments {
+        if which == "all" || which == name {
+            experiment(&vocab, &config);
+        }
     }
 }
 

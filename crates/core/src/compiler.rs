@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use xg_automata::{build_pda, extract_all_suffix_fsas, Fsa, Pda, PdaBuildOptions};
 use xg_grammar::{Grammar, GrammarError};
 use xg_tokenizer::{SortedVocabulary, TokenId, Vocabulary};
@@ -232,7 +232,7 @@ impl GrammarCompiler {
     /// same grammar (and configuration) was compiled before.
     pub fn compile_grammar(&self, grammar: &Grammar) -> Arc<CompiledGrammar> {
         let key = self.cache_key(grammar);
-        if let Some(hit) = self.cache.lock().get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
             return Arc::clone(hit);
         }
         let compiled = Arc::new(CompiledGrammar::compile(
@@ -240,7 +240,7 @@ impl GrammarCompiler {
             Arc::clone(&self.vocab),
             &self.config,
         ));
-        self.cache.lock().insert(key, Arc::clone(&compiled));
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, Arc::clone(&compiled));
         compiled
     }
 
@@ -274,7 +274,7 @@ impl GrammarCompiler {
 
     /// Number of compiled grammars currently cached.
     pub fn cached_count(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 

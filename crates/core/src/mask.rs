@@ -222,4 +222,75 @@ mod tests {
         let m = TokenBitmask::new_all_rejected(128_000);
         assert_eq!(m.memory_bytes(), 128_000usize.div_ceil(64) * 8);
     }
+
+    #[test]
+    fn all_rejected_construction_is_empty() {
+        for size in [0, 1, 63, 64, 65, 128, 1000] {
+            let m = TokenBitmask::new_all_rejected(size);
+            assert_eq!(m.vocab_size(), size);
+            assert_eq!(m.count_allowed(), 0);
+            assert_eq!(m.allowed_tokens().count(), 0);
+            assert!(!m.is_allowed(TokenId(0)));
+        }
+    }
+
+    #[test]
+    fn all_allowed_construction_is_full_at_word_boundaries() {
+        // Sizes straddling the u64-word boundary exercise the padding mask.
+        for size in [1, 63, 64, 65, 127, 128, 129] {
+            let m = TokenBitmask::new_all_allowed(size);
+            assert_eq!(m.count_allowed(), size, "size {size}");
+            let ids: Vec<u32> = m.allowed_tokens().map(|t| t.0).collect();
+            assert_eq!(ids, (0..size as u32).collect::<Vec<_>>(), "size {size}");
+            // Padding bits past the vocabulary must stay clear.
+            assert!(!m.is_allowed(TokenId(size as u32)));
+        }
+    }
+
+    #[test]
+    fn allow_all_and_reject_all_transition_cleanly() {
+        let mut m = TokenBitmask::new_all_rejected(100);
+        m.allow_all();
+        assert_eq!(m.count_allowed(), 100);
+        assert_eq!(m.allowed_tokens().count(), 100);
+        m.reject_all();
+        assert_eq!(m.count_allowed(), 0);
+        assert_eq!(m.allowed_tokens().count(), 0);
+        // After reject_all, selective allows work again.
+        m.allow(TokenId(99));
+        assert_eq!(m.count_allowed(), 1);
+        assert_eq!(m.allowed_tokens().map(|t| t.0).collect::<Vec<_>>(), [99]);
+    }
+
+    #[test]
+    fn count_allowed_matches_iteration_under_mixed_updates() {
+        let mut m = TokenBitmask::new_all_rejected(300);
+        for id in (0..300).step_by(7) {
+            m.allow(TokenId(id));
+        }
+        for id in (0..300).step_by(21) {
+            m.reject(TokenId(id));
+        }
+        let via_iter = m.allowed_tokens().count();
+        assert_eq!(m.count_allowed(), via_iter);
+        for token in m.allowed_tokens() {
+            assert!(m.is_allowed(token));
+        }
+    }
+
+    #[test]
+    fn empty_vocabulary_masks_are_consistent() {
+        let rejected = TokenBitmask::new_all_rejected(0);
+        let allowed = TokenBitmask::new_all_allowed(0);
+        assert_eq!(rejected.count_allowed(), 0);
+        assert_eq!(allowed.count_allowed(), 0);
+        assert_eq!(allowed.allowed_tokens().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "token id out of range")]
+    fn allow_out_of_range_panics() {
+        let mut m = TokenBitmask::new_all_rejected(64);
+        m.allow(TokenId(64));
+    }
 }

@@ -9,7 +9,7 @@ use crate::GenerationTask;
 /// One function-calling task: the JSON Schema of the function arguments, a
 /// natural-language prompt, and a reference argument object that satisfies
 /// the schema.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionCallTask {
     /// Name of the callable function.
     pub function_name: String,

@@ -13,7 +13,7 @@ fn random_expr(rng: &mut SmallRng, depth: usize) -> String {
     if depth == 0 {
         return match rng.gen_range(0..4) {
             0 => VARS[rng.gen_range(0..VARS.len())].to_string(),
-            1 => rng.gen_range(0..100).to_string(),
+            1 => rng.gen_range(0..100u32).to_string(),
             2 => format!("\"{}\"", VARS[rng.gen_range(0..VARS.len())]),
             _ => if rng.gen_bool(0.5) { "True" } else { "False" }.to_string(),
         };

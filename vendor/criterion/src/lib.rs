@@ -1,0 +1,377 @@
+//! Offline shim for the subset of the `criterion` benchmarking API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate implements a
+//! small but real wall-clock harness behind criterion's API shape:
+//! benchmark groups, `bench_with_input`, warm-up, a timed measurement window,
+//! and median/mean reporting on stdout. Statistical machinery (outlier
+//! classification, regression analysis, HTML reports) is intentionally
+//! absent; the numbers printed are honest medians over the measured samples.
+//!
+//! `cargo bench` passes harness CLI flags (`--bench`, filters); these are
+//! accepted. A positional filter argument restricts which benchmark ids run,
+//! and `--test` runs every benchmark body exactly once (CI smoke mode).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export point for the common `black_box` helper.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: function_id.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Creates an id with no parameter part.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: parameter.to_string(),
+            parameter: None,
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) => format!("{}/{}", self.function_id, p),
+            None => self.function_id.clone(),
+        }
+    }
+}
+
+/// Harness configuration shared by every group, derived from CLI args.
+#[derive(Debug, Clone)]
+struct HarnessConfig {
+    /// Substring filter over `group/function/parameter` ids.
+    filter: Option<String>,
+    /// Run each body once, no timing (criterion's `--test` mode).
+    test_mode: bool,
+}
+
+impl HarnessConfig {
+    fn from_args() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--profile-time" => {}
+                "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                positional => filter = Some(positional.to_string()),
+            }
+        }
+        HarnessConfig { filter, test_mode }
+    }
+}
+
+/// Entry point type, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    config: HarnessConfig,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            config: HarnessConfig::from_args(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config.clone(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        let id = BenchmarkId::from_parameter(id);
+        group.bench_with_input(id, &(), |b, _| f(b));
+        group.finish();
+    }
+
+    /// Criterion's post-run hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: HarnessConfig,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target duration of the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the duration of the warm-up phase.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = if self.name.is_empty() {
+            id.render()
+        } else {
+            format!("{}/{}", self.name, id.render())
+        };
+        if let Some(filter) = &self.config.filter {
+            if !full_id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: if self.config.test_mode {
+                BenchMode::TestOnce
+            } else {
+                BenchMode::Measure {
+                    warm_up: self.warm_up_time,
+                    window: self.measurement_time,
+                    samples: self.sample_size,
+                }
+            },
+            recorded: Vec::new(),
+        };
+        f(&mut bencher, input);
+        if self.config.test_mode {
+            println!("{full_id}: test ok");
+        } else {
+            report(&full_id, &bencher.recorded);
+        }
+        self
+    }
+
+    /// Runs one benchmark without extra input.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, _| f(b))
+    }
+
+    /// Closes the group (criterion prints summaries here; the shim prints
+    /// per-benchmark lines eagerly, so this is a separator only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+#[derive(Debug)]
+enum BenchMode {
+    TestOnce,
+    Measure {
+        warm_up: Duration,
+        window: Duration,
+        samples: usize,
+    },
+}
+
+/// Passed to the benchmark body; `iter` runs and times the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: BenchMode,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures the closure: warm-up, then timed samples. Each sample times
+    /// a batch of iterations sized so one batch lasts roughly
+    /// `window / samples`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BenchMode::TestOnce => {
+                black_box(f());
+            }
+            BenchMode::Measure {
+                warm_up,
+                window,
+                samples,
+            } => {
+                // Warm-up: run until the warm-up budget is spent, counting
+                // iterations to estimate per-iteration cost.
+                let start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while start.elapsed() < warm_up {
+                    black_box(f());
+                    warm_iters += 1;
+                }
+                let per_iter = start.elapsed() / warm_iters.max(1) as u32;
+                let per_sample_budget = window / samples.max(1) as u32;
+                let iters_per_sample = if per_iter.is_zero() {
+                    1
+                } else {
+                    (per_sample_budget.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64
+                };
+                self.recorded.clear();
+                for _ in 0..samples {
+                    let t0 = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(f());
+                    }
+                    self.recorded.push(t0.elapsed() / iters_per_sample as u32);
+                }
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{id}: median {} | mean {} | min {} | max {} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        sorted.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares the benchmark functions of one bench target, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function of a bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_render() {
+        assert_eq!(BenchmarkId::new("xgrammar", "json").render(), "xgrammar/json");
+        assert_eq!(BenchmarkId::from_parameter(42).render(), "42");
+    }
+
+    #[test]
+    fn harness_runs_a_tiny_benchmark() {
+        let mut c = Criterion {
+            config: HarnessConfig {
+                filter: None,
+                test_mode: false,
+            },
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            config: HarnessConfig {
+                filter: Some("nomatch".into()),
+                test_mode: false,
+            },
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("sum", 1), &(), |b, _| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        group.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,152 @@
+//! The [`Deserialize`] trait: raising a JSON [`Value`] back to a Rust value.
+
+use crate::value::{Map, Value};
+use crate::Error;
+
+/// Types that can be raised from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a JSON value.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "boolean",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    };
+    Error::custom(format!("expected {expected}, found {kind}"))
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| type_err("boolean", v))
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64().ok_or_else(|| type_err("unsigned integer", v))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64().ok_or_else(|| type_err("integer", v))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| type_err("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str().map(str::to_owned).ok_or_else(|| type_err("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_err("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| type_err("array", v))?;
+        if items.len() != 2 {
+            return Err(Error::custom(format!(
+                "expected 2-element array, found {} elements",
+                items.len()
+            )));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| type_err("array", v))?;
+        if items.len() != 3 {
+            return Err(Error::custom(format!(
+                "expected 3-element array, found {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl Deserialize for Map<String, Value> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object().cloned().ok_or_else(|| type_err("object", v))
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| type_err("object", v))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| type_err("object", v))?;
+        obj.iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline shim for the subset of `serde` + `serde_json` machinery this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so instead of the real
+//! visitor-based serde data model this crate implements a small value-based
+//! one: [`Serialize`] lowers a type to a JSON [`Value`], [`Deserialize`]
+//! raises it back. The `serde_json` shim crate re-exports the value types and
+//! adds the text layer (`to_string` / `from_str` / `json!`).
+//!
+//! `#[derive(Serialize, Deserialize)]` is provided by the sibling
+//! `serde_derive` proc-macro shim and supports the shapes used in this
+//! repository: named-field structs, tuple structs, and fieldless enums.
+
+mod de;
+mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+// Derive macros live in the macro namespace, the traits in the type
+// namespace, so both `Serialize` names can be imported together — same
+// arrangement as the real serde crate.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error raised when deserialization fails (also reused by the `serde_json`
+/// shim for parse errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,669 @@
+//! The JSON value model: [`Value`], [`Number`], and the insertion-ordered
+//! [`Map`], plus the compact text writer (`Display`) and the text parser used
+//! by the `serde_json` facade.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::Error;
+
+/// An owned JSON value, mirroring `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object. Iteration follows insertion order (the shim behaves
+    /// like serde_json with `preserve_order` enabled, which is what the
+    /// schema→grammar conversion and the dataset generators both rely on).
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: positive integer, negative integer, or float — the same
+/// three-way split serde_json uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number(pub(crate) N);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// Creates a number from a float. Returns `None` for NaN/infinities,
+    /// which JSON cannot represent.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        v.is_finite().then_some(Number(N::Float(v)))
+    }
+
+    /// The value as `u64`, if it is a non-negative integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::PosInt(v) => Some(v),
+            N::NegInt(_) | N::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.0 {
+            N::PosInt(v) => Some(v as f64),
+            N::NegInt(v) => Some(v as f64),
+            N::Float(v) => Some(v),
+        }
+    }
+
+    /// Whether the number is representable as `u64`.
+    pub fn is_u64(&self) -> bool {
+        matches!(self.0, N::PosInt(_))
+    }
+
+    /// Whether the number is representable as `i64`.
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    /// Whether the number is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::Float(_))
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        Number(N::PosInt(v))
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::PosInt(v as u64))
+        } else {
+            Number(N::NegInt(v))
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            // `{:?}` keeps a trailing `.0` on integral floats, so a float
+            // value re-parses as a float (serde_json via ryu does the same).
+            N::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map`.
+///
+/// Lookups are linear scans; JSON objects in this workspace are small
+/// (schema keyword sets, function-call arguments), so this is never hot.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a key/value pair, returning the previous value if the key was
+    /// already present (the entry keeps its original position, as with
+    /// serde_json's preserve_order map).
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, slot)) => Some(std::mem::replace(slot, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates over keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if applicable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if applicable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if applicable.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// `Some(())` if this is `null` (mirrors serde_json).
+    pub fn as_null(&self) -> Option<()> {
+        matches!(self, Value::Null).then_some(())
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is a bool.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// Whether this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Object-key or array-index lookup that returns `None` on mismatch.
+    pub fn get<I: ValueIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+}
+
+/// Key types usable with [`Value::get`] and `value[...]` indexing.
+pub trait ValueIndex {
+    /// Looks `self` up in `v`.
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value>;
+}
+
+impl ValueIndex for str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object().and_then(|o| o.get(self))
+    }
+}
+
+impl ValueIndex for &str {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object().and_then(|o| o.get(self))
+    }
+}
+
+impl ValueIndex for String {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_object().and_then(|o| o.get(self))
+    }
+}
+
+impl ValueIndex for usize {
+    fn index_into<'v>(&self, v: &'v Value) -> Option<&'v Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+}
+
+impl<I: ValueIndex> Index<I> for Value {
+    type Output = Value;
+
+    fn index(&self, index: I) -> &Value {
+        static NULL: Value = Value::Null;
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compact writer (Display) — matches serde_json's compact output format.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\u{8}' => f.write_str("\\b")?,
+            '\u{c}' => f.write_str("\\f")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser — recursive descent over bytes, UTF-8 aware in strings.
+// ---------------------------------------------------------------------------
+
+#[doc(hidden)]
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::custom(format!("JSON parse error at byte {}: {msg}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    /// Parses one complete value and requires end-of-input after it.
+    pub fn parse_document(&mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON document"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null").map(|_| Value::Null),
+            Some(b't') => self.eat_keyword("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|_| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{', "expected `{`")?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:`")?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat(b'\\', "expected low surrogate")?;
+                                self.eat(b'u', "expected low surrogate")?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::PosInt(v))));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::NegInt(v))));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| self.err("invalid number literal"))?;
+        Number::from_f64(v)
+            .map(Value::Number)
+            .ok_or_else(|| self.err("non-finite number"))
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline shim for serde's derive macros, targeting the value-based data
+//! model in the vendored `serde` crate.
+//!
+//! Implemented with the raw `proc_macro` API (no `syn`/`quote` in the
+//! offline build environment), so it supports exactly the shapes this
+//! workspace derives on, erroring clearly on anything else:
+//!
+//! * named-field structs        → JSON objects,
+//! * tuple structs              → newtype unwrap (1 field) or JSON arrays,
+//! * unit-only (fieldless) enums → JSON strings holding the variant name.
+//!
+//! Generics, lifetimes, data-carrying enum variants, and `#[serde(...)]`
+//! attributes are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct Foo { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct Foo(A, B);` — field count.
+    TupleStruct(usize),
+    /// `enum Foo { A, B }` — variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a token slice on top-level commas, tracking `<...>` angle depth so
+/// commas inside generic argument lists don't split (e.g. `Vec<(u32, T)>`).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(t.clone());
+    }
+    if parts.last().map_or(false, |p| p.is_empty()) {
+        parts.pop();
+    }
+    parts
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    for field in split_top_level_commas(&tokens) {
+        let i = skip_attrs_and_vis(&field, 0);
+        match field.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("unsupported field syntax: {other:?}")),
+        }
+        match field.get(i + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after field name".into()),
+        }
+    }
+    Ok(names)
+}
+
+fn parse_enum_variants(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    for variant in split_top_level_commas(&tokens) {
+        let i = skip_attrs_and_vis(&variant, 0);
+        match variant.get(i) {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            other => return Err(format!("unsupported variant syntax: {other:?}")),
+        }
+        if variant.len() > i + 1 {
+            return Err(
+                "serde_derive shim supports only fieldless enum variants \
+                 (no payloads or discriminants)"
+                    .into(),
+            );
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("serde_derive shim does not support generic types".into());
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g)?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Input {
+                    name,
+                    shape: Shape::TupleStruct(split_top_level_commas(&fields).len()),
+                })
+            }
+            _ => Err("unit structs are not supported by the serde_derive shim".into()),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::UnitEnum(parse_enum_variants(g)?),
+            }),
+            _ => Err("malformed enum body".into()),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "map.insert({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f}));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut map = ::serde::Map::new();\n{inserts}\
+                 ::serde::Value::Object(map)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},\n"))
+                .collect();
+            format!(
+                "::serde::Value::String(match self {{\n{arms}}}.to_string())"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = match parse_input(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            // Missing keys read as `null` so `Option` fields deserialize to
+            // `None`, approximating serde's default behaviour for options.
+            let field_inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         obj.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                         .map_err(|e| ::serde::Error::custom(\
+                         format!(\"field `{f}`: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for struct {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                field_inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for struct {name}\"))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple arity for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected string for enum {name}\"))?;\n\
+                 match s {{\n{arms}\
+                 other => Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{other}}`\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,232 @@
+//! Offline shim for the subset of `serde_json` this workspace uses: the
+//! [`Value`] tree (defined in the vendored `serde` crate and re-exported
+//! here), text parsing/printing, and the [`json!`] literal macro.
+//!
+//! Behavioural notes relative to real serde_json:
+//!
+//! * [`Map`] preserves insertion order (like the `preserve_order` feature);
+//!   the JSON-Schema→grammar conversion and the dataset generators rely on
+//!   object key order being deterministic and source-faithful.
+//! * Compact output matches serde_json's escaping rules, so byte-for-byte
+//!   round-trips hold for everything the test-suite serializes.
+
+pub use serde::value::ValueIndex;
+pub use serde::{Deserialize, Error, Map, Number, Serialize, Value};
+
+/// Parsing / serialization result, mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parses a JSON document from a string.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    let value = serde::value::Parser::new(input).parse_document()?;
+    T::from_value(&value)
+}
+
+/// Parses a JSON document from bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(input: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(input)
+        .map_err(|e| Error::custom(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(text)
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value to a [`Value`] (used by [`json!`]).
+pub fn to_value<T: Serialize>(value: T) -> Value {
+    value.to_value()
+}
+
+/// Builds a [`Value`] from a JSON-like literal, mirroring `serde_json::json!`.
+///
+/// Supports `null`/`true`/`false`, numbers, strings, arrays, objects with
+/// string-literal keys, and arbitrary serializable Rust expressions in value
+/// position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_internal_array!([] $($tt)*)) };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_internal_object!(map () $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value($other) };
+}
+
+/// Internal: accumulates array elements. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_array {
+    // Finished.
+    ([ $($elems:expr),* ]) => { vec![ $($elems),* ] };
+    ([ $($elems:expr),* ] ,) => { vec![ $($elems),* ] };
+    // Next element is a composite literal — match it whole, then recurse.
+    ([ $($elems:expr),* ] null $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!(null) ] $($rest)*)
+    };
+    ([ $($elems:expr),* ] true $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!(true) ] $($rest)*)
+    };
+    ([ $($elems:expr),* ] false $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!(false) ] $($rest)*)
+    };
+    ([ $($elems:expr),* ] [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!([ $($inner)* ]) ] $($rest)*)
+    };
+    ([ $($elems:expr),* ] { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!({ $($inner)* }) ] $($rest)*)
+    };
+    // Plain expression element (consume up to the next top-level comma).
+    ([ $($elems:expr),* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!($next) ] $($rest)*)
+    };
+    ([ $($elems:expr),* ] $last:expr) => {
+        $crate::json_internal_array!([ $($elems,)* $crate::json!($last) ])
+    };
+    // Separator comma between parsed elements.
+    ([ $($elems:expr),* ] , $($rest:tt)*) => {
+        $crate::json_internal_array!([ $($elems),* ] $($rest)*)
+    };
+}
+
+/// Internal: accumulates object entries. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal_object {
+    // Finished.
+    ($map:ident ()) => {};
+    ($map:ident () ,) => {};
+    // Accumulate key tokens until the colon, then dispatch on value shape.
+    ($map:ident ($($key:tt)+) : null $($rest:tt)*) => {
+        $crate::json_internal_object!(@val $map ($($key)+) ($crate::json!(null)) $($rest)*);
+    };
+    ($map:ident ($($key:tt)+) : true $($rest:tt)*) => {
+        $crate::json_internal_object!(@val $map ($($key)+) ($crate::json!(true)) $($rest)*);
+    };
+    ($map:ident ($($key:tt)+) : false $($rest:tt)*) => {
+        $crate::json_internal_object!(@val $map ($($key)+) ($crate::json!(false)) $($rest)*);
+    };
+    ($map:ident ($($key:tt)+) : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal_object!(@val $map ($($key)+) ($crate::json!([ $($inner)* ])) $($rest)*);
+    };
+    ($map:ident ($($key:tt)+) : { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_internal_object!(@val $map ($($key)+) ($crate::json!({ $($inner)* })) $($rest)*);
+    };
+    ($map:ident ($($key:tt)+) : $value:expr , $($rest:tt)*) => {
+        $crate::json_internal_object!(@val $map ($($key)+) ($crate::json!($value)) , $($rest)*);
+    };
+    ($map:ident ($($key:tt)+) : $value:expr) => {
+        $crate::json_internal_object!(@val $map ($($key)+) ($crate::json!($value)));
+    };
+    // Entry complete: insert, continue after optional comma.
+    (@val $map:ident ($key:expr) ($value:expr) , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $value);
+        $crate::json_internal_object!($map () $($rest)*);
+    };
+    (@val $map:ident ($key:expr) ($value:expr)) => {
+        $map.insert(($key).to_string(), $value);
+    };
+    // Munch one more key token.
+    ($map:ident ($($key:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal_object!($map ($($key)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{from_str, to_string, Value};
+
+    #[test]
+    fn literal_roundtrip() {
+        let v = json!({
+            "name": "alice",
+            "age": 30,
+            "tags": ["a", "b", 3, null, true],
+            "nested": {"deep": [{"x": 1.5}]},
+            "empty_obj": {},
+            "empty_arr": [],
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(v["name"].as_str(), Some("alice"));
+        assert_eq!(v["age"].as_u64(), Some(30));
+        assert_eq!(v["tags"].as_array().unwrap().len(), 5);
+        assert_eq!(v["nested"]["deep"][0usize]["x"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn object_key_order_is_insertion_order() {
+        let v = json!({"z": 1, "a": 2, "m": 3});
+        let keys: Vec<&String> = v.as_object().unwrap().keys().collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"z":1,"a":2,"m":3}"#);
+    }
+
+    #[test]
+    fn expressions_interpolate() {
+        let name = String::from("bob");
+        let count = 7u32;
+        let v = json!({"user": name, "count": count, "sum": 1 + 2});
+        assert_eq!(to_string(&v).unwrap(), r#"{"user":"bob","count":7,"sum":3}"#);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = json!({"s": "line\nbreak \"quoted\" back\\slash \u{1}"});
+        let text = to_string(&v).unwrap();
+        assert_eq!(
+            text,
+            r#"{"s":"line\nbreak \"quoted\" back\\slash \u0001"}"#
+        );
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn unicode_and_surrogates_parse() {
+        let v: Value = from_str(r#""😀 café""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀 café"));
+    }
+
+    #[test]
+    fn numbers_classify() {
+        let v: Value = from_str(r#"[0, -3, 18446744073709551615, 1.5, 2e3, -0.25]"#).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(0));
+        assert_eq!(arr[1].as_i64(), Some(-3));
+        assert_eq!(arr[2].as_u64(), Some(u64::MAX));
+        assert_eq!(arr[3].as_f64(), Some(1.5));
+        assert_eq!(arr[4].as_f64(), Some(2000.0));
+        assert_eq!(arr[5].as_f64(), Some(-0.25));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>(r#"{"a": 1,}"#).is_err());
+        assert!(from_str::<Value>("[1 2]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn float_with_integral_value_roundtrips_as_float() {
+        let v = super::to_value(2.0f64);
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "2.0");
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+}
