@@ -42,7 +42,7 @@ pub use xgrammar_backend::XGrammarBackend;
 use std::fmt;
 use std::sync::Arc;
 
-use xg_core::TokenBitmask;
+use xg_core::{GrammarCacheStats, TokenBitmask};
 use xg_grammar::Grammar;
 use xg_tokenizer::{TokenId, Vocabulary};
 
@@ -87,6 +87,13 @@ pub trait ConstrainedBackend: Send + Sync + fmt::Debug {
     /// Returns [`BackendError::UnsupportedGrammar`] if the backend cannot
     /// express the grammar (e.g. recursion in a regex-only backend).
     fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError>;
+
+    /// Compiled-grammar cache counters, for backends that memoize compiled
+    /// grammars (the serving engine reports these per batch). Baselines
+    /// without a cache return `None`.
+    fn cache_stats(&self) -> Option<GrammarCacheStats> {
+        None
+    }
 }
 
 /// A compiled constraint shared between requests.

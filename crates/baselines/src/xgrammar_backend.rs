@@ -2,9 +2,13 @@
 //! interface, so the benchmark harness and the serving engine can swap it
 //! against the baselines.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use xg_core::{CompiledGrammar, CompilerConfig, GrammarCompiler, GrammarMatcher, TokenBitmask};
+use xg_core::{
+    CompiledGrammar, CompilerConfig, GrammarCache, GrammarCacheKey, GrammarCacheStats,
+    GrammarCompiler, GrammarMatcher, MatcherPool, TokenBitmask,
+};
 use xg_grammar::Grammar;
 use xg_tokenizer::{TokenId, Vocabulary};
 
@@ -14,6 +18,23 @@ use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend
 #[derive(Debug)]
 pub struct XGrammarBackend {
     compiler: GrammarCompiler,
+    /// One matcher pool per live compiled grammar, keyed by the grammar's
+    /// cache key, so repeated `compile()` calls for the same (cached) grammar
+    /// hand out the same pool and sessions of successive batches actually
+    /// recycle matchers. Pools pin their compiled grammar, so entries whose
+    /// grammar the `GrammarCache` has evicted are pruned whenever the cache's
+    /// eviction counter has moved — the cache's byte budget stays the bound
+    /// on resident compiled grammars.
+    pools: Mutex<PoolState>,
+}
+
+/// The matcher pools plus the cache eviction count at the last prune;
+/// pruning is skipped (and costs nothing) while the count is unchanged — in
+/// particular forever for the default private unbounded cache.
+#[derive(Debug, Default)]
+struct PoolState {
+    by_key: HashMap<GrammarCacheKey, Arc<XGrammarCompiled>>,
+    pruned_at_eviction_count: u64,
 }
 
 impl XGrammarBackend {
@@ -27,7 +48,51 @@ impl XGrammarBackend {
     pub fn with_config(vocab: Arc<Vocabulary>, config: CompilerConfig) -> Self {
         XGrammarBackend {
             compiler: GrammarCompiler::with_config(vocab, config),
+            pools: Mutex::new(PoolState::default()),
         }
+    }
+
+    /// Creates the backend on top of a shared [`GrammarCache`], so several
+    /// backends / serving engines draw compiled grammars from one budgeted,
+    /// compile-once pool.
+    pub fn with_cache(
+        vocab: Arc<Vocabulary>,
+        config: CompilerConfig,
+        cache: Arc<GrammarCache>,
+    ) -> Self {
+        XGrammarBackend {
+            compiler: GrammarCompiler::with_cache(vocab, config, cache),
+            pools: Mutex::new(PoolState::default()),
+        }
+    }
+
+    /// The shared pool wrapper for a compiled grammar, creating it on first
+    /// sight. A pool is only reused while its grammar is still the cached one
+    /// (an evicted-and-recompiled grammar gets a fresh pool), and stale pools
+    /// are dropped so the cache budget bounds resident grammars.
+    fn pool_for(&self, key: GrammarCacheKey, compiled: Arc<CompiledGrammar>) -> Arc<XGrammarCompiled> {
+        let cache = self.compiler.cache();
+        let mut state = self.pools.lock().unwrap_or_else(|e| e.into_inner());
+        // Prune on every lookup (not just inserts): a workload that settles
+        // on a stable grammar set would otherwise never drop pools whose
+        // grammars another sharer of the cache has since evicted. Skipped
+        // while the cache's eviction counter is unchanged (always, for the
+        // default unbounded private cache).
+        let evictions = cache.eviction_count();
+        if state.pruned_at_eviction_count != evictions {
+            state.pruned_at_eviction_count = evictions;
+            state.by_key.retain(|k, _| cache.contains(k));
+        }
+        if let Some(existing) = state.by_key.get(&key) {
+            if Arc::ptr_eq(existing.pool.compiled(), &compiled) {
+                return Arc::clone(existing);
+            }
+        }
+        let entry = Arc::new(XGrammarCompiled {
+            pool: Arc::new(MatcherPool::new(compiled)),
+        });
+        state.by_key.insert(key, Arc::clone(&entry));
+        entry
     }
 
     /// Access to the underlying compiler (e.g. for preprocessing statistics).
@@ -46,41 +111,67 @@ impl ConstrainedBackend for XGrammarBackend {
     }
 
     fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
-        Ok(Arc::new(XGrammarCompiled {
-            compiled: self.compiler.compile_grammar(grammar),
-        }))
+        let key = self.compiler.cache_key(grammar);
+        let compiled = self.compiler.compile_grammar_with_key(key, grammar);
+        Ok(self.pool_for(key, compiled) as Arc<dyn CompiledConstraint>)
+    }
+
+    fn cache_stats(&self) -> Option<GrammarCacheStats> {
+        // Per-backend counters: correct even when several backends share one
+        // GrammarCache (the cache-wide counters would mix their traffic).
+        Some(self.compiler.local_cache_stats())
     }
 }
 
+/// A compiled grammar plus its pool of reusable matchers: sessions draw a
+/// matcher on creation and return it when dropped, so lanes of successive
+/// serving batches reuse matcher allocations.
 #[derive(Debug)]
 struct XGrammarCompiled {
-    compiled: Arc<CompiledGrammar>,
+    pool: Arc<MatcherPool>,
 }
 
 impl CompiledConstraint for XGrammarCompiled {
     fn new_session(&self) -> Box<dyn BackendSession> {
         Box::new(XGrammarSession {
-            matcher: GrammarMatcher::new(Arc::clone(&self.compiled)),
+            matcher: Some(self.pool.acquire()),
+            pool: Arc::clone(&self.pool),
         })
     }
 }
 
 #[derive(Debug)]
 struct XGrammarSession {
-    matcher: GrammarMatcher,
+    /// `Some` for the whole session lifetime; taken in `drop`.
+    matcher: Option<GrammarMatcher>,
+    pool: Arc<MatcherPool>,
+}
+
+impl XGrammarSession {
+    fn matcher(&mut self) -> &mut GrammarMatcher {
+        self.matcher.as_mut().expect("matcher present until drop")
+    }
+}
+
+impl Drop for XGrammarSession {
+    fn drop(&mut self) {
+        if let Some(matcher) = self.matcher.take() {
+            self.pool.release(matcher);
+        }
+    }
 }
 
 impl BackendSession for XGrammarSession {
     fn fill_mask(&mut self, mask: &mut TokenBitmask) {
-        self.matcher.fill_next_token_bitmask(mask);
+        self.matcher().fill_next_token_bitmask(mask);
     }
 
     fn accept_token(&mut self, token: TokenId) -> bool {
-        self.matcher.accept_token(token).is_ok()
+        self.matcher().accept_token(token).is_ok()
     }
 
     fn can_terminate(&mut self) -> bool {
-        self.matcher.can_terminate()
+        self.matcher().can_terminate()
     }
 }
 
@@ -102,6 +193,123 @@ mod tests {
         assert!(session.can_terminate());
         // EOS is accepted once the structure is complete.
         assert!(session.accept_token(vocab.eos().unwrap()));
+    }
+
+    #[test]
+    fn shared_cache_serves_multiple_backends() {
+        use xg_core::{GrammarCache, GrammarCacheConfig};
+
+        let vocab = small_vocab();
+        let cache = Arc::new(GrammarCache::new(GrammarCacheConfig::default()));
+        let a = XGrammarBackend::with_cache(
+            Arc::clone(&vocab),
+            CompilerConfig::default(),
+            Arc::clone(&cache),
+        );
+        let b = XGrammarBackend::with_cache(
+            Arc::clone(&vocab),
+            CompilerConfig::default(),
+            Arc::clone(&cache),
+        );
+        let grammar = xg_grammar::builtin::json_grammar();
+        a.compile(&grammar).unwrap();
+        b.compile(&grammar).unwrap(); // served from the shared cache
+        // Per-backend counters: `a` compiled, `b` hit the shared entry.
+        let stats_a = a.cache_stats().expect("xgrammar backends expose cache stats");
+        assert_eq!((stats_a.hits, stats_a.misses), (0, 1));
+        let stats_b = b.cache_stats().unwrap();
+        assert_eq!((stats_b.hits, stats_b.misses), (1, 0));
+        // The cache-wide counters aggregate both backends.
+        assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn repeated_compiles_share_one_matcher_pool() {
+        // Successive batches call compile() again for the same grammar; the
+        // sessions must draw from one pool so matchers actually recycle.
+        let vocab = small_vocab();
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let grammar = xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+        let first = backend.compile(&grammar).unwrap();
+        {
+            let mut session = first.new_session();
+            assert!(drive_session_bytes(&vocab, session.as_mut(), b"[1]"));
+        } // matcher returns to the pool
+        let second = backend.compile(&grammar).unwrap();
+        let mut session = second.new_session();
+        assert!(drive_session_bytes(&vocab, session.as_mut(), b"[2]"));
+        drop(session);
+        let state = backend.pools.lock().unwrap();
+        assert_eq!(state.by_key.len(), 1, "one pool per compiled grammar");
+        let pool = &state.by_key.values().next().unwrap().pool;
+        assert_eq!(pool.created(), 1, "second batch must reuse the first matcher");
+        assert_eq!(pool.reused(), 1);
+    }
+
+    #[test]
+    fn sessions_recycle_matchers_through_the_pool() {
+        let vocab = small_vocab();
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let compiled = backend
+            .compile(&xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap())
+            .unwrap();
+        {
+            let mut first = compiled.new_session();
+            assert!(drive_session_bytes(&vocab, first.as_mut(), b"[7]"));
+        } // dropped -> matcher returns to the pool
+        // The recycled matcher must start from scratch.
+        let mut second = compiled.new_session();
+        assert!(drive_session_bytes(&vocab, second.as_mut(), b"[12]"));
+        assert!(second.can_terminate());
+    }
+
+    #[test]
+    fn evicted_grammars_do_not_stay_pinned_by_pools() {
+        use xg_core::{GrammarCache, GrammarCacheConfig};
+
+        // A one-entry cache: compiling a second grammar evicts the first, and
+        // the backend must drop the evicted grammar's pool (which pins the
+        // compiled grammar) instead of holding it forever.
+        let vocab = small_vocab();
+        let cache = Arc::new(GrammarCache::new(GrammarCacheConfig {
+            max_bytes: usize::MAX,
+            max_entries: 1,
+        }));
+        let backend = XGrammarBackend::with_cache(
+            Arc::clone(&vocab),
+            CompilerConfig::default(),
+            Arc::clone(&cache),
+        );
+        let g1 = xg_grammar::parse_ebnf(r#"root ::= "a" [0-9]+"#, "root").unwrap();
+        let g2 = xg_grammar::parse_ebnf(r#"root ::= "b" [0-9]+"#, "root").unwrap();
+        backend.compile(&g1).unwrap();
+        assert_eq!(backend.pools.lock().unwrap().by_key.len(), 1);
+        backend.compile(&g2).unwrap(); // evicts g1 from the cache
+        let state = backend.pools.lock().unwrap();
+        assert_eq!(state.by_key.len(), 1, "the evicted grammar's pool must be pruned");
+        assert!(state.by_key.contains_key(&backend.compiler.cache_key(&g2)));
+    }
+
+    #[test]
+    fn cache_clear_unpins_pools() {
+        use xg_core::{GrammarCache, GrammarCacheConfig};
+
+        let vocab = small_vocab();
+        let cache = Arc::new(GrammarCache::new(GrammarCacheConfig::default()));
+        let backend = XGrammarBackend::with_cache(
+            Arc::clone(&vocab),
+            CompilerConfig::default(),
+            Arc::clone(&cache),
+        );
+        let g1 = xg_grammar::parse_ebnf(r#"root ::= "a" [0-9]+"#, "root").unwrap();
+        let g2 = xg_grammar::parse_ebnf(r#"root ::= "b" [0-9]+"#, "root").unwrap();
+        backend.compile(&g1).unwrap();
+        cache.clear(); // counts as evictions, so the next compile prunes
+        backend.compile(&g2).unwrap();
+        let state = backend.pools.lock().unwrap();
+        assert_eq!(state.by_key.len(), 1, "cleared grammars must not stay pinned");
+        assert!(state.by_key.contains_key(&backend.compiler.cache_key(&g2)));
     }
 
     #[test]

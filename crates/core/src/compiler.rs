@@ -11,16 +11,13 @@
 //! grammar text and compiler configuration, since serving workloads reuse a
 //! small set of schemas across many requests.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use std::sync::Mutex;
 use xg_automata::{build_pda, extract_all_suffix_fsas, Fsa, Pda, PdaBuildOptions};
 use xg_grammar::{Grammar, GrammarError};
 use xg_tokenizer::{SortedVocabulary, TokenId, Vocabulary};
 
+use crate::grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey};
 use crate::mask_cache::{build_mask_cache, MaskCache, MaskCacheBuildOptions, MaskCacheStats};
 
 /// Configuration of the grammar compiler. The four boolean switches are the
@@ -172,6 +169,23 @@ impl CompiledGrammar {
     pub fn eos_token(&self) -> Option<TokenId> {
         self.vocab.eos()
     }
+
+    /// Estimated heap memory held by this compiled grammar, dominated by the
+    /// adaptive token mask cache (the per-node
+    /// [`NodeMaskEntry::memory_bytes`](crate::NodeMaskEntry::memory_bytes)
+    /// sums in [`MaskCacheStats::memory_bytes`]). Used by
+    /// [`GrammarCache`](crate::GrammarCache) to enforce its byte budget.
+    pub fn memory_bytes(&self) -> usize {
+        let mask_cache = self
+            .mask_cache
+            .as_ref()
+            .map(|c| c.stats().memory_bytes)
+            .unwrap_or(0);
+        let automata = self.pda.node_count() * 96
+            + self.suffix_fsas.iter().map(|f| f.len() * 48).sum::<usize>();
+        // The sorted index stores one id + one LCP length per token.
+        mask_cache + automata + self.sorted.len() * 12
+    }
 }
 
 /// A caching grammar compiler bound to one vocabulary.
@@ -192,22 +206,55 @@ impl CompiledGrammar {
 #[derive(Debug)]
 pub struct GrammarCompiler {
     vocab: Arc<Vocabulary>,
+    /// Fingerprint of `vocab`, computed once (hashing a 128k-token
+    /// vocabulary per compile request would be wasteful).
+    vocab_fingerprint: u64,
     config: CompilerConfig,
-    cache: Mutex<HashMap<u64, Arc<CompiledGrammar>>>,
+    /// Key component of `config`, likewise computed once.
+    config_hash: u64,
+    cache: Arc<GrammarCache>,
+    /// Hits/misses attributable to *this* compiler. The cache's own counters
+    /// aggregate over every compiler sharing it, so per-compiler reporting
+    /// (e.g. per-batch serving metrics) must not be derived from them.
+    local_hits: std::sync::atomic::AtomicU64,
+    local_misses: std::sync::atomic::AtomicU64,
 }
 
 impl GrammarCompiler {
-    /// Creates a compiler with the default configuration.
+    /// Creates a compiler with the default configuration and a private,
+    /// unbounded memoization cache.
     pub fn new(vocab: Arc<Vocabulary>) -> Self {
         Self::with_config(vocab, CompilerConfig::default())
     }
 
-    /// Creates a compiler with an explicit configuration.
+    /// Creates a compiler with an explicit configuration and a private,
+    /// unbounded memoization cache.
     pub fn with_config(vocab: Arc<Vocabulary>, config: CompilerConfig) -> Self {
-        GrammarCompiler {
+        Self::with_cache(
             vocab,
             config,
-            cache: Mutex::new(HashMap::new()),
+            Arc::new(GrammarCache::new(GrammarCacheConfig::unbounded())),
+        )
+    }
+
+    /// Creates a compiler backed by a shared [`GrammarCache`]. Several
+    /// compilers (even ones bound to different vocabularies or
+    /// configurations — both participate in the cache key) can share one
+    /// cache, giving a serving process a single budgeted pool of compiled
+    /// grammars with compile-once semantics under concurrent requests.
+    pub fn with_cache(
+        vocab: Arc<Vocabulary>,
+        config: CompilerConfig,
+        cache: Arc<GrammarCache>,
+    ) -> Self {
+        GrammarCompiler {
+            vocab_fingerprint: vocab.fingerprint(),
+            vocab,
+            config_hash: GrammarCacheKey::config_hash(&config),
+            config,
+            cache,
+            local_hits: std::sync::atomic::AtomicU64::new(0),
+            local_misses: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -221,27 +268,61 @@ impl GrammarCompiler {
         &self.config
     }
 
-    fn cache_key(&self, grammar: &Grammar) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        grammar.to_string().hash(&mut hasher);
-        format!("{:?}", self.config).hash(&mut hasher);
-        hasher.finish()
+    /// The compiled-grammar cache backing this compiler (private unless the
+    /// compiler was built with [`with_cache`](Self::with_cache)).
+    pub fn cache(&self) -> &Arc<GrammarCache> {
+        &self.cache
+    }
+
+    /// The cache key this compiler uses for `grammar` (its vocabulary and
+    /// configuration are baked in). Lets callers associate sidecar state
+    /// (matcher pools, metrics) with cache entries and prune it on eviction.
+    pub fn cache_key(&self, grammar: &Grammar) -> GrammarCacheKey {
+        GrammarCacheKey::with_config_hash(grammar, self.vocab_fingerprint, self.config_hash)
     }
 
     /// Compiles a grammar, reusing a previously compiled instance when the
-    /// same grammar (and configuration) was compiled before.
+    /// same grammar (and vocabulary and configuration) was compiled before.
+    /// Concurrent calls for the same uncached grammar compile it exactly
+    /// once; the losers of the race block and share the winner's result.
     pub fn compile_grammar(&self, grammar: &Grammar) -> Arc<CompiledGrammar> {
-        let key = self.cache_key(grammar);
-        if let Some(hit) = self.cache.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            return Arc::clone(hit);
+        self.compile_grammar_with_key(self.cache_key(grammar), grammar)
+    }
+
+    /// Like [`compile_grammar`](Self::compile_grammar), but with a key the
+    /// caller already computed via [`cache_key`](Self::cache_key) — hashing
+    /// the grammar source is the expensive part of a cache hit, so hot paths
+    /// that need the key for their own bookkeeping pass it back in instead of
+    /// hashing twice.
+    pub fn compile_grammar_with_key(
+        &self,
+        key: GrammarCacheKey,
+        grammar: &Grammar,
+    ) -> Arc<CompiledGrammar> {
+        use std::sync::atomic::Ordering;
+        let (compiled, compiled_here) = self.cache.get_or_insert_with_outcome(key, || {
+            CompiledGrammar::compile(grammar, Arc::clone(&self.vocab), &self.config)
+        });
+        if compiled_here {
+            self.local_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.local_hits.fetch_add(1, Ordering::Relaxed);
         }
-        let compiled = Arc::new(CompiledGrammar::compile(
-            grammar,
-            Arc::clone(&self.vocab),
-            &self.config,
-        ));
-        self.cache.lock().unwrap_or_else(|e| e.into_inner()).insert(key, Arc::clone(&compiled));
         compiled
+    }
+
+    /// Cache counters from *this compiler's* point of view: `hits`/`misses`
+    /// count only this compiler's requests (meaningful even when the backing
+    /// [`GrammarCache`] is shared), while the `evictions`/`current_bytes`/
+    /// `entries` gauges describe the whole backing cache.
+    pub fn local_cache_stats(&self) -> crate::GrammarCacheStats {
+        use std::sync::atomic::Ordering;
+        let global = self.cache.stats();
+        crate::GrammarCacheStats {
+            hits: self.local_hits.load(Ordering::Relaxed),
+            misses: self.local_misses.load(Ordering::Relaxed),
+            ..global
+        }
     }
 
     /// Parses and compiles a GBNF-style EBNF grammar text.
@@ -274,7 +355,7 @@ impl GrammarCompiler {
 
     /// Number of compiled grammars currently cached.
     pub fn cached_count(&self) -> usize {
-        self.cache.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.cache.len()
     }
 }
 

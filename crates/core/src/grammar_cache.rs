@@ -1,0 +1,546 @@
+//! A concurrent compiled-grammar cache for long-lived serving engines.
+//!
+//! The paper's serving story (§5, "Grammar Compiler") assumes each grammar is
+//! compiled once and then shared by many concurrent requests. This module
+//! provides the shared layer: an LRU cache keyed by
+//! `(grammar source hash, tokenizer fingerprint, compiler configuration)`
+//! with
+//!
+//! * **compile-once semantics under contention** — when N threads request the
+//!   same uncached grammar simultaneously, exactly one runs the compiler and
+//!   the others block on the same slot and receive the same
+//!   [`Arc<CompiledGrammar>`] (a `Mutex`-guarded map of per-key
+//!   [`OnceLock`] slots; std-only),
+//! * a **byte budget** — entry sizes come from
+//!   [`CompiledGrammar::memory_bytes`] (which sums the adaptive mask cache's
+//!   [`NodeMaskEntry::memory_bytes`](crate::NodeMaskEntry::memory_bytes) over
+//!   all automaton nodes); least-recently-used entries are evicted when the
+//!   budget is exceeded. Evicted grammars stay alive for requests already
+//!   holding their `Arc`,
+//! * **hit/miss/eviction statistics** for serving dashboards and the
+//!   `cache_serving` experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use xg_core::{CompilerConfig, GrammarCache, GrammarCacheConfig};
+//! use xg_tokenizer::test_vocabulary;
+//!
+//! let cache = GrammarCache::new(GrammarCacheConfig::default());
+//! let vocab = Arc::new(test_vocabulary(600));
+//! let grammar = xg_grammar::parse_ebnf(r#"root ::= "x" | "y""#, "root").unwrap();
+//! let a = cache.get_or_compile(&grammar, &vocab, &CompilerConfig::default());
+//! let b = cache.get_or_compile(&grammar, &vocab, &CompilerConfig::default());
+//! assert!(Arc::ptr_eq(&a, &b));
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use xg_grammar::Grammar;
+use xg_tokenizer::Vocabulary;
+
+use crate::compiler::{CompiledGrammar, CompilerConfig};
+
+/// Configuration of a [`GrammarCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrammarCacheConfig {
+    /// Byte budget across all cached compiled grammars (estimated with
+    /// [`CompiledGrammar::memory_bytes`]). When an insertion pushes the total
+    /// over the budget, least-recently-used entries are evicted. A single
+    /// entry larger than the budget is still cached until the next insertion.
+    pub max_bytes: usize,
+    /// Maximum number of cached grammars, enforced the same way.
+    pub max_entries: usize,
+}
+
+impl Default for GrammarCacheConfig {
+    fn default() -> Self {
+        GrammarCacheConfig {
+            // Generous defaults for a serving process: a few hundred MB of
+            // mask-cache data, far more distinct schemas than any workload in
+            // the paper uses.
+            max_bytes: 256 * 1024 * 1024,
+            max_entries: 1024,
+        }
+    }
+}
+
+impl GrammarCacheConfig {
+    /// An unbounded cache (no eviction), useful for tests and short-lived
+    /// batch jobs.
+    pub fn unbounded() -> Self {
+        GrammarCacheConfig {
+            max_bytes: usize::MAX,
+            max_entries: usize::MAX,
+        }
+    }
+}
+
+/// Cache key of one compiled grammar: grammar source, tokenizer and compiler
+/// configuration all participate, so one cache can be shared across
+/// vocabularies and ablation configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GrammarCacheKey {
+    grammar_hash: u64,
+    vocab_fingerprint: u64,
+    config_hash: u64,
+}
+
+impl GrammarCacheKey {
+    /// Computes the key for a grammar / vocabulary-fingerprint / configuration
+    /// triple. Use [`Vocabulary::fingerprint`] (computed once per vocabulary,
+    /// it hashes every token) for the second component.
+    pub fn new(grammar: &Grammar, vocab_fingerprint: u64, config: &CompilerConfig) -> Self {
+        Self::with_config_hash(grammar, vocab_fingerprint, Self::config_hash(config))
+    }
+
+    /// Like [`new`](Self::new) with a pre-computed
+    /// [`config_hash`](Self::config_hash) — for hot paths where the
+    /// configuration is fixed and only the grammar varies per request.
+    pub fn with_config_hash(grammar: &Grammar, vocab_fingerprint: u64, config_hash: u64) -> Self {
+        let mut hasher = DefaultHasher::new();
+        grammar.to_string().hash(&mut hasher);
+        GrammarCacheKey {
+            grammar_hash: hasher.finish(),
+            vocab_fingerprint,
+            config_hash,
+        }
+    }
+
+    /// The configuration component of the key.
+    pub fn config_hash(config: &CompilerConfig) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        format!("{config:?}").hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+/// Counters exposed by a [`GrammarCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GrammarCacheStats {
+    /// Requests answered from the cache (including requests that joined an
+    /// in-flight compilation instead of starting their own).
+    pub hits: u64,
+    /// Requests that had to start a compilation.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte / entry budget.
+    pub evictions: u64,
+    /// Estimated bytes currently held by cached grammars.
+    pub current_bytes: u64,
+    /// Number of cached grammars (including in-flight compilations).
+    pub entries: u64,
+}
+
+impl GrammarCacheStats {
+    /// Fraction of requests served without compiling, in `[0, 1]`.
+    /// Returns 0 when no requests have been made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter difference `self - earlier` (for per-batch reporting);
+    /// gauge fields (`current_bytes`, `entries`) keep the newer value.
+    pub fn delta_since(&self, earlier: &GrammarCacheStats) -> GrammarCacheStats {
+        GrammarCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            current_bytes: self.current_bytes,
+            entries: self.entries,
+        }
+    }
+}
+
+/// One cache slot. The `OnceLock` is shared with every thread waiting on the
+/// same key, giving compile-once semantics without holding the map lock
+/// during compilation.
+struct Slot {
+    cell: Arc<OnceLock<Arc<CompiledGrammar>>>,
+    /// LRU clock value of the most recent access.
+    last_used: u64,
+    /// Estimated size; 0 while the compilation is still in flight.
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct CacheState {
+    slots: HashMap<GrammarCacheKey, Slot>,
+    clock: u64,
+    total_bytes: usize,
+}
+
+/// A thread-safe LRU cache of [`CompiledGrammar`]s with a byte budget and
+/// compile-once semantics. See the [module docs](self) for the design.
+pub struct GrammarCache {
+    config: GrammarCacheConfig,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for GrammarCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GrammarCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl GrammarCache {
+    /// Creates a cache with the given budget.
+    pub fn new(config: GrammarCacheConfig) -> Self {
+        GrammarCache {
+            config,
+            state: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The budget this cache was created with.
+    pub fn config(&self) -> &GrammarCacheConfig {
+        &self.config
+    }
+
+    /// Current counters. `hits`/`misses`/`evictions` are monotonically
+    /// increasing; `current_bytes`/`entries` are gauges.
+    pub fn stats(&self) -> GrammarCacheStats {
+        let state = self.lock();
+        GrammarCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            current_bytes: state.total_bytes as u64,
+            entries: state.slots.len() as u64,
+        }
+    }
+
+    /// Number of cached grammars (including in-flight compilations).
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Returns `true` if `key` is currently cached (or compiling). Does not
+    /// count as an access for LRU purposes — callers use this to prune
+    /// sidecar state (e.g. matcher pools) for evicted grammars.
+    pub fn contains(&self, key: &GrammarCacheKey) -> bool {
+        self.lock().slots.contains_key(key)
+    }
+
+    /// Total evictions so far (a lock-free read of the same counter
+    /// [`stats`](Self::stats) reports). Sidecar caches snapshot this to skip
+    /// pruning entirely while no eviction has happened.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` if the cache holds no grammars.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached grammar (requests already holding an `Arc` keep
+    /// theirs). Every removed entry counts as an eviction, so sidecar caches
+    /// keyed on [`eviction_count`](Self::eviction_count) notice the purge;
+    /// the hit/miss counters are not reset.
+    pub fn clear(&self) {
+        let mut state = self.lock();
+        let removed = state.slots.len() as u64;
+        state.slots.clear();
+        state.total_bytes = 0;
+        self.evictions.fetch_add(removed, Ordering::Relaxed);
+    }
+
+    /// Convenience wrapper around [`get_or_insert_with`](Self::get_or_insert_with)
+    /// that computes the key (hashing the full vocabulary each call — callers
+    /// on a hot path should hold the [`Vocabulary::fingerprint`] and build the
+    /// key themselves) and compiles with [`CompiledGrammar::compile`].
+    pub fn get_or_compile(
+        &self,
+        grammar: &Grammar,
+        vocab: &Arc<Vocabulary>,
+        config: &CompilerConfig,
+    ) -> Arc<CompiledGrammar> {
+        let key = GrammarCacheKey::new(grammar, vocab.fingerprint(), config);
+        self.get_or_insert_with(key, || {
+            CompiledGrammar::compile(grammar, Arc::clone(vocab), config)
+        })
+    }
+
+    /// Looks up `key`, compiling with `compile` on a miss. When several
+    /// threads race on the same uncached key, exactly one `compile` closure
+    /// runs; the rest block until it finishes and receive the identical
+    /// `Arc`. The map lock is *not* held while compiling, so requests for
+    /// other grammars proceed concurrently.
+    pub fn get_or_insert_with<F>(&self, key: GrammarCacheKey, compile: F) -> Arc<CompiledGrammar>
+    where
+        F: FnOnce() -> CompiledGrammar,
+    {
+        self.get_or_insert_with_outcome(key, compile).0
+    }
+
+    /// Like [`get_or_insert_with`](Self::get_or_insert_with), additionally
+    /// reporting whether *this* call ran the compiler (`true`) or was served
+    /// by the cache / an in-flight compilation (`false`). Callers sharing one
+    /// cache use this to keep per-caller hit/miss counters — the cache-wide
+    /// counters in [`stats`](Self::stats) aggregate over every sharer.
+    pub fn get_or_insert_with_outcome<F>(
+        &self,
+        key: GrammarCacheKey,
+        compile: F,
+    ) -> (Arc<CompiledGrammar>, bool)
+    where
+        F: FnOnce() -> CompiledGrammar,
+    {
+        // Phase 1 (under the lock): find or create the slot for this key.
+        let cell = {
+            let mut state = self.lock();
+            state.clock += 1;
+            let clock = state.clock;
+            match state.slots.get_mut(&key) {
+                Some(slot) => {
+                    slot.last_used = clock;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(&slot.cell)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let cell = Arc::new(OnceLock::new());
+                    state.slots.insert(
+                        key,
+                        Slot {
+                            cell: Arc::clone(&cell),
+                            last_used: clock,
+                            bytes: 0,
+                        },
+                    );
+                    cell
+                }
+            }
+        };
+
+        // Phase 2 (lock released): initialize the slot. `OnceLock` guarantees
+        // the closure runs at most once across all racing threads.
+        let mut compiled_here = false;
+        let compiled = Arc::clone(cell.get_or_init(|| {
+            compiled_here = true;
+            Arc::new(compile())
+        }));
+
+        // Phase 3: the compiling thread accounts the entry size and enforces
+        // the budget.
+        if compiled_here {
+            let mut state = self.lock();
+            if let Some(slot) = state.slots.get_mut(&key) {
+                // Account only the slot this thread initialized: if our slot
+                // was evicted (or cleared) mid-compile and a different thread
+                // re-inserted the key, that thread owns the new slot's
+                // accounting — touching it here would double-count bytes
+                // that no later eviction could ever subtract.
+                if Arc::ptr_eq(&slot.cell, &cell) {
+                    slot.bytes = compiled.memory_bytes();
+                    state.total_bytes += slot.bytes;
+                }
+            }
+            self.evict_over_budget(&mut state, key);
+        }
+        (compiled, compiled_here)
+    }
+
+    /// Evicts least-recently-used *initialized* entries until the cache is
+    /// within budget. `just_inserted` is exempted so a fresh entry is not
+    /// immediately bounced by its own insertion.
+    fn evict_over_budget(&self, state: &mut CacheState, just_inserted: GrammarCacheKey) {
+        let over = |state: &CacheState| {
+            state.total_bytes > self.config.max_bytes
+                || state.slots.len() > self.config.max_entries
+        };
+        while over(state) {
+            let victim = state
+                .slots
+                .iter()
+                .filter(|(k, slot)| **k != just_inserted && slot.cell.get().is_some())
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else {
+                break; // Only in-flight or just-inserted entries remain.
+            };
+            if let Some(slot) = state.slots.remove(&victim) {
+                state.total_bytes = state.total_bytes.saturating_sub(slot.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use xg_tokenizer::test_vocabulary;
+
+    fn grammar(src: &str) -> Grammar {
+        xg_grammar::parse_ebnf(src, "root").unwrap()
+    }
+
+    #[test]
+    fn hit_miss_and_pointer_identity() {
+        let cache = GrammarCache::new(GrammarCacheConfig::default());
+        let vocab = Arc::new(test_vocabulary(600));
+        let g = grammar(r#"root ::= "[" [0-9]+ "]""#);
+        let cfg = CompilerConfig::default();
+        let a = cache.get_or_compile(&g, &vocab, &cfg);
+        let b = cache.get_or_compile(&g, &vocab, &cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!(stats.current_bytes > 0);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn key_distinguishes_grammar_vocab_and_config() {
+        let vocab_a = Arc::new(test_vocabulary(600));
+        let vocab_b = Arc::new(test_vocabulary(800));
+        let g1 = grammar(r#"root ::= "a""#);
+        let g2 = grammar(r#"root ::= "b""#);
+        let full = CompilerConfig::default();
+        let base = CompilerConfig::baseline();
+        let reference = GrammarCacheKey::new(&g1, vocab_a.fingerprint(), &full);
+        assert_eq!(
+            reference,
+            GrammarCacheKey::new(&g1, vocab_a.fingerprint(), &full)
+        );
+        assert_ne!(
+            reference,
+            GrammarCacheKey::new(&g2, vocab_a.fingerprint(), &full)
+        );
+        assert_ne!(
+            reference,
+            GrammarCacheKey::new(&g1, vocab_b.fingerprint(), &full)
+        );
+        assert_ne!(
+            reference,
+            GrammarCacheKey::new(&g1, vocab_a.fingerprint(), &base)
+        );
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let vocab = Arc::new(test_vocabulary(600));
+        let cfg = CompilerConfig::default();
+        // Budget sized to hold roughly one compiled grammar.
+        let probe = GrammarCache::new(GrammarCacheConfig::unbounded());
+        let size = probe
+            .get_or_compile(&grammar(r#"root ::= "a" [0-9]+"#), &vocab, &cfg)
+            .memory_bytes();
+        let cache = GrammarCache::new(GrammarCacheConfig {
+            max_bytes: size + size / 2,
+            max_entries: usize::MAX,
+        });
+        let g1 = grammar(r#"root ::= "a" [0-9]+"#);
+        let g2 = grammar(r#"root ::= "b" [0-9]+"#);
+        let g3 = grammar(r#"root ::= "c" [0-9]+"#);
+        let first = cache.get_or_compile(&g1, &vocab, &cfg);
+        cache.get_or_compile(&g2, &vocab, &cfg);
+        cache.get_or_compile(&g3, &vocab, &cfg);
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "expected evictions, got {stats:?}");
+        assert!(stats.current_bytes <= (size + size / 2) as u64);
+        // The evicted grammar is still usable by holders of the Arc...
+        assert!(first.memory_bytes() > 0);
+        // ...and re-requesting it recompiles (a new miss, new pointer).
+        let misses_before = cache.stats().misses;
+        let again = cache.get_or_compile(&g1, &vocab, &cfg);
+        assert_eq!(cache.stats().misses, misses_before + 1);
+        assert!(!Arc::ptr_eq(&first, &again));
+    }
+
+    #[test]
+    fn entry_cap_is_enforced() {
+        let vocab = Arc::new(test_vocabulary(600));
+        let cfg = CompilerConfig::default();
+        let cache = GrammarCache::new(GrammarCacheConfig {
+            max_bytes: usize::MAX,
+            max_entries: 2,
+        });
+        for src in [
+            r#"root ::= "a""#,
+            r#"root ::= "b""#,
+            r#"root ::= "c""#,
+            r#"root ::= "d""#,
+        ] {
+            cache.get_or_compile(&grammar(src), &vocab, &cfg);
+        }
+        assert!(cache.len() <= 2);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let vocab = Arc::new(test_vocabulary(600));
+        let cache = GrammarCache::new(GrammarCacheConfig::default());
+        cache.get_or_compile(&grammar(r#"root ::= "a""#), &vocab, &CompilerConfig::default());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().current_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_requests_compile_once() {
+        let vocab = Arc::new(test_vocabulary(600));
+        let cache = Arc::new(GrammarCache::new(GrammarCacheConfig::default()));
+        let g = Arc::new(grammar(r#"root ::= "{" [a-z]* "}""#));
+        let compiles = Arc::new(AtomicUsize::new(0));
+        let threads = 8;
+        let barrier = Arc::new(Barrier::new(threads));
+        let key = GrammarCacheKey::new(&g, vocab.fingerprint(), &CompilerConfig::default());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let (cache, g, vocab, compiles, barrier) = (
+                    Arc::clone(&cache),
+                    Arc::clone(&g),
+                    Arc::clone(&vocab),
+                    Arc::clone(&compiles),
+                    Arc::clone(&barrier),
+                );
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    cache.get_or_insert_with(key, || {
+                        compiles.fetch_add(1, Ordering::SeqCst);
+                        CompiledGrammar::compile(&g, Arc::clone(&vocab), &CompilerConfig::default())
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(compiles.load(Ordering::SeqCst), 1);
+        for r in &results[1..] {
+            assert!(Arc::ptr_eq(&results[0], r));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, threads as u64 - 1);
+    }
+}

@@ -16,7 +16,10 @@
 //!   ([`PersistentStackTree`]),
 //! * the **grammar matcher and compiler** used by serving engines
 //!   ([`GrammarCompiler`], [`CompiledGrammar`], [`GrammarMatcher`],
-//!   [`TokenBitmask`]), including jump-forward string detection (Appendix B).
+//!   [`TokenBitmask`]), including jump-forward string detection (Appendix B),
+//! * the **serving concurrency layer** (§5): a budgeted LRU cache of compiled
+//!   grammars with compile-once semantics under contention ([`GrammarCache`])
+//!   and a pool of reusable per-request matchers ([`MatcherPool`]).
 //!
 //! # Quick start
 //!
@@ -45,16 +48,20 @@
 mod compiler;
 mod error;
 pub mod executor;
+mod grammar_cache;
 mod mask;
 mod mask_cache;
 mod matcher;
+mod matcher_pool;
 mod persistent_stack;
 
 pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler};
 pub use error::{AcceptError, RollbackError};
+pub use grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats};
 pub use mask::TokenBitmask;
 pub use mask_cache::{
     build_mask_cache, MaskCache, MaskCacheBuildOptions, MaskCacheStats, NodeMaskEntry,
 };
 pub use matcher::{GrammarMatcher, MatcherStats, DEFAULT_MAX_ROLLBACK_TOKENS};
+pub use matcher_pool::MatcherPool;
 pub use persistent_stack::{PersistentStackTree, StackHandle};

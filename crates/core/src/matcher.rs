@@ -117,7 +117,9 @@ impl GrammarMatcher {
         can_pop_out(self.compiled.pda(), &mut self.tree, &self.heads)
     }
 
-    /// Resets the matcher to the start of the grammar, clearing all history.
+    /// Resets the matcher to the start of the grammar, clearing all history
+    /// and statistics (a recycled matcher is indistinguishable from a fresh
+    /// one, which [`MatcherPool`](crate::MatcherPool) relies on).
     pub fn reset(&mut self) {
         self.tree = PersistentStackTree::new();
         let start = self
@@ -126,6 +128,7 @@ impl GrammarMatcher {
         self.heads = vec![start];
         self.history.clear();
         self.terminated = false;
+        self.stats = MatcherStats::default();
     }
 
     // -----------------------------------------------------------------
@@ -452,6 +455,11 @@ impl GrammarMatcher {
     /// Number of accepted tokens that can currently be rolled back.
     pub fn rollback_window(&self) -> usize {
         self.history.len()
+    }
+
+    /// The maximum rollback window this matcher was created with.
+    pub fn max_rollback(&self) -> usize {
+        self.max_rollback
     }
 
     /// Rolls back the last `num_tokens` accepted tokens (or jump-forward

@@ -1,0 +1,196 @@
+//! A pool of reusable [`GrammarMatcher`]s for one compiled grammar.
+//!
+//! A serving engine creates one matcher per request lane. Matcher creation is
+//! cheap but not free (it allocates a fresh persistent stack tree), and under
+//! heavy traffic the same grammar serves thousands of requests, so lanes draw
+//! matchers from a shared pool and return them when the request finishes. The
+//! pool resets a matcher before handing it out, so acquired matchers are
+//! always positioned at the start of the grammar.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::compiler::CompiledGrammar;
+use crate::matcher::GrammarMatcher;
+
+/// A thread-safe pool of [`GrammarMatcher`]s bound to one
+/// [`CompiledGrammar`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use xg_core::{GrammarCompiler, MatcherPool};
+/// use xg_tokenizer::test_vocabulary;
+///
+/// let compiler = GrammarCompiler::new(Arc::new(test_vocabulary(600)));
+/// let compiled = compiler.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root")?;
+/// let pool = MatcherPool::new(compiled);
+/// let matcher = pool.acquire();
+/// pool.release(matcher);
+/// assert_eq!(pool.created(), 1);
+/// let _again = pool.acquire(); // reuses the pooled matcher
+/// assert_eq!(pool.created(), 1);
+/// # Ok::<(), xg_grammar::GrammarError>(())
+/// ```
+#[derive(Debug)]
+pub struct MatcherPool {
+    compiled: Arc<CompiledGrammar>,
+    idle: Mutex<Vec<GrammarMatcher>>,
+    max_idle: usize,
+    created: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl MatcherPool {
+    /// Default cap on idle matchers retained by the pool.
+    pub const DEFAULT_MAX_IDLE: usize = 256;
+
+    /// Creates a pool for `compiled` with the default idle cap.
+    pub fn new(compiled: Arc<CompiledGrammar>) -> Self {
+        Self::with_max_idle(compiled, Self::DEFAULT_MAX_IDLE)
+    }
+
+    /// Creates a pool retaining at most `max_idle` idle matchers; matchers
+    /// released beyond the cap are dropped.
+    pub fn with_max_idle(compiled: Arc<CompiledGrammar>, max_idle: usize) -> Self {
+        MatcherPool {
+            compiled,
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// The compiled grammar this pool serves.
+    pub fn compiled(&self) -> &Arc<CompiledGrammar> {
+        &self.compiled
+    }
+
+    /// Takes a matcher positioned at the start of the grammar: a reset pooled
+    /// matcher when one is idle, a freshly constructed one otherwise.
+    pub fn acquire(&self) -> GrammarMatcher {
+        let pooled = self.lock().pop();
+        match pooled {
+            Some(mut matcher) => {
+                matcher.reset();
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                matcher
+            }
+            None => {
+                self.created.fetch_add(1, Ordering::Relaxed);
+                GrammarMatcher::new(Arc::clone(&self.compiled))
+            }
+        }
+    }
+
+    /// Returns a matcher to the pool. Matchers built for a different compiled
+    /// grammar or with a non-default rollback window (acquired matchers must
+    /// be indistinguishable from `GrammarMatcher::new`), and matchers beyond
+    /// the idle cap, are dropped instead.
+    pub fn release(&self, matcher: GrammarMatcher) {
+        if !Arc::ptr_eq(matcher.compiled(), &self.compiled)
+            || matcher.max_rollback() != crate::DEFAULT_MAX_ROLLBACK_TOKENS
+        {
+            return;
+        }
+        let mut idle = self.lock();
+        if idle.len() < self.max_idle {
+            idle.push(matcher);
+        }
+    }
+
+    /// Number of matchers currently idle in the pool.
+    pub fn idle_count(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Total matchers constructed by this pool.
+    pub fn created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Total acquisitions served by reusing a pooled matcher.
+    pub fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<GrammarMatcher>> {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompilerConfig, GrammarCompiler};
+    use crate::mask::TokenBitmask;
+    use xg_tokenizer::test_vocabulary;
+
+    fn pool() -> (Arc<xg_tokenizer::Vocabulary>, MatcherPool) {
+        let vocab = Arc::new(test_vocabulary(600));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let compiled = compiler.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+        (vocab, MatcherPool::new(compiled))
+    }
+
+    #[test]
+    fn released_matchers_are_reset_before_reuse() {
+        let (vocab, pool) = pool();
+        let mut matcher = pool.acquire();
+        matcher.accept_bytes(b"[12").unwrap();
+        pool.release(matcher);
+        let mut reused = pool.acquire();
+        assert_eq!(pool.reused(), 1);
+        // The reused matcher is indistinguishable from a fresh one: counters
+        // cleared and only '[' allowed at the start.
+        assert_eq!(reused.stats(), crate::MatcherStats::default());
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        reused.fill_next_token_bitmask(&mut mask);
+        for t in mask.allowed_tokens() {
+            assert_eq!(vocab.token_bytes(t)[0], b'[');
+        }
+    }
+
+    #[test]
+    fn foreign_and_overflow_releases_are_dropped() {
+        let (vocab, pool) = pool();
+        // A matcher from a different compiled grammar is rejected.
+        let other = GrammarCompiler::with_config(Arc::clone(&vocab), CompilerConfig::baseline())
+            .compile_ebnf(r#"root ::= "x""#, "root")
+            .unwrap();
+        pool.release(GrammarMatcher::new(other));
+        assert_eq!(pool.idle_count(), 0);
+        // So is one with a non-default rollback window.
+        pool.release(GrammarMatcher::with_max_rollback(Arc::clone(pool.compiled()), 0));
+        assert_eq!(pool.idle_count(), 0);
+        // The idle cap bounds retained matchers.
+        let tiny = MatcherPool::with_max_idle(Arc::clone(pool.compiled()), 1);
+        let a = tiny.acquire();
+        let b = tiny.acquire();
+        tiny.release(a);
+        tiny.release(b);
+        assert_eq!(tiny.idle_count(), 1);
+    }
+
+    #[test]
+    fn pool_is_shareable_across_threads() {
+        let (_vocab, pool) = pool();
+        let pool = Arc::new(pool);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let mut m = pool.acquire();
+                        m.accept_bytes(b"[1]").unwrap();
+                        pool.release(m);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.created() + pool.reused(), 32);
+        assert!(pool.created() <= 4);
+    }
+}

@@ -5,7 +5,8 @@
 //! exactly like an online serving engine with a fixed batch:
 //!
 //! 1. for every live request, the grammar backend produces a token mask
-//!    (CPU work);
+//!    (CPU work; the lanes are spread over scoped worker threads, see
+//!    [`ServingEngine::with_mask_parallelism`]);
 //! 2. the simulated GPU performs one decoding step for the whole batch
 //!    (a calibrated busy-wait on a worker thread);
 //! 3. the sampler picks each request's next token under its mask and the
@@ -21,7 +22,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use xg_baselines::{BackendError, BackendSession, ConstrainedBackend};
-use xg_core::TokenBitmask;
+use xg_core::{GrammarCacheStats, TokenBitmask};
 use xg_grammar::Grammar;
 use crate::llm::{LlmBehavior, SimulatedLlm};
 use crate::profiles::ModelProfile;
@@ -71,10 +72,41 @@ pub struct BatchMetrics {
     pub total_time: Duration,
     /// Total generated tokens.
     pub total_tokens: usize,
-    /// Time spent in grammar mask generation (CPU side, summed).
+    /// Wall-clock time spent in grammar mask generation, summed over rounds.
+    /// With parallel lane fill this is the time the batch actually waited.
     pub mask_time: Duration,
+    /// Per-worker busy time in grammar mask generation, summed across
+    /// workers. Each worker measures its own wall clock, so on an
+    /// oversubscribed machine this includes scheduler wait and can exceed
+    /// true CPU time. With one worker this equals `mask_time`.
+    pub mask_cpu_time: Duration,
+    /// Worker-thread ceiling for mask generation (each round additionally
+    /// caps the workers by the number of still-live constrained lanes, so
+    /// late rounds of a draining batch may use fewer).
+    pub mask_threads: usize,
     /// Time spent in simulated GPU decoding (summed over rounds).
     pub gpu_time: Duration,
+    /// Compiled-grammar cache activity during this batch: hit/miss deltas of
+    /// *this engine's backend* (other backends sharing the same
+    /// [`GrammarCache`](xg_core::GrammarCache) do not pollute them), the
+    /// backing cache's eviction delta, and its end-of-batch byte/entry
+    /// gauges. All zeros when the backend has no cache.
+    pub cache: GrammarCacheStats,
+}
+
+impl BatchMetrics {
+    /// Estimated wall-clock speedup of parallel mask generation: summed
+    /// per-worker busy time divided by the wall-clock time the batch waited.
+    /// An upper bound under contention (worker busy time includes scheduler
+    /// wait — see [`mask_cpu_time`](Self::mask_cpu_time)). Returns 1.0 when
+    /// no masks were generated.
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.mask_time.is_zero() || self.mask_cpu_time.is_zero() {
+            1.0
+        } else {
+            self.mask_cpu_time.as_secs_f64() / self.mask_time.as_secs_f64()
+        }
+    }
 }
 
 /// The serving engine.
@@ -84,11 +116,16 @@ pub struct ServingEngine {
     profile: ModelProfile,
     mode: ExecutionMode,
     llm: SimulatedLlm,
+    /// Worker threads for per-lane mask generation (0 = available
+    /// parallelism, 1 = serial).
+    mask_parallelism: usize,
 }
 
 impl ServingEngine {
     /// Creates an engine from a constrained-decoding backend, a latency
-    /// profile and an execution mode.
+    /// profile and an execution mode. Mask generation parallelism defaults to
+    /// the machine's available parallelism (capped by the batch size); use
+    /// [`with_mask_parallelism`](Self::with_mask_parallelism) to override.
     pub fn new(
         backend: Arc<dyn ConstrainedBackend>,
         profile: ModelProfile,
@@ -100,6 +137,7 @@ impl ServingEngine {
             profile,
             mode,
             llm,
+            mask_parallelism: 0,
         }
     }
 
@@ -117,12 +155,32 @@ impl ServingEngine {
             profile,
             mode,
             llm,
+            mask_parallelism: 0,
         }
+    }
+
+    /// Sets the number of worker threads used to fill the per-lane token
+    /// bitmasks each decoding round: `1` forces the serial path, `0` (the
+    /// default) uses the machine's available parallelism. The thread count is
+    /// always additionally capped by the number of live lanes.
+    pub fn with_mask_parallelism(mut self, threads: usize) -> Self {
+        self.mask_parallelism = threads;
+        self
     }
 
     /// The backend driving constrained decoding.
     pub fn backend(&self) -> &Arc<dyn ConstrainedBackend> {
         &self.backend
+    }
+
+    /// Effective mask-generation worker count for a batch of `lanes` lanes.
+    fn effective_mask_threads(&self, lanes: usize) -> usize {
+        let requested = if self.mask_parallelism == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.mask_parallelism
+        };
+        requested.min(lanes).max(1)
     }
 
     /// Runs a fixed batch of requests to completion.
@@ -138,6 +196,11 @@ impl ServingEngine {
         assert!(!requests.is_empty(), "batch must not be empty");
         let vocab = Arc::clone(self.backend.vocabulary());
         let batch_size = requests.len();
+        // Only constrained lanes generate masks; unconstrained requests must
+        // not inflate the reported worker count.
+        let constrained_lanes = requests.iter().filter(|r| r.grammar.is_some()).count();
+        let mask_threads = self.effective_mask_threads(constrained_lanes.max(1));
+        let cache_before = self.backend.cache_stats().unwrap_or_default();
         let start = Instant::now();
 
         // ---- Prefill phase: grammar compilation overlapped with prefill. ----
@@ -178,17 +241,21 @@ impl ServingEngine {
             .collect();
 
         let mut mask_time = Duration::ZERO;
+        let mut mask_cpu_time = Duration::ZERO;
         let mut gpu_time = Duration::ZERO;
         let mut ttft = None;
         let gpu_step = self.profile.decode_step_time(batch_size);
 
         while finished.iter().any(|f| !f) {
-            // Step 1 + 2: mask generation and GPU decoding.
+            // Step 1 + 2: mask generation (lanes in parallel) and GPU
+            // decoding.
             let mut mask_elapsed = Duration::ZERO;
+            let mut mask_cpu = Duration::ZERO;
             match self.mode {
                 ExecutionMode::Serial => {
                     let mask_start = Instant::now();
-                    self.generate_masks(&mut sessions, &finished, &mut masks);
+                    mask_cpu =
+                        self.generate_masks(&mut sessions, &finished, &mut masks, mask_threads);
                     mask_elapsed = mask_start.elapsed();
                     busy_wait(gpu_step);
                 }
@@ -196,13 +263,19 @@ impl ServingEngine {
                     std::thread::scope(|scope| {
                         let gpu = scope.spawn(|| busy_wait(gpu_step));
                         let mask_start = Instant::now();
-                        self.generate_masks(&mut sessions, &finished, &mut masks);
+                        mask_cpu = self.generate_masks(
+                            &mut sessions,
+                            &finished,
+                            &mut masks,
+                            mask_threads,
+                        );
                         mask_elapsed = mask_start.elapsed();
                         gpu.join().expect("gpu simulation thread panicked");
                     });
                 }
             }
             mask_time += mask_elapsed;
+            mask_cpu_time += mask_cpu;
             gpu_time += gpu_step;
 
             // Step 3: sampling and state advance.
@@ -275,25 +348,70 @@ impl ServingEngine {
             total_time,
             total_tokens,
             mask_time,
+            mask_cpu_time,
+            mask_threads,
             gpu_time,
+            cache: self
+                .backend
+                .cache_stats()
+                .unwrap_or_default()
+                .delta_since(&cache_before),
         };
         Ok((results, metrics))
     }
 
+    /// Fills the token bitmask of every live lane, spreading the lanes over
+    /// up to `threads` scoped worker threads. Returns the per-lane CPU time
+    /// summed across workers (≥ the wall-clock time when `threads > 1`).
     fn generate_masks(
         &self,
         sessions: &mut [Option<Box<dyn BackendSession>>],
         finished: &[bool],
         masks: &mut [TokenBitmask],
-    ) {
-        for ((session, mask), done) in sessions.iter_mut().zip(masks.iter_mut()).zip(finished) {
-            if *done {
-                continue;
-            }
-            if let Some(session) = session {
+        threads: usize,
+    ) -> Duration {
+        let mut lanes: Vec<(&mut Box<dyn BackendSession>, &mut TokenBitmask)> = sessions
+            .iter_mut()
+            .zip(masks.iter_mut())
+            .zip(finished)
+            .filter_map(|((session, mask), done)| {
+                if *done {
+                    return None;
+                }
+                session.as_mut().map(|s| (s, mask))
+            })
+            .collect();
+        if lanes.is_empty() {
+            return Duration::ZERO;
+        }
+        let threads = threads.min(lanes.len()).max(1);
+        if threads == 1 {
+            let lane_start = Instant::now();
+            for (session, mask) in &mut lanes {
                 session.fill_mask(mask);
             }
+            return lane_start.elapsed();
         }
+        let chunk_size = lanes.len().div_ceil(threads);
+        let mut cpu_time = Duration::ZERO;
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = lanes
+                .chunks_mut(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let lane_start = Instant::now();
+                        for (session, mask) in chunk {
+                            session.fill_mask(mask);
+                        }
+                        lane_start.elapsed()
+                    })
+                })
+                .collect();
+            for worker in workers {
+                cpu_time += worker.join().expect("mask worker panicked");
+            }
+        });
+        cpu_time
     }
 }
 
@@ -405,6 +523,74 @@ mod tests {
             "overlapped {:?} vs serial {:?} (mask {:?}, gpu {:?})",
             overlapped.total_time, serial.total_time, serial.mask_time, serial.gpu_time
         );
+    }
+
+    #[test]
+    fn parallel_and_serial_mask_generation_agree() {
+        // Lane fill order must not matter: a batch run with one mask worker
+        // and with four produces identical outputs.
+        let vocab = Arc::new(test_vocabulary(2000));
+        let backend: Arc<dyn xg_baselines::ConstrainedBackend> =
+            Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+        let reqs = requests(4);
+        let serial = ServingEngine::new(
+            Arc::clone(&backend),
+            fast_profile(),
+            ExecutionMode::Serial,
+        )
+        .with_mask_parallelism(1);
+        let parallel = ServingEngine::new(
+            Arc::clone(&backend),
+            fast_profile(),
+            ExecutionMode::Serial,
+        )
+        .with_mask_parallelism(4);
+        let (serial_results, serial_metrics) = serial.run_batch(&reqs).unwrap();
+        let (parallel_results, parallel_metrics) = parallel.run_batch(&reqs).unwrap();
+        for (s, p) in serial_results.iter().zip(&parallel_results) {
+            assert_eq!(s.output, p.output);
+            assert_eq!(s.tokens, p.tokens);
+        }
+        assert_eq!(serial_metrics.mask_threads, 1);
+        assert!(parallel_metrics.mask_threads > 1);
+        // Timing sanity only (the realized speedup depends on mask weight and
+        // machine load; the cache_serving experiment measures it properly).
+        assert!(parallel_metrics.mask_cpu_time > Duration::ZERO);
+        assert!(parallel_metrics.parallel_speedup() > 0.0);
+    }
+
+    #[test]
+    fn batch_metrics_report_cache_activity() {
+        // Four requests sharing one schema family: the first compiles, the
+        // rest hit the compiled-grammar cache.
+        let vocab = Arc::new(test_vocabulary(2000));
+        let backend = Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+        let engine = ServingEngine::new(backend, fast_profile(), ExecutionMode::Serial);
+        let schema = xg_datasets::json_mode_eval_like(1, 17).remove(0).schema;
+        let grammar = xg_grammar::json_schema_to_grammar(&schema).unwrap();
+        let reqs: Vec<EngineRequest> = (0..4)
+            .map(|_| EngineRequest {
+                grammar: Some(grammar.clone()),
+                prompt_tokens: 10,
+                reference: br#"{"location": "paris", "unit": "celsius", "days": 2}"#.to_vec(),
+                max_tokens: 64,
+            })
+            .collect();
+        let (_, metrics) = engine.run_batch(&reqs).unwrap();
+        assert_eq!(metrics.cache.misses, 1);
+        assert_eq!(metrics.cache.hits, 3);
+        assert!(metrics.cache.hit_rate() > 0.7);
+        // A second identical batch is all hits.
+        let engine2 = ServingEngine::new(
+            Arc::new(XGrammarBackend::new(Arc::clone(&vocab))),
+            fast_profile(),
+            ExecutionMode::Serial,
+        );
+        let (_, first) = engine2.run_batch(&reqs).unwrap();
+        let (_, second) = engine2.run_batch(&reqs).unwrap();
+        assert_eq!(first.cache.misses, 1);
+        assert_eq!(second.cache.misses, 0);
+        assert_eq!(second.cache.hits, 4);
     }
 
     #[test]

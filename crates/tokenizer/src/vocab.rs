@@ -170,6 +170,27 @@ impl Vocabulary {
         ids
     }
 
+    /// A stable 64-bit fingerprint of the vocabulary: every token byte
+    /// string, the special-token registrations and the EOS id all contribute.
+    /// Two vocabularies with the same fingerprint are interchangeable for the
+    /// grammar engine, which makes the fingerprint a suitable cache-key
+    /// component for compiled grammars shared across serving processes.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut hasher = DefaultHasher::new();
+        self.tokens.len().hash(&mut hasher);
+        for t in &self.tokens {
+            t.hash(&mut hasher);
+        }
+        for (id, role) in &self.specials {
+            id.hash(&mut hasher);
+            (*role as u8).hash(&mut hasher);
+        }
+        self.eos.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Total number of bytes across all non-special tokens.
     pub fn total_token_bytes(&self) -> usize {
         self.iter()
@@ -227,6 +248,23 @@ mod tests {
         let mut expected = bytes.clone();
         expected.sort();
         assert_eq!(bytes, expected);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Changing token content changes the fingerprint.
+        let different = Vocabulary::from_tokens(
+            vec![b"<s>".to_vec(), b"</s>".to_vec(), b"xy".to_vec()],
+            Some(1),
+        );
+        assert_ne!(a.fingerprint(), different.fingerprint());
+        // Registering an extra special token also changes it.
+        let mut c = sample();
+        c.add_special(TokenId(2), SpecialToken::Pad);
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -47,9 +47,10 @@ pub mod tokenizer {
 }
 
 pub use xg_core::{
-    AcceptError, CompiledGrammar, CompilerConfig, GrammarCompiler, GrammarMatcher, MaskCache,
-    MaskCacheStats, MatcherStats, NodeMaskEntry, PersistentStackTree, RollbackError, StackHandle,
-    TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
+    AcceptError, CompiledGrammar, CompilerConfig, GrammarCache, GrammarCacheConfig,
+    GrammarCacheKey, GrammarCacheStats, GrammarCompiler, GrammarMatcher, MaskCache,
+    MaskCacheStats, MatcherPool, MatcherStats, NodeMaskEntry, PersistentStackTree, RollbackError,
+    StackHandle, TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
 };
 pub use xg_grammar::{
     builtin, json_schema_to_grammar, parse_ebnf, Grammar, GrammarError, GrammarExpr,
@@ -62,5 +63,23 @@ mod tests {
     fn facade_reexports_compile() {
         let grammar = crate::parse_ebnf(r#"root ::= "x""#, "root").unwrap();
         assert_eq!(grammar.rules().len(), 1);
+    }
+
+    #[test]
+    fn facade_exposes_serving_concurrency_layer() {
+        use std::sync::Arc;
+        let vocab = Arc::new(crate::tokenizer::test_vocabulary(600));
+        let cache = Arc::new(crate::GrammarCache::new(crate::GrammarCacheConfig::default()));
+        let compiler = crate::GrammarCompiler::with_cache(
+            Arc::clone(&vocab),
+            crate::CompilerConfig::default(),
+            Arc::clone(&cache),
+        );
+        let compiled = compiler.compile_ebnf(r#"root ::= "x""#, "root").unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        let pool = crate::MatcherPool::new(compiled);
+        let matcher = pool.acquire();
+        pool.release(matcher);
+        assert_eq!(pool.created(), 1);
     }
 }

@@ -1,0 +1,157 @@
+//! Concurrency stress tests for the compiled-grammar cache: many threads
+//! racing on the same grammar must trigger exactly one compilation and share
+//! one `Arc<CompiledGrammar>`, with the engine stack staying correct on top.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use xg_core::{
+    CompiledGrammar, CompilerConfig, GrammarCache, GrammarCacheConfig, GrammarCacheKey,
+    GrammarCompiler, GrammarMatcher, TokenBitmask,
+};
+use xg_tokenizer::test_vocabulary;
+
+const THREADS: usize = 8;
+
+#[test]
+fn stress_same_grammar_compiles_exactly_once() {
+    let vocab = Arc::new(test_vocabulary(800));
+    let cache = Arc::new(GrammarCache::new(GrammarCacheConfig::default()));
+    let grammar =
+        Arc::new(xg_grammar::parse_ebnf(r#"root ::= "{" [a-z]+ ":" [0-9]+ "}""#, "root").unwrap());
+    let config = CompilerConfig::default();
+    let key = GrammarCacheKey::new(&grammar, vocab.fingerprint(), &config);
+    let compilations = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let results: Vec<Arc<CompiledGrammar>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let grammar = Arc::clone(&grammar);
+                let vocab = Arc::clone(&vocab);
+                let compilations = Arc::clone(&compilations);
+                let barrier = Arc::clone(&barrier);
+                let config = config.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    // The injected hook counts how many threads actually ran
+                    // the compiler.
+                    cache.get_or_insert_with(key, || {
+                        compilations.fetch_add(1, Ordering::SeqCst);
+                        CompiledGrammar::compile(&grammar, Arc::clone(&vocab), &config)
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        compilations.load(Ordering::SeqCst),
+        1,
+        "all {THREADS} threads must share one compilation"
+    );
+    for other in &results[1..] {
+        assert!(
+            Arc::ptr_eq(&results[0], other),
+            "every thread must receive the identical Arc<CompiledGrammar>"
+        );
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, THREADS as u64 - 1);
+    assert_eq!(stats.entries, 1);
+
+    // The shared compiled grammar is immediately usable by every thread.
+    std::thread::scope(|scope| {
+        for compiled in &results {
+            scope.spawn(move || {
+                let mut matcher = GrammarMatcher::new(Arc::clone(compiled));
+                matcher.accept_bytes(b"{abc:42}").unwrap();
+                assert!(matcher.can_terminate());
+            });
+        }
+    });
+}
+
+#[test]
+fn stress_distinct_grammars_do_not_serialize_each_other() {
+    // Threads compiling *different* grammars proceed concurrently (the map
+    // lock is not held during compilation) and each compiles exactly once.
+    let vocab = Arc::new(test_vocabulary(800));
+    let cache = Arc::new(GrammarCache::new(GrammarCacheConfig::default()));
+    let compilations = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cache = Arc::clone(&cache);
+            let vocab = Arc::clone(&vocab);
+            let compilations = Arc::clone(&compilations);
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                // Two distinct grammars, each raced by half the threads.
+                let source = if t % 2 == 0 {
+                    r#"root ::= "[" [0-9]+ "]""#
+                } else {
+                    r#"root ::= "<" [a-z]+ ">""#
+                };
+                let grammar = xg_grammar::parse_ebnf(source, "root").unwrap();
+                let config = CompilerConfig::default();
+                let key = GrammarCacheKey::new(&grammar, vocab.fingerprint(), &config);
+                barrier.wait();
+                let compiled = cache.get_or_insert_with(key, || {
+                    compilations.fetch_add(1, Ordering::SeqCst);
+                    CompiledGrammar::compile(&grammar, Arc::clone(&vocab), &config)
+                });
+                // Every thread can match with its grammar right away.
+                let mut matcher = GrammarMatcher::new(compiled);
+                let input: &[u8] = if t % 2 == 0 { b"[12]" } else { b"<ab>" };
+                matcher.accept_bytes(input).unwrap();
+            });
+        }
+    });
+
+    assert_eq!(compilations.load(Ordering::SeqCst), 2);
+    assert_eq!(cache.len(), 2);
+}
+
+#[test]
+fn stress_shared_compiler_masks_stay_correct_under_threads() {
+    // End-to-end: one GrammarCompiler (hence one cache) shared by 8 threads
+    // that compile the same schema grammar and immediately generate masks.
+    // The masks must be identical across threads.
+    let vocab = Arc::new(test_vocabulary(800));
+    let compiler = Arc::new(GrammarCompiler::new(Arc::clone(&vocab)));
+    let grammar = Arc::new(xg_grammar::builtin::json_grammar());
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    let masks: Vec<TokenBitmask> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let compiler = Arc::clone(&compiler);
+                let grammar = Arc::clone(&grammar);
+                let vocab = Arc::clone(&vocab);
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let compiled = compiler.compile_grammar(&grammar);
+                    let mut matcher = GrammarMatcher::new(compiled);
+                    matcher.accept_bytes(br#"{"k": "#).unwrap();
+                    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+                    matcher.fill_next_token_bitmask(&mut mask);
+                    mask
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(compiler.cached_count(), 1);
+    assert_eq!(compiler.cache().stats().misses, 1);
+    for mask in &masks[1..] {
+        assert_eq!(&masks[0], mask, "masks must not depend on the compiling thread");
+    }
+    assert!(masks[0].count_allowed() > 0);
+}

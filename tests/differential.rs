@@ -1,0 +1,296 @@
+//! Differential test suite: the optimized engine against the naive PDA
+//! baseline on randomly generated grammars and inputs, plus printer/parser
+//! round-trips over the same random grammars.
+//!
+//! Unlike `property_tests.rs` (which uses a fixed pool of hand-written
+//! grammars), the grammars here are *generated*: random rule bodies built
+//! from literals, character classes, sequences, choices, bounded repeats and
+//! guarded recursion. Every case drives both engines over the same byte
+//! string and demands byte-for-byte agreement on accept/reject.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xg_automata::{build_pda_default, SimpleMatcher};
+use xg_baselines::{ConstrainedBackend, NaivePdaBackend};
+use xg_core::{CompilerConfig, GrammarCompiler, GrammarMatcher};
+use xg_tokenizer::{test_vocabulary, TokenId, Vocabulary};
+
+/// Characters safe to use inside EBNF literals without escaping, which also
+/// all exist as single-byte tokens in the synthetic vocabulary.
+const LITERAL_CHARS: &[u8] = b"abcxyz019,;:=()[]{}<>";
+
+/// Character-class templates (source text, member bytes for string
+/// generation).
+const CLASS_TEMPLATES: &[(&str, &[u8])] = &[
+    ("[a-c]", b"abc"),
+    ("[0-9]", b"0123456789"),
+    ("[xyz]", b"xyz"),
+    ("[a-z]", b"abcxyz"),
+    ("[0-3]", b"0123"),
+];
+
+/// Generates a random EBNF expression of bounded depth, collecting the bytes
+/// that can appear in matching strings into `alphabet`.
+fn random_expr(rng: &mut SmallRng, depth: usize, helpers: &[&str], alphabet: &mut Vec<u8>) -> String {
+    let variants = if depth == 0 { 2 } else { 6 };
+    match rng.gen_range(0..variants) {
+        // Literal of 1-3 safe characters.
+        0 => {
+            let len = rng.gen_range(1..=3);
+            let lit: Vec<u8> = (0..len)
+                .map(|_| LITERAL_CHARS[rng.gen_range(0..LITERAL_CHARS.len())])
+                .collect();
+            alphabet.extend_from_slice(&lit);
+            format!("\"{}\"", String::from_utf8(lit).unwrap())
+        }
+        // Character class.
+        1 => {
+            let (src, members) = CLASS_TEMPLATES[rng.gen_range(0..CLASS_TEMPLATES.len())];
+            alphabet.extend_from_slice(members);
+            src.to_string()
+        }
+        // Sequence.
+        2 => {
+            let n = rng.gen_range(2..=3);
+            let items: Vec<String> = (0..n)
+                .map(|_| random_expr(rng, depth - 1, helpers, alphabet))
+                .collect();
+            items.join(" ")
+        }
+        // Choice (parenthesized so it nests anywhere).
+        3 => {
+            let n = rng.gen_range(2..=3);
+            let items: Vec<String> = (0..n)
+                .map(|_| random_expr(rng, depth - 1, helpers, alphabet))
+                .collect();
+            format!("({})", items.join(" | "))
+        }
+        // Bounded or unbounded repeat.
+        4 => {
+            let inner = random_expr(rng, depth - 1, helpers, alphabet);
+            let op = ["*", "+", "?", "{1,3}", "{2}"][rng.gen_range(0..5usize)];
+            format!("({inner}){op}")
+        }
+        // Reference to a helper rule (falls back to a literal when there is
+        // none).
+        _ => {
+            if helpers.is_empty() {
+                random_expr(rng, 0, helpers, alphabet)
+            } else {
+                helpers[rng.gen_range(0..helpers.len())].to_string()
+            }
+        }
+    }
+}
+
+/// A randomly generated grammar: EBNF source plus the byte alphabet its
+/// sentences are drawn from.
+struct RandomGrammar {
+    source: String,
+    alphabet: Vec<u8>,
+}
+
+/// Generates a random grammar with a root rule and 0-2 helper rules; helpers
+/// may be self-recursive, always guarded by delimiter literals so the
+/// recursion is well-founded.
+fn random_grammar(rng: &mut SmallRng) -> RandomGrammar {
+    let helper_names: &[&str] = match rng.gen_range(0..3) {
+        0 => &[],
+        1 => &["r1"],
+        _ => &["r1", "r2"],
+    };
+    let mut alphabet = Vec::new();
+    let mut source = String::new();
+    // Helpers can only reference later helpers (or themselves, guarded), so
+    // every name is defined and unguarded cycles are impossible.
+    for (i, name) in helper_names.iter().enumerate() {
+        let later = &helper_names[i + 1..];
+        let body = random_expr(rng, 1, later, &mut alphabet);
+        if rng.gen_bool(0.4) {
+            // Guarded self-recursion: r ::= "(" r ")" | <body>
+            let (open, close) = [("(", ")"), ("[", "]"), ("{", "}")][rng.gen_range(0..3usize)];
+            alphabet.extend_from_slice(open.as_bytes());
+            alphabet.extend_from_slice(close.as_bytes());
+            source.push_str(&format!(
+                "{name} ::= \"{open}\" {name} \"{close}\" | {body}\n"
+            ));
+        } else {
+            source.push_str(&format!("{name} ::= {body}\n"));
+        }
+    }
+    let root = random_expr(rng, 2, helper_names, &mut alphabet);
+    source.push_str(&format!("root ::= {root}\n"));
+    alphabet.sort_unstable();
+    alphabet.dedup();
+    RandomGrammar { source, alphabet }
+}
+
+/// Generates a random input: either uniform noise over the alphabet (mostly
+/// rejected) or a guided random walk through the reference PDA (mostly
+/// accepted prefixes).
+fn random_input(
+    rng: &mut SmallRng,
+    grammar: &RandomGrammar,
+    reference: &SimpleMatcher<'_>,
+) -> Vec<u8> {
+    if rng.gen_bool(0.5) {
+        let len = rng.gen_range(0..=10);
+        return (0..len)
+            .map(|_| grammar.alphabet[rng.gen_range(0..grammar.alphabet.len())])
+            .collect();
+    }
+    // Guided walk: at each step pick a random alphabet byte that keeps the
+    // reference matcher alive.
+    let mut walker = reference.clone();
+    let mut out = Vec::new();
+    for _ in 0..16 {
+        if walker.can_terminate() && rng.gen_bool(0.4) {
+            break;
+        }
+        let start = rng.gen_range(0..grammar.alphabet.len());
+        let step = (0..grammar.alphabet.len())
+            .map(|i| grammar.alphabet[(start + i) % grammar.alphabet.len()])
+            .find(|&b| {
+                let mut probe = walker.clone();
+                probe.advance_bytes(&[b])
+            });
+        let Some(byte) = step else { break };
+        walker.advance_bytes(&[byte]);
+        out.push(byte);
+    }
+    // Occasionally corrupt the tail so near-misses are covered too.
+    if !out.is_empty() && rng.gen_bool(0.25) {
+        let idx = rng.gen_range(0..out.len());
+        out[idx] = grammar.alphabet[rng.gen_range(0..grammar.alphabet.len())];
+    }
+    out
+}
+
+/// Feeds `input` to a fresh naive-PDA session one single-byte token at a
+/// time. Returns `(bytes accepted before rejection, final state accepts)`.
+fn drive_naive(
+    constraint: &Arc<dyn xg_baselines::CompiledConstraint>,
+    byte_tokens: &HashMap<u8, TokenId>,
+    input: &[u8],
+) -> (usize, bool) {
+    let mut session = constraint.new_session();
+    for (i, b) in input.iter().enumerate() {
+        if !session.accept_token(byte_tokens[b]) {
+            return (i, false);
+        }
+    }
+    (input.len(), session.can_terminate())
+}
+
+fn byte_token_map(vocab: &Vocabulary) -> HashMap<u8, TokenId> {
+    let mut map = HashMap::new();
+    for (id, bytes) in vocab.iter() {
+        if bytes.len() == 1 && !vocab.is_special(id) {
+            map.entry(bytes[0]).or_insert(id);
+        }
+    }
+    map
+}
+
+#[test]
+fn random_grammars_accept_reject_parity_with_naive_pda() {
+    const GRAMMARS: usize = 30;
+    const INPUTS_PER_GRAMMAR: usize = 8;
+
+    let vocab = Arc::new(test_vocabulary(600));
+    let byte_tokens = byte_token_map(&vocab);
+    // `accept_bytes` exercises the PDA executor, not the mask cache, so skip
+    // mask-cache construction to keep 30 compilations fast in debug builds
+    // (mask/cache parity has its own differential tests in property_tests.rs
+    // and end_to_end.rs).
+    let compiler = GrammarCompiler::with_config(
+        Arc::clone(&vocab),
+        CompilerConfig {
+            enable_mask_cache: false,
+            ..CompilerConfig::default()
+        },
+    );
+    let naive = NaivePdaBackend::new(Arc::clone(&vocab));
+
+    let mut rng = SmallRng::seed_from_u64(0xD1FF);
+    let mut cases = 0usize;
+    for g in 0..GRAMMARS {
+        let random = random_grammar(&mut rng);
+        let grammar = xg_grammar::parse_ebnf(&random.source, "root")
+            .unwrap_or_else(|e| panic!("generated grammar must parse: {e}\n{}", random.source));
+        let compiled = compiler.compile_grammar(&grammar);
+        let naive_compiled = naive.compile(&grammar).expect("naive backend compiles CFGs");
+        let reference_pda = build_pda_default(&grammar);
+        let reference = SimpleMatcher::new(&reference_pda);
+
+        for i in 0..INPUTS_PER_GRAMMAR {
+            let input = random_input(&mut rng, &random, &reference);
+            // Optimized engine: byte-level accept.
+            let mut matcher = GrammarMatcher::new(Arc::clone(&compiled));
+            let engine_result = matcher.accept_bytes(&input);
+            let engine_accepted_bytes = match &engine_result {
+                Ok(()) => input.len(),
+                Err(xg_core::AcceptError::TokenRejected { matched_bytes, .. }) => *matched_bytes,
+                Err(other) => panic!("unexpected accept_bytes error: {other:?}"),
+            };
+            let engine_complete = engine_result.is_ok() && matcher.can_terminate();
+            // Naive baseline: token-level accept over single-byte tokens.
+            let (naive_accepted_bytes, naive_complete) =
+                drive_naive(&naive_compiled, &byte_tokens, &input);
+            assert_eq!(
+                engine_accepted_bytes,
+                naive_accepted_bytes,
+                "prefix-validity divergence on grammar #{g} input #{i} {:?}\n{}",
+                String::from_utf8_lossy(&input),
+                random.source
+            );
+            assert_eq!(
+                engine_complete,
+                naive_complete,
+                "acceptance divergence on grammar #{g} input #{i} {:?}\n{}",
+                String::from_utf8_lossy(&input),
+                random.source
+            );
+            cases += 1;
+        }
+    }
+    assert!(cases >= 200, "differential suite must cover >=200 cases, ran {cases}");
+}
+
+#[test]
+fn random_grammars_roundtrip_through_display() {
+    const GRAMMARS: usize = 40;
+    const INPUTS_PER_GRAMMAR: usize = 6;
+
+    let mut rng = SmallRng::seed_from_u64(0x2024);
+    for g in 0..GRAMMARS {
+        let random = random_grammar(&mut rng);
+        let original = xg_grammar::parse_ebnf(&random.source, "root")
+            .unwrap_or_else(|e| panic!("generated grammar must parse: {e}\n{}", random.source));
+        let printed = original.to_string();
+        let reparsed = xg_grammar::parse_ebnf(&printed, "root")
+            .unwrap_or_else(|e| panic!("printed grammar must reparse: {e}\n{printed}"));
+        // Printing is a fixed point after one round trip.
+        assert_eq!(printed, reparsed.to_string(), "printer not idempotent for grammar #{g}");
+
+        // Original and reparsed accept exactly the same sample strings.
+        let pda_a = build_pda_default(&original);
+        let pda_b = build_pda_default(&reparsed);
+        let reference = SimpleMatcher::new(&pda_a);
+        for i in 0..INPUTS_PER_GRAMMAR {
+            let input = random_input(&mut rng, &random, &reference);
+            let a = SimpleMatcher::new(&pda_a).accepts(&input);
+            let b = SimpleMatcher::new(&pda_b).accepts(&input);
+            assert_eq!(
+                a,
+                b,
+                "display round-trip changed acceptance of input #{i} {:?} for grammar #{g}:\n{}\n-- printed --\n{printed}",
+                String::from_utf8_lossy(&input),
+                random.source
+            );
+        }
+    }
+}
