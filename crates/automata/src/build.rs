@@ -150,8 +150,7 @@ fn substitute(expr: &GrammarExpr, target: RuleId, replacement: &GrammarExpr) -> 
 /// into their parents. The root rule is never inlined away; size limits keep
 /// the automaton from exploding, as described in the paper.
 pub fn inline_fragment_rules(grammar: &Grammar, options: &PdaBuildOptions) -> Grammar {
-    let mut bodies: Vec<GrammarExpr> =
-        grammar.rules().iter().map(|r| r.body.clone()).collect();
+    let mut bodies: Vec<GrammarExpr> = grammar.rules().iter().map(|r| r.body.clone()).collect();
     let names: Vec<String> = grammar.rules().iter().map(|r| r.name.clone()).collect();
     let root = grammar.root();
 
@@ -166,9 +165,7 @@ pub fn inline_fragment_rules(grammar: &Grammar, options: &PdaBuildOptions) -> Gr
             }
             let refs = references(body);
             let self_recursive = refs.contains(&id);
-            if !self_recursive
-                && refs.is_empty()
-                && expr_size(body) <= options.max_inline_rule_size
+            if !self_recursive && refs.is_empty() && expr_size(body) <= options.max_inline_rule_size
             {
                 inlinable.push(id);
             }
@@ -615,7 +612,10 @@ mod tests {
     fn json_grammar_accepts_and_rejects() {
         let g = xg_grammar::builtin::json_grammar();
         let pda = build_pda_default(&g);
-        assert!(accepts(&pda, br#"{"name": "Ada", "age": 36, "tags": ["x", "y"]}"#));
+        assert!(accepts(
+            &pda,
+            br#"{"name": "Ada", "age": 36, "tags": ["x", "y"]}"#
+        ));
         assert!(accepts(&pda, b"  [1, 2, 3]  "));
         assert!(accepts(&pda, br#""just a string""#));
         assert!(accepts(&pda, b"-12.5e+3"));

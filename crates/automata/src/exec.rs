@@ -132,13 +132,9 @@ impl<'a> SimpleMatcher<'a> {
     pub fn can_terminate(&self) -> bool {
         self.stacks.iter().any(|stack| {
             let closure = epsilon_closure(self.pda, stack);
-            closure.iter().any(|config| {
-                config.len() == 1
-                    && self
-                        .pda
-                        .node(config[0])
-                        .is_final
-            })
+            closure
+                .iter()
+                .any(|config| config.len() == 1 && self.pda.node(config[0]).is_final)
         })
     }
 

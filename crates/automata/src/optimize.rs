@@ -69,7 +69,10 @@ fn merge_pass(pda: &mut Pda) -> usize {
         // Group this node's edges by label.
         let mut groups: HashMap<LabelKey, Vec<NodeId>> = HashMap::new();
         for edge in &pda.nodes[source].edges {
-            groups.entry(label_key(edge)).or_default().push(edge.target());
+            groups
+                .entry(label_key(edge))
+                .or_default()
+                .push(edge.target());
         }
         for targets in groups.values() {
             if targets.len() < 2 {
@@ -85,9 +88,7 @@ fn merge_pass(pda: &mut Pda) -> usize {
             let mut mergeable: Vec<NodeId> = counts
                 .iter()
                 .filter(|(t, c)| {
-                    in_degree[t.index()] == **c
-                        && redirect[t.index()] == **t
-                        && t.index() != source
+                    in_degree[t.index()] == **c && redirect[t.index()] == **t && t.index() != source
                 })
                 .map(|(t, _)| *t)
                 .collect();

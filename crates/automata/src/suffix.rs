@@ -103,17 +103,16 @@ impl<'a> Extractor<'a> {
         let mut mapping: HashMap<NodeId, usize> = HashMap::new();
         let mut worklist: Vec<NodeId> = Vec::new();
 
-        let get_state =
-            |node: NodeId,
-             states: &mut Vec<TmpState>,
-             mapping: &mut HashMap<NodeId, usize>,
-             worklist: &mut Vec<NodeId>| {
-                *mapping.entry(node).or_insert_with(|| {
-                    states.push(TmpState::default());
-                    worklist.push(node);
-                    states.len() - 1
-                })
-            };
+        let get_state = |node: NodeId,
+                         states: &mut Vec<TmpState>,
+                         mapping: &mut HashMap<NodeId, usize>,
+                         worklist: &mut Vec<NodeId>| {
+            *mapping.entry(node).or_insert_with(|| {
+                states.push(TmpState::default());
+                worklist.push(node);
+                states.len() - 1
+            })
+        };
 
         for &target in &self.referencing_targets[rule.index()] {
             let s = get_state(target, &mut states, &mut mapping, &mut worklist);
@@ -123,10 +122,7 @@ impl<'a> Extractor<'a> {
         while let Some(node_id) = worklist.pop() {
             let state_idx = mapping[&node_id];
             let node = self.pda.node(node_id);
-            let has_rule_edge = node
-                .edges
-                .iter()
-                .any(|e| matches!(e, PdaEdge::Rule { .. }));
+            let has_rule_edge = node.edges.iter().any(|e| matches!(e, PdaEdge::Rule { .. }));
             if has_rule_edge {
                 // The continuation descends into another rule, which the
                 // extraction does not follow: accept conservatively.

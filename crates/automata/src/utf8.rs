@@ -72,11 +72,7 @@ impl Utf8Sequence {
     /// Returns `true` if `bytes` (of the same length) is matched.
     pub fn matches(&self, bytes: &[u8]) -> bool {
         bytes.len() == self.ranges.len()
-            && self
-                .ranges
-                .iter()
-                .zip(bytes)
-                .all(|(r, &b)| r.contains(b))
+            && self.ranges.iter().zip(bytes).all(|(r, &b)| r.contains(b))
     }
 }
 
@@ -223,7 +219,10 @@ mod tests {
                 let mut buf = [0u8; 4];
                 let enc = c.encode_utf8(&mut buf).as_bytes().to_vec();
                 let matching = seqs.iter().filter(|s| s.matches(&enc)).count();
-                assert_eq!(matching, 1, "codepoint {cp:#x} matched {matching} sequences");
+                assert_eq!(
+                    matching, 1,
+                    "codepoint {cp:#x} matched {matching} sequences"
+                );
             }
         }
         // No sequence may match an encoding of a char outside the range
@@ -301,9 +300,6 @@ mod tests {
             ByteRange::new(15, 25),
             ByteRange::new(40, 50),
         ]);
-        assert_eq!(
-            merged,
-            vec![ByteRange::new(10, 30), ByteRange::new(40, 50)]
-        );
+        assert_eq!(merged, vec![ByteRange::new(10, 30), ByteRange::new(40, 50)]);
     }
 }

@@ -69,12 +69,13 @@ impl ConstrainedBackend for FsmIndexBackend {
     }
 
     fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
-        let fsa = unroll_grammar_to_fsa(grammar, self.unroll_depth, self.max_states).map_err(
-            |e| BackendError::UnsupportedGrammar {
-                backend: "Outlines (FSM index)",
-                reason: e.to_string(),
-            },
-        )?;
+        let fsa =
+            unroll_grammar_to_fsa(grammar, self.unroll_depth, self.max_states).map_err(|e| {
+                BackendError::UnsupportedGrammar {
+                    backend: "Outlines (FSM index)",
+                    reason: e.to_string(),
+                }
+            })?;
         Ok(Arc::new(FsmCompiled {
             shared: Arc::new(FsmShared {
                 fsa,
@@ -106,7 +107,10 @@ impl fmt::Debug for FsmShared {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FsmShared")
             .field("nfa_states", &self.fsa.len())
-            .field("indexed_states", &self.index.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .field(
+                "indexed_states",
+                &self.index.lock().unwrap_or_else(|e| e.into_inner()).len(),
+            )
             .finish()
     }
 }
@@ -119,7 +123,12 @@ impl FsmShared {
     }
 
     fn state_index(&self, state: &DfaState) -> Arc<StateIndex> {
-        if let Some(hit) = self.index.lock().unwrap_or_else(|e| e.into_inner()).get(state) {
+        if let Some(hit) = self
+            .index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(state)
+        {
             return Arc::clone(hit);
         }
         // Full vocabulary scan for this state (the expensive part of the
@@ -147,7 +156,10 @@ impl FsmShared {
             allowed,
             can_terminate,
         });
-        self.index.lock().unwrap_or_else(|e| e.into_inner()).insert(state.clone(), Arc::clone(&entry));
+        self.index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(state.clone(), Arc::clone(&entry));
         entry
     }
 }
@@ -254,7 +266,11 @@ mod tests {
         .unwrap();
         let compiled = backend.compile(&grammar).unwrap();
         let mut session = compiled.new_session();
-        assert!(drive_session_bytes(&vocab, session.as_mut(), b"[1,[2,[3]]]"));
+        assert!(drive_session_bytes(
+            &vocab,
+            session.as_mut(),
+            b"[1,[2,[3]]]"
+        ));
         assert!(session.can_terminate());
         // Nesting beyond the unrolling depth is not representable: the mask
         // at some point refuses to open yet another bracket.

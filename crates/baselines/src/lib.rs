@@ -43,7 +43,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use xg_core::{GrammarCacheStats, TokenBitmask};
-use xg_grammar::Grammar;
+use xg_grammar::{Grammar, StructuralTag};
 use xg_tokenizer::{TokenId, Vocabulary};
 
 /// Errors produced when a backend cannot handle a grammar.
@@ -87,6 +87,25 @@ pub trait ConstrainedBackend: Send + Sync + fmt::Debug {
     /// Returns [`BackendError::UnsupportedGrammar`] if the backend cannot
     /// express the grammar (e.g. recursion in a regex-only backend).
     fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError>;
+
+    /// Prepares a structural-tag description (free text interleaved with
+    /// tagged, grammar-constrained segments). Only engines with a tag
+    /// dispatch layer support this; baselines return an error by default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::UnsupportedGrammar`] if the backend has no
+    /// structural-tag support or the description is invalid.
+    fn compile_structural(
+        &self,
+        tag: &StructuralTag,
+    ) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
+        let _ = tag;
+        Err(BackendError::UnsupportedGrammar {
+            backend: self.name(),
+            reason: "structural tags are not supported by this backend".into(),
+        })
+    }
 
     /// Compiled-grammar cache counters, for backends that memoize compiled
     /// grammars (the serving engine reports these per batch). Baselines

@@ -150,7 +150,11 @@ mod tests {
             .compile(&xg_grammar::builtin::json_grammar())
             .unwrap();
         let mut session = compiled.new_session();
-        assert!(drive_session_bytes(&vocab, session.as_mut(), br#"{"a": 1}"#));
+        assert!(drive_session_bytes(
+            &vocab,
+            session.as_mut(),
+            br#"{"a": 1}"#
+        ));
         assert!(session.can_terminate());
     }
 

@@ -65,10 +65,11 @@ pub fn grammar_is_recursive(grammar: &Grammar) -> bool {
         }
         visiting[rule.index()] = true;
         let mut refs = Vec::new();
-        grammar.rule(rule).body.for_each_rule_ref(&mut |r| refs.push(r));
-        let recursive = refs
-            .into_iter()
-            .any(|r| visit(grammar, r, visiting, done));
+        grammar
+            .rule(rule)
+            .body
+            .for_each_rule_ref(&mut |r| refs.push(r));
+        let recursive = refs.into_iter().any(|r| visit(grammar, r, visiting, done));
         visiting[rule.index()] = false;
         done[rule.index()] = !recursive;
         recursive
@@ -166,8 +167,14 @@ impl<'a> Unroller<'a> {
                 }
                 let mut cur = from;
                 for (i, &b) in bytes.iter().enumerate() {
-                    let next = if i + 1 == bytes.len() { to } else { self.new_state()? };
-                    self.states[cur].byte_edges.push((ByteRange::new(b, b), next));
+                    let next = if i + 1 == bytes.len() {
+                        to
+                    } else {
+                        self.new_state()?
+                    };
+                    self.states[cur]
+                        .byte_edges
+                        .push((ByteRange::new(b, b), next));
                     cur = next;
                 }
             }
@@ -197,7 +204,11 @@ impl<'a> Unroller<'a> {
                 }
                 let mut cur = from;
                 for (i, item) in items.iter().enumerate() {
-                    let next = if i + 1 == items.len() { to } else { self.new_state()? };
+                    let next = if i + 1 == items.len() {
+                        to
+                    } else {
+                        self.new_state()?
+                    };
                     self.compile_expr(item, cur, next, depth)?;
                     cur = next;
                 }

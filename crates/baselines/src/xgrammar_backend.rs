@@ -6,10 +6,11 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use xg_core::{
-    CompiledGrammar, CompilerConfig, GrammarCache, GrammarCacheKey, GrammarCacheStats,
-    GrammarCompiler, GrammarMatcher, MatcherPool, TokenBitmask,
+    CompiledGrammar, CompiledTagDispatch, CompilerConfig, GrammarCache, GrammarCacheKey,
+    GrammarCacheStats, GrammarCompiler, GrammarMatcher, MatcherPool, StructuralTagMatcher,
+    TokenBitmask,
 };
-use xg_grammar::Grammar;
+use xg_grammar::{Grammar, StructuralTag};
 use xg_tokenizer::{TokenId, Vocabulary};
 
 use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend};
@@ -70,7 +71,11 @@ impl XGrammarBackend {
     /// sight. A pool is only reused while its grammar is still the cached one
     /// (an evicted-and-recompiled grammar gets a fresh pool), and stale pools
     /// are dropped so the cache budget bounds resident grammars.
-    fn pool_for(&self, key: GrammarCacheKey, compiled: Arc<CompiledGrammar>) -> Arc<XGrammarCompiled> {
+    fn pool_for(
+        &self,
+        key: GrammarCacheKey,
+        compiled: Arc<CompiledGrammar>,
+    ) -> Arc<XGrammarCompiled> {
         let cache = self.compiler.cache();
         let mut state = self.pools.lock().unwrap_or_else(|e| e.into_inner());
         // Prune on every lookup (not just inserts): a workload that settles
@@ -114,6 +119,21 @@ impl ConstrainedBackend for XGrammarBackend {
         let key = self.compiler.cache_key(grammar);
         let compiled = self.compiler.compile_grammar_with_key(key, grammar);
         Ok(self.pool_for(key, compiled) as Arc<dyn CompiledConstraint>)
+    }
+
+    fn compile_structural(
+        &self,
+        tag: &StructuralTag,
+    ) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
+        // The per-trigger combined grammars run through the ordinary cached
+        // compile path, so repeated tool schemas compile once per cache.
+        let compiled = self.compiler.compile_tag_dispatch(tag).map_err(|e| {
+            BackendError::UnsupportedGrammar {
+                backend: self.name(),
+                reason: e.to_string(),
+            }
+        })?;
+        Ok(Arc::new(XGrammarStructural { compiled }) as Arc<dyn CompiledConstraint>)
     }
 
     fn cache_stats(&self) -> Option<GrammarCacheStats> {
@@ -175,6 +195,41 @@ impl BackendSession for XGrammarSession {
     }
 }
 
+/// A compiled structural tag behind the common constraint interface. Inner
+/// sub-grammars are shared via the compiled-grammar cache; the dispatching
+/// matchers themselves are cheap to create (free-text scan state only).
+#[derive(Debug)]
+struct XGrammarStructural {
+    compiled: Arc<CompiledTagDispatch>,
+}
+
+impl CompiledConstraint for XGrammarStructural {
+    fn new_session(&self) -> Box<dyn BackendSession> {
+        Box::new(XGrammarStructuralSession {
+            matcher: StructuralTagMatcher::new(Arc::clone(&self.compiled)),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct XGrammarStructuralSession {
+    matcher: StructuralTagMatcher,
+}
+
+impl BackendSession for XGrammarStructuralSession {
+    fn fill_mask(&mut self, mask: &mut TokenBitmask) {
+        self.matcher.fill_next_token_bitmask(mask);
+    }
+
+    fn accept_token(&mut self, token: TokenId) -> bool {
+        self.matcher.accept_token(token).is_ok()
+    }
+
+    fn can_terminate(&mut self) -> bool {
+        self.matcher.can_terminate()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,7 +244,11 @@ mod tests {
             .compile(&xg_grammar::builtin::json_grammar())
             .unwrap();
         let mut session = compiled.new_session();
-        assert!(drive_session_bytes(&vocab, session.as_mut(), br#"[1, {"k": "v"}]"#));
+        assert!(drive_session_bytes(
+            &vocab,
+            session.as_mut(),
+            br#"[1, {"k": "v"}]"#
+        ));
         assert!(session.can_terminate());
         // EOS is accepted once the structure is complete.
         assert!(session.accept_token(vocab.eos().unwrap()));
@@ -214,8 +273,10 @@ mod tests {
         let grammar = xg_grammar::builtin::json_grammar();
         a.compile(&grammar).unwrap();
         b.compile(&grammar).unwrap(); // served from the shared cache
-        // Per-backend counters: `a` compiled, `b` hit the shared entry.
-        let stats_a = a.cache_stats().expect("xgrammar backends expose cache stats");
+                                      // Per-backend counters: `a` compiled, `b` hit the shared entry.
+        let stats_a = a
+            .cache_stats()
+            .expect("xgrammar backends expose cache stats");
         assert_eq!((stats_a.hits, stats_a.misses), (0, 1));
         let stats_b = b.cache_stats().unwrap();
         assert_eq!((stats_b.hits, stats_b.misses), (1, 0));
@@ -243,7 +304,11 @@ mod tests {
         let state = backend.pools.lock().unwrap();
         assert_eq!(state.by_key.len(), 1, "one pool per compiled grammar");
         let pool = &state.by_key.values().next().unwrap().pool;
-        assert_eq!(pool.created(), 1, "second batch must reuse the first matcher");
+        assert_eq!(
+            pool.created(),
+            1,
+            "second batch must reuse the first matcher"
+        );
         assert_eq!(pool.reused(), 1);
     }
 
@@ -258,7 +323,7 @@ mod tests {
             let mut first = compiled.new_session();
             assert!(drive_session_bytes(&vocab, first.as_mut(), b"[7]"));
         } // dropped -> matcher returns to the pool
-        // The recycled matcher must start from scratch.
+          // The recycled matcher must start from scratch.
         let mut second = compiled.new_session();
         assert!(drive_session_bytes(&vocab, second.as_mut(), b"[12]"));
         assert!(second.can_terminate());
@@ -287,7 +352,11 @@ mod tests {
         assert_eq!(backend.pools.lock().unwrap().by_key.len(), 1);
         backend.compile(&g2).unwrap(); // evicts g1 from the cache
         let state = backend.pools.lock().unwrap();
-        assert_eq!(state.by_key.len(), 1, "the evicted grammar's pool must be pruned");
+        assert_eq!(
+            state.by_key.len(),
+            1,
+            "the evicted grammar's pool must be pruned"
+        );
         assert!(state.by_key.contains_key(&backend.compiler.cache_key(&g2)));
     }
 
@@ -308,8 +377,44 @@ mod tests {
         cache.clear(); // counts as evictions, so the next compile prunes
         backend.compile(&g2).unwrap();
         let state = backend.pools.lock().unwrap();
-        assert_eq!(state.by_key.len(), 1, "cleared grammars must not stay pinned");
+        assert_eq!(
+            state.by_key.len(),
+            1,
+            "cleared grammars must not stay pinned"
+        );
         assert!(state.by_key.contains_key(&backend.compiler.cache_key(&g2)));
+    }
+
+    #[test]
+    fn structural_tags_compile_and_constrain_only_tagged_segments() {
+        use xg_grammar::{TagContent, TagSpec};
+
+        let vocab = small_vocab();
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let tag = StructuralTag::new(vec![TagSpec {
+            begin: "<n>".into(),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: "</n>".into(),
+        }]);
+        let compiled = backend.compile_structural(&tag).unwrap();
+        let mut session = compiled.new_session();
+        // Free prose, then a constrained tagged segment, then prose again.
+        assert!(drive_session_bytes(
+            &vocab,
+            session.as_mut(),
+            b"hi <n>42</n> bye"
+        ));
+        assert!(session.can_terminate());
+        assert!(session.accept_token(vocab.eos().unwrap()));
+        // A baseline backend reports structural tags as unsupported.
+        let naive = crate::NaivePdaBackend::new(Arc::clone(&vocab));
+        assert!(matches!(
+            naive.compile_structural(&tag),
+            Err(BackendError::UnsupportedGrammar { .. })
+        ));
     }
 
     #[test]

@@ -83,7 +83,9 @@ fn bench_batched_mask_generation(c: &mut Criterion) {
     for workload in [Workload::JsonSchema, Workload::CfgJson] {
         let (grammar, refs) = workload.grammar_and_references(4);
         let backend = BackendKind::XGrammar.build(Arc::clone(&vocab));
-        let compiled = backend.compile(&grammar).expect("xgrammar compiles all workloads");
+        let compiled = backend
+            .compile(&grammar)
+            .expect("xgrammar compiles all workloads");
         let llm = SimulatedLlm::new(
             Arc::clone(&vocab),
             LlmBehavior {
@@ -92,7 +94,9 @@ fn bench_batched_mask_generation(c: &mut Criterion) {
                 seed: 0,
             },
         );
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(BATCH);
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(BATCH);
         for (label, parallel) in [("serial", false), ("parallel", true)] {
             group.bench_with_input(
                 BenchmarkId::new(label, workload.name()),
@@ -106,8 +110,7 @@ fn bench_batched_mask_generation(c: &mut Criterion) {
                     let mut sessions: Vec<_> = (0..BATCH)
                         .map(|i| {
                             let mut session = compiled.new_session();
-                            let mut state =
-                                llm.start_request(&refs[i % refs.len()], i as u64);
+                            let mut state = llm.start_request(&refs[i % refs.len()], i as u64);
                             for _ in 0..(2 + i % 12) {
                                 session.fill_mask(&mut masks[i]);
                                 let Some(token) = state.propose_constrained(&masks[i]) else {
@@ -149,5 +152,9 @@ fn bench_batched_mask_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mask_generation, bench_batched_mask_generation);
+criterion_group!(
+    benches,
+    bench_mask_generation,
+    bench_batched_mask_generation
+);
 criterion_main!(benches);

@@ -30,10 +30,8 @@ fn bench_preprocessing(c: &mut Criterion) {
                 b.iter(|| {
                     // A fresh compiler each iteration so the grammar cache
                     // does not short-circuit the work being measured.
-                    let compiler = GrammarCompiler::with_config(
-                        Arc::clone(&vocab),
-                        CompilerConfig::default(),
-                    );
+                    let compiler =
+                        GrammarCompiler::with_config(Arc::clone(&vocab), CompilerConfig::default());
                     compiler.compile_grammar(grammar).stats().memory_bytes
                 })
             },

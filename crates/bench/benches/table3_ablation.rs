@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use xg_bench::{ablation_config, bench_vocabulary, Workload};
 use xg_baselines::{ConstrainedBackend, XGrammarBackend};
+use xg_bench::{ablation_config, bench_vocabulary, Workload};
 use xg_core::TokenBitmask;
 use xg_engine::{LlmBehavior, SimulatedLlm};
 

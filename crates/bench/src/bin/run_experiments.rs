@@ -5,7 +5,8 @@
 //! ```
 //!
 //! `experiment` is one of `fig9`, `fig10`, `table1`, `table2`, `table3`,
-//! `table4`, `fig11`, `fig12`, `stats`, `cache_serving`, or `all` (default);
+//! `table4`, `fig11`, `fig12`, `stats`, `cache_serving`, `structural_tag`,
+//! or `all` (default);
 //! `--list` prints the available experiments and exits. `--full` uses the
 //! 128k-token vocabulary and larger request counts (slower); the default uses
 //! a 32k vocabulary so the whole suite finishes in a few minutes.
@@ -18,12 +19,12 @@ use xg_bench::{
     ablation_backend, bench_vocabulary, measure_mask_generation, BackendKind, Workload,
 };
 use xg_core::{
-    CompilerConfig, GrammarCache, GrammarCacheConfig, GrammarCompiler, GrammarMatcher,
-    TokenBitmask,
+    CompilerConfig, GrammarCache, GrammarCacheConfig, GrammarCompiler, GrammarMatcher, TokenBitmask,
 };
+use xg_core::{DispatchMode, StructuralTagMatcher};
 use xg_engine::{
-    run_accuracy_experiment, AccuracyTask, EngineRequest, ExecutionMode, LlmBehavior,
-    ModelProfile, ServingEngine, SimulatedLlm,
+    run_accuracy_experiment, AccuracyTask, EngineRequest, ExecutionMode, LaneConstraint,
+    LlmBehavior, ModelProfile, ServingEngine, SimulatedLlm,
 };
 use xg_tokenizer::Vocabulary;
 
@@ -68,7 +69,11 @@ fn fmt_ms(d: Duration) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let config = if full { Config::full() } else { Config::quick() };
+    let config = if full {
+        Config::full()
+    } else {
+        Config::quick()
+    };
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -76,7 +81,7 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
     // Single source of truth for name validation, `--list` and dispatch.
     type Experiment = fn(&Arc<Vocabulary>, &Config);
-    let experiments: [(&str, &str, Experiment); 10] = [
+    let experiments: [(&str, &str, Experiment); 11] = [
         (
             "stats",
             "preprocessing statistics for the JSON grammar (§3.1–§3.3)",
@@ -86,7 +91,11 @@ fn main() {
         ("table3", "ablation study on CFG (JSON)", experiment_table3),
         ("fig10", "end-to-end TPOT vs batch size", experiment_fig10),
         ("table1", "TPOT across models", experiment_table1),
-        ("table2", "TPOT with and without XGrammar", experiment_table2),
+        (
+            "table2",
+            "TPOT with and without XGrammar",
+            experiment_table2,
+        ),
         ("table4", "syntactic accuracy", experiment_table4),
         ("fig11", "jump-forward decoding", experiment_fig11),
         ("fig12", "cross-platform TTFT/TPOT", experiment_fig12),
@@ -94,6 +103,11 @@ fn main() {
             "cache_serving",
             "compiled-grammar cache + parallel batch mask generation (§5)",
             experiment_cache_serving,
+        ),
+        (
+            "structural_tag",
+            "tag dispatch: free prose + constrained tool-call segments",
+            experiment_structural_tag,
         ),
     ];
     if args.iter().any(|a| a == "--list") {
@@ -183,8 +197,7 @@ fn experiment_fig9(vocab: &Arc<Vocabulary>, config: &Config) {
         let mut row = format!("{:<28}", workload.name());
         for kind in BackendKind::all() {
             let backend = kind.build(Arc::clone(vocab));
-            let result =
-                measure_mask_generation(&backend, workload, config.fig9_references, 40);
+            let result = measure_mask_generation(&backend, workload, config.fig9_references, 40);
             match result {
                 Some(m) => row.push_str(&format!(" {}", fmt_us(m.per_token))),
                 None => row.push_str(&format!(" {:>10}", "unsupported")),
@@ -211,7 +224,12 @@ fn experiment_table3(vocab: &Arc<Vocabulary>, config: &Config) {
                 )
             })
             .unwrap_or_default();
-        println!("  {:<30} {} us/token {}", name, fmt_us(m.per_token), speedup);
+        println!(
+            "  {:<30} {} us/token {}",
+            name,
+            fmt_us(m.per_token),
+            speedup
+        );
         previous = Some(m.per_token);
     }
     println!();
@@ -221,7 +239,9 @@ fn schema_requests(count: usize) -> Vec<EngineRequest> {
     xg_datasets::json_mode_eval_like(count, 0xE2E)
         .into_iter()
         .map(|t| EngineRequest {
-            grammar: Some(xg_grammar::json_schema_to_grammar(&t.schema).expect("schema converts")),
+            constraint: LaneConstraint::Grammar(
+                xg_grammar::json_schema_to_grammar(&t.schema).expect("schema converts"),
+            ),
             prompt_tokens: 139,
             reference: t.reference,
             max_tokens: 120,
@@ -233,7 +253,7 @@ fn cfg_requests(count: usize) -> Vec<EngineRequest> {
     xg_datasets::json_documents(count, 0xE2E)
         .into_iter()
         .map(|t| EngineRequest {
-            grammar: Some(xg_grammar::builtin::json_grammar()),
+            constraint: LaneConstraint::Grammar(xg_grammar::builtin::json_grammar()),
             prompt_tokens: 139,
             reference: t.reference,
             max_tokens: 160,
@@ -356,7 +376,7 @@ fn experiment_table2(vocab: &Arc<Vocabulary>, config: &Config) {
                 .iter()
                 .cloned()
                 .map(|mut r| {
-                    r.grammar = None;
+                    r.constraint = LaneConstraint::Unconstrained;
                     r
                 })
                 .collect();
@@ -383,7 +403,10 @@ fn experiment_table2(vocab: &Arc<Vocabulary>, config: &Config) {
 fn experiment_table4(vocab: &Arc<Vocabulary>, config: &Config) {
     println!("## Table 4 — syntactic accuracy of structured generation tasks");
     for (name, task) in [
-        ("Function calling (JSON Schema)", AccuracyTask::FunctionCalling),
+        (
+            "Function calling (JSON Schema)",
+            AccuracyTask::FunctionCalling,
+        ),
         ("XML code generation", AccuracyTask::XmlGeneration),
     ] {
         let result = run_accuracy_experiment(
@@ -547,6 +570,171 @@ fn experiment_cache_serving(vocab: &Arc<Vocabulary>, config: &Config) {
     println!();
 }
 
+/// Structural tags: a mixed prose/tool-call batch through the serving
+/// engine, plus a direct matcher-level study of free-text passthrough
+/// overhead, tag-segment conformance, and rollback across tag boundaries.
+fn experiment_structural_tag(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Structural tags — tag dispatch for agentic tool calling");
+    let count = config.engine_requests.max(4);
+    let tasks = xg_datasets::tool_call_tasks(count, 0x7A9);
+    let compiler = GrammarCompiler::new(Arc::clone(vocab));
+    let llm = SimulatedLlm::new(
+        Arc::clone(vocab),
+        LlmBehavior {
+            prose_probability: 0.0,
+            type_error_probability: 0.0,
+            seed: 0,
+        },
+    );
+
+    // ---- Part 1: matcher-level decode over the mixed transcripts. ----
+    let mut free_mask_time = Duration::ZERO;
+    let mut tag_mask_time = Duration::ZERO;
+    let mut free_steps = 0u64;
+    let mut tag_steps = 0u64;
+    let mut segments_checked = 0usize;
+    let mut segments_conformant = 0usize;
+    let mut tokens_conformant = true;
+    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+    for (i, task) in tasks.iter().enumerate() {
+        let tag = task.structural_tag();
+        let compiled = compiler
+            .compile_tag_dispatch(&tag)
+            .expect("task tags compile");
+        let mut matcher = StructuralTagMatcher::new(Arc::clone(&compiled));
+        let mut state = llm.start_request(&task.reference, i as u64);
+        let mut output = Vec::new();
+        for _ in 0..600 {
+            let mode = matcher.mode();
+            let start = Instant::now();
+            matcher.fill_next_token_bitmask(&mut mask);
+            let elapsed = start.elapsed();
+            match mode {
+                DispatchMode::FreeText => {
+                    free_mask_time += elapsed;
+                    free_steps += 1;
+                }
+                DispatchMode::Tagged { .. } => {
+                    tag_mask_time += elapsed;
+                    tag_steps += 1;
+                }
+            }
+            let Some(token) = state.propose_constrained(&mask) else {
+                break;
+            };
+            // Token-by-token conformance: the sampled token must have been
+            // allowed by the mask of the current mode.
+            if !mask.is_allowed(token) {
+                tokens_conformant = false;
+            }
+            if Some(token) == vocab.eos() {
+                matcher.accept_token(token).expect("EOS in free text");
+                break;
+            }
+            if matcher.accept_token(token).is_err() {
+                tokens_conformant = false;
+                break;
+            }
+            output.extend_from_slice(vocab.token_bytes(token));
+            state.advance(token);
+        }
+        // Tag-segment conformance: every emitted segment must match its
+        // function's standalone sub-grammar (schema + name + end tag).
+        let text = String::from_utf8_lossy(&output).to_string();
+        for segment in text.split(xg_datasets::TOOL_CALL_TRIGGER).skip(1) {
+            segments_checked += 1;
+            let Some((name, rest)) = segment.split_once('>') else {
+                continue;
+            };
+            // A segment with no closing tag (output truncated mid-call)
+            // counts as checked but not conformant.
+            let Some((payload, _)) = rest.split_once(xg_datasets::TOOL_CALL_END) else {
+                continue;
+            };
+            let schema = task
+                .functions
+                .iter()
+                .find(|f| f.name == name)
+                .map(|f| &f.schema);
+            let ok = schema.is_some_and(|schema| {
+                let grammar = xg_grammar::json_schema_to_grammar(schema).expect("schema converts");
+                let mut standalone = GrammarMatcher::new(compiler.compile_grammar(&grammar));
+                standalone.accept_bytes(payload.as_bytes()).is_ok() && standalone.can_terminate()
+            });
+            segments_conformant += usize::from(ok);
+        }
+    }
+    println!(
+        "  free-text steps : {:>6}  avg mask fill {:>8.0} ns (all-allowed passthrough)",
+        free_steps,
+        free_mask_time.as_nanos() as f64 / free_steps.max(1) as f64
+    );
+    println!(
+        "  tagged steps    : {:>6}  avg mask fill {:>8.0} ns (constrained decode)",
+        tag_steps,
+        tag_mask_time.as_nanos() as f64 / tag_steps.max(1) as f64
+    );
+    println!(
+        "  tool-call segments conformant to their sub-grammar: {segments_conformant}/{segments_checked}"
+    );
+    println!(
+        "  token-by-token mask conformance: {}",
+        if tokens_conformant { "PASS" } else { "FAIL" }
+    );
+
+    // ---- Part 2: rollback across a tag boundary. ----
+    let task = &tasks[0];
+    let compiled = compiler
+        .compile_tag_dispatch(&task.structural_tag())
+        .expect("task tags compile");
+    let mut matcher = StructuralTagMatcher::new(compiled);
+    let mut pre_tag_mask = TokenBitmask::new_all_rejected(vocab.len());
+    matcher.accept_bytes(b"prose before the call").unwrap();
+    matcher.fill_next_token_bitmask(&mut pre_tag_mask);
+    let begin = task.functions[0].begin_tag();
+    matcher.accept_bytes(begin.as_bytes()).unwrap(); // unit 2: opens the tag
+    matcher.accept_bytes(b"{").unwrap(); // unit 3: inside the segment
+    let in_tag = matches!(matcher.mode(), DispatchMode::Tagged { .. });
+    matcher.rollback(2).unwrap(); // back across the boundary
+    matcher.fill_next_token_bitmask(&mut mask);
+    let restored = matcher.mode() == DispatchMode::FreeText && mask == pre_tag_mask;
+    println!(
+        "  rollback across tag boundary restores pre-tag state: {}",
+        if in_tag && restored { "PASS" } else { "FAIL" }
+    );
+
+    // ---- Part 3: the serving engine on a mixed prose/tool-call batch. ----
+    let profile = ModelProfile::llama31_8b_h100().scaled(config.time_scale);
+    let requests: Vec<EngineRequest> = tasks
+        .iter()
+        .map(|t| EngineRequest {
+            constraint: LaneConstraint::StructuralTag(t.structural_tag()),
+            prompt_tokens: 139,
+            reference: t.reference.clone(),
+            max_tokens: 400,
+        })
+        .collect();
+    let fully_constrained = schema_requests(count);
+    let backend: Arc<dyn ConstrainedBackend> = Arc::new(XGrammarBackend::new(Arc::clone(vocab)));
+    let engine = ServingEngine::new(backend, profile, ExecutionMode::Overlapped);
+    let (results, tag_metrics) = engine.run_batch(&requests).expect("tag batch runs");
+    let (_, constrained_metrics) = engine
+        .run_batch(&fully_constrained)
+        .expect("constrained batch runs");
+    let completed = results.iter().filter(|r| r.completed).count();
+    println!(
+        "  engine batch of {count} mixed lanes: {completed}/{count} completed, TPOT {} ms, mask time {} ms",
+        fmt_ms(tag_metrics.tpot),
+        fmt_ms(tag_metrics.mask_time)
+    );
+    println!(
+        "  fully-constrained JSON-schema batch for comparison: TPOT {} ms, mask time {} ms",
+        fmt_ms(constrained_metrics.tpot),
+        fmt_ms(constrained_metrics.mask_time)
+    );
+    println!();
+}
+
 /// Figure 12: cross-platform TTFT / TPOT, structured vs unstructured.
 fn experiment_fig12(vocab: &Arc<Vocabulary>, config: &Config) {
     println!("## Figure 12 — cross-platform TTFT (ms) and TPOT (ms), structured vs unstructured");
@@ -567,7 +755,7 @@ fn experiment_fig12(vocab: &Arc<Vocabulary>, config: &Config) {
             .iter()
             .cloned()
             .map(|mut r| {
-                r.grammar = None;
+                r.constraint = LaneConstraint::Unconstrained;
                 r
             })
             .collect();

@@ -218,7 +218,10 @@ pub fn measure_mask_generation(
 }
 
 /// Builds an `XGrammarBackend` for one ablation configuration (Table 3).
-pub fn ablation_backend(vocab: Arc<Vocabulary>, step: usize) -> (String, Arc<dyn ConstrainedBackend>) {
+pub fn ablation_backend(
+    vocab: Arc<Vocabulary>,
+    step: usize,
+) -> (String, Arc<dyn ConstrainedBackend>) {
     let (name, config) = ablation_config(step);
     (name, Arc::new(XGrammarBackend::with_config(vocab, config)))
 }
@@ -251,10 +254,7 @@ pub fn ablation_config(step: usize) -> (String, CompilerConfig) {
                 ..CompilerConfig::baseline()
             },
         ),
-        _ => (
-            "+ Context expansion".into(),
-            CompilerConfig::default(),
-        ),
+        _ => ("+ Context expansion".into(), CompilerConfig::default()),
     }
 }
 

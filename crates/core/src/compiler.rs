@@ -218,6 +218,11 @@ pub struct GrammarCompiler {
     /// (e.g. per-batch serving metrics) must not be derived from them.
     local_hits: std::sync::atomic::AtomicU64,
     local_misses: std::sync::atomic::AtomicU64,
+    /// Memoized structural-tag compilations (the combined-grammar *builds*;
+    /// the grammars themselves live in the shared [`GrammarCache`]). See
+    /// [`compile_tag_dispatch`](Self::compile_tag_dispatch).
+    tag_dispatch_memo:
+        std::sync::Mutex<std::collections::HashMap<String, Arc<crate::CompiledTagDispatch>>>,
 }
 
 impl GrammarCompiler {
@@ -255,7 +260,16 @@ impl GrammarCompiler {
             cache,
             local_hits: std::sync::atomic::AtomicU64::new(0),
             local_misses: std::sync::atomic::AtomicU64::new(0),
+            tag_dispatch_memo: std::sync::Mutex::new(std::collections::HashMap::new()),
         }
+    }
+
+    /// The structural-tag memo table (crate-internal: used by
+    /// [`compile_tag_dispatch`](Self::compile_tag_dispatch)).
+    pub(crate) fn tag_dispatch_memo(
+        &self,
+    ) -> &std::sync::Mutex<std::collections::HashMap<String, Arc<crate::CompiledTagDispatch>>> {
+        &self.tag_dispatch_memo
     }
 
     /// The vocabulary this compiler is bound to.
@@ -330,7 +344,11 @@ impl GrammarCompiler {
     /// # Errors
     ///
     /// Returns the parse/validation error of [`xg_grammar::parse_ebnf`].
-    pub fn compile_ebnf(&self, text: &str, root: &str) -> Result<Arc<CompiledGrammar>, GrammarError> {
+    pub fn compile_ebnf(
+        &self,
+        text: &str,
+        root: &str,
+    ) -> Result<Arc<CompiledGrammar>, GrammarError> {
         let grammar = xg_grammar::parse_ebnf(text, root)?;
         Ok(self.compile_grammar(&grammar))
     }
@@ -371,8 +389,12 @@ mod tests {
     #[test]
     fn compile_ebnf_and_cache() {
         let c = compiler();
-        let a = c.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
-        let b = c.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+        let a = c
+            .compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root")
+            .unwrap();
+        let b = c
+            .compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root")
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(c.cached_count(), 1);
         let other = c.compile_ebnf(r#"root ::= "x""#, "root").unwrap();
@@ -399,7 +421,9 @@ mod tests {
             Arc::new(test_vocabulary(600)),
             CompilerConfig::baseline(),
         );
-        let compiled = c.compile_ebnf(r#"root ::= "[" [a-z]* "]""#, "root").unwrap();
+        let compiled = c
+            .compile_ebnf(r#"root ::= "[" [a-z]* "]""#, "root")
+            .unwrap();
         assert!(compiled.mask_cache().is_none());
         assert_eq!(compiled.stats(), MaskCacheStats::default());
     }
@@ -408,9 +432,7 @@ mod tests {
     fn invalid_grammar_propagates_error() {
         let c = compiler();
         assert!(c.compile_ebnf(r#"root ::= missing"#, "root").is_err());
-        assert!(c
-            .compile_json_schema(&serde_json::json!(false))
-            .is_err());
+        assert!(c.compile_json_schema(&serde_json::json!(false)).is_err());
     }
 
     #[test]

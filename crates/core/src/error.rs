@@ -18,6 +18,13 @@ pub enum AcceptError {
         /// Number of bytes of the token that were matched before failing.
         matched_bytes: usize,
     },
+    /// A raw byte string (jump-forward text or a forced segment) cannot be
+    /// matched by the grammar at the current position. The matcher state is
+    /// unchanged.
+    BytesRejected {
+        /// Number of bytes that were matched before failing.
+        matched_bytes: usize,
+    },
     /// The token id is outside the vocabulary.
     UnknownToken {
         /// The offending token.
@@ -47,17 +54,28 @@ impl fmt::Display for AcceptError {
                 "token {} violates the grammar (failed after {matched_bytes} bytes)",
                 token.0
             ),
+            AcceptError::BytesRejected { matched_bytes } => write!(
+                f,
+                "byte string violates the grammar (failed after {matched_bytes} bytes)"
+            ),
             AcceptError::UnknownToken { token } => {
                 write!(f, "token {} is outside the vocabulary", token.0)
             }
             AcceptError::CannotTerminate => {
-                write!(f, "end-of-sequence is not allowed before the structure is complete")
+                write!(
+                    f,
+                    "end-of-sequence is not allowed before the structure is complete"
+                )
             }
             AcceptError::AlreadyTerminated => {
                 write!(f, "the matcher already accepted end-of-sequence")
             }
             AcceptError::SpecialTokenRejected { token } => {
-                write!(f, "special token {} is not allowed during generation", token.0)
+                write!(
+                    f,
+                    "special token {} is not allowed during generation",
+                    token.0
+                )
             }
         }
     }

@@ -182,7 +182,8 @@ struct CacheState {
 }
 
 /// A thread-safe LRU cache of [`CompiledGrammar`]s with a byte budget and
-/// compile-once semantics. See the [module docs](self) for the design.
+/// compile-once semantics. See the `grammar_cache` module docs for the
+/// design.
 pub struct GrammarCache {
     config: GrammarCacheConfig,
     state: Mutex<CacheState>,
@@ -367,8 +368,7 @@ impl GrammarCache {
     /// immediately bounced by its own insertion.
     fn evict_over_budget(&self, state: &mut CacheState, just_inserted: GrammarCacheKey) {
         let over = |state: &CacheState| {
-            state.total_bytes > self.config.max_bytes
-                || state.slots.len() > self.config.max_entries
+            state.total_bytes > self.config.max_bytes || state.slots.len() > self.config.max_entries
         };
         while over(state) {
             let victim = state
@@ -500,7 +500,11 @@ mod tests {
     fn clear_empties_the_cache() {
         let vocab = Arc::new(test_vocabulary(600));
         let cache = GrammarCache::new(GrammarCacheConfig::default());
-        cache.get_or_compile(&grammar(r#"root ::= "a""#), &vocab, &CompilerConfig::default());
+        cache.get_or_compile(
+            &grammar(r#"root ::= "a""#),
+            &vocab,
+            &CompilerConfig::default(),
+        );
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());

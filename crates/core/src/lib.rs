@@ -19,7 +19,11 @@
 //!   [`TokenBitmask`]), including jump-forward string detection (Appendix B),
 //! * the **serving concurrency layer** (§5): a budgeted LRU cache of compiled
 //!   grammars with compile-once semantics under contention ([`GrammarCache`])
-//!   and a pool of reusable per-request matchers ([`MatcherPool`]).
+//!   and a pool of reusable per-request matchers ([`MatcherPool`]),
+//! * **tag dispatch** for agentic tool calling: free text passes through
+//!   unconstrained while trigger strings dispatch into constrained tagged
+//!   segments ([`StructuralTagMatcher`], [`CompiledTagDispatch`]), with
+//!   rollback across mode boundaries.
 //!
 //! # Quick start
 //!
@@ -54,6 +58,7 @@ mod mask_cache;
 mod matcher;
 mod matcher_pool;
 mod persistent_stack;
+mod tag_dispatch;
 
 pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler};
 pub use error::{AcceptError, RollbackError};
@@ -65,3 +70,6 @@ pub use mask_cache::{
 pub use matcher::{GrammarMatcher, MatcherStats, DEFAULT_MAX_ROLLBACK_TOKENS};
 pub use matcher_pool::MatcherPool;
 pub use persistent_stack::{PersistentStackTree, StackHandle};
+pub use tag_dispatch::{
+    CompiledTagDispatch, CompiledTrigger, DispatchMode, StructuralTagMatcher, TagDispatchStats,
+};

@@ -335,9 +335,9 @@ pub fn build_mask_cache(
                     break;
                 }
                 let classify = &classify;
-                handles.push(scope.spawn(move || {
-                    (lo..hi).map(|i| (i, classify(i))).collect::<Vec<_>>()
-                }));
+                handles.push(
+                    scope.spawn(move || (lo..hi).map(|i| (i, classify(i))).collect::<Vec<_>>()),
+                );
             }
             for handle in handles {
                 for (i, c) in handle.join().expect("classification worker panicked") {
@@ -485,8 +485,8 @@ mod tests {
         // tokens containing a NUL byte are rejected), so the rejected list is
         // far cheaper than a bitset.
         let (pda, cache) = build_all(r#"root ::= "x" [^\x00]* "y""#, &vocab, true);
-        let accept_heavy = (0..pda.node_count())
-            .any(|i| cache.entry(NodeId(i as u32)).is_accept_heavy());
+        let accept_heavy =
+            (0..pda.node_count()).any(|i| cache.entry(NodeId(i as u32)).is_accept_heavy());
         assert!(accept_heavy, "expected at least one accept-heavy node");
     }
 
@@ -524,11 +524,17 @@ mod tests {
         // ratio is measured by the benchmark harness against a 128k
         // vocabulary); here we check the direction and that context
         // expansion keeps the per-node context-dependent sets tiny.
-        assert!(stats.memory_bytes < stats.dense_memory_bytes,
-            "adaptive {} vs dense {}", stats.memory_bytes, stats.dense_memory_bytes);
-        assert!(stats.max_context_dependent_per_node <= stats.classified_tokens / 100,
+        assert!(
+            stats.memory_bytes < stats.dense_memory_bytes,
+            "adaptive {} vs dense {}",
+            stats.memory_bytes,
+            stats.dense_memory_bytes
+        );
+        assert!(
+            stats.max_context_dependent_per_node <= stats.classified_tokens / 100,
             "too many context-dependent tokens per node: {}",
-            stats.max_context_dependent_per_node);
+            stats.max_context_dependent_per_node
+        );
     }
 
     #[test]

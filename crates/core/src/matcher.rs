@@ -7,7 +7,7 @@
 //! to advance the stacks. It also supports O(1) rollback of recent tokens and
 //! jump-forward string detection (Appendix B).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use xg_automata::PdaEdge;
@@ -59,8 +59,10 @@ pub struct GrammarMatcher {
     compiled: Arc<CompiledGrammar>,
     tree: PersistentStackTree,
     heads: Vec<StackHandle>,
-    /// Snapshots of `heads` *before* each accepted token, newest last.
-    history: Vec<Vec<StackHandle>>,
+    /// Snapshots of `heads` *before* each accepted token, newest last. A
+    /// deque so that trimming the oldest snapshot is O(1) — with a `Vec`,
+    /// every accepted token beyond the window paid an O(window) `remove(0)`.
+    history: VecDeque<Vec<StackHandle>>,
     max_rollback: usize,
     terminated: bool,
     stats: MatcherStats,
@@ -81,7 +83,7 @@ impl GrammarMatcher {
             compiled,
             tree,
             heads: vec![start],
-            history: Vec::new(),
+            history: VecDeque::new(),
             max_rollback,
             terminated: false,
             stats: MatcherStats::default(),
@@ -186,7 +188,10 @@ impl GrammarMatcher {
             let entry = cache.entry(top);
             let resolved = self.resolve_uncertain(compiled, head, entry.uncertain());
             match entry {
-                NodeMaskEntry::AcceptHeavy { rejected, uncertain } => {
+                NodeMaskEntry::AcceptHeavy {
+                    rejected,
+                    uncertain,
+                } => {
                     mask.allow_all();
                     for &t in rejected {
                         mask.reject(t);
@@ -199,7 +204,10 @@ impl GrammarMatcher {
                     self.stats.context_independent_hits +=
                         (vocab.len() - rejected.len() - uncertain.len()) as u64;
                 }
-                NodeMaskEntry::RejectHeavy { accepted, uncertain } => {
+                NodeMaskEntry::RejectHeavy {
+                    accepted,
+                    uncertain,
+                } => {
                     for &t in accepted {
                         mask.allow(t);
                     }
@@ -210,7 +218,10 @@ impl GrammarMatcher {
                     }
                     self.stats.context_independent_hits += accepted.len() as u64;
                 }
-                NodeMaskEntry::Bitset { accepted, uncertain } => {
+                NodeMaskEntry::Bitset {
+                    accepted,
+                    uncertain,
+                } => {
                     mask.union_with(accepted);
                     for (i, &t) in uncertain.iter().enumerate() {
                         if resolved[i] {
@@ -233,7 +244,10 @@ impl GrammarMatcher {
             let entry = cache.entry(top);
             let resolved = self.resolve_uncertain(compiled, head, entry.uncertain());
             match entry {
-                NodeMaskEntry::AcceptHeavy { rejected, uncertain } => {
+                NodeMaskEntry::AcceptHeavy {
+                    rejected,
+                    uncertain,
+                } => {
                     // This stack rejects `rejected ∪ {unresolved uncertain}`.
                     let mut stack_rej: HashSet<TokenId> = rejected.iter().copied().collect();
                     for (i, &t) in uncertain.iter().enumerate() {
@@ -248,7 +262,10 @@ impl GrammarMatcher {
                     self.stats.context_independent_hits +=
                         (vocab.len() - rejected.len() - uncertain.len()) as u64;
                 }
-                NodeMaskEntry::RejectHeavy { accepted, uncertain } => {
+                NodeMaskEntry::RejectHeavy {
+                    accepted,
+                    uncertain,
+                } => {
                     partial_acc.extend(accepted.iter().copied());
                     for (i, &t) in uncertain.iter().enumerate() {
                         if resolved[i] {
@@ -257,7 +274,10 @@ impl GrammarMatcher {
                     }
                     self.stats.context_independent_hits += accepted.len() as u64;
                 }
-                NodeMaskEntry::Bitset { accepted, uncertain } => {
+                NodeMaskEntry::Bitset {
+                    accepted,
+                    uncertain,
+                } => {
                     partial_acc.extend(accepted.allowed_tokens());
                     for (i, &t) in uncertain.iter().enumerate() {
                         if resolved[i] {
@@ -420,8 +440,9 @@ impl GrammarMatcher {
     ///
     /// # Errors
     ///
-    /// Returns [`AcceptError::TokenRejected`] (with a placeholder token id)
-    /// if the bytes violate the grammar; the state is unchanged.
+    /// Returns [`AcceptError::BytesRejected`] (reporting how many bytes
+    /// matched before failing) if the bytes violate the grammar; the state is
+    /// unchanged.
     pub fn accept_bytes(&mut self, bytes: &[u8]) -> Result<(), AcceptError> {
         if self.terminated {
             return Err(AcceptError::AlreadyTerminated);
@@ -431,10 +452,7 @@ impl GrammarMatcher {
         for (i, &b) in bytes.iter().enumerate() {
             heads = advance_byte(compiled.pda(), &mut self.tree, &heads, b, |_| {});
             if heads.is_empty() {
-                return Err(AcceptError::TokenRejected {
-                    token: TokenId(u32::MAX),
-                    matched_bytes: i,
-                });
+                return Err(AcceptError::BytesRejected { matched_bytes: i });
             }
         }
         self.push_history();
@@ -446,15 +464,24 @@ impl GrammarMatcher {
         if self.max_rollback == 0 {
             return;
         }
-        self.history.push(self.heads.clone());
+        self.history.push_back(self.heads.clone());
         if self.history.len() > self.max_rollback {
-            self.history.remove(0);
+            self.history.pop_front();
         }
     }
 
     /// Number of accepted tokens that can currently be rolled back.
     pub fn rollback_window(&self) -> usize {
         self.history.len()
+    }
+
+    /// Drops the oldest history snapshots until at most `keep` remain.
+    /// Crate-internal: the tag-dispatch matcher bounds an inner matcher's
+    /// per-byte history to what the outer rollback window can still reach.
+    pub(crate) fn trim_history_to(&mut self, keep: usize) {
+        while self.history.len() > keep {
+            self.history.pop_front();
+        }
     }
 
     /// The maximum rollback window this matcher was created with.
@@ -497,6 +524,12 @@ impl GrammarMatcher {
     /// current position: while exactly one next byte is possible (and the
     /// grammar cannot terminate instead), that byte is appended. The matcher
     /// state is not modified.
+    ///
+    /// The result always ends on a complete UTF-8 character boundary: when
+    /// the forced bytes stop in the middle of a multi-byte codepoint (e.g.
+    /// two alternatives share a lead byte), the trailing incomplete sequence
+    /// is trimmed rather than handed to the tokenizer, which could not
+    /// re-tokenize a split codepoint.
     pub fn find_jump_forward_string(&mut self) -> Vec<u8> {
         const MAX_JUMP_FORWARD_BYTES: usize = 512;
         let compiled = Arc::clone(&self.compiled);
@@ -524,7 +557,19 @@ impl GrammarMatcher {
             out.push(byte);
             heads = next;
         }
+        // Trim to the last complete character boundary.
+        if let Err(e) = std::str::from_utf8(&out) {
+            out.truncate(e.valid_up_to());
+        }
         out
+    }
+
+    /// Like [`find_jump_forward_string`](Self::find_jump_forward_string), but
+    /// returned as a `String` (the forced bytes are always trimmed to a
+    /// complete UTF-8 prefix, so the conversion cannot fail).
+    pub fn find_jump_forward_str(&mut self) -> String {
+        String::from_utf8(self.find_jump_forward_string())
+            .expect("forced string is trimmed to a valid UTF-8 boundary")
     }
 
     /// Returns the unique next byte if exactly one byte value can be consumed
@@ -575,7 +620,12 @@ mod tests {
             .iter()
             .find(|(_, t)| *t == bytes)
             .map(|(id, _)| id)
-            .unwrap_or_else(|| panic!("token {:?} not in vocabulary", String::from_utf8_lossy(bytes)))
+            .unwrap_or_else(|| {
+                panic!(
+                    "token {:?} not in vocabulary",
+                    String::from_utf8_lossy(bytes)
+                )
+            })
     }
 
     #[test]
@@ -699,8 +749,7 @@ mod tests {
     #[test]
     fn jump_forward_finds_forced_strings() {
         // After `{`, the schema-like grammar forces the literal key.
-        let (_vocab, mut matcher) =
-            setup(r#"root ::= "{\"name\": \"" [a-z]+ "\"}""#);
+        let (_vocab, mut matcher) = setup(r#"root ::= "{\"name\": \"" [a-z]+ "\"}""#);
         let jump = matcher.find_jump_forward_string();
         assert_eq!(jump, b"{\"name\": \"".to_vec());
         // The state is unchanged by the search.
@@ -708,6 +757,76 @@ mod tests {
         matcher.accept_bytes(&jump).unwrap();
         // Inside [a-z]+ nothing is forced.
         assert!(matcher.find_jump_forward_string().is_empty());
+    }
+
+    #[test]
+    fn accept_bytes_reports_rejection_with_matched_prefix() {
+        let (_vocab, mut matcher) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        let err = matcher.accept_bytes(b"[12x").unwrap_err();
+        assert_eq!(err, AcceptError::BytesRejected { matched_bytes: 3 });
+        // The failed call left the state unchanged: the valid prefix still
+        // matches from the start.
+        matcher.accept_bytes(b"[12]").unwrap();
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn rollback_window_trims_oldest_snapshots() {
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let compiled = compiler.compile_ebnf(r#"root ::= [0-9]+"#, "root").unwrap();
+        let mut matcher = GrammarMatcher::with_max_rollback(compiled, 3);
+        for _ in 0..10 {
+            matcher.accept_token(token_for(&vocab, b"5")).unwrap();
+        }
+        assert_eq!(matcher.rollback_window(), 3);
+        assert!(matcher.rollback(4).is_err());
+        matcher.rollback(3).unwrap();
+        assert_eq!(matcher.rollback_window(), 0);
+        // 7 tokens remain accepted; the matcher still continues correctly.
+        matcher.accept_token(token_for(&vocab, b"9")).unwrap();
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn rollback_across_jump_forward_units() {
+        // Tokens and jump-forward strings are interleaved rollback units.
+        let (vocab, mut matcher) = setup(r#"root ::= "{\"id\": " [0-9]+ "}""#);
+        let jump = matcher.find_jump_forward_string();
+        assert_eq!(jump, b"{\"id\": ".to_vec());
+        matcher.accept_bytes(&jump).unwrap(); // unit 1 (jump-forward)
+        matcher.accept_token(token_for(&vocab, b"4")).unwrap(); // unit 2
+        matcher.accept_token(token_for(&vocab, b"2")).unwrap(); // unit 3
+        assert_eq!(matcher.rollback_window(), 3);
+        // Roll back across the jump-forward unit to the very start.
+        matcher.rollback(3).unwrap();
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        matcher.fill_next_token_bitmask(&mut mask);
+        for t in mask.allowed_tokens() {
+            assert_eq!(vocab.token_bytes(t)[0], b'{');
+        }
+        // The same jump is forced again and the run completes.
+        assert_eq!(matcher.find_jump_forward_string(), jump);
+        matcher.accept_bytes(&jump).unwrap();
+        matcher.accept_token(token_for(&vocab, b"7")).unwrap();
+        matcher.accept_token(token_for(&vocab, b"}")).unwrap();
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn jump_forward_never_splits_utf8_codepoints() {
+        // α (0xCE 0xB1) and β (0xCE 0xB2) share the lead byte 0xCE: the raw
+        // forced bytes end mid-codepoint and must be trimmed to nothing.
+        let (_vocab, mut matcher) = setup(r#"root ::= "α" | "β""#);
+        assert!(matcher.find_jump_forward_string().is_empty());
+        assert_eq!(matcher.find_jump_forward_str(), "");
+        // A fully forced multi-byte string is returned whole.
+        let (_vocab, mut matcher) = setup(r#"root ::= "héllo" [0-9]"#);
+        assert_eq!(matcher.find_jump_forward_str(), "héllo");
+        // A forced literal whose *continuation* diverges mid-codepoint keeps
+        // the complete-character prefix only.
+        let (_vocab, mut matcher) = setup(r#"root ::= "x" ("α" | "β")"#);
+        assert_eq!(matcher.find_jump_forward_str(), "x");
     }
 
     #[test]

@@ -131,7 +131,9 @@ mod tests {
     fn pool() -> (Arc<xg_tokenizer::Vocabulary>, MatcherPool) {
         let vocab = Arc::new(test_vocabulary(600));
         let compiler = GrammarCompiler::new(Arc::clone(&vocab));
-        let compiled = compiler.compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap();
+        let compiled = compiler
+            .compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root")
+            .unwrap();
         (vocab, MatcherPool::new(compiled))
     }
 
@@ -163,7 +165,10 @@ mod tests {
         pool.release(GrammarMatcher::new(other));
         assert_eq!(pool.idle_count(), 0);
         // So is one with a non-default rollback window.
-        pool.release(GrammarMatcher::with_max_rollback(Arc::clone(pool.compiled()), 0));
+        pool.release(GrammarMatcher::with_max_rollback(
+            Arc::clone(pool.compiled()),
+            0,
+        ));
         assert_eq!(pool.idle_count(), 0);
         // The idle cap bounds retained matchers.
         let tiny = MatcherPool::with_max_idle(Arc::clone(pool.compiled()), 1);

@@ -185,7 +185,10 @@ mod tests {
         let c = tree.push(b, NodeId(30));
         assert_eq!(tree.depth(c), 3);
         assert_eq!(tree.top(c), Some(NodeId(30)));
-        assert_eq!(tree.stack_to_vec(c), vec![NodeId(10), NodeId(20), NodeId(30)]);
+        assert_eq!(
+            tree.stack_to_vec(c),
+            vec![NodeId(10), NodeId(20), NodeId(30)]
+        );
         assert_eq!(tree.pop(c), b);
         assert_eq!(tree.pop(b), a);
         assert_eq!(tree.pop(a), StackHandle::ROOT);

@@ -1,0 +1,986 @@
+//! Tag-dispatch matching: free text interleaved with grammar-constrained
+//! tagged segments.
+//!
+//! This is the runtime for [`StructuralTag`] descriptions (the agentic
+//! tool-calling scenario): a [`StructuralTagMatcher`] passes free text
+//! through *unconstrained* — the token mask is all-allowed and costs no
+//! automaton work — while scanning the emitted bytes for trigger strings.
+//! When a trigger completes, the matcher dispatches into the compiled
+//! combined grammar of that trigger (remainder of the begin tag, the content
+//! grammar, the end tag) and constrains decoding token by token until the
+//! segment closes, then returns to free text. Rollback works across mode
+//! boundaries: rolling back into a closed segment re-opens it, and rolling
+//! back across a segment's opening returns to free-text scanning with the
+//! trigger state restored.
+//!
+//! Compilation lives on [`GrammarCompiler::compile_tag_dispatch`]: every
+//! per-trigger combined grammar goes through the ordinary compile path, so
+//! repeated tool schemas hit the shared [`GrammarCache`](crate::GrammarCache)
+//! like any other grammar.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use xg_grammar::{GrammarError, StructuralTag};
+use xg_tokenizer::{TokenId, Vocabulary};
+
+use crate::compiler::{CompiledGrammar, GrammarCompiler};
+use crate::error::{AcceptError, RollbackError};
+use crate::mask::TokenBitmask;
+use crate::matcher::{GrammarMatcher, DEFAULT_MAX_ROLLBACK_TOKENS};
+
+/// One compiled trigger: the byte string scanned for in free text plus the
+/// combined grammar that takes over once it fires.
+#[derive(Debug)]
+pub struct CompiledTrigger {
+    trigger: Vec<u8>,
+    grammar: Arc<CompiledGrammar>,
+}
+
+impl CompiledTrigger {
+    /// The trigger byte string.
+    pub fn trigger(&self) -> &[u8] {
+        &self.trigger
+    }
+
+    /// The compiled combined grammar dispatched to by this trigger.
+    pub fn grammar(&self) -> &Arc<CompiledGrammar> {
+        &self.grammar
+    }
+}
+
+/// A [`StructuralTag`] compiled against a vocabulary: the trigger strings and
+/// their combined grammars, ready to instantiate [`StructuralTagMatcher`]s.
+#[derive(Debug)]
+pub struct CompiledTagDispatch {
+    triggers: Vec<CompiledTrigger>,
+    vocab: Arc<Vocabulary>,
+}
+
+impl CompiledTagDispatch {
+    /// The compiled triggers, in `StructuralTag::effective_triggers` order.
+    pub fn triggers(&self) -> &[CompiledTrigger] {
+        &self.triggers
+    }
+
+    /// The vocabulary the sub-grammars were compiled against.
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
+    }
+
+    /// Advances the free-text trigger scan by one byte. `pending` holds the
+    /// longest suffix of the emitted text that is a proper prefix of some
+    /// trigger; returns the index of a trigger that just completed, if any.
+    ///
+    /// Tracking a single candidate suffix is complete because validation
+    /// rejects triggers that occur inside one another: a completed trigger
+    /// hidden in the middle of `pending` would imply it is an infix of the
+    /// trigger `pending` is a prefix of.
+    fn advance_scan(&self, pending: &mut Vec<u8>, byte: u8) -> Option<usize> {
+        pending.push(byte);
+        loop {
+            if let Some(idx) = self
+                .triggers
+                .iter()
+                .position(|t| t.trigger == pending.as_slice())
+            {
+                pending.clear();
+                return Some(idx);
+            }
+            if self
+                .triggers
+                .iter()
+                .any(|t| t.trigger.starts_with(pending.as_slice()))
+            {
+                return None;
+            }
+            if pending.is_empty() {
+                return None;
+            }
+            // Drop the oldest byte and retry: a trigger may start inside the
+            // suffix we have been tracking.
+            pending.remove(0);
+        }
+    }
+
+    /// Scan state after a trigger completion that was *not* dispatched
+    /// (cancelled mid-token dispatch): the emitted text ends with the full
+    /// trigger string, so the pending suffix is the longest proper suffix of
+    /// that trigger that is a proper prefix of some trigger.
+    fn reseed_pending(&self, trigger_idx: usize) -> Vec<u8> {
+        let trigger = &self.triggers[trigger_idx].trigger;
+        for start in 1..trigger.len() {
+            let suffix = &trigger[start..];
+            if self
+                .triggers
+                .iter()
+                .any(|t| t.trigger.len() > suffix.len() && t.trigger.starts_with(suffix))
+            {
+                return suffix.to_vec();
+            }
+        }
+        Vec::new()
+    }
+}
+
+impl GrammarCompiler {
+    /// Compiles a [`StructuralTag`] description: every trigger's combined
+    /// grammar (begin-tag remainder, content, end tag over the dispatched
+    /// tags) runs through the ordinary cached compile path, so shared tool
+    /// schemas are compiled once per [`GrammarCache`](crate::GrammarCache).
+    /// The dispatch description itself is memoized per compiler, so serving
+    /// batches that re-submit the same tool registry skip the
+    /// schema-to-grammar conversion and combined-grammar construction too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural-tag validation error or the content grammars'
+    /// parse/conversion errors.
+    pub fn compile_tag_dispatch(
+        &self,
+        tag: &StructuralTag,
+    ) -> Result<Arc<CompiledTagDispatch>, GrammarError> {
+        // The description holds serde_json values and grammars with no Hash
+        // impls; their Debug rendering is deterministic and captures every
+        // distinguishing field, so it serves as the memo key (stored in
+        // full — a truncated hash could silently alias two registries).
+        let key = format!("{tag:?}");
+        if let Some(hit) = self.tag_dispatch_memo().lock().unwrap().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let grammars = tag.build_trigger_grammars()?;
+        let mut triggers = Vec::with_capacity(grammars.len());
+        for (trigger, grammar) in grammars {
+            triggers.push(CompiledTrigger {
+                trigger: trigger.into_bytes(),
+                grammar: self.compile_grammar(&grammar),
+            });
+        }
+        let compiled = Arc::new(CompiledTagDispatch {
+            triggers,
+            vocab: Arc::clone(self.vocabulary()),
+        });
+        let mut memo = self.tag_dispatch_memo().lock().unwrap();
+        // The memo pins its compiled grammars beyond the GrammarCache's
+        // budget, so keep it small: a serving process sees a handful of tool
+        // registries, and a full reset on overflow just costs a rebuild.
+        if memo.len() >= TAG_DISPATCH_MEMO_CAP {
+            memo.clear();
+        }
+        // Concurrent identical compiles may race past the lookup above; the
+        // underlying grammars still compile once (GrammarCache), and keeping
+        // the first-inserted dispatch makes every caller share one Arc.
+        Ok(Arc::clone(memo.entry(key).or_insert(compiled)))
+    }
+}
+
+/// Upper bound on memoized structural-tag compilations per compiler.
+const TAG_DISPATCH_MEMO_CAP: usize = 64;
+
+/// Runtime statistics of a [`StructuralTagMatcher`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagDispatchStats {
+    /// Masks generated while in free-text mode (all-allowed, no mask work).
+    pub free_masks: u64,
+    /// Masks generated while inside a tagged segment (constrained).
+    pub tag_masks: u64,
+    /// Tokens accepted in total.
+    pub tokens_accepted: u64,
+    /// Tagged segments opened.
+    pub tags_opened: u64,
+    /// Tagged segments closed.
+    pub tags_closed: u64,
+}
+
+/// The matcher's current high-level mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Emitting unconstrained free text (scanning for triggers).
+    FreeText,
+    /// Inside the tagged segment of the given trigger index.
+    Tagged {
+        /// Index into [`CompiledTagDispatch::triggers`].
+        trigger: usize,
+    },
+}
+
+/// Internal mode state; [`ModeState::Free`] carries the trigger-scan suffix.
+#[derive(Debug, Clone)]
+enum ModeState {
+    Free { pending: Vec<u8> },
+    Tagged { seg: usize },
+}
+
+/// A tagged segment's runtime state. The matcher is dropped (`None`) once no
+/// rollback snapshot can reach the segment any more.
+#[derive(Debug)]
+struct TagSegment {
+    trigger: usize,
+    matcher: Option<GrammarMatcher>,
+    /// Inner rollback units accepted so far (one per byte fed).
+    units: usize,
+}
+
+/// State of the matcher *before* an accepted token, for rollback.
+#[derive(Debug, Clone)]
+struct Snapshot {
+    mode: ModeState,
+    /// Inner units of the then-current segment (0 when `mode` is free).
+    units: usize,
+    segments_len: usize,
+}
+
+/// The incremental matcher for a compiled structural tag: unconstrained free
+/// text, trigger dispatch, constrained tagged segments, and rollback across
+/// all of it.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use xg_core::{GrammarCompiler, StructuralTagMatcher, TokenBitmask};
+/// use xg_grammar::{StructuralTag, TagContent, TagSpec};
+/// use xg_tokenizer::test_vocabulary;
+///
+/// let vocab = Arc::new(test_vocabulary(600));
+/// let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+/// let tag = StructuralTag::new(vec![TagSpec {
+///     begin: "<n>".into(),
+///     content: TagContent::Ebnf { text: "root ::= [0-9]+".into(), root: "root".into() },
+///     end: "</n>".into(),
+/// }]);
+/// let compiled = compiler.compile_tag_dispatch(&tag)?;
+/// let mut matcher = StructuralTagMatcher::new(compiled);
+///
+/// // Free text: the mask is all-allowed.
+/// let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+/// matcher.fill_next_token_bitmask(&mut mask);
+/// assert!(mask.count_allowed() > vocab.len() - 8);
+/// # Ok::<(), xg_grammar::GrammarError>(())
+/// ```
+#[derive(Debug)]
+pub struct StructuralTagMatcher {
+    compiled: Arc<CompiledTagDispatch>,
+    mode: ModeState,
+    segments: Vec<TagSegment>,
+    history: VecDeque<Snapshot>,
+    max_rollback: usize,
+    terminated: bool,
+    stats: TagDispatchStats,
+}
+
+impl StructuralTagMatcher {
+    /// Creates a matcher with the default rollback window.
+    pub fn new(compiled: Arc<CompiledTagDispatch>) -> Self {
+        Self::with_max_rollback(compiled, DEFAULT_MAX_ROLLBACK_TOKENS)
+    }
+
+    /// Creates a matcher that can roll back up to `max_rollback` recently
+    /// accepted tokens, including across tag boundaries.
+    pub fn with_max_rollback(compiled: Arc<CompiledTagDispatch>, max_rollback: usize) -> Self {
+        StructuralTagMatcher {
+            compiled,
+            mode: ModeState::Free {
+                pending: Vec::new(),
+            },
+            segments: Vec::new(),
+            history: VecDeque::new(),
+            max_rollback,
+            terminated: false,
+            stats: TagDispatchStats::default(),
+        }
+    }
+
+    /// The compiled structural tag this matcher runs.
+    pub fn compiled(&self) -> &Arc<CompiledTagDispatch> {
+        &self.compiled
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> TagDispatchStats {
+        self.stats
+    }
+
+    /// The matcher's current mode.
+    pub fn mode(&self) -> DispatchMode {
+        match &self.mode {
+            ModeState::Free { .. } => DispatchMode::FreeText,
+            ModeState::Tagged { seg } => DispatchMode::Tagged {
+                trigger: self.segments[*seg].trigger,
+            },
+        }
+    }
+
+    /// Returns `true` if end-of-sequence has been accepted.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Returns `true` if end-of-sequence would be accepted now: free text can
+    /// always end, a tagged segment must be closed first.
+    pub fn can_terminate(&self) -> bool {
+        !self.terminated && matches!(self.mode, ModeState::Free { .. })
+    }
+
+    /// Number of accepted tokens that can currently be rolled back.
+    pub fn rollback_window(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Resets the matcher to free text at the start of the stream.
+    pub fn reset(&mut self) {
+        self.mode = ModeState::Free {
+            pending: Vec::new(),
+        };
+        self.segments.clear();
+        self.history.clear();
+        self.terminated = false;
+        self.stats = TagDispatchStats::default();
+    }
+
+    /// Fills `mask` with the allowed next tokens: all-allowed in free text
+    /// (special tokens except EOS stay rejected), the inner grammar's mask
+    /// inside a tagged segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask's vocabulary size differs from the compiled
+    /// vocabulary.
+    pub fn fill_next_token_bitmask(&mut self, mask: &mut TokenBitmask) {
+        let vocab = Arc::clone(&self.compiled.vocab);
+        assert_eq!(
+            mask.vocab_size(),
+            vocab.len(),
+            "mask size must match the vocabulary"
+        );
+        if self.terminated {
+            mask.reject_all();
+            return;
+        }
+        match &self.mode {
+            ModeState::Free { .. } => {
+                // Free text passes through unconstrained: no automaton work,
+                // no vocabulary scan. EOS is allowed (free text may end).
+                mask.allow_all();
+                for special in vocab.special_ids() {
+                    if Some(special) != vocab.eos() {
+                        mask.reject(special);
+                    }
+                }
+                self.stats.free_masks += 1;
+            }
+            ModeState::Tagged { seg } => {
+                let seg = *seg;
+                self.segments[seg]
+                    .matcher
+                    .as_mut()
+                    .expect("the current segment is never pruned")
+                    .fill_next_token_bitmask(mask);
+                self.stats.tag_masks += 1;
+            }
+        }
+    }
+
+    /// Accepts a sampled token, advancing free-text scanning and/or the
+    /// current segment's grammar. A single token may cross mode boundaries
+    /// (close a tag and resume prose, or complete a trigger and start the
+    /// constrained segment in the same token). A token that completes a
+    /// trigger and then immediately contradicts the tag's grammar is kept as
+    /// plain free text (the dispatch is cancelled) — the all-allowed
+    /// free-text mask promised the token was acceptable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AcceptError`] (leaving the state unchanged) when a byte
+    /// violates the grammar of a segment that was already open when the call
+    /// started, the token is unknown or a non-EOS special token, or EOS is
+    /// offered inside an unclosed tag.
+    pub fn accept_token(&mut self, token: TokenId) -> Result<(), AcceptError> {
+        if self.terminated {
+            return Err(AcceptError::AlreadyTerminated);
+        }
+        let vocab = Arc::clone(&self.compiled.vocab);
+        if token.index() >= vocab.len() {
+            return Err(AcceptError::UnknownToken { token });
+        }
+        if vocab.is_special(token) {
+            if Some(token) == vocab.eos() {
+                if self.can_terminate() {
+                    self.push_history();
+                    self.terminated = true;
+                    self.stats.tokens_accepted += 1;
+                    return Ok(());
+                }
+                return Err(AcceptError::CannotTerminate);
+            }
+            return Err(AcceptError::SpecialTokenRejected { token });
+        }
+        let snapshot = self.snapshot();
+        let stats = self.stats;
+        let bytes = vocab.token_bytes(token).to_vec();
+        match self.advance_bytes_across_modes(&bytes, &snapshot) {
+            Ok(()) => {
+                self.push_history_snapshot(snapshot);
+                self.stats.tokens_accepted += 1;
+                Ok(())
+            }
+            Err(matched_bytes) => {
+                self.restore(&snapshot);
+                self.stats = stats;
+                Err(AcceptError::TokenRejected {
+                    token,
+                    matched_bytes,
+                })
+            }
+        }
+    }
+
+    /// Accepts raw bytes as one rollback unit (jump-forward-style forced
+    /// text), crossing mode boundaries like
+    /// [`accept_token`](Self::accept_token).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceptError::BytesRejected`] (leaving the state unchanged)
+    /// when a byte violates the grammar of a segment that was already open
+    /// when the call started (like [`accept_token`](Self::accept_token), a
+    /// dispatch opened *and* contradicted within this call is cancelled and
+    /// kept as free text instead).
+    pub fn accept_bytes(&mut self, bytes: &[u8]) -> Result<(), AcceptError> {
+        if self.terminated {
+            return Err(AcceptError::AlreadyTerminated);
+        }
+        let snapshot = self.snapshot();
+        let stats = self.stats;
+        match self.advance_bytes_across_modes(bytes, &snapshot) {
+            Ok(()) => {
+                self.push_history_snapshot(snapshot);
+                Ok(())
+            }
+            Err(matched_bytes) => {
+                self.restore(&snapshot);
+                self.stats = stats;
+                Err(AcceptError::BytesRejected { matched_bytes })
+            }
+        }
+    }
+
+    /// Rolls back the last `num_tokens` accepted tokens, restoring segment
+    /// state across tag boundaries (a rollback into a closed segment re-opens
+    /// it; a rollback across a segment's opening discards the segment and
+    /// restores the free-text scan).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RollbackError`] if more tokens are requested than the
+    /// rollback window holds; the state is unchanged.
+    pub fn rollback(&mut self, num_tokens: usize) -> Result<(), RollbackError> {
+        if num_tokens == 0 {
+            return Ok(());
+        }
+        if num_tokens > self.history.len() {
+            return Err(RollbackError {
+                requested: num_tokens,
+                available: self.history.len(),
+            });
+        }
+        let target = self.history.len() - num_tokens;
+        let snapshot = self.history[target].clone();
+        self.restore(&snapshot);
+        self.history.truncate(target);
+        self.terminated = false;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Internals
+    // -----------------------------------------------------------------
+
+    fn snapshot(&self) -> Snapshot {
+        let units = match &self.mode {
+            ModeState::Free { .. } => 0,
+            ModeState::Tagged { seg } => self.segments[*seg].units,
+        };
+        Snapshot {
+            mode: self.mode.clone(),
+            units,
+            segments_len: self.segments.len(),
+        }
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) {
+        self.segments.truncate(snapshot.segments_len);
+        if let ModeState::Tagged { seg } = &snapshot.mode {
+            let segment = &mut self.segments[*seg];
+            let delta = segment.units - snapshot.units;
+            if delta > 0 {
+                segment
+                    .matcher
+                    .as_mut()
+                    .expect("segments reachable from snapshots are never pruned")
+                    .rollback(delta)
+                    .expect("inner matchers keep their full per-byte history");
+                segment.units = snapshot.units;
+            }
+        }
+        self.mode = snapshot.mode.clone();
+    }
+
+    /// Advances over `bytes`, switching modes as triggers fire and segments
+    /// close. On failure returns the number of bytes matched; the caller
+    /// restores the pre-call snapshot (`base`, the state at call entry).
+    ///
+    /// The free-text mask promises that *any* token is acceptable, so a
+    /// dispatch that both opens **within this call** and immediately
+    /// contradicts the tag grammar in the same call must not reject the
+    /// token: the completed trigger is treated as plain prose instead
+    /// (the byte position is recorded in `suppressed` and the call replays
+    /// from `base` without dispatching there). Only bytes violating a
+    /// segment that was already open when the call started are a real
+    /// rejection — that segment's constraint was visible in the mask.
+    fn advance_bytes_across_modes(&mut self, bytes: &[u8], base: &Snapshot) -> Result<(), usize> {
+        let base_stats = self.stats;
+        let mut suppressed: Vec<usize> = Vec::new();
+        'attempt: loop {
+            // Position of the trigger completion that opened the currently
+            // innermost segment, when that happened during this call.
+            let mut opened_at: Option<usize> = None;
+            for (i, &b) in bytes.iter().enumerate() {
+                match &mut self.mode {
+                    ModeState::Free { pending } => {
+                        if let Some(trigger) = self.compiled.advance_scan(pending, b) {
+                            if suppressed.contains(&i) {
+                                *pending = self.compiled.reseed_pending(trigger);
+                            } else {
+                                self.open_segment(trigger);
+                                opened_at = Some(i);
+                            }
+                        }
+                    }
+                    ModeState::Tagged { seg } => {
+                        let seg = *seg;
+                        let segment = &mut self.segments[seg];
+                        let matcher = segment
+                            .matcher
+                            .as_mut()
+                            .expect("the current segment is never pruned");
+                        if matcher.accept_bytes(&[b]).is_err() {
+                            if let Some(pos) = opened_at {
+                                suppressed.push(pos);
+                                self.restore(base);
+                                self.stats = base_stats;
+                                continue 'attempt;
+                            }
+                            return Err(i);
+                        }
+                        segment.units += 1;
+                        if matcher.can_terminate() {
+                            self.close_segment();
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    /// Opens a tagged segment for `trigger`, immediately closing it again if
+    /// its combined grammar is already complete (pathological nullable tags).
+    fn open_segment(&mut self, trigger: usize) {
+        // Inner matchers keep one rollback unit per byte. The window is
+        // nominally unbounded so the matcher never self-trims; instead
+        // `prune_unreachable_segments` trims it after every accepted token to
+        // exactly the units the outer rollback window can still reach.
+        let mut matcher = GrammarMatcher::with_max_rollback(
+            Arc::clone(self.compiled.triggers[trigger].grammar()),
+            usize::MAX,
+        );
+        self.stats.tags_opened += 1;
+        if matcher.can_terminate() {
+            self.stats.tags_closed += 1;
+            self.mode = ModeState::Free {
+                pending: Vec::new(),
+            };
+            return;
+        }
+        self.segments.push(TagSegment {
+            trigger,
+            matcher: Some(matcher),
+            units: 0,
+        });
+        self.mode = ModeState::Tagged {
+            seg: self.segments.len() - 1,
+        };
+    }
+
+    fn close_segment(&mut self) {
+        self.stats.tags_closed += 1;
+        self.mode = ModeState::Free {
+            pending: Vec::new(),
+        };
+    }
+
+    fn push_history_snapshot(&mut self, snapshot: Snapshot) {
+        if self.max_rollback > 0 {
+            self.history.push_back(snapshot);
+            if self.history.len() > self.max_rollback {
+                self.history.pop_front();
+            }
+        }
+        // Prune even with rollback disabled: with no snapshots retained,
+        // every closed segment becomes unreachable immediately. (Pruned
+        // entries keep their slim `TagSegment` slot — snapshots index
+        // segments by position — but drop the matcher, which owns the
+        // memory.)
+        self.prune_unreachable_segments();
+    }
+
+    fn push_history(&mut self) {
+        let snapshot = self.snapshot();
+        self.push_history_snapshot(snapshot);
+    }
+
+    /// Drops the inner matchers of segments that no rollback snapshot (nor
+    /// the current mode) can reach any more, so long multi-call generations
+    /// do not accumulate one live matcher per closed tool call — and trims
+    /// each reachable segment's per-byte history down to the oldest unit any
+    /// snapshot can still roll back to, so a single long segment does not
+    /// accumulate history beyond the outer rollback window either.
+    fn prune_unreachable_segments(&mut self) {
+        // needed[seg] = the smallest `units` value any retained snapshot (or
+        // the current mode) could restore the segment to; None = unreachable.
+        let mut needed: Vec<Option<usize>> = vec![None; self.segments.len()];
+        if let ModeState::Tagged { seg } = &self.mode {
+            needed[*seg] = Some(self.segments[*seg].units);
+        }
+        for snap in &self.history {
+            if let ModeState::Tagged { seg } = &snap.mode {
+                let entry = needed[*seg].get_or_insert(snap.units);
+                *entry = (*entry).min(snap.units);
+            }
+        }
+        for (segment, need) in self.segments.iter_mut().zip(needed) {
+            match need {
+                None => segment.matcher = None,
+                Some(min_units) => {
+                    if let Some(matcher) = segment.matcher.as_mut() {
+                        matcher.trim_history_to(segment.units - min_units);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xg_grammar::{TagContent, TagSpec};
+    use xg_tokenizer::test_vocabulary;
+
+    fn number_tag() -> StructuralTag {
+        StructuralTag::new(vec![TagSpec {
+            begin: "<n>".into(),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: "</n>".into(),
+        }])
+    }
+
+    fn setup(tag: &StructuralTag) -> (Arc<Vocabulary>, StructuralTagMatcher) {
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let compiled = compiler.compile_tag_dispatch(tag).unwrap();
+        (vocab, StructuralTagMatcher::new(compiled))
+    }
+
+    fn token_for(vocab: &Vocabulary, bytes: &[u8]) -> TokenId {
+        vocab
+            .iter()
+            .find(|(_, t)| *t == bytes)
+            .map(|(id, _)| id)
+            .unwrap_or_else(|| {
+                panic!(
+                    "token {:?} not in vocabulary",
+                    String::from_utf8_lossy(bytes)
+                )
+            })
+    }
+
+    fn drive_bytes(vocab: &Vocabulary, matcher: &mut StructuralTagMatcher, text: &[u8]) {
+        for &b in text {
+            matcher.accept_token(token_for(vocab, &[b])).unwrap();
+        }
+    }
+
+    #[test]
+    fn free_text_is_unconstrained_and_tags_constrain() {
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+
+        // Free text: everything non-special is allowed, EOS included.
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(token_for(&vocab, b"z")));
+        assert!(mask.is_allowed(vocab.eos().unwrap()));
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+
+        drive_bytes(&vocab, &mut matcher, b"some prose <n>");
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+
+        // Inside the tag only digits are allowed.
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(token_for(&vocab, b"7")));
+        assert!(!mask.is_allowed(token_for(&vocab, b"z")));
+        assert!(!mask.is_allowed(vocab.eos().unwrap()));
+        assert!(!matcher.can_terminate());
+
+        drive_bytes(&vocab, &mut matcher, b"42</n>");
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert!(matcher.can_terminate());
+
+        drive_bytes(&vocab, &mut matcher, b" done");
+        matcher.accept_token(vocab.eos().unwrap()).unwrap();
+        assert!(matcher.is_terminated());
+        let stats = matcher.stats();
+        assert_eq!(stats.tags_opened, 1);
+        assert_eq!(stats.tags_closed, 1);
+    }
+
+    #[test]
+    fn invalid_bytes_inside_a_tag_are_rejected_atomically() {
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        drive_bytes(&vocab, &mut matcher, b"<n>1");
+        let bad = token_for(&vocab, b"x");
+        assert!(matches!(
+            matcher.accept_token(bad),
+            Err(AcceptError::TokenRejected { .. })
+        ));
+        // State unchanged: the segment continues normally.
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        drive_bytes(&vocab, &mut matcher, b"2</n>");
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn multi_byte_tokens_cross_mode_boundaries() {
+        let tag = number_tag();
+        let (_vocab, mut matcher) = setup(&tag);
+        // One accept_bytes call spans prose, the whole tag, and more prose.
+        matcher.accept_bytes(b"hi <n>123</n> bye").unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert_eq!(matcher.stats().tags_opened, 1);
+        assert_eq!(matcher.stats().tags_closed, 1);
+        // A unit whose bytes complete the trigger but then contradict the tag
+        // grammar stays free text (the all-allowed mask promised it was
+        // acceptable): the dispatch is cancelled, not rejected.
+        matcher.accept_bytes(b"x <n>9q").unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert_eq!(
+            matcher.stats().tags_opened,
+            1,
+            "cancelled dispatch is not an open"
+        );
+        // A later well-formed tag still dispatches and constrains.
+        matcher.accept_bytes(b" <n>1").unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        // Bytes violating a segment opened by an *earlier* unit are a real
+        // rejection (its constraint was visible in the mask).
+        let err = matcher.accept_bytes(b"q").unwrap_err();
+        assert_eq!(err, AcceptError::BytesRejected { matched_bytes: 0 });
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        matcher.accept_bytes(b"2</n>").unwrap();
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn free_mask_contract_holds_for_trigger_crossing_tokens() {
+        // The vocabulary contains the merged token "><". With prose ending in
+        // "<n" the free mask is all-allowed; sampling "><" completes the
+        // trigger "<n>" and continues with '<', which [0-9]+ rejects. The
+        // token must still be accepted (as prose), or the mask would lie.
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        let crossing = token_for(&vocab, b"><");
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        drive_bytes(&vocab, &mut matcher, b"prose <n");
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(crossing));
+        matcher.accept_token(crossing).unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert_eq!(matcher.stats().tags_opened, 0);
+        // The cancelled trigger text is inert; a clean tag still works, and
+        // rollback across the cancelled region behaves like plain free text.
+        matcher.accept_bytes(b"<n>42</n>").unwrap();
+        assert!(matcher.can_terminate());
+        matcher.rollback(2).unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+    }
+
+    #[test]
+    fn eos_is_rejected_inside_an_open_tag() {
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        drive_bytes(&vocab, &mut matcher, b"<n>4");
+        assert!(matches!(
+            matcher.accept_token(vocab.eos().unwrap()),
+            Err(AcceptError::CannotTerminate)
+        ));
+        drive_bytes(&vocab, &mut matcher, b"</n>");
+        matcher.accept_token(vocab.eos().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn rollback_across_tag_boundaries_restores_modes() {
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        let mut pre_tag_mask = TokenBitmask::new_all_rejected(vocab.len());
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+
+        drive_bytes(&vocab, &mut matcher, b"ab");
+        matcher.fill_next_token_bitmask(&mut pre_tag_mask);
+
+        // Enter the tag, emit a digit: 4 tokens after the pre-tag state.
+        drive_bytes(&vocab, &mut matcher, b"<n>5");
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+
+        // Roll back across the boundary: free text again, scan state reset.
+        matcher.rollback(4).unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert_eq!(mask, pre_tag_mask, "pre-tag mask must be restored");
+
+        // Re-enter and close; then roll back INTO the closed segment.
+        drive_bytes(&vocab, &mut matcher, b"<n>5</n>!");
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        matcher.rollback(5).unwrap(); // undo `/n>` + `!`... back inside `<n>5`
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(token_for(&vocab, b"9")));
+        // Take a different path this time.
+        drive_bytes(&vocab, &mut matcher, b"77</n>");
+        assert!(matcher.can_terminate());
+        // Two real opens (rollback re-enters a segment, it does not re-open).
+        assert_eq!(matcher.stats().tags_opened, 2);
+    }
+
+    #[test]
+    fn rollback_after_eos_reopens_free_text() {
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        drive_bytes(&vocab, &mut matcher, b"ok");
+        matcher.accept_token(vocab.eos().unwrap()).unwrap();
+        assert!(matcher.is_terminated());
+        matcher.rollback(1).unwrap();
+        assert!(!matcher.is_terminated());
+        assert!(matcher.can_terminate());
+        assert!(matcher.rollback(100).is_err());
+    }
+
+    #[test]
+    fn shared_trigger_dispatches_on_tag_names() {
+        let mk = |name: &str, body: &str| TagSpec {
+            begin: format!("<fn={name}>"),
+            content: TagContent::Ebnf {
+                text: format!("root ::= {body}"),
+                root: "root".into(),
+            },
+            end: "</fn>".into(),
+        };
+        let tag = StructuralTag::with_triggers(
+            vec![mk("num", "[0-9]+"), mk("word", "[a-z]+")],
+            vec!["<fn=".into()],
+        );
+        let (vocab, mut matcher) = setup(&tag);
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+
+        drive_bytes(&vocab, &mut matcher, b"call <fn=");
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        // Both tag names are still possible: `n` (num) and `w` (word).
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(token_for(&vocab, b"n")));
+        assert!(mask.is_allowed(token_for(&vocab, b"w")));
+        assert!(!mask.is_allowed(token_for(&vocab, b"x")));
+
+        // Choose `word` and check the content constraint switched with it.
+        drive_bytes(&vocab, &mut matcher, b"word>");
+        matcher.fill_next_token_bitmask(&mut mask);
+        assert!(mask.is_allowed(token_for(&vocab, b"a")));
+        assert!(!mask.is_allowed(token_for(&vocab, b"5")));
+        drive_bytes(&vocab, &mut matcher, b"hello</fn>");
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn trigger_scan_handles_overlapping_prefixes() {
+        // Prose containing `<` and `<x` must not derail the scan for `<n>`.
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        drive_bytes(&vocab, &mut matcher, b"a < b <x <<n>");
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        drive_bytes(&vocab, &mut matcher, b"1</n>");
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn closed_segments_are_pruned_beyond_the_rollback_window() {
+        let tag = number_tag();
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let compiled = compiler.compile_tag_dispatch(&tag).unwrap();
+        let mut matcher = StructuralTagMatcher::with_max_rollback(compiled, 4);
+        for _ in 0..3 {
+            matcher.accept_bytes(b"x <n>12</n> y").unwrap();
+        }
+        // Only the last snapshots are retained; earlier segments are pruned.
+        let live = matcher
+            .segments
+            .iter()
+            .filter(|s| s.matcher.is_some())
+            .count();
+        assert!(live <= 1, "expected pruning, {live} live segments");
+        assert_eq!(matcher.stats().tags_opened, 3);
+    }
+
+    #[test]
+    fn long_segments_trim_inner_history_to_the_outer_window() {
+        // A segment much longer than the rollback window must not retain one
+        // history entry per byte for its whole lifetime.
+        let tag = number_tag();
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let compiled = compiler.compile_tag_dispatch(&tag).unwrap();
+        let mut matcher = StructuralTagMatcher::with_max_rollback(compiled, 4);
+        matcher.accept_bytes(b"<n>").unwrap();
+        for _ in 0..200 {
+            matcher.accept_token(token_for(&vocab, b"7")).unwrap();
+        }
+        let inner_window = matcher.segments[0]
+            .matcher
+            .as_ref()
+            .unwrap()
+            .rollback_window();
+        assert!(
+            inner_window <= 4,
+            "inner history must be bounded by the outer window, got {inner_window}"
+        );
+        // Rollback across the retained window still works exactly.
+        matcher.rollback(4).unwrap();
+        matcher.accept_bytes(b"12</n>").unwrap();
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn reset_returns_to_free_text() {
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        drive_bytes(&vocab, &mut matcher, b"<n>1");
+        matcher.reset();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert!(matcher.can_terminate());
+        assert_eq!(matcher.stats(), TagDispatchStats::default());
+    }
+}

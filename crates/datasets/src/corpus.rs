@@ -6,15 +6,48 @@ use rand::{Rng, SeedableRng};
 use crate::{json_documents, python_dsl_tasks, xml_tasks};
 
 const PROSE_WORDS: &[&str] = &[
-    "the", "model", "generates", "structured", "output", "for", "downstream", "agents", "and",
-    "tools", "with", "low", "latency", "on", "every", "request", "while", "keeping", "quality",
-    "high", "users", "expect", "valid", "json", "responses", "from", "function", "calls",
-    "grammar", "constrained", "decoding", "masks", "invalid", "tokens", "at", "each", "step",
+    "the",
+    "model",
+    "generates",
+    "structured",
+    "output",
+    "for",
+    "downstream",
+    "agents",
+    "and",
+    "tools",
+    "with",
+    "low",
+    "latency",
+    "on",
+    "every",
+    "request",
+    "while",
+    "keeping",
+    "quality",
+    "high",
+    "users",
+    "expect",
+    "valid",
+    "json",
+    "responses",
+    "from",
+    "function",
+    "calls",
+    "grammar",
+    "constrained",
+    "decoding",
+    "masks",
+    "invalid",
+    "tokens",
+    "at",
+    "each",
+    "step",
 ];
 
 /// Builds a deterministic mixed corpus (prose + JSON + XML + Python DSL) of
 /// roughly `target_bytes` bytes, suitable for
-/// [`xg_tokenizer::BpeModel::train`].
+/// `xg_tokenizer::BpeModel::train`.
 ///
 /// # Examples
 ///

@@ -22,20 +22,34 @@ pub struct FunctionCallTask {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "alice", "bob", "carol", "david", "erin", "frank", "grace", "henry", "irene", "jack",
-    "karen", "liam", "maria", "nathan", "olivia", "peter", "quinn", "rachel", "samuel", "tina",
+    "alice", "bob", "carol", "david", "erin", "frank", "grace", "henry", "irene", "jack", "karen",
+    "liam", "maria", "nathan", "olivia", "peter", "quinn", "rachel", "samuel", "tina",
 ];
 const CITIES: &[&str] = &[
     "paris", "london", "tokyo", "sydney", "toronto", "berlin", "madrid", "oslo", "dublin",
     "vienna", "prague", "lisbon", "zurich", "seattle", "austin",
 ];
 const PRODUCTS: &[&str] = &[
-    "laptop", "keyboard", "monitor", "headphones", "webcam", "microphone", "dock", "tablet",
-    "charger", "router",
+    "laptop",
+    "keyboard",
+    "monitor",
+    "headphones",
+    "webcam",
+    "microphone",
+    "dock",
+    "tablet",
+    "charger",
+    "router",
 ];
 
 fn filler_sentence(rng: &mut SmallRng) -> String {
-    let subjects = ["The user", "Our customer", "The agent", "A client", "The operator"];
+    let subjects = [
+        "The user",
+        "Our customer",
+        "The agent",
+        "A client",
+        "The operator",
+    ];
     let verbs = ["needs", "wants", "requests", "requires", "expects"];
     let objects = [
         "a precise structured answer",
@@ -96,7 +110,11 @@ pub fn json_mode_eval_like(count: usize, seed: u64) -> Vec<FunctionCallTask> {
 
 fn weather_task(rng: &mut SmallRng) -> FunctionCallTask {
     let city = CITIES[rng.gen_range(0..CITIES.len())];
-    let unit = if rng.gen_bool(0.5) { "celsius" } else { "fahrenheit" };
+    let unit = if rng.gen_bool(0.5) {
+        "celsius"
+    } else {
+        "fahrenheit"
+    };
     let days = rng.gen_range(1..7);
     let schema = json!({
         "type": "object",
@@ -191,7 +209,9 @@ fn order_task(rng: &mut SmallRng) -> FunctionCallTask {
         function_name: "place_order".into(),
         prompt: make_prompt(
             rng,
-            &format!("Place an order for {quantity} {product}(s) and state whether shipping is express."),
+            &format!(
+                "Place an order for {quantity} {product}(s) and state whether shipping is express."
+            ),
         ),
         schema,
         reference: serde_json::to_vec(&reference).expect("serializable"),
@@ -341,7 +361,8 @@ mod tests {
         // The generated reference must be accepted by the grammar compiled
         // from its own schema — this ties the dataset to the grammar stack.
         for task in json_mode_eval_like(10, 11) {
-            let grammar = xg_grammar::json_schema_to_grammar(&task.schema).expect("schema converts");
+            let grammar =
+                xg_grammar::json_schema_to_grammar(&task.schema).expect("schema converts");
             let pda = xg_automata::build_pda_default(&grammar);
             assert!(
                 xg_automata::SimpleMatcher::new(&pda).accepts(&task.reference),

@@ -8,6 +8,9 @@
 //!
 //! * [`json_mode_eval_like`] — function-calling tasks: a JSON Schema, a
 //!   prompt, and a reference answer that satisfies the schema,
+//! * [`tool_call_tasks`] — agentic tool-calling transcripts: free prose
+//!   interleaved with `<function=NAME>{json}</function>` segments plus the
+//!   structural-tag description of the function registry,
 //! * [`xml_tasks`] — XML code-generation tasks for the CFG (XML) workload,
 //! * [`python_dsl_tasks`] — Python-DSL generation tasks,
 //! * [`json_documents`] — free-form JSON documents for the CFG (JSON)
@@ -21,11 +24,15 @@
 mod corpus;
 mod json_tasks;
 mod python_tasks;
+mod tool_call_tasks;
 mod xml_tasks_mod;
 
 pub use corpus::training_corpus;
 pub use json_tasks::{json_documents, json_mode_eval_like, FunctionCallTask};
 pub use python_tasks::python_dsl_tasks;
+pub use tool_call_tasks::{
+    tool_call_tasks, ToolCallTask, ToolFunction, TOOL_CALL_END, TOOL_CALL_TRIGGER,
+};
 pub use xml_tasks_mod::xml_tasks;
 
 /// A generic generation task: a natural-language prompt plus the reference

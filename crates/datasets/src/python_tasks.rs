@@ -6,8 +6,12 @@ use rand::{Rng, SeedableRng};
 
 use crate::GenerationTask;
 
-const VARS: &[&str] = &["x", "y", "total", "count", "result", "value", "item", "flag", "n", "acc"];
-const FUNCS: &[&str] = &["compute", "process", "load", "score", "check", "fetch", "parse"];
+const VARS: &[&str] = &[
+    "x", "y", "total", "count", "result", "value", "item", "flag", "n", "acc",
+];
+const FUNCS: &[&str] = &[
+    "compute", "process", "load", "score", "check", "fetch", "parse",
+];
 
 fn random_expr(rng: &mut SmallRng, depth: usize) -> String {
     if depth == 0 {

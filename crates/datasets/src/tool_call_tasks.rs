@@ -1,0 +1,187 @@
+//! Agentic tool-calling tasks: free prose interleaved with tagged,
+//! schema-constrained tool calls.
+//!
+//! This is the structural-tag workload (XGrammar structural tags /
+//! XGrammar-2 dynamic tag dispatch): the model chats in free text and, when
+//! it decides to call a tool, emits `<function=NAME>{json args}</function>`.
+//! Only the tagged segment is grammar-constrained; the surrounding prose is
+//! not. Each task carries the [`StructuralTag`] describing the registered
+//! functions (one shared `"<function="` trigger dispatching over all of
+//! them) plus a reference transcript mixing prose and one or two calls.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::Value;
+use xg_grammar::{StructuralTag, TagContent, TagSpec};
+
+use crate::json_tasks::json_mode_eval_like;
+
+/// The trigger string shared by every tool-call tag.
+pub const TOOL_CALL_TRIGGER: &str = "<function=";
+
+/// The end string closing every tool-call tag.
+pub const TOOL_CALL_END: &str = "</function>";
+
+/// A callable function registered with the model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolFunction {
+    /// Function name (appears in the begin tag `<function=NAME>`).
+    pub name: String,
+    /// JSON Schema of the argument object.
+    pub schema: Value,
+}
+
+impl ToolFunction {
+    /// The begin tag opening a call to this function.
+    pub fn begin_tag(&self) -> String {
+        format!("{TOOL_CALL_TRIGGER}{}>", self.name)
+    }
+}
+
+/// One tool-calling task: the registered functions, the natural-language
+/// prompt, and a reference transcript interleaving prose with tagged calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolCallTask {
+    /// The functions the model may call.
+    pub functions: Vec<ToolFunction>,
+    /// Natural-language instruction.
+    pub prompt: String,
+    /// Reference transcript: prose, one or two `<function=…>…</function>`
+    /// segments, prose.
+    pub reference: Vec<u8>,
+}
+
+impl ToolCallTask {
+    /// Builds the [`StructuralTag`] for this task's function registry: one
+    /// tag per function (begin `<function=NAME>`, content = the argument
+    /// schema, end `</function>`) dispatched by the shared
+    /// [`TOOL_CALL_TRIGGER`].
+    pub fn structural_tag(&self) -> StructuralTag {
+        StructuralTag::with_triggers(
+            self.functions
+                .iter()
+                .map(|f| TagSpec {
+                    begin: f.begin_tag(),
+                    content: TagContent::JsonSchema(f.schema.clone()),
+                    end: TOOL_CALL_END.to_string(),
+                })
+                .collect(),
+            vec![TOOL_CALL_TRIGGER.to_string()],
+        )
+    }
+}
+
+const PREAMBLES: &[&str] = &[
+    "Sure, let me look that up for you. ",
+    "I can help with that — calling the tool now. ",
+    "One moment while I fetch the data. ",
+    "Good question! I will query the service. ",
+];
+
+const POSTAMBLES: &[&str] = &[
+    " The call has been issued; I will summarize the result next.",
+    " Done — let me know if you need a follow-up query.",
+    " That should cover the request.",
+    " I will report back once the tool responds.",
+];
+
+/// Generates `count` deterministic tool-calling tasks. Every task registers
+/// the same small function catalog (drawn from the json-mode-eval-like
+/// families), so sub-grammar compilations are shared across the batch like a
+/// real agent serving one tool registry; references differ per task and may
+/// contain one or two calls.
+pub fn tool_call_tasks(count: usize, seed: u64) -> Vec<ToolCallTask> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // A stable catalog: one function per schema family.
+    let catalog: Vec<ToolFunction> = json_mode_eval_like(5, seed ^ 0x700C)
+        .into_iter()
+        .map(|t| ToolFunction {
+            name: t.function_name,
+            schema: t.schema,
+        })
+        .collect();
+    // Fresh argument objects per task (same families, new values).
+    let arguments = json_mode_eval_like(count.max(1) * 2, seed);
+    (0..count)
+        .map(|i| {
+            let first = &arguments[2 * i];
+            let two_calls = rng.gen_bool(0.3);
+            let mut reference = Vec::new();
+            reference.extend_from_slice(PREAMBLES[rng.gen_range(0..PREAMBLES.len())].as_bytes());
+            push_call(&mut reference, &first.function_name, &first.reference);
+            if two_calls {
+                let second = &arguments[2 * i + 1];
+                reference.extend_from_slice(b" And a second lookup: ");
+                push_call(&mut reference, &second.function_name, &second.reference);
+            }
+            reference.extend_from_slice(POSTAMBLES[rng.gen_range(0..POSTAMBLES.len())].as_bytes());
+            ToolCallTask {
+                functions: catalog.clone(),
+                prompt: format!(
+                    "You may call the registered tools by writing \
+                     <function=NAME>{{json arguments}}</function> inline in your \
+                     answer. {}",
+                    first.prompt
+                ),
+                reference,
+            }
+        })
+        .collect()
+}
+
+fn push_call(out: &mut Vec<u8>, name: &str, args: &[u8]) {
+    out.extend_from_slice(format!("{TOOL_CALL_TRIGGER}{name}>").as_bytes());
+    out.extend_from_slice(args);
+    out.extend_from_slice(TOOL_CALL_END.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_are_deterministic_per_seed() {
+        assert_eq!(tool_call_tasks(6, 3), tool_call_tasks(6, 3));
+        assert_ne!(tool_call_tasks(6, 3), tool_call_tasks(6, 4));
+    }
+
+    #[test]
+    fn references_interleave_prose_and_tagged_calls() {
+        for task in tool_call_tasks(8, 11) {
+            let text = String::from_utf8(task.reference.clone()).unwrap();
+            let opens = text.matches(TOOL_CALL_TRIGGER).count();
+            let closes = text.matches(TOOL_CALL_END).count();
+            assert!(opens >= 1 && opens == closes, "unbalanced tags in {text}");
+            assert!(
+                !text.starts_with(TOOL_CALL_TRIGGER),
+                "prose precedes the call"
+            );
+            // Every tagged payload is valid JSON.
+            for segment in text.split(TOOL_CALL_TRIGGER).skip(1) {
+                let payload = segment
+                    .split_once('>')
+                    .and_then(|(_, rest)| rest.split(TOOL_CALL_END).next())
+                    .expect("well-formed tag");
+                assert!(serde_json::from_str::<Value>(payload).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn structural_tag_validates_and_covers_called_functions() {
+        for task in tool_call_tasks(5, 7) {
+            let tag = task.structural_tag();
+            tag.validate().expect("task tags validate");
+            assert_eq!(tag.tags.len(), task.functions.len());
+            // Every call in the reference uses a registered begin tag.
+            let text = String::from_utf8(task.reference.clone()).unwrap();
+            for segment in text.split(TOOL_CALL_TRIGGER).skip(1) {
+                let name = segment.split_once('>').unwrap().0;
+                assert!(
+                    task.functions.iter().any(|f| f.name == name),
+                    "unregistered function {name}"
+                );
+            }
+        }
+    }
+}

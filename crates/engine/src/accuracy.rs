@@ -9,7 +9,7 @@ use xg_datasets::{json_mode_eval_like, xml_tasks};
 use xg_grammar::Grammar;
 use xg_tokenizer::Vocabulary;
 
-use crate::engine::{EngineRequest, ExecutionMode, ServingEngine};
+use crate::engine::{EngineRequest, ExecutionMode, LaneConstraint, ServingEngine};
 use crate::llm::LlmBehavior;
 use crate::profiles::ModelProfile;
 
@@ -136,7 +136,7 @@ pub fn run_accuracy_experiment(
         };
         // Unconstrained run.
         let unconstrained = EngineRequest {
-            grammar: None,
+            constraint: LaneConstraint::Unconstrained,
             prompt_tokens: 139,
             reference: reference.clone(),
             max_tokens: 512,
@@ -149,7 +149,7 @@ pub fn run_accuracy_experiment(
         }
         // Constrained run.
         let constrained = EngineRequest {
-            grammar,
+            constraint: grammar.into(),
             prompt_tokens: 139,
             reference,
             max_tokens: 512,
@@ -191,7 +191,10 @@ mod tests {
             },
         );
         assert_eq!(result.total, 6);
-        assert_eq!(result.valid_constrained, 6, "constrained outputs must all parse");
+        assert_eq!(
+            result.valid_constrained, 6,
+            "constrained outputs must all parse"
+        );
         assert!(result.valid_unconstrained < result.valid_constrained);
     }
 

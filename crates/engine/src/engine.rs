@@ -21,11 +21,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use xg_baselines::{BackendError, BackendSession, ConstrainedBackend};
-use xg_core::{GrammarCacheStats, TokenBitmask};
-use xg_grammar::Grammar;
 use crate::llm::{LlmBehavior, SimulatedLlm};
 use crate::profiles::ModelProfile;
+use xg_baselines::{BackendError, BackendSession, ConstrainedBackend};
+use xg_core::{GrammarCacheStats, TokenBitmask};
+use xg_grammar::{Grammar, StructuralTag};
 
 /// Whether grammar work is overlapped with the simulated GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,11 +36,49 @@ pub enum ExecutionMode {
     Overlapped,
 }
 
+/// How one lane of a batch is constrained.
+#[derive(Debug, Clone, Default)]
+pub enum LaneConstraint {
+    /// No constraint: plain sampling (prose lanes).
+    #[default]
+    Unconstrained,
+    /// Fully constrained by a grammar from the first token.
+    Grammar(Grammar),
+    /// Structural tags: free text passes through unconstrained, tagged
+    /// segments (tool calls) are grammar-constrained.
+    StructuralTag(StructuralTag),
+}
+
+impl LaneConstraint {
+    /// Returns `true` if the lane needs a backend session (and token masks).
+    pub fn is_constrained(&self) -> bool {
+        !matches!(self, LaneConstraint::Unconstrained)
+    }
+}
+
+impl From<Grammar> for LaneConstraint {
+    fn from(grammar: Grammar) -> Self {
+        LaneConstraint::Grammar(grammar)
+    }
+}
+
+impl From<StructuralTag> for LaneConstraint {
+    fn from(tag: StructuralTag) -> Self {
+        LaneConstraint::StructuralTag(tag)
+    }
+}
+
+impl From<Option<Grammar>> for LaneConstraint {
+    fn from(grammar: Option<Grammar>) -> Self {
+        grammar.map_or(LaneConstraint::Unconstrained, LaneConstraint::Grammar)
+    }
+}
+
 /// A single generation request.
 #[derive(Debug, Clone)]
 pub struct EngineRequest {
-    /// The grammar constraining this request (`None` = unconstrained).
-    pub grammar: Option<Grammar>,
+    /// The constraint applied to this request.
+    pub constraint: LaneConstraint,
     /// Number of prompt tokens (drives simulated prefill time).
     pub prompt_tokens: usize,
     /// Reference output the simulated LLM tries to produce.
@@ -56,7 +94,9 @@ pub struct RequestResult {
     pub output: Vec<u8>,
     /// Number of generated tokens (excluding EOS).
     pub tokens: usize,
-    /// Whether generation finished with EOS (as opposed to the token cap).
+    /// Whether generation ended successfully: EOS was accepted (or an
+    /// unconstrained lane emitted its full intention). `false` when the lane
+    /// hit the token cap, had no allowed token, or violated its constraint.
     pub completed: bool,
 }
 
@@ -198,7 +238,10 @@ impl ServingEngine {
         let batch_size = requests.len();
         // Only constrained lanes generate masks; unconstrained requests must
         // not inflate the reported worker count.
-        let constrained_lanes = requests.iter().filter(|r| r.grammar.is_some()).count();
+        let constrained_lanes = requests
+            .iter()
+            .filter(|r| r.constraint.is_constrained())
+            .count();
         let mask_threads = self.effective_mask_threads(constrained_lanes.max(1));
         let cache_before = self.backend.cache_stats().unwrap_or_default();
         let start = Instant::now();
@@ -210,9 +253,14 @@ impl ServingEngine {
         let preprocessing = Instant::now();
         let mut compiled_constraints = Vec::with_capacity(batch_size);
         for request in requests {
-            match &request.grammar {
-                Some(grammar) => compiled_constraints.push(Some(self.backend.compile(grammar)?)),
-                None => compiled_constraints.push(None),
+            match &request.constraint {
+                LaneConstraint::Unconstrained => compiled_constraints.push(None),
+                LaneConstraint::Grammar(grammar) => {
+                    compiled_constraints.push(Some(self.backend.compile(grammar)?))
+                }
+                LaneConstraint::StructuralTag(tag) => {
+                    compiled_constraints.push(Some(self.backend.compile_structural(tag)?))
+                }
             }
         }
         for compiled in &compiled_constraints {
@@ -236,6 +284,10 @@ impl ServingEngine {
         let mut outputs: Vec<Vec<u8>> = vec![Vec::new(); batch_size];
         let mut token_counts = vec![0usize; batch_size];
         let mut finished = vec![false; batch_size];
+        // `completed` = the lane ended *successfully* (EOS, or the intention
+        // fully emitted on an unconstrained lane) — as opposed to dying on
+        // the token cap, a stuck mask, or a constraint violation.
+        let mut completed = vec![false; batch_size];
         let mut masks: Vec<TokenBitmask> = (0..batch_size)
             .map(|_| TokenBitmask::new_all_rejected(vocab.len()))
             .collect();
@@ -263,12 +315,8 @@ impl ServingEngine {
                     std::thread::scope(|scope| {
                         let gpu = scope.spawn(|| busy_wait(gpu_step));
                         let mask_start = Instant::now();
-                        mask_cpu = self.generate_masks(
-                            &mut sessions,
-                            &finished,
-                            &mut masks,
-                            mask_threads,
-                        );
+                        mask_cpu =
+                            self.generate_masks(&mut sessions, &finished, &mut masks, mask_threads);
                         mask_elapsed = mask_start.elapsed();
                         gpu.join().expect("gpu simulation thread panicked");
                     });
@@ -290,7 +338,8 @@ impl ServingEngine {
                             Some(t) => t,
                             None => {
                                 // No token is allowed: the structure is stuck
-                                // (should not happen); end the request.
+                                // (should not happen); the lane dies without
+                                // completing.
                                 finished[i] = true;
                                 continue;
                             }
@@ -300,13 +349,16 @@ impl ServingEngine {
                 };
                 if Some(token) == vocab.eos() {
                     finished[i] = true;
-                    if let Some(session) = &mut sessions[i] {
-                        session.accept_token(token);
-                    }
+                    completed[i] = match &mut sessions[i] {
+                        Some(session) => session.accept_token(token),
+                        None => true,
+                    };
                     continue;
                 }
                 if let Some(session) = &mut sessions[i] {
                     if !session.accept_token(token) {
+                        // The sampled token violated the constraint: the lane
+                        // dies without completing.
                         finished[i] = true;
                         continue;
                     }
@@ -315,11 +367,13 @@ impl ServingEngine {
                 llm_states[i].advance(token);
                 token_counts[i] += 1;
                 if token_counts[i] >= requests[i].max_tokens {
+                    // Token cap reached: finished, but not `completed`.
                     finished[i] = true;
                 }
                 // Unconstrained requests stop when the intention is done.
                 if sessions[i].is_none() && llm_states[i].finished() {
                     finished[i] = true;
+                    completed[i] = true;
                 }
             }
             if ttft.is_none() {
@@ -333,7 +387,7 @@ impl ServingEngine {
             .map(|i| RequestResult {
                 output: outputs[i].clone(),
                 tokens: token_counts[i],
-                completed: finished[i],
+                completed: completed[i],
             })
             .collect();
         let metrics = BatchMetrics {
@@ -452,7 +506,9 @@ mod tests {
         json_mode_eval_like(n, 17)
             .into_iter()
             .map(|task| EngineRequest {
-                grammar: Some(xg_grammar::json_schema_to_grammar(&task.schema).unwrap()),
+                constraint: LaneConstraint::Grammar(
+                    xg_grammar::json_schema_to_grammar(&task.schema).unwrap(),
+                ),
                 prompt_tokens: 139,
                 reference: task.reference,
                 max_tokens: 200,
@@ -497,14 +553,11 @@ mod tests {
         // few times and require the speedup to show up at least once.
         let mut last = None;
         for _ in 0..3 {
-            let serial = ServingEngine::new(
-                Arc::clone(&backend),
-                profile.clone(),
-                ExecutionMode::Serial,
-            )
-            .run_batch(&reqs)
-            .unwrap()
-            .1;
+            let serial =
+                ServingEngine::new(Arc::clone(&backend), profile.clone(), ExecutionMode::Serial)
+                    .run_batch(&reqs)
+                    .unwrap()
+                    .1;
             let overlapped = ServingEngine::new(
                 Arc::clone(&backend),
                 profile.clone(),
@@ -533,18 +586,12 @@ mod tests {
         let backend: Arc<dyn xg_baselines::ConstrainedBackend> =
             Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
         let reqs = requests(4);
-        let serial = ServingEngine::new(
-            Arc::clone(&backend),
-            fast_profile(),
-            ExecutionMode::Serial,
-        )
-        .with_mask_parallelism(1);
-        let parallel = ServingEngine::new(
-            Arc::clone(&backend),
-            fast_profile(),
-            ExecutionMode::Serial,
-        )
-        .with_mask_parallelism(4);
+        let serial =
+            ServingEngine::new(Arc::clone(&backend), fast_profile(), ExecutionMode::Serial)
+                .with_mask_parallelism(1);
+        let parallel =
+            ServingEngine::new(Arc::clone(&backend), fast_profile(), ExecutionMode::Serial)
+                .with_mask_parallelism(4);
         let (serial_results, serial_metrics) = serial.run_batch(&reqs).unwrap();
         let (parallel_results, parallel_metrics) = parallel.run_batch(&reqs).unwrap();
         for (s, p) in serial_results.iter().zip(&parallel_results) {
@@ -570,7 +617,7 @@ mod tests {
         let grammar = xg_grammar::json_schema_to_grammar(&schema).unwrap();
         let reqs: Vec<EngineRequest> = (0..4)
             .map(|_| EngineRequest {
-                grammar: Some(grammar.clone()),
+                constraint: LaneConstraint::Grammar(grammar.clone()),
                 prompt_tokens: 10,
                 reference: br#"{"location": "paris", "unit": "celsius", "days": 2}"#.to_vec(),
                 max_tokens: 64,
@@ -599,7 +646,7 @@ mod tests {
         let backend = Arc::new(XGrammarBackend::new(vocab));
         let engine = ServingEngine::new(backend, fast_profile(), ExecutionMode::Serial);
         let req = EngineRequest {
-            grammar: None,
+            constraint: LaneConstraint::Unconstrained,
             prompt_tokens: 10,
             reference: br#"{"ok": true}"#.to_vec(),
             max_tokens: 100,
@@ -607,5 +654,65 @@ mod tests {
         let (results, _) = engine.run_batch(std::slice::from_ref(&req)).unwrap();
         assert!(results[0].completed);
         assert!(!results[0].output.is_empty());
+    }
+
+    #[test]
+    fn mixed_prose_and_tool_call_lanes_run_in_one_batch() {
+        use xg_grammar::{StructuralTag, TagContent, TagSpec};
+
+        let vocab = Arc::new(test_vocabulary(2000));
+        let backend = Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+        let engine = ServingEngine::with_llm_behavior(
+            backend,
+            fast_profile(),
+            ExecutionMode::Serial,
+            LlmBehavior {
+                prose_probability: 0.0,
+                type_error_probability: 0.0,
+                seed: 5,
+            },
+        );
+        let schema = serde_json::json!({
+            "type": "object",
+            "properties": {"city": {"type": "string"}},
+            "required": ["city"],
+            "additionalProperties": false
+        });
+        let tag = StructuralTag::new(vec![TagSpec {
+            begin: "<tool_call>".into(),
+            content: TagContent::JsonSchema(schema),
+            end: "</tool_call>".into(),
+        }]);
+        let tool_reference = br#"Looking that up. <tool_call>{"city": "paris"}</tool_call> Done."#;
+        let reqs = vec![
+            EngineRequest {
+                constraint: LaneConstraint::StructuralTag(tag),
+                prompt_tokens: 20,
+                reference: tool_reference.to_vec(),
+                max_tokens: 200,
+            },
+            EngineRequest {
+                constraint: LaneConstraint::Unconstrained,
+                prompt_tokens: 20,
+                reference: b"Plain prose lane, no structure at all.".to_vec(),
+                max_tokens: 200,
+            },
+        ];
+        let (results, metrics) = engine.run_batch(&reqs).unwrap();
+        // The structural lane reproduces prose AND a conformant tool call.
+        let output = String::from_utf8_lossy(&results[0].output);
+        assert!(results[0].completed, "structural lane finishes with EOS");
+        assert_eq!(output, String::from_utf8_lossy(tool_reference));
+        let inner = output
+            .split("<tool_call>")
+            .nth(1)
+            .and_then(|s| s.split("</tool_call>").next())
+            .expect("tagged segment present");
+        let parsed: serde_json::Value = serde_json::from_str(inner).unwrap();
+        assert_eq!(parsed["city"], serde_json::json!("paris"));
+        // The prose lane is untouched by the grammar machinery.
+        assert!(results[1].completed);
+        // Only the structural lane counts as constrained for mask workers.
+        assert_eq!(metrics.mask_threads, 1);
     }
 }

@@ -8,7 +8,9 @@
 //! * [`SimulatedLlm`] — a deterministic token proposer with configurable
 //!   formatting-error injection,
 //! * [`ServingEngine`] — fixed-batch decoding with serial or overlapped
-//!   (CPU ∥ GPU) execution of grammar work,
+//!   (CPU ∥ GPU) execution of grammar work; lanes choose their constraint
+//!   via [`LaneConstraint`] (unconstrained prose, a full grammar, or a
+//!   structural tag mixing free text with constrained tool calls),
 //! * [`run_accuracy_experiment`] — the Table 4 syntactic-correctness
 //!   experiment,
 //! * jump-forward decoding support through `xg-core`'s matcher (used by the
@@ -23,6 +25,8 @@ mod llm;
 mod profiles;
 
 pub use accuracy::{run_accuracy_experiment, AccuracyResult, AccuracyTask};
-pub use engine::{BatchMetrics, EngineRequest, ExecutionMode, RequestResult, ServingEngine};
+pub use engine::{
+    BatchMetrics, EngineRequest, ExecutionMode, LaneConstraint, RequestResult, ServingEngine,
+};
 pub use llm::{LlmBehavior, LlmRequestState, SimulatedLlm};
 pub use profiles::ModelProfile;

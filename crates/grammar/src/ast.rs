@@ -291,9 +291,7 @@ impl GrammarExpr {
             GrammarExpr::RuleRef(id) => nullable_rules.get(id.index()).copied().unwrap_or(false),
             GrammarExpr::Sequence(items) => items.iter().all(|e| e.is_nullable(nullable_rules)),
             GrammarExpr::Choice(items) => items.iter().any(|e| e.is_nullable(nullable_rules)),
-            GrammarExpr::Repeat { expr, min, .. } => {
-                *min == 0 || expr.is_nullable(nullable_rules)
-            }
+            GrammarExpr::Repeat { expr, min, .. } => *min == 0 || expr.is_nullable(nullable_rules),
         }
     }
 }
@@ -739,7 +737,10 @@ mod tests {
             a,
             GrammarExpr::seq(vec![GrammarExpr::RuleRef(ws), GrammarExpr::RuleRef(bb)]),
         );
-        b.set_body(bb, GrammarExpr::seq(vec![GrammarExpr::RuleRef(a), lit("x")]));
+        b.set_body(
+            bb,
+            GrammarExpr::seq(vec![GrammarExpr::RuleRef(a), lit("x")]),
+        );
         let g = b.build("a").unwrap();
         assert!(matches!(
             g.check_left_recursion(),
@@ -774,7 +775,10 @@ mod tests {
             GrammarExpr::Sequence(items) => assert_eq!(items.len(), 3),
             other => panic!("expected sequence, got {other:?}"),
         }
-        let c = GrammarExpr::choice(vec![GrammarExpr::Choice(vec![lit("a"), lit("b")]), lit("c")]);
+        let c = GrammarExpr::choice(vec![
+            GrammarExpr::Choice(vec![lit("a"), lit("b")]),
+            lit("c"),
+        ]);
         match c {
             GrammarExpr::Choice(items) => assert_eq!(items.len(), 3),
             other => panic!("expected choice, got {other:?}"),

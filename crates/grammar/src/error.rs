@@ -65,6 +65,13 @@ pub enum GrammarError {
         /// Description of the unsupported or malformed construct.
         message: String,
     },
+    /// A structural-tag description is malformed (empty tag list, empty begin
+    /// string, triggers that are prefixes of each other, or a tag whose begin
+    /// string no trigger covers).
+    StructuralTag {
+        /// Description of the violated constraint.
+        message: String,
+    },
 }
 
 impl fmt::Display for GrammarError {
@@ -78,7 +85,10 @@ impl fmt::Display for GrammarError {
             GrammarError::UndefinedRule {
                 name,
                 referenced_from,
-            } => write!(f, "rule `{referenced_from}` references undefined rule `{name}`"),
+            } => write!(
+                f,
+                "rule `{referenced_from}` references undefined rule `{name}`"
+            ),
             GrammarError::DuplicateRule { name } => {
                 write!(f, "rule `{name}` is defined more than once")
             }
@@ -91,13 +101,19 @@ impl fmt::Display for GrammarError {
                 cycle.join(" -> ")
             ),
             GrammarError::EmptyCharClass { rule } => {
-                write!(f, "rule `{rule}` contains a character class that matches nothing")
+                write!(
+                    f,
+                    "rule `{rule}` contains a character class that matches nothing"
+                )
             }
             GrammarError::InvalidRepetition { min, max } => {
                 write!(f, "repetition lower bound {min} exceeds upper bound {max}")
             }
             GrammarError::Schema { path, message } => {
                 write!(f, "unsupported JSON Schema at `{path}`: {message}")
+            }
+            GrammarError::StructuralTag { message } => {
+                write!(f, "invalid structural tag: {message}")
             }
         }
     }

@@ -225,11 +225,16 @@ impl<'a> Converter<'a> {
 
         let boolean = self.builder.add_rule(
             "json_boolean",
-            GrammarExpr::choice(vec![GrammarExpr::literal("true"), GrammarExpr::literal("false")]),
+            GrammarExpr::choice(vec![
+                GrammarExpr::literal("true"),
+                GrammarExpr::literal("false"),
+            ]),
         );
         self.basics.boolean = Some(boolean);
 
-        let null = self.builder.add_rule("json_null", GrammarExpr::literal("null"));
+        let null = self
+            .builder
+            .add_rule("json_null", GrammarExpr::literal("null"));
         self.basics.null = Some(null);
 
         // json_any: a full JSON value (used for untyped schemas and
@@ -306,9 +311,9 @@ impl<'a> Converter<'a> {
             .ok_or_else(|| self.schema_err(path, format!("unsupported $ref `{reference}`")))?;
         let mut node = self.root_schema;
         for part in rest.split('/') {
-            node = node
-                .get(part)
-                .ok_or_else(|| self.schema_err(path, format!("$ref target `{reference}` not found")))?;
+            node = node.get(part).ok_or_else(|| {
+                self.schema_err(path, format!("$ref target `{reference}` not found"))
+            })?;
         }
         Ok(node)
     }
@@ -357,9 +362,7 @@ impl<'a> Converter<'a> {
                         }
                         Ok(GrammarExpr::choice(alts))
                     }
-                    Some(other) => {
-                        Err(self.schema_err(path, format!("invalid `type`: {other}")))
-                    }
+                    Some(other) => Err(self.schema_err(path, format!("invalid `type`: {other}"))),
                     None => Ok(GrammarExpr::RuleRef(self.basics.any.expect("installed"))),
                 }
             }
@@ -409,9 +412,13 @@ impl<'a> Converter<'a> {
     ) -> Result<GrammarExpr> {
         match type_name {
             "string" => self.convert_string(obj, path),
-            "integer" => Ok(GrammarExpr::RuleRef(self.basics.integer.expect("installed"))),
+            "integer" => Ok(GrammarExpr::RuleRef(
+                self.basics.integer.expect("installed"),
+            )),
             "number" => Ok(GrammarExpr::RuleRef(self.basics.number.expect("installed"))),
-            "boolean" => Ok(GrammarExpr::RuleRef(self.basics.boolean.expect("installed"))),
+            "boolean" => Ok(GrammarExpr::RuleRef(
+                self.basics.boolean.expect("installed"),
+            )),
             "null" => Ok(GrammarExpr::RuleRef(self.basics.null.expect("installed"))),
             "object" => self.convert_object(obj, path),
             "array" => self.convert_array(obj, path),
@@ -425,7 +432,10 @@ impl<'a> Converter<'a> {
         _path: &str,
     ) -> Result<GrammarExpr> {
         let min = obj.get("minLength").and_then(Value::as_u64).unwrap_or(0) as u32;
-        let max = obj.get("maxLength").and_then(Value::as_u64).map(|v| v as u32);
+        let max = obj
+            .get("maxLength")
+            .and_then(Value::as_u64)
+            .map(|v| v as u32);
         if min == 0 && max.is_none() {
             return Ok(GrammarExpr::RuleRef(self.basics.string.expect("installed")));
         }
@@ -490,9 +500,7 @@ impl<'a> Converter<'a> {
         // Additional members expression (used when additionalProperties allows them).
         let additional_member = if allow_additional {
             let value_expr = match additional_schema {
-                Some(schema) => {
-                    self.convert(schema, &format!("{path}/additionalProperties"))?
-                }
+                Some(schema) => self.convert(schema, &format!("{path}/additionalProperties"))?,
                 None => GrammarExpr::RuleRef(self.basics.any.expect("installed")),
             };
             Some(GrammarExpr::seq(vec![
@@ -510,9 +518,9 @@ impl<'a> Converter<'a> {
         // build two expressions: one assuming no member has been emitted yet
         // (`first`) and one assuming a comma is needed (`rest`).
         let comma = GrammarExpr::seq(vec![ws.clone(), GrammarExpr::literal(","), ws.clone()]);
-        let additional_tail = additional_member.as_ref().map(|m| {
-            GrammarExpr::star(GrammarExpr::seq(vec![comma.clone(), m.clone()]))
-        });
+        let additional_tail = additional_member
+            .as_ref()
+            .map(|m| GrammarExpr::star(GrammarExpr::seq(vec![comma.clone(), m.clone()])));
         // `rest` for the empty suffix.
         let mut rest_suffix: GrammarExpr = additional_tail.clone().unwrap_or(GrammarExpr::Empty);
         // `first` for the empty suffix: either nothing, or additional members.
@@ -527,7 +535,9 @@ impl<'a> Converter<'a> {
         for (member, is_required) in members.into_iter().rev() {
             let hint = self.fresh_name("props");
             // Materialize current suffixes as rules to keep expressions small.
-            let rest_rule = self.builder.add_rule(&format!("{hint}_rest"), rest_suffix.clone());
+            let rest_rule = self
+                .builder
+                .add_rule(&format!("{hint}_rest"), rest_suffix.clone());
             let first_rule = self
                 .builder
                 .add_rule(&format!("{hint}_first"), first_suffix.clone());
@@ -578,7 +588,10 @@ impl<'a> Converter<'a> {
     ) -> Result<GrammarExpr> {
         let ws = self.ws_expr();
         let min_items = obj.get("minItems").and_then(Value::as_u64).unwrap_or(0) as u32;
-        let max_items = obj.get("maxItems").and_then(Value::as_u64).map(|v| v as u32);
+        let max_items = obj
+            .get("maxItems")
+            .and_then(Value::as_u64)
+            .map(|v| v as u32);
         if let (Some(max), true) = (max_items, max_items.is_some()) {
             if max < min_items {
                 return Err(GrammarError::InvalidRepetition {
@@ -790,7 +803,8 @@ mod tests {
 
     #[test]
     fn compact_mode_has_no_ws_rule() {
-        let schema = json!({"type": "object", "properties": {"a": {"type": "integer"}}, "required": ["a"]});
+        let schema =
+            json!({"type": "object", "properties": {"a": {"type": "integer"}}, "required": ["a"]});
         let opts = JsonSchemaOptions {
             allow_whitespace: false,
             ..Default::default()

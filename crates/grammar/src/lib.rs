@@ -7,6 +7,9 @@
 //! * a grammar AST ([`Grammar`], [`GrammarExpr`], [`CharClass`]),
 //! * a parser for the GBNF-style EBNF text format ([`parse_ebnf`]),
 //! * a JSON Schema → grammar converter ([`json_schema_to_grammar`]),
+//! * structural tags for agentic tool calling — free text interleaved with
+//!   grammar-constrained tagged segments ([`StructuralTag`], [`TagSpec`],
+//!   [`TagContent`]),
 //! * the built-in grammars used in the paper's evaluation
 //!   ([`builtin::json_grammar`], [`builtin::xml_grammar`],
 //!   [`builtin::python_dsl_grammar`]).
@@ -33,6 +36,7 @@ mod display;
 mod ebnf;
 mod error;
 mod json_schema;
+mod structural_tag;
 
 pub use ast::{
     char_class, char_class_negated, CharClass, CharRange, Grammar, GrammarBuilder, GrammarExpr,
@@ -43,3 +47,4 @@ pub use error::{GrammarError, Result};
 pub use json_schema::{
     json_schema_to_grammar, json_schema_to_grammar_with_options, JsonSchemaOptions,
 };
+pub use structural_tag::{StructuralTag, TagContent, TagSpec};

@@ -88,7 +88,7 @@ impl BpeModel {
             }
         }
         if !current.is_empty() {
-            *word_counts.entry(current, ).or_insert(0) += 1;
+            *word_counts.entry(current).or_insert(0) += 1;
         }
 
         // 2. Represent each word as a sequence of single-byte symbols.
@@ -238,10 +238,13 @@ mod tests {
         let vocab = model.vocabulary();
         // Some learned token should span a grammar-element boundary, e.g.
         // contain a quote next to a punctuation character.
-        let has_boundary_token = vocab
-            .iter()
-            .any(|(_, t)| t.len() >= 2 && t.contains(&b'"') && (t.contains(&b':') || t.contains(&b',')));
-        assert!(has_boundary_token, "expected tokens spanning grammar boundaries");
+        let has_boundary_token = vocab.iter().any(|(_, t)| {
+            t.len() >= 2 && t.contains(&b'"') && (t.contains(&b':') || t.contains(&b','))
+        });
+        assert!(
+            has_boundary_token,
+            "expected tokens spanning grammar boundaries"
+        );
     }
 
     #[test]

@@ -46,40 +46,171 @@ impl Default for SyntheticVocabConfig {
 /// them intentionally cross grammar-element boundaries.
 const STRUCTURAL_TOKENS: &[&str] = &[
     "{", "}", "[", "]", "(", ")", ",", ":", ";", ".", "\"", "'", "\\", "/", "<", ">", "=", "+",
-    "-", "*", "&", "|", "!", "?", "#", "@", "%", "^", "~", "`", "{\"", "\"}", "\":", "\": ",
-    "\",", "\", ", "\", \"", "\":\"", "\": \"", "\"},", "\"}", "},", "}]", "]}", "}}", "{{",
-    "[{", "[[", "]]", "\"]", "[\"", "\":[", "\": [", "\":{", "\": {", "},{", "}, {", "\"\"",
-    "\"\n", "{}", "[]", "null", "true", "false", "null,", "true,", "false,", "0,", "1,", "\"0\"",
-    "\"1\"", "</", "/>", "</s", "><", "\" />", "\">", "=\"", "<!--", "-->", "<?xml", "?>",
-    "():", "):", "()", "():\n", "def ", "return ", "if ", "else:", "elif ", "for ", "while ",
-    "in ", "not ", "and ", "or ", "import ", "from ", " = ", " == ", " != ", " <= ", " >= ",
-    " + ", " - ", " * ", " / ", "**", "//", " #", "\n\n", "\n", "\t", "    ", "        ", " ",
-    "  ", "   ", "\r\n", ", ", ". ", ": ", "; ", " (", ") ", " [", "] ", " {", "} ",
+    "-", "*", "&", "|", "!", "?", "#", "@", "%", "^", "~", "`", "{\"", "\"}", "\":", "\": ", "\",",
+    "\", ", "\", \"", "\":\"", "\": \"", "\"},", "\"}", "},", "}]", "]}", "}}", "{{", "[{", "[[",
+    "]]", "\"]", "[\"", "\":[", "\": [", "\":{", "\": {", "},{", "}, {", "\"\"", "\"\n", "{}",
+    "[]", "null", "true", "false", "null,", "true,", "false,", "0,", "1,", "\"0\"", "\"1\"", "</",
+    "/>", "</s", "><", "\" />", "\">", "=\"", "<!--", "-->", "<?xml", "?>", "():", "):", "()",
+    "():\n", "def ", "return ", "if ", "else:", "elif ", "for ", "while ", "in ", "not ", "and ",
+    "or ", "import ", "from ", " = ", " == ", " != ", " <= ", " >= ", " + ", " - ", " * ", " / ",
+    "**", "//", " #", "\n\n", "\n", "\t", "    ", "        ", " ", "  ", "   ", "\r\n", ", ", ". ",
+    ": ", "; ", " (", ") ", " [", "] ", " {", "} ",
 ];
 
 /// Common English-ish word stems used to build the subword tail.
 const WORD_STEMS: &[&str] = &[
-    "the", "and", "for", "with", "that", "this", "from", "have", "not", "are", "was", "will",
-    "can", "all", "one", "out", "use", "get", "set", "new", "name", "type", "value", "key",
-    "data", "item", "list", "text", "time", "date", "user", "file", "code", "test", "func",
-    "tion", "ment", "ing", "ed", "er", "est", "ly", "ness", "able", "ible", "less", "ful",
-    "pre", "post", "anti", "auto", "inter", "intra", "over", "under", "re", "un", "dis", "mis",
-    "read", "write", "call", "send", "recv", "open", "close", "start", "stop", "run", "build",
-    "make", "take", "give", "find", "search", "query", "index", "count", "total", "result",
-    "error", "warn", "info", "debug", "trace", "json", "xml", "html", "http", "https", "url",
-    "uri", "id", "uuid", "hash", "token", "model", "llama", "gpt", "prompt", "response",
-    "request", "schema", "object", "array", "string", "number", "integer", "boolean", "person",
-    "address", "city", "street", "country", "email", "phone", "first", "last", "middle",
-    "temperature", "weather", "location", "unit", "celsius", "fahrenheit", "currency", "price",
-    "amount", "quantity", "product", "order", "status", "active", "enabled", "disabled",
-    "grammar", "parser", "stack", "state", "node", "edge", "rule", "mask", "cache", "engine",
+    "the",
+    "and",
+    "for",
+    "with",
+    "that",
+    "this",
+    "from",
+    "have",
+    "not",
+    "are",
+    "was",
+    "will",
+    "can",
+    "all",
+    "one",
+    "out",
+    "use",
+    "get",
+    "set",
+    "new",
+    "name",
+    "type",
+    "value",
+    "key",
+    "data",
+    "item",
+    "list",
+    "text",
+    "time",
+    "date",
+    "user",
+    "file",
+    "code",
+    "test",
+    "func",
+    "tion",
+    "ment",
+    "ing",
+    "ed",
+    "er",
+    "est",
+    "ly",
+    "ness",
+    "able",
+    "ible",
+    "less",
+    "ful",
+    "pre",
+    "post",
+    "anti",
+    "auto",
+    "inter",
+    "intra",
+    "over",
+    "under",
+    "re",
+    "un",
+    "dis",
+    "mis",
+    "read",
+    "write",
+    "call",
+    "send",
+    "recv",
+    "open",
+    "close",
+    "start",
+    "stop",
+    "run",
+    "build",
+    "make",
+    "take",
+    "give",
+    "find",
+    "search",
+    "query",
+    "index",
+    "count",
+    "total",
+    "result",
+    "error",
+    "warn",
+    "info",
+    "debug",
+    "trace",
+    "json",
+    "xml",
+    "html",
+    "http",
+    "https",
+    "url",
+    "uri",
+    "id",
+    "uuid",
+    "hash",
+    "token",
+    "model",
+    "llama",
+    "gpt",
+    "prompt",
+    "response",
+    "request",
+    "schema",
+    "object",
+    "array",
+    "string",
+    "number",
+    "integer",
+    "boolean",
+    "person",
+    "address",
+    "city",
+    "street",
+    "country",
+    "email",
+    "phone",
+    "first",
+    "last",
+    "middle",
+    "temperature",
+    "weather",
+    "location",
+    "unit",
+    "celsius",
+    "fahrenheit",
+    "currency",
+    "price",
+    "amount",
+    "quantity",
+    "product",
+    "order",
+    "status",
+    "active",
+    "enabled",
+    "disabled",
+    "grammar",
+    "parser",
+    "stack",
+    "state",
+    "node",
+    "edge",
+    "rule",
+    "mask",
+    "cache",
+    "engine",
 ];
 
 /// Multi-byte seed characters: accented Latin, Greek, Cyrillic, CJK, emoji.
 const UNICODE_SEEDS: &[char] = &[
-    'é', 'è', 'ü', 'ö', 'ñ', 'ç', 'ß', 'å', 'ø', 'α', 'β', 'γ', 'δ', 'λ', 'π', 'Ω', 'д', 'ж',
-    'и', 'я', '中', '文', '语', '言', '模', '型', '日', '本', '語', '한', '국', '어', '🎉', '🚀',
-    '😀', '🤖', '✨', '→', '≤', '≥', '•', '–', '—',
+    'é', 'è', 'ü', 'ö', 'ñ', 'ç', 'ß', 'å', 'ø', 'α', 'β', 'γ', 'δ', 'λ', 'π', 'Ω', 'д', 'ж', 'и',
+    'я', '中', '文', '语', '言', '模', '型', '日', '本', '語', '한', '국', '어', '🎉', '🚀', '😀',
+    '🤖', '✨', '→', '≤', '≥', '•', '–', '—',
 ];
 
 /// Generates a deterministic synthetic vocabulary.
@@ -103,8 +234,8 @@ pub fn synthetic_vocabulary(config: &SyntheticVocabConfig) -> Vocabulary {
     let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
 
     let push = |tokens: &mut Vec<Vec<u8>>,
-                    seen: &mut std::collections::HashSet<Vec<u8>>,
-                    t: Vec<u8>|
+                seen: &mut std::collections::HashSet<Vec<u8>>,
+                t: Vec<u8>|
      -> bool {
         if t.is_empty() || seen.contains(&t) {
             return false;
@@ -256,10 +387,7 @@ pub fn llama31_like_vocabulary() -> Vocabulary {
 
 /// Convenience constructor for a small vocabulary suitable for unit tests.
 pub fn test_vocabulary(size: usize) -> Vocabulary {
-    synthetic_vocabulary(&SyntheticVocabConfig {
-        size,
-        seed: 0x7e57,
-    })
+    synthetic_vocabulary(&SyntheticVocabConfig { size, seed: 0x7e57 })
 }
 
 #[cfg(test)]
@@ -269,16 +397,28 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a = synthetic_vocabulary(&SyntheticVocabConfig { size: 4000, seed: 1 });
-        let b = synthetic_vocabulary(&SyntheticVocabConfig { size: 4000, seed: 1 });
+        let a = synthetic_vocabulary(&SyntheticVocabConfig {
+            size: 4000,
+            seed: 1,
+        });
+        let b = synthetic_vocabulary(&SyntheticVocabConfig {
+            size: 4000,
+            seed: 1,
+        });
         assert_eq!(a, b);
-        let c = synthetic_vocabulary(&SyntheticVocabConfig { size: 4000, seed: 2 });
+        let c = synthetic_vocabulary(&SyntheticVocabConfig {
+            size: 4000,
+            seed: 2,
+        });
         assert_ne!(a, c);
     }
 
     #[test]
     fn requested_size_is_exact_and_unique() {
-        let v = synthetic_vocabulary(&SyntheticVocabConfig { size: 5000, seed: 3 });
+        let v = synthetic_vocabulary(&SyntheticVocabConfig {
+            size: 5000,
+            seed: 3,
+        });
         assert_eq!(v.len(), 5000);
         let mut set = std::collections::HashSet::new();
         for (_, t) in v.iter() {
@@ -301,10 +441,13 @@ mod tests {
     #[test]
     fn has_sub_utf8_fragment_tokens() {
         let v = test_vocabulary(3000);
-        let has_fragment = v.iter().any(|(id, t)| {
-            !v.is_special(id) && t.len() > 1 && std::str::from_utf8(t).is_err()
-        });
-        assert!(has_fragment, "expected at least one non-UTF-8 fragment token");
+        let has_fragment = v
+            .iter()
+            .any(|(id, t)| !v.is_special(id) && t.len() > 1 && std::str::from_utf8(t).is_err());
+        assert!(
+            has_fragment,
+            "expected at least one non-UTF-8 fragment token"
+        );
     }
 
     #[test]
@@ -313,7 +456,11 @@ mod tests {
         let sorted = SortedVocabulary::new(&v);
         // The paper reports ~30% for Llama-3.1; our synthetic vocabulary
         // should at least show clearly sub-linear checking.
-        assert!(sorted.check_fraction() < 0.8, "fraction {}", sorted.check_fraction());
+        assert!(
+            sorted.check_fraction() < 0.8,
+            "fraction {}",
+            sorted.check_fraction()
+        );
     }
 
     #[test]

@@ -47,13 +47,15 @@ pub mod tokenizer {
 }
 
 pub use xg_core::{
-    AcceptError, CompiledGrammar, CompilerConfig, GrammarCache, GrammarCacheConfig,
-    GrammarCacheKey, GrammarCacheStats, GrammarCompiler, GrammarMatcher, MaskCache,
-    MaskCacheStats, MatcherPool, MatcherStats, NodeMaskEntry, PersistentStackTree, RollbackError,
-    StackHandle, TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
+    AcceptError, CompiledGrammar, CompiledTagDispatch, CompiledTrigger, CompilerConfig,
+    DispatchMode, GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats,
+    GrammarCompiler, GrammarMatcher, MaskCache, MaskCacheStats, MatcherPool, MatcherStats,
+    NodeMaskEntry, PersistentStackTree, RollbackError, StackHandle, StructuralTagMatcher,
+    TagDispatchStats, TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
 };
 pub use xg_grammar::{
-    builtin, json_schema_to_grammar, parse_ebnf, Grammar, GrammarError, GrammarExpr,
+    builtin, json_schema_to_grammar, parse_ebnf, Grammar, GrammarError, GrammarExpr, StructuralTag,
+    TagContent, TagSpec,
 };
 pub use xg_tokenizer::{TokenId, Vocabulary};
 
@@ -66,10 +68,32 @@ mod tests {
     }
 
     #[test]
+    fn facade_exposes_structural_tags() {
+        use std::sync::Arc;
+        let vocab = Arc::new(crate::tokenizer::test_vocabulary(600));
+        let compiler = crate::GrammarCompiler::new(Arc::clone(&vocab));
+        let tag = crate::StructuralTag::new(vec![crate::TagSpec {
+            begin: "<n>".into(),
+            content: crate::TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: "</n>".into(),
+        }]);
+        let compiled = compiler.compile_tag_dispatch(&tag).unwrap();
+        let mut matcher = crate::StructuralTagMatcher::new(compiled);
+        assert_eq!(matcher.mode(), crate::DispatchMode::FreeText);
+        matcher.accept_bytes(b"free text <n>42</n> more").unwrap();
+        assert!(matcher.can_terminate());
+    }
+
+    #[test]
     fn facade_exposes_serving_concurrency_layer() {
         use std::sync::Arc;
         let vocab = Arc::new(crate::tokenizer::test_vocabulary(600));
-        let cache = Arc::new(crate::GrammarCache::new(crate::GrammarCacheConfig::default()));
+        let cache = Arc::new(crate::GrammarCache::new(
+            crate::GrammarCacheConfig::default(),
+        ));
         let compiler = crate::GrammarCompiler::with_cache(
             Arc::clone(&vocab),
             crate::CompilerConfig::default(),

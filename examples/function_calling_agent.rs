@@ -9,7 +9,9 @@
 use std::sync::Arc;
 
 use xg_baselines::{ConstrainedBackend, XGrammarBackend};
-use xg_engine::{EngineRequest, ExecutionMode, LlmBehavior, ModelProfile, ServingEngine};
+use xg_engine::{
+    EngineRequest, ExecutionMode, LaneConstraint, LlmBehavior, ModelProfile, ServingEngine,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vocab = Arc::new(xgrammar::tokenizer::test_vocabulary(8000));
@@ -30,13 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for task in &tasks {
         println!("function: {}", task.function_name);
         let constrained = EngineRequest {
-            grammar: Some(xgrammar::json_schema_to_grammar(&task.schema)?),
+            constraint: LaneConstraint::Grammar(xgrammar::json_schema_to_grammar(&task.schema)?),
             prompt_tokens: 139,
             reference: task.reference.clone(),
             max_tokens: 256,
         };
         let unconstrained = EngineRequest {
-            grammar: None,
+            constraint: LaneConstraint::Unconstrained,
             ..constrained.clone()
         };
         let (with, _) = engine.run_batch(std::slice::from_ref(&constrained))?;
@@ -47,12 +49,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         valid_unconstrained += usize::from(without_ok);
         println!(
             "  constrained   ({}): {}",
-            if with_ok { "valid JSON  " } else { "INVALID JSON" },
+            if with_ok {
+                "valid JSON  "
+            } else {
+                "INVALID JSON"
+            },
             String::from_utf8_lossy(&with[0].output)
         );
         println!(
             "  unconstrained ({}): {}",
-            if without_ok { "valid JSON  " } else { "INVALID JSON" },
+            if without_ok {
+                "valid JSON  "
+            } else {
+                "INVALID JSON"
+            },
             truncate(&String::from_utf8_lossy(&without[0].output), 90)
         );
     }

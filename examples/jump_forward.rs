@@ -83,6 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Rollback demo: undo the last two steps (token or jump) and verify
     //    the matcher can regenerate.
     matcher.rollback(2)?;
-    println!("rolled back 2 steps; matcher alive: {}", !matcher.is_terminated());
+    println!(
+        "rolled back 2 steps; matcher alive: {}",
+        !matcher.is_terminated()
+    );
     Ok(())
 }

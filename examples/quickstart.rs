@@ -64,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     matcher.fill_next_token_bitmask(&mut mask);
     let eos = vocab.eos().expect("vocabulary has EOS");
-    assert!(mask.is_allowed(eos), "the structure is complete, EOS must be allowed");
+    assert!(
+        mask.is_allowed(eos),
+        "the structure is complete, EOS must be allowed"
+    );
     matcher.accept_token(eos)?;
 
     println!("constrained output: {}", String::from_utf8_lossy(&output));

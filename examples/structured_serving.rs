@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use xg_baselines::{ConstrainedBackend, NaivePdaBackend, XGrammarBackend};
-use xg_engine::{EngineRequest, ExecutionMode, ModelProfile, ServingEngine};
+use xg_engine::{EngineRequest, ExecutionMode, LaneConstraint, ModelProfile, ServingEngine};
 use xgrammar::{CompilerConfig, GrammarCache, GrammarCacheConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,7 +21,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let requests: Vec<EngineRequest> = xg_datasets::json_mode_eval_like(8, 7)
         .into_iter()
         .map(|task| EngineRequest {
-            grammar: Some(xgrammar::json_schema_to_grammar(&task.schema).expect("schema converts")),
+            constraint: LaneConstraint::Grammar(
+                xgrammar::json_schema_to_grammar(&task.schema).expect("schema converts"),
+            ),
             prompt_tokens: 139,
             reference: task.reference,
             max_tokens: 96,

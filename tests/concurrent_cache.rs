@@ -151,7 +151,10 @@ fn stress_shared_compiler_masks_stay_correct_under_threads() {
     assert_eq!(compiler.cached_count(), 1);
     assert_eq!(compiler.cache().stats().misses, 1);
     for mask in &masks[1..] {
-        assert_eq!(&masks[0], mask, "masks must not depend on the compiling thread");
+        assert_eq!(
+            &masks[0], mask,
+            "masks must not depend on the compiling thread"
+        );
     }
     assert!(masks[0].count_allowed() > 0);
 }

@@ -34,7 +34,12 @@ const CLASS_TEMPLATES: &[(&str, &[u8])] = &[
 
 /// Generates a random EBNF expression of bounded depth, collecting the bytes
 /// that can appear in matching strings into `alphabet`.
-fn random_expr(rng: &mut SmallRng, depth: usize, helpers: &[&str], alphabet: &mut Vec<u8>) -> String {
+fn random_expr(
+    rng: &mut SmallRng,
+    depth: usize,
+    helpers: &[&str],
+    alphabet: &mut Vec<u8>,
+) -> String {
     let variants = if depth == 0 { 2 } else { 6 };
     match rng.gen_range(0..variants) {
         // Literal of 1-3 safe characters.
@@ -222,7 +227,9 @@ fn random_grammars_accept_reject_parity_with_naive_pda() {
         let grammar = xg_grammar::parse_ebnf(&random.source, "root")
             .unwrap_or_else(|e| panic!("generated grammar must parse: {e}\n{}", random.source));
         let compiled = compiler.compile_grammar(&grammar);
-        let naive_compiled = naive.compile(&grammar).expect("naive backend compiles CFGs");
+        let naive_compiled = naive
+            .compile(&grammar)
+            .expect("naive backend compiles CFGs");
         let reference_pda = build_pda_default(&grammar);
         let reference = SimpleMatcher::new(&reference_pda);
 
@@ -233,7 +240,7 @@ fn random_grammars_accept_reject_parity_with_naive_pda() {
             let engine_result = matcher.accept_bytes(&input);
             let engine_accepted_bytes = match &engine_result {
                 Ok(()) => input.len(),
-                Err(xg_core::AcceptError::TokenRejected { matched_bytes, .. }) => *matched_bytes,
+                Err(xg_core::AcceptError::BytesRejected { matched_bytes }) => *matched_bytes,
                 Err(other) => panic!("unexpected accept_bytes error: {other:?}"),
             };
             let engine_complete = engine_result.is_ok() && matcher.can_terminate();
@@ -257,7 +264,10 @@ fn random_grammars_accept_reject_parity_with_naive_pda() {
             cases += 1;
         }
     }
-    assert!(cases >= 200, "differential suite must cover >=200 cases, ran {cases}");
+    assert!(
+        cases >= 200,
+        "differential suite must cover >=200 cases, ran {cases}"
+    );
 }
 
 #[test]
@@ -274,7 +284,11 @@ fn random_grammars_roundtrip_through_display() {
         let reparsed = xg_grammar::parse_ebnf(&printed, "root")
             .unwrap_or_else(|e| panic!("printed grammar must reparse: {e}\n{printed}"));
         // Printing is a fixed point after one round trip.
-        assert_eq!(printed, reparsed.to_string(), "printer not idempotent for grammar #{g}");
+        assert_eq!(
+            printed,
+            reparsed.to_string(),
+            "printer not idempotent for grammar #{g}"
+        );
 
         // Original and reparsed accept exactly the same sample strings.
         let pda_a = build_pda_default(&original);

@@ -14,11 +14,7 @@ fn vocab() -> Arc<Vocabulary> {
 
 /// Greedily drives a matcher along a reference output, asserting that every
 /// chosen token was allowed by the freshly generated mask.
-fn drive_reference(
-    vocab: &Vocabulary,
-    matcher: &mut GrammarMatcher,
-    reference: &[u8],
-) -> Vec<u8> {
+fn drive_reference(vocab: &Vocabulary, matcher: &mut GrammarMatcher, reference: &[u8]) -> Vec<u8> {
     let mut mask = TokenBitmask::new_all_rejected(vocab.len());
     let mut output = Vec::new();
     let mut cursor = 0;
@@ -39,7 +35,9 @@ fn drive_reference(
                 String::from_utf8_lossy(reference)
             )
         });
-        matcher.accept_token(token).expect("token was allowed by the mask");
+        matcher
+            .accept_token(token)
+            .expect("token was allowed by the mask");
         output.extend_from_slice(vocab.token_bytes(token));
         cursor += best_len;
     }
@@ -57,7 +55,10 @@ fn schema_constrained_generation_reproduces_every_dataset_reference() {
         let mut matcher = GrammarMatcher::new(compiled);
         let output = drive_reference(&vocab, &mut matcher, &task.reference);
         assert_eq!(output, task.reference);
-        assert!(matcher.can_terminate(), "reference must complete the schema");
+        assert!(
+            matcher.can_terminate(),
+            "reference must complete the schema"
+        );
         let eos = vocab.eos().unwrap();
         let mut mask = TokenBitmask::new_all_rejected(vocab.len());
         matcher.fill_next_token_bitmask(&mut mask);

@@ -1,0 +1,177 @@
+//! Integration tests for the structural-tag (tag dispatch) layer: tagged
+//! segments must behave exactly like the standalone compiled sub-grammar,
+//! free text must stay unconstrained, and rollback must work across mode
+//! boundaries.
+
+use std::sync::Arc;
+
+use xg_core::{DispatchMode, GrammarCompiler, GrammarMatcher, StructuralTagMatcher, TokenBitmask};
+use xg_datasets::tool_call_tasks;
+use xg_tokenizer::{test_vocabulary, TokenId, Vocabulary};
+
+fn token_for(vocab: &Vocabulary, bytes: &[u8]) -> TokenId {
+    vocab
+        .iter()
+        .find(|(_, t)| *t == bytes)
+        .map(|(id, _)| id)
+        .expect("single-byte token exists")
+}
+
+/// Drives a structural-tag matcher over real tool-call transcripts with
+/// single-byte tokens and checks, at every in-tag step, that the mask equals
+/// the mask of a standalone matcher compiled from the same trigger grammar —
+/// i.e. a tagged segment decodes exactly like the sub-grammar on its own.
+#[test]
+fn tagged_segments_have_mask_parity_with_standalone_grammar() {
+    let vocab = Arc::new(test_vocabulary(800));
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let mut compared_steps = 0usize;
+    let mut segments = 0usize;
+
+    for (i, task) in tool_call_tasks(4, 0xD15).iter().enumerate() {
+        let tag = task.structural_tag();
+        let compiled = compiler.compile_tag_dispatch(&tag).expect("tags compile");
+        let mut matcher = StructuralTagMatcher::new(Arc::clone(&compiled));
+        let mut standalone: Option<GrammarMatcher> = None;
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        let mut standalone_mask = TokenBitmask::new_all_rejected(vocab.len());
+
+        for (pos, &b) in task.reference.iter().enumerate() {
+            if let DispatchMode::Tagged { trigger } = matcher.mode() {
+                let standalone = standalone.get_or_insert_with(|| {
+                    GrammarMatcher::new(Arc::clone(compiled.triggers()[trigger].grammar()))
+                });
+                matcher.fill_next_token_bitmask(&mut mask);
+                standalone.fill_next_token_bitmask(&mut standalone_mask);
+                assert_eq!(
+                    mask, standalone_mask,
+                    "task {i}: in-tag mask diverges at byte {pos}"
+                );
+                // Token-by-token conformance: the reference byte is allowed.
+                assert!(
+                    mask.is_allowed(token_for(&vocab, &[b])),
+                    "task {i}: reference byte {:?} rejected at {pos}",
+                    b as char
+                );
+                standalone.accept_bytes(&[b]).expect("parity with matcher");
+                compared_steps += 1;
+            }
+            let was_tagged = matches!(matcher.mode(), DispatchMode::Tagged { .. });
+            matcher
+                .accept_token(token_for(&vocab, &[b]))
+                .unwrap_or_else(|e| panic!("task {i}: byte {pos} rejected: {e}"));
+            // When the segment closes, the standalone matcher must agree that
+            // the segment text was a complete sentence of the sub-grammar.
+            if was_tagged && matcher.mode() == DispatchMode::FreeText {
+                let mut done = standalone.take().expect("segment had a matcher");
+                assert!(
+                    done.can_terminate(),
+                    "task {i}: standalone disagrees on end"
+                );
+                segments += 1;
+            }
+        }
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert!(matcher.can_terminate());
+        assert_eq!(matcher.stats().tags_opened, matcher.stats().tags_closed);
+    }
+    assert!(
+        segments >= 4,
+        "expected several tagged segments, got {segments}"
+    );
+    assert!(compared_steps > 100, "parity comparison barely ran");
+}
+
+/// Free text is fully unconstrained: every non-special token (and EOS) is
+/// allowed, whatever prose was emitted before.
+#[test]
+fn free_text_masks_are_all_allowed() {
+    let vocab = Arc::new(test_vocabulary(800));
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let task = &tool_call_tasks(1, 3)[0];
+    let compiled = compiler
+        .compile_tag_dispatch(&task.structural_tag())
+        .unwrap();
+    let mut matcher = StructuralTagMatcher::new(compiled);
+    matcher
+        .accept_bytes(b"arbitrary prose with < and <f noise")
+        .unwrap();
+    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+    matcher.fill_next_token_bitmask(&mut mask);
+    for (token, _) in vocab.iter() {
+        if vocab.is_special(token) && Some(token) != vocab.eos() {
+            assert!(!mask.is_allowed(token));
+        } else {
+            assert!(
+                mask.is_allowed(token),
+                "token {token:?} masked in free text"
+            );
+        }
+    }
+    assert_eq!(matcher.stats().free_masks, 1);
+}
+
+/// Rollback across a tag boundary restores the exact pre-tag state, even
+/// when the boundary was crossed mid-token.
+#[test]
+fn rollback_across_boundaries_with_multibyte_tokens() {
+    let vocab = Arc::new(test_vocabulary(800));
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let task = &tool_call_tasks(1, 9)[0];
+    let compiled = compiler
+        .compile_tag_dispatch(&task.structural_tag())
+        .unwrap();
+    let mut matcher = StructuralTagMatcher::new(compiled);
+    let mut pre_mask = TokenBitmask::new_all_rejected(vocab.len());
+    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+
+    matcher.accept_bytes(b"prose ").unwrap();
+    matcher.fill_next_token_bitmask(&mut pre_mask);
+    let stats_before = matcher.stats();
+
+    // One unit crosses free text -> trigger -> into the constrained segment.
+    let begin = task.functions[0].begin_tag();
+    matcher
+        .accept_bytes(format!("{begin}{{").as_bytes())
+        .unwrap();
+    assert!(matches!(matcher.mode(), DispatchMode::Tagged { .. }));
+
+    matcher.rollback(1).unwrap();
+    assert_eq!(matcher.mode(), DispatchMode::FreeText);
+    matcher.fill_next_token_bitmask(&mut mask);
+    assert_eq!(mask, pre_mask, "pre-tag mask must be restored");
+    assert_eq!(matcher.stats().free_masks, stats_before.free_masks + 1);
+
+    // The same tag can be re-entered and completed after the rollback.
+    matcher.accept_bytes(begin.as_bytes()).unwrap();
+    assert!(matches!(matcher.mode(), DispatchMode::Tagged { .. }));
+}
+
+/// Structural-tag compilation funnels sub-grammars through the shared
+/// compiled-grammar cache: two tasks over the same function registry reuse
+/// one compiled trigger grammar.
+#[test]
+fn tag_dispatch_compilation_is_cached_per_sub_grammar() {
+    let vocab = Arc::new(test_vocabulary(800));
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let tasks = tool_call_tasks(3, 0xCAC);
+    let first = compiler
+        .compile_tag_dispatch(&tasks[0].structural_tag())
+        .unwrap();
+    let cached = compiler.cached_count();
+    let second = compiler
+        .compile_tag_dispatch(&tasks[1].structural_tag())
+        .unwrap();
+    assert_eq!(
+        compiler.cached_count(),
+        cached,
+        "same registry must not recompile"
+    );
+    assert!(Arc::ptr_eq(
+        first.triggers()[0].grammar(),
+        second.triggers()[0].grammar()
+    ));
+    // The whole dispatch build is memoized too (same registry -> same Arc),
+    // so per-request compile_structural calls don't redo schema conversion.
+    assert!(Arc::ptr_eq(&first, &second));
+}
