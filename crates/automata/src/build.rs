@@ -176,16 +176,16 @@ pub fn inline_fragment_rules(grammar: &Grammar, options: &PdaBuildOptions) -> Gr
         let mut changed = false;
         for target in inlinable {
             let replacement = bodies[target.index()].clone();
-            for i in 0..bodies.len() {
+            for (i, body) in bodies.iter_mut().enumerate() {
                 if i == target.index() {
                     continue;
                 }
-                if !references(&bodies[i]).contains(&target) {
+                if !references(body).contains(&target) {
                     continue;
                 }
-                let candidate = substitute(&bodies[i], target, &replacement);
+                let candidate = substitute(body, target, &replacement);
                 if expr_size(&candidate) <= options.max_inlined_body_size {
-                    bodies[i] = candidate;
+                    *body = candidate;
                     changed = true;
                 }
             }

@@ -16,7 +16,9 @@
 //! * [`extract_suffix_fsa`] — expanded-suffix extraction for context
 //!   expansion (paper §3.2, Algorithm 2),
 //! * [`SimpleMatcher`] — a reference multi-stack executor (the "naive PDA"
-//!   baseline).
+//!   baseline),
+//! * [`multipattern`] — an Aho–Corasick automaton (plus the naive reference
+//!   scanner) for trigger scanning in structural-tag dispatch.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 pub mod build;
 pub mod exec;
 pub mod fsa;
+pub mod multipattern;
 pub mod optimize;
 pub mod pda;
 pub mod suffix;
@@ -42,6 +45,7 @@ pub mod utf8;
 pub use build::{build_pda, build_pda_default, inline_fragment_rules, PdaBuildOptions};
 pub use exec::{epsilon_closure, MatchStack, SimpleMatcher, StepResult};
 pub use fsa::{Fsa, StateId, SuffixMatch};
+pub use multipattern::{AcState, AhoCorasick, NaiveMultiPattern};
 pub use pda::{NodeId, Pda, PdaEdge, PdaNode, PdaRule, PdaRuleId, PdaStats};
 pub use suffix::{extract_all_suffix_fsas, extract_suffix_fsa};
 pub use utf8::{utf8_sequences, ByteRange, Utf8Sequence};

@@ -1,0 +1,373 @@
+//! Multi-pattern byte scanning: an Aho–Corasick automaton plus the naive
+//! reference scanner it replaces.
+//!
+//! The tag-dispatch layer scans free text for *trigger* strings (e.g. every
+//! registered tool's `<function=` prefix). The original implementation kept
+//! the longest pending suffix as a byte vector and compared it against every
+//! trigger on every byte — fine for a handful of triggers, O(triggers ×
+//! trigger-length) per byte for a large tool registry. [`AhoCorasick`]
+//! precomputes the classic goto/failure automaton (dense transitions at the
+//! root, where prose bytes live; sparse edges plus failure links elsewhere),
+//! so the scan advances in amortized O(1) per byte regardless of catalog
+//! size while memory stays proportional to the catalog's total bytes.
+//! [`NaiveMultiPattern`] preserves the original algorithm as the correctness
+//! baseline for differential tests and the trigger-scan throughput
+//! benchmarks.
+//!
+//! Both scanners implement *first-completed-wins* semantics over pattern sets
+//! where no pattern occurs inside another (the invariant
+//! `StructuralTag::trigger_assignments` validates): at most one pattern can
+//! complete at any byte, and a completed pattern can never hide inside
+//! another's partial match.
+//!
+//! # Examples
+//!
+//! ```
+//! use xg_automata::AhoCorasick;
+//!
+//! let ac = AhoCorasick::new(&[b"<fn=".to_vec(), b"<tool>".to_vec()]);
+//! let mut state = ac.start();
+//! let mut fired = None;
+//! for &b in b"call <fn=".iter() {
+//!     state = ac.step(state, b);
+//!     if let Some(pattern) = ac.matched(state) {
+//!         fired = Some(pattern);
+//!     }
+//! }
+//! assert_eq!(fired, Some(0));
+//! ```
+
+/// A scan state of an [`AhoCorasick`] automaton. States are plain indices:
+/// cheap to copy, store in rollback snapshots, and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcState(pub u32);
+
+impl AcState {
+    /// Returns the state as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An Aho–Corasick automaton over byte patterns: `step` advances the scan by
+/// one byte, `matched` reports the pattern (by index into the constructor's
+/// list) that ends at the current state.
+///
+/// Construction is the textbook algorithm: a trie of the patterns with
+/// failure links computed by breadth-first search. The *root* state — where
+/// the scan sits for virtually every prose byte — gets a dense 256-entry
+/// transition row (one lookup, no search); every other state keeps its
+/// sorted sparse goto edges plus a failure link, so memory stays
+/// O(total pattern bytes) however large the tool catalog, and stepping is
+/// amortized O(1) (each failure hop gives back trie depth previously paid
+/// for byte by byte). Matches are inherited through failure links, so a
+/// pattern ending as a proper suffix of another pattern's prefix is still
+/// reported (with the no-pattern-inside-another trigger invariant this case
+/// cannot arise, but the automaton does not rely on it).
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Dense transition row for the root state: `root_next[byte]` is the
+    /// state after consuming `byte` at the root (the root itself when no
+    /// pattern starts with `byte`).
+    root_next: Box<[u32; 256]>,
+    /// Sorted sparse goto edges per non-root trie state (`edges[0]` is the
+    /// root's list, used only during construction — `step` takes the dense
+    /// row instead).
+    edges: Vec<Vec<(u8, u32)>>,
+    /// Failure link per state: the longest proper suffix of the state's path
+    /// that is also a path prefix in the trie.
+    fail: Vec<u32>,
+    /// Pattern index ending at this state (`u32::MAX` = none). With
+    /// substring-free pattern sets at most one pattern ends per state; ties
+    /// from duplicate patterns keep the smallest index.
+    output: Vec<u32>,
+    patterns: Vec<Vec<u8>>,
+}
+
+const NO_OUTPUT: u32 = u32::MAX;
+
+impl AhoCorasick {
+    /// Builds the automaton for `patterns`. Empty patterns are ignored (they
+    /// can never "complete" in a byte scan); an empty pattern list yields an
+    /// automaton that never matches.
+    pub fn new(patterns: &[Vec<u8>]) -> Self {
+        // Trie construction: goto edges as a per-state sparse list.
+        let mut edges: Vec<Vec<(u8, u32)>> = vec![Vec::new()];
+        let mut output: Vec<u32> = vec![NO_OUTPUT];
+        for (idx, pattern) in patterns.iter().enumerate() {
+            if pattern.is_empty() {
+                continue;
+            }
+            let mut state = 0u32;
+            for &b in pattern {
+                state = match edges[state as usize].iter().find(|(eb, _)| *eb == b) {
+                    Some(&(_, next)) => next,
+                    None => {
+                        let next = edges.len() as u32;
+                        edges[state as usize].push((b, next));
+                        edges.push(Vec::new());
+                        output.push(NO_OUTPUT);
+                        next
+                    }
+                };
+            }
+            if output[state as usize] == NO_OUTPUT {
+                output[state as usize] = idx as u32;
+            }
+        }
+        for list in &mut edges {
+            list.sort_unstable_by_key(|(b, _)| *b);
+        }
+        // Dense root row: stay at the root unless a pattern starts here.
+        let mut root_next = Box::new([0u32; 256]);
+        for &(b, child) in &edges[0] {
+            root_next[b as usize] = child;
+        }
+        // Failure links by BFS: fail(child) = the state reached from
+        // fail(parent) on the child's byte (walking further failure links as
+        // needed — exactly what `step` does at scan time).
+        let mut fail = vec![0u32; edges.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &(_, child) in &edges[0] {
+            queue.push_back(child);
+        }
+        while let Some(state) = queue.pop_front() {
+            let f = fail[state as usize];
+            // Inherit the failure state's match: the longest proper suffix of
+            // this state's path that is itself a (completed) pattern.
+            if output[state as usize] == NO_OUTPUT {
+                output[state as usize] = output[f as usize];
+            }
+            for &(b, child) in &edges[state as usize] {
+                fail[child as usize] = Self::resolve(&edges, &root_next, &fail, AcState(f), b).0;
+                queue.push_back(child);
+            }
+        }
+        AhoCorasick {
+            root_next,
+            edges,
+            fail,
+            output,
+            patterns: patterns.to_vec(),
+        }
+    }
+
+    /// The goto-with-failure transition: the state reached from `state` on
+    /// `byte`, following failure links until a goto edge (or the root) takes
+    /// it.
+    #[inline]
+    fn resolve(
+        edges: &[Vec<(u8, u32)>],
+        root_next: &[u32; 256],
+        fail: &[u32],
+        state: AcState,
+        byte: u8,
+    ) -> AcState {
+        let mut s = state.0;
+        loop {
+            if s == 0 {
+                return AcState(root_next[byte as usize]);
+            }
+            if let Ok(i) = edges[s as usize].binary_search_by_key(&byte, |(b, _)| *b) {
+                return AcState(edges[s as usize][i].1);
+            }
+            s = fail[s as usize];
+        }
+    }
+
+    /// The start state (no bytes scanned, or scanning restarted).
+    #[inline]
+    pub fn start(&self) -> AcState {
+        AcState(0)
+    }
+
+    /// Advances the scan by one byte.
+    #[inline]
+    pub fn step(&self, state: AcState, byte: u8) -> AcState {
+        Self::resolve(&self.edges, &self.root_next, &self.fail, state, byte)
+    }
+
+    /// The pattern (index into the constructor's list) that completed on the
+    /// transition *into* this state, if any.
+    #[inline]
+    pub fn matched(&self, state: AcState) -> Option<usize> {
+        let out = self.output[state.index()];
+        (out != NO_OUTPUT).then_some(out as usize)
+    }
+
+    /// Number of automaton states (the trie size — memory is proportional to
+    /// this, not to `states × 256`).
+    pub fn state_count(&self) -> usize {
+        self.output.len()
+    }
+
+    /// The patterns this automaton scans for.
+    pub fn patterns(&self) -> &[Vec<u8>] {
+        &self.patterns
+    }
+
+    /// Scans `haystack` from the start state and returns every completed
+    /// match as `(end_position, pattern_index)` — the position is the index
+    /// one past the pattern's last byte. The scan *restarts* after each
+    /// match, mirroring how tag dispatch leaves free text on a completed
+    /// trigger (continue from the match state instead to track overlaps —
+    /// that is what the dispatch matcher does when a fired trigger is
+    /// cancelled). Convenience for tests and the throughput benchmarks; the
+    /// tag-dispatch matcher drives [`step`](Self::step) itself to interleave
+    /// scanning with dispatch.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut state = self.start();
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            if let Some(pattern) = self.matched(state) {
+                out.push((i + 1, pattern));
+                state = self.start();
+            }
+        }
+        out
+    }
+}
+
+/// The original naive multi-pattern scanner: tracks the longest suffix of the
+/// scanned text that is a proper prefix of some pattern, comparing it against
+/// every pattern on every byte. Kept as the reference implementation for the
+/// Aho–Corasick differential tests and the trigger-scan benchmarks.
+#[derive(Debug, Clone)]
+pub struct NaiveMultiPattern {
+    patterns: Vec<Vec<u8>>,
+}
+
+impl NaiveMultiPattern {
+    /// Creates a scanner over `patterns`.
+    pub fn new(patterns: &[Vec<u8>]) -> Self {
+        NaiveMultiPattern {
+            patterns: patterns.to_vec(),
+        }
+    }
+
+    /// Advances the scan by one byte. `pending` holds the longest suffix of
+    /// the scanned text that is a proper prefix of some pattern; returns the
+    /// index of a pattern that just completed, if any.
+    pub fn step(&self, pending: &mut Vec<u8>, byte: u8) -> Option<usize> {
+        pending.push(byte);
+        loop {
+            if let Some(idx) = self
+                .patterns
+                .iter()
+                .position(|p| !p.is_empty() && p == pending)
+            {
+                pending.clear();
+                return Some(idx);
+            }
+            if self
+                .patterns
+                .iter()
+                .any(|p| p.len() > pending.len() && p.starts_with(pending))
+            {
+                return None;
+            }
+            if pending.is_empty() {
+                return None;
+            }
+            // Drop the oldest byte and retry: a pattern may start inside the
+            // suffix we have been tracking.
+            pending.remove(0);
+        }
+    }
+
+    /// Scans `haystack` like [`AhoCorasick::find_all`], restarting the
+    /// pending suffix after every reported match (the same post-match restart
+    /// the tag-dispatch free-text scan performs).
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut pending = Vec::new();
+        for (i, &b) in haystack.iter().enumerate() {
+            if let Some(pattern) = self.step(&mut pending, b) {
+                out.push((i + 1, pattern));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pats(list: &[&[u8]]) -> Vec<Vec<u8>> {
+        list.iter().map(|p| p.to_vec()).collect()
+    }
+
+    #[test]
+    fn single_pattern_matches_at_every_occurrence() {
+        let ac = AhoCorasick::new(&pats(&[b"<n>"]));
+        assert_eq!(ac.find_all(b"a<n>b<n<n>"), vec![(4, 0), (10, 0)]);
+    }
+
+    #[test]
+    fn overlapping_prefixes_do_not_derail_the_scan() {
+        // Prose containing '<' and '<x' must not derail the scan for '<n>'.
+        let ac = AhoCorasick::new(&pats(&[b"<n>"]));
+        assert_eq!(ac.find_all(b"a < b <x <<n>"), vec![(13, 0)]);
+    }
+
+    #[test]
+    fn pattern_starting_inside_a_failed_prefix_is_found() {
+        // After 'ab' fails to extend to 'abc', the suffix 'b' must still be
+        // live for 'bq'.
+        let ac = AhoCorasick::new(&pats(&[b"abc", b"bq"]));
+        assert_eq!(ac.find_all(b"xabqy"), vec![(4, 1)]);
+    }
+
+    #[test]
+    fn multiple_patterns_report_their_own_indices() {
+        let ac = AhoCorasick::new(&pats(&[b"<fn=", b"<tool>", b"[["]));
+        assert_eq!(
+            ac.find_all(b"x<tool>y[[z<fn="),
+            vec![(7, 1), (10, 2), (15, 0)]
+        );
+    }
+
+    #[test]
+    fn empty_patterns_and_empty_sets_never_match() {
+        let ac = AhoCorasick::new(&pats(&[b""]));
+        assert!(ac.find_all(b"anything").is_empty());
+        let none = AhoCorasick::new(&[]);
+        assert!(none.find_all(b"anything").is_empty());
+        assert_eq!(none.state_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_patterns_report_the_first_index() {
+        let ac = AhoCorasick::new(&pats(&[b"xy", b"xy"]));
+        assert_eq!(ac.find_all(b"axy"), vec![(3, 0)]);
+    }
+
+    #[test]
+    fn naive_scanner_agrees_on_fixed_cases() {
+        for (patterns, haystack) in [
+            (pats(&[b"<n>"]), &b"a < b <x <<n> and <n>"[..]),
+            (pats(&[b"abc", b"bq"]), b"xabqy abc bq"),
+            (pats(&[b"<function=", b"<tool>"]), b"<funct<tool><function="),
+        ] {
+            let ac = AhoCorasick::new(&patterns);
+            let naive = NaiveMultiPattern::new(&patterns);
+            assert_eq!(ac.find_all(haystack), naive.find_all(haystack));
+        }
+    }
+
+    #[test]
+    fn states_are_cheap_and_resumable() {
+        let ac = AhoCorasick::new(&pats(&[b"<n>"]));
+        let mut state = ac.start();
+        for &b in b"x<n".iter() {
+            state = ac.step(state, b);
+        }
+        // A copied state resumes independently.
+        let fork = state;
+        assert_eq!(ac.matched(ac.step(fork, b'>')), Some(0));
+        assert_eq!(ac.matched(ac.step(state, b'x')), None);
+    }
+}

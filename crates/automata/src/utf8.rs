@@ -126,7 +126,7 @@ fn split(start: u32, end: u32, out: &mut Vec<Utf8Sequence>) {
         return;
     }
     // Skip the surrogate gap defensively.
-    if start >= 0xD800 && start <= 0xDFFF {
+    if (0xD800..=0xDFFF).contains(&start) {
         return split(0xE000.max(start), end, out);
     }
     if end >= 0xD800 && start < 0xD800 && end <= 0xDFFF {

@@ -123,6 +123,11 @@ pub trait CompiledConstraint: Send + Sync + fmt::Debug {
 }
 
 /// Per-request incremental matching state.
+///
+/// The required methods are the minimum every backend supports; the provided
+/// methods surface the richer `ConstraintMatcher` operations (jump-forward,
+/// raw forced bytes) with conservative defaults, so engines can use them on
+/// any session without branching on the backend kind.
 pub trait BackendSession: Send + fmt::Debug {
     /// Fills the bitmask of allowed next tokens.
     fn fill_mask(&mut self, mask: &mut TokenBitmask);
@@ -135,6 +140,23 @@ pub trait BackendSession: Send + fmt::Debug {
     /// Returns `true` if the text generated so far is a complete instance of
     /// the structure (end-of-sequence is allowed).
     fn can_terminate(&mut self) -> bool;
+
+    /// Advances the session with deterministic raw bytes (jump-forward
+    /// text). Returns `false` if the bytes violate the constraint *or* the
+    /// backend does not support raw-byte advancement (the default — the
+    /// session state is then unchanged and the engine falls back to
+    /// per-token decoding).
+    fn accept_bytes(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
+
+    /// The longest byte string forced by the constraint from the current
+    /// position, for jump-forward decoding. Backends without forced-text
+    /// detection return an empty vector (the default).
+    fn find_jump_forward(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

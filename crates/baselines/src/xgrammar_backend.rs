@@ -1,14 +1,20 @@
 //! Adapter exposing the `xg-core` engine through the common backend
 //! interface, so the benchmark harness and the serving engine can swap it
 //! against the baselines.
+//!
+//! Every compiled constraint — fully-constrained grammar or structural-tag
+//! dispatch — is wrapped in one session type driving a boxed
+//! [`ConstraintMatcher`] drawn from a [`MatcherPool`]: the only per-kind code
+//! is the constraint *construction* (which compile entry point to call);
+//! masks, token acceptance, jump-forward and termination all flow through
+//! the trait.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use xg_core::{
-    CompiledGrammar, CompiledTagDispatch, CompilerConfig, GrammarCache, GrammarCacheKey,
-    GrammarCacheStats, GrammarCompiler, GrammarMatcher, MatcherPool, StructuralTagMatcher,
-    TokenBitmask,
+    CompilerConfig, ConstraintFactory, ConstraintMatcher, GrammarCache, GrammarCacheKey,
+    GrammarCacheStats, GrammarCompiler, MatcherPool, TokenBitmask,
 };
 use xg_grammar::{Grammar, StructuralTag};
 use xg_tokenizer::{TokenId, Vocabulary};
@@ -19,14 +25,25 @@ use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend
 #[derive(Debug)]
 pub struct XGrammarBackend {
     compiler: GrammarCompiler,
-    /// One matcher pool per live compiled grammar, keyed by the grammar's
-    /// cache key, so repeated `compile()` calls for the same (cached) grammar
-    /// hand out the same pool and sessions of successive batches actually
-    /// recycle matchers. Pools pin their compiled grammar, so entries whose
-    /// grammar the `GrammarCache` has evicted are pruned whenever the cache's
+    /// One matcher pool per live compiled constraint, so repeated `compile()`
+    /// / `compile_structural()` calls for the same (cached) artifact hand out
+    /// the same pool and sessions of successive batches actually recycle
+    /// matchers. Pools pin their compiled artifact, so entries whose grammar
+    /// the `GrammarCache` has evicted are pruned whenever the cache's
     /// eviction counter has moved — the cache's byte budget stays the bound
     /// on resident compiled grammars.
     pools: Mutex<PoolState>,
+}
+
+/// Key of a pooled compiled constraint: the grammar cache key for ordinary
+/// grammars, the compiled dispatch's factory identity for structural tags
+/// (whose compilation is memoized per compiler, giving a stable artifact per
+/// tool registry). This enum is the backend's single per-constraint-kind
+/// branch point — everything downstream is `dyn ConstraintMatcher`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PoolKey {
+    Grammar(GrammarCacheKey),
+    Structural(usize),
 }
 
 /// The matcher pools plus the cache eviction count at the last prune;
@@ -34,9 +51,14 @@ pub struct XGrammarBackend {
 /// particular forever for the default private unbounded cache.
 #[derive(Debug, Default)]
 struct PoolState {
-    by_key: HashMap<GrammarCacheKey, Arc<XGrammarCompiled>>,
+    by_key: HashMap<PoolKey, Arc<XGrammarCompiled>>,
     pruned_at_eviction_count: u64,
 }
+
+/// Cap on structural-tag pools retained by the backend, mirroring the
+/// compiler's tag-dispatch memo cap (stale pools would pin compiled
+/// dispatches the memo has already dropped).
+const STRUCTURAL_POOL_CAP: usize = 64;
 
 impl XGrammarBackend {
     /// Creates the backend with the default (fully optimized) configuration.
@@ -67,15 +89,11 @@ impl XGrammarBackend {
         }
     }
 
-    /// The shared pool wrapper for a compiled grammar, creating it on first
-    /// sight. A pool is only reused while its grammar is still the cached one
-    /// (an evicted-and-recompiled grammar gets a fresh pool), and stale pools
-    /// are dropped so the cache budget bounds resident grammars.
-    fn pool_for(
-        &self,
-        key: GrammarCacheKey,
-        compiled: Arc<CompiledGrammar>,
-    ) -> Arc<XGrammarCompiled> {
+    /// The shared pool wrapper for a compiled constraint, creating it on
+    /// first sight. A pool is only reused while its artifact is still the
+    /// live one (an evicted-and-recompiled grammar gets a fresh pool), and
+    /// stale pools are dropped so the cache budget bounds resident grammars.
+    fn pool_for(&self, key: PoolKey, factory: Arc<dyn ConstraintFactory>) -> Arc<XGrammarCompiled> {
         let cache = self.compiler.cache();
         let mut state = self.pools.lock().unwrap_or_else(|e| e.into_inner());
         // Prune on every lookup (not just inserts): a workload that settles
@@ -86,15 +104,35 @@ impl XGrammarBackend {
         let evictions = cache.eviction_count();
         if state.pruned_at_eviction_count != evictions {
             state.pruned_at_eviction_count = evictions;
-            state.by_key.retain(|k, _| cache.contains(k));
+            state.by_key.retain(|k, _| match k {
+                PoolKey::Grammar(key) => cache.contains(key),
+                // Structural pools pin whole compiled dispatches (every
+                // per-trigger grammar plus idle inner matchers); drop them
+                // once the compiler's dispatch memo no longer holds the
+                // registry, so evicted tool registries do not stay resident
+                // outside the cache budget.
+                PoolKey::Structural(key) => self.compiler.has_cached_tag_dispatch(*key),
+            });
         }
         if let Some(existing) = state.by_key.get(&key) {
-            if Arc::ptr_eq(existing.pool.compiled(), &compiled) {
+            if existing.pool.factory_key() == factory.factory_key() {
                 return Arc::clone(existing);
             }
         }
+        if matches!(key, PoolKey::Structural(_)) {
+            let structural = state
+                .by_key
+                .keys()
+                .filter(|k| matches!(k, PoolKey::Structural(_)))
+                .count();
+            if structural >= STRUCTURAL_POOL_CAP {
+                state
+                    .by_key
+                    .retain(|k, _| !matches!(k, PoolKey::Structural(_)));
+            }
+        }
         let entry = Arc::new(XGrammarCompiled {
-            pool: Arc::new(MatcherPool::new(compiled)),
+            pool: Arc::new(MatcherPool::new(factory)),
         });
         state.by_key.insert(key, Arc::clone(&entry));
         entry
@@ -118,7 +156,7 @@ impl ConstrainedBackend for XGrammarBackend {
     fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
         let key = self.compiler.cache_key(grammar);
         let compiled = self.compiler.compile_grammar_with_key(key, grammar);
-        Ok(self.pool_for(key, compiled) as Arc<dyn CompiledConstraint>)
+        Ok(self.pool_for(PoolKey::Grammar(key), compiled) as Arc<dyn CompiledConstraint>)
     }
 
     fn compile_structural(
@@ -126,14 +164,17 @@ impl ConstrainedBackend for XGrammarBackend {
         tag: &StructuralTag,
     ) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
         // The per-trigger combined grammars run through the ordinary cached
-        // compile path, so repeated tool schemas compile once per cache.
+        // compile path, so repeated tool schemas compile once per cache; the
+        // dispatch build itself is memoized, so the factory key is stable per
+        // tool registry and the pool below is shared across batches.
         let compiled = self.compiler.compile_tag_dispatch(tag).map_err(|e| {
             BackendError::UnsupportedGrammar {
                 backend: self.name(),
                 reason: e.to_string(),
             }
         })?;
-        Ok(Arc::new(XGrammarStructural { compiled }) as Arc<dyn CompiledConstraint>)
+        let key = PoolKey::Structural(ConstraintFactory::factory_key(&*compiled));
+        Ok(self.pool_for(key, compiled) as Arc<dyn CompiledConstraint>)
     }
 
     fn cache_stats(&self) -> Option<GrammarCacheStats> {
@@ -143,9 +184,10 @@ impl ConstrainedBackend for XGrammarBackend {
     }
 }
 
-/// A compiled grammar plus its pool of reusable matchers: sessions draw a
+/// A compiled constraint plus its pool of reusable matchers: sessions draw a
 /// matcher on creation and return it when dropped, so lanes of successive
-/// serving batches reuse matcher allocations.
+/// serving batches reuse matcher allocations — for grammar lanes and
+/// tool-calling lanes alike.
 #[derive(Debug)]
 struct XGrammarCompiled {
     pool: Arc<MatcherPool>,
@@ -160,16 +202,20 @@ impl CompiledConstraint for XGrammarCompiled {
     }
 }
 
+/// The one session type for every constraint kind: a boxed
+/// [`ConstraintMatcher`] plus the pool it returns to on drop.
 #[derive(Debug)]
 struct XGrammarSession {
     /// `Some` for the whole session lifetime; taken in `drop`.
-    matcher: Option<GrammarMatcher>,
+    matcher: Option<Box<dyn ConstraintMatcher>>,
     pool: Arc<MatcherPool>,
 }
 
 impl XGrammarSession {
-    fn matcher(&mut self) -> &mut GrammarMatcher {
-        self.matcher.as_mut().expect("matcher present until drop")
+    fn matcher(&mut self) -> &mut dyn ConstraintMatcher {
+        self.matcher
+            .as_deref_mut()
+            .expect("matcher present until drop")
     }
 }
 
@@ -193,40 +239,13 @@ impl BackendSession for XGrammarSession {
     fn can_terminate(&mut self) -> bool {
         self.matcher().can_terminate()
     }
-}
 
-/// A compiled structural tag behind the common constraint interface. Inner
-/// sub-grammars are shared via the compiled-grammar cache; the dispatching
-/// matchers themselves are cheap to create (free-text scan state only).
-#[derive(Debug)]
-struct XGrammarStructural {
-    compiled: Arc<CompiledTagDispatch>,
-}
-
-impl CompiledConstraint for XGrammarStructural {
-    fn new_session(&self) -> Box<dyn BackendSession> {
-        Box::new(XGrammarStructuralSession {
-            matcher: StructuralTagMatcher::new(Arc::clone(&self.compiled)),
-        })
-    }
-}
-
-#[derive(Debug)]
-struct XGrammarStructuralSession {
-    matcher: StructuralTagMatcher,
-}
-
-impl BackendSession for XGrammarStructuralSession {
-    fn fill_mask(&mut self, mask: &mut TokenBitmask) {
-        self.matcher.fill_next_token_bitmask(mask);
+    fn accept_bytes(&mut self, bytes: &[u8]) -> bool {
+        self.matcher().accept_bytes(bytes).is_ok()
     }
 
-    fn accept_token(&mut self, token: TokenId) -> bool {
-        self.matcher.accept_token(token).is_ok()
-    }
-
-    fn can_terminate(&mut self) -> bool {
-        self.matcher.can_terminate()
+    fn find_jump_forward(&mut self) -> Vec<u8> {
+        self.matcher().find_jump_forward_string()
     }
 }
 
@@ -313,6 +332,37 @@ mod tests {
     }
 
     #[test]
+    fn structural_sessions_recycle_matchers_through_one_pool() {
+        use xg_grammar::{TagContent, TagSpec};
+
+        let vocab = small_vocab();
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let tag = StructuralTag::new(vec![TagSpec {
+            begin: "<n>".into(),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: "</n>".into(),
+        }]);
+        let first = backend.compile_structural(&tag).unwrap();
+        {
+            let mut session = first.new_session();
+            assert!(drive_session_bytes(&vocab, session.as_mut(), b"a <n>1</n>"));
+        } // matcher returns to the pool
+          // A fresh compile of the same registry shares pool and matcher.
+        let second = backend.compile_structural(&tag).unwrap();
+        let mut session = second.new_session();
+        assert!(drive_session_bytes(&vocab, session.as_mut(), b"b <n>2</n>"));
+        drop(session);
+        let state = backend.pools.lock().unwrap();
+        assert_eq!(state.by_key.len(), 1, "one pool per tool registry");
+        let pool = &state.by_key.values().next().unwrap().pool;
+        assert_eq!(pool.created(), 1);
+        assert_eq!(pool.reused(), 1);
+    }
+
+    #[test]
     fn sessions_recycle_matchers_through_the_pool() {
         let vocab = small_vocab();
         let backend = XGrammarBackend::new(Arc::clone(&vocab));
@@ -327,6 +377,30 @@ mod tests {
         let mut second = compiled.new_session();
         assert!(drive_session_bytes(&vocab, second.as_mut(), b"[12]"));
         assert!(second.can_terminate());
+    }
+
+    #[test]
+    fn sessions_expose_jump_forward_and_raw_bytes() {
+        let vocab = small_vocab();
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let compiled = backend
+            .compile(&xg_grammar::parse_ebnf(r#"root ::= "{\"id\": " [0-9]+ "}""#, "root").unwrap())
+            .unwrap();
+        let mut session = compiled.new_session();
+        let jump = session.find_jump_forward();
+        assert_eq!(jump, b"{\"id\": ".to_vec());
+        assert!(session.accept_bytes(&jump));
+        assert!(drive_session_bytes(&vocab, session.as_mut(), b"42}"));
+        assert!(session.can_terminate());
+        // Baseline sessions without jump-forward support report none (the
+        // default), rather than forcing every backend to implement it.
+        let naive = crate::NaivePdaBackend::new(Arc::clone(&vocab));
+        let mut naive_session = naive
+            .compile(&xg_grammar::builtin::json_grammar())
+            .unwrap()
+            .new_session();
+        assert!(naive_session.find_jump_forward().is_empty());
+        assert!(!naive_session.accept_bytes(b"{"));
     }
 
     #[test]
@@ -357,7 +431,9 @@ mod tests {
             1,
             "the evicted grammar's pool must be pruned"
         );
-        assert!(state.by_key.contains_key(&backend.compiler.cache_key(&g2)));
+        assert!(state
+            .by_key
+            .contains_key(&PoolKey::Grammar(backend.compiler.cache_key(&g2))));
     }
 
     #[test]
@@ -382,7 +458,9 @@ mod tests {
             1,
             "cleared grammars must not stay pinned"
         );
-        assert!(state.by_key.contains_key(&backend.compiler.cache_key(&g2)));
+        assert!(state
+            .by_key
+            .contains_key(&PoolKey::Grammar(backend.compiler.cache_key(&g2))));
     }
 
     #[test]

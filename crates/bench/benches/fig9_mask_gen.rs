@@ -152,9 +152,94 @@ fn bench_batched_mask_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Trigger scanning over a 120-entry tool catalog: the naive multi-pattern
+/// prefix scan (one comparison per pattern per byte) vs the Aho–Corasick
+/// automaton (one table lookup per byte) the tag-dispatch matcher uses.
+fn bench_trigger_scan(c: &mut Criterion) {
+    use xg_automata::{AhoCorasick, NaiveMultiPattern};
+
+    let (catalog, transcript) = xg_bench::trigger_scan_fixture(120, 1 << 16);
+    let naive = NaiveMultiPattern::new(&catalog);
+    let ac = AhoCorasick::new(&catalog);
+    assert_eq!(naive.find_all(&transcript), ac.find_all(&transcript));
+
+    let mut group = c.benchmark_group("trigger_scan_120");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("naive", |b| b.iter(|| naive.find_all(&transcript).len()));
+    group.bench_function("aho_corasick", |b| {
+        b.iter(|| ac.find_all(&transcript).len())
+    });
+    group.finish();
+}
+
+/// Tool-call transcript decoding with and without jump-forward inside the
+/// tagged segments: forced bytes (begin-tag remainders, schema punctuation,
+/// end tags) skip both the mask fill and the sampled token.
+fn bench_tagged_jump_forward(c: &mut Criterion) {
+    use xg_core::{GrammarCompiler, StructuralTagMatcher, TokenBitmask};
+
+    let vocab = bench_vocabulary(16_000);
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let tasks = xg_datasets::tool_call_tasks(2, 0xBE7);
+    let compiled: Vec<_> = tasks
+        .iter()
+        .map(|t| compiler.compile_tag_dispatch(&t.structural_tag()).unwrap())
+        .collect();
+    let llm = SimulatedLlm::new(
+        Arc::clone(&vocab),
+        LlmBehavior {
+            prose_probability: 0.0,
+            type_error_probability: 0.0,
+            seed: 0,
+        },
+    );
+
+    let mut group = c.benchmark_group("tagged_jump_forward");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+    for (label, jump) in [("without", false), ("with", true)] {
+        group.bench_with_input(BenchmarkId::new(label, "tool_calls"), &jump, |b, &jump| {
+            let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+            b.iter(|| {
+                let mut sampled = 0u64;
+                let mut jumped = 0u64;
+                for (i, task) in tasks.iter().enumerate() {
+                    let mut matcher = StructuralTagMatcher::new(Arc::clone(&compiled[i]));
+                    let mut state = llm.start_request(&task.reference, i as u64);
+                    for _ in 0..400 {
+                        if jump {
+                            let forced = matcher.find_jump_forward_string();
+                            if !forced.is_empty() && matcher.accept_bytes(&forced).is_ok() {
+                                state.advance_bytes(&forced);
+                                jumped += forced.len() as u64;
+                            }
+                        }
+                        matcher.fill_next_token_bitmask(&mut mask);
+                        let Some(token) = state.propose_constrained(&mask) else {
+                            break;
+                        };
+                        if Some(token) == vocab.eos() || matcher.accept_token(token).is_err() {
+                            break;
+                        }
+                        state.advance(token);
+                        sampled += 1;
+                    }
+                }
+                (sampled, jumped)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mask_generation,
-    bench_batched_mask_generation
+    bench_batched_mask_generation,
+    bench_trigger_scan,
+    bench_tagged_jump_forward
 );
 criterion_main!(benches);

@@ -106,13 +106,13 @@ fn main() {
         ),
         (
             "structural_tag",
-            "tag dispatch: free prose + constrained tool-call segments",
+            "tag dispatch: tool-call segments, jump-forward, trigger-scan throughput",
             experiment_structural_tag,
         ),
     ];
     if args.iter().any(|a| a == "--list") {
         println!("available experiments:");
-        println!("  {:<14} {}", "all", "run every experiment below (default)");
+        println!("  {:<14} run every experiment below (default)", "all");
         for (name, description, _) in experiments {
             println!("  {name:<14} {description}");
         }
@@ -570,31 +570,35 @@ fn experiment_cache_serving(vocab: &Arc<Vocabulary>, config: &Config) {
     println!();
 }
 
-/// Structural tags: a mixed prose/tool-call batch through the serving
-/// engine, plus a direct matcher-level study of free-text passthrough
-/// overhead, tag-segment conformance, and rollback across tag boundaries.
-fn experiment_structural_tag(vocab: &Arc<Vocabulary>, config: &Config) {
-    println!("## Structural tags — tag dispatch for agentic tool calling");
-    let count = config.engine_requests.max(4);
-    let tasks = xg_datasets::tool_call_tasks(count, 0x7A9);
-    let compiler = GrammarCompiler::new(Arc::clone(vocab));
-    let llm = SimulatedLlm::new(
-        Arc::clone(vocab),
-        LlmBehavior {
-            prose_probability: 0.0,
-            type_error_probability: 0.0,
-            seed: 0,
-        },
-    );
+/// Counters of one matcher-level decode pass over the tool-call transcripts.
+#[derive(Debug, Default)]
+struct TagDecodeSummary {
+    free_mask_time: Duration,
+    tag_mask_time: Duration,
+    free_steps: u64,
+    tag_steps: u64,
+    sampled_tokens: u64,
+    jump_bytes: u64,
+    jump_events: u64,
+    segments_checked: usize,
+    segments_conformant: usize,
+    tokens_conformant: bool,
+}
 
-    // ---- Part 1: matcher-level decode over the mixed transcripts. ----
-    let mut free_mask_time = Duration::ZERO;
-    let mut tag_mask_time = Duration::ZERO;
-    let mut free_steps = 0u64;
-    let mut tag_steps = 0u64;
-    let mut segments_checked = 0usize;
-    let mut segments_conformant = 0usize;
-    let mut tokens_conformant = true;
+/// Decodes every task transcript through a [`StructuralTagMatcher`],
+/// optionally jumping forward over forced bytes inside tagged segments, and
+/// checks segment/token conformance against the standalone sub-grammars.
+fn decode_tool_call_tasks(
+    vocab: &Arc<Vocabulary>,
+    compiler: &GrammarCompiler,
+    llm: &SimulatedLlm,
+    tasks: &[xg_datasets::ToolCallTask],
+    use_jump_forward: bool,
+) -> TagDecodeSummary {
+    let mut summary = TagDecodeSummary {
+        tokens_conformant: true,
+        ..Default::default()
+    };
     let mut mask = TokenBitmask::new_all_rejected(vocab.len());
     for (i, task) in tasks.iter().enumerate() {
         let tag = task.structural_tag();
@@ -605,34 +609,46 @@ fn experiment_structural_tag(vocab: &Arc<Vocabulary>, config: &Config) {
         let mut state = llm.start_request(&task.reference, i as u64);
         let mut output = Vec::new();
         for _ in 0..600 {
+            if use_jump_forward {
+                // Forced bytes inside a tagged segment (begin-tag remainder,
+                // schema punctuation and keys, the end tag) need no GPU step.
+                let jump = matcher.find_jump_forward_string();
+                if !jump.is_empty() && matcher.accept_bytes(&jump).is_ok() {
+                    state.advance_bytes(&jump);
+                    output.extend_from_slice(&jump);
+                    summary.jump_bytes += jump.len() as u64;
+                    summary.jump_events += 1;
+                }
+            }
             let mode = matcher.mode();
             let start = Instant::now();
             matcher.fill_next_token_bitmask(&mut mask);
             let elapsed = start.elapsed();
             match mode {
                 DispatchMode::FreeText => {
-                    free_mask_time += elapsed;
-                    free_steps += 1;
+                    summary.free_mask_time += elapsed;
+                    summary.free_steps += 1;
                 }
                 DispatchMode::Tagged { .. } => {
-                    tag_mask_time += elapsed;
-                    tag_steps += 1;
+                    summary.tag_mask_time += elapsed;
+                    summary.tag_steps += 1;
                 }
             }
             let Some(token) = state.propose_constrained(&mask) else {
                 break;
             };
+            summary.sampled_tokens += 1;
             // Token-by-token conformance: the sampled token must have been
             // allowed by the mask of the current mode.
             if !mask.is_allowed(token) {
-                tokens_conformant = false;
+                summary.tokens_conformant = false;
             }
             if Some(token) == vocab.eos() {
                 matcher.accept_token(token).expect("EOS in free text");
                 break;
             }
             if matcher.accept_token(token).is_err() {
-                tokens_conformant = false;
+                summary.tokens_conformant = false;
                 break;
             }
             output.extend_from_slice(vocab.token_bytes(token));
@@ -642,7 +658,7 @@ fn experiment_structural_tag(vocab: &Arc<Vocabulary>, config: &Config) {
         // function's standalone sub-grammar (schema + name + end tag).
         let text = String::from_utf8_lossy(&output).to_string();
         for segment in text.split(xg_datasets::TOOL_CALL_TRIGGER).skip(1) {
-            segments_checked += 1;
+            summary.segments_checked += 1;
             let Some((name, rest)) = segment.split_once('>') else {
                 continue;
             };
@@ -661,33 +677,104 @@ fn experiment_structural_tag(vocab: &Arc<Vocabulary>, config: &Config) {
                 let mut standalone = GrammarMatcher::new(compiler.compile_grammar(&grammar));
                 standalone.accept_bytes(payload.as_bytes()).is_ok() && standalone.can_terminate()
             });
-            segments_conformant += usize::from(ok);
+            summary.segments_conformant += usize::from(ok);
         }
     }
+    summary
+}
+
+/// Structural tags: a mixed prose/tool-call batch through the serving
+/// engine, plus a direct matcher-level study of free-text passthrough
+/// overhead, tag-segment conformance, jump-forward savings inside tagged
+/// segments, trigger-scan throughput, and rollback across tag boundaries.
+fn experiment_structural_tag(vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Structural tags — tag dispatch for agentic tool calling");
+    let count = config.engine_requests.max(4);
+    let tasks = xg_datasets::tool_call_tasks(count, 0x7A9);
+    let compiler = GrammarCompiler::new(Arc::clone(vocab));
+    let llm = SimulatedLlm::new(
+        Arc::clone(vocab),
+        LlmBehavior {
+            prose_probability: 0.0,
+            type_error_probability: 0.0,
+            seed: 0,
+        },
+    );
+
+    // ---- Part 1: matcher-level decode over the mixed transcripts. ----
+    let base = decode_tool_call_tasks(vocab, &compiler, &llm, &tasks, false);
     println!(
         "  free-text steps : {:>6}  avg mask fill {:>8.0} ns (all-allowed passthrough)",
-        free_steps,
-        free_mask_time.as_nanos() as f64 / free_steps.max(1) as f64
+        base.free_steps,
+        base.free_mask_time.as_nanos() as f64 / base.free_steps.max(1) as f64
     );
     println!(
         "  tagged steps    : {:>6}  avg mask fill {:>8.0} ns (constrained decode)",
-        tag_steps,
-        tag_mask_time.as_nanos() as f64 / tag_steps.max(1) as f64
+        base.tag_steps,
+        base.tag_mask_time.as_nanos() as f64 / base.tag_steps.max(1) as f64
     );
     println!(
-        "  tool-call segments conformant to their sub-grammar: {segments_conformant}/{segments_checked}"
+        "  tool-call segments conformant to their sub-grammar: {}/{}",
+        base.segments_conformant, base.segments_checked
     );
     println!(
         "  token-by-token mask conformance: {}",
-        if tokens_conformant { "PASS" } else { "FAIL" }
+        if base.tokens_conformant {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
 
-    // ---- Part 2: rollback across a tag boundary. ----
+    // ---- Part 2: jump-forward decoding inside tagged segments. ----
+    let jumped = decode_tool_call_tasks(vocab, &compiler, &llm, &tasks, true);
+    let saved_tokens = base.sampled_tokens.saturating_sub(jumped.sampled_tokens);
+    println!(
+        "  jump-forward in tagged segments: {} chars over {} jumps, {} -> {} sampled tokens ({} saved, {})",
+        jumped.jump_bytes,
+        jumped.jump_events,
+        base.sampled_tokens,
+        jumped.sampled_tokens,
+        saved_tokens,
+        if jumped.jump_bytes > 0
+            && jumped.segments_conformant == jumped.segments_checked
+            && jumped.tokens_conformant
+        {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    // ---- Part 3: trigger-scan throughput on a 120-trigger catalog. ----
+    let (catalog, transcript) = xg_bench::trigger_scan_fixture(120, 1 << 19);
+    let naive = xg_automata::NaiveMultiPattern::new(&catalog);
+    let ac = xg_automata::AhoCorasick::new(&catalog);
+    let start = Instant::now();
+    let naive_matches = naive.find_all(&transcript);
+    let naive_time = start.elapsed();
+    let start = Instant::now();
+    let ac_matches = ac.find_all(&transcript);
+    let ac_time = start.elapsed();
+    assert_eq!(naive_matches, ac_matches, "scanners must agree");
+    let mb = transcript.len() as f64 / 1e6;
+    println!(
+        "  trigger scan, {} triggers over {:.1} MB ({} matches): naive {:>7.1} MB/s vs aho-corasick {:>7.1} MB/s ({:.1}x)",
+        catalog.len(),
+        mb,
+        ac_matches.len(),
+        mb / naive_time.as_secs_f64().max(1e-9),
+        mb / ac_time.as_secs_f64().max(1e-9),
+        naive_time.as_secs_f64() / ac_time.as_secs_f64().max(1e-9)
+    );
+
+    // ---- Part 4: rollback across a tag boundary. ----
     let task = &tasks[0];
     let compiled = compiler
         .compile_tag_dispatch(&task.structural_tag())
         .expect("task tags compile");
     let mut matcher = StructuralTagMatcher::new(compiled);
+    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
     let mut pre_tag_mask = TokenBitmask::new_all_rejected(vocab.len());
     matcher.accept_bytes(b"prose before the call").unwrap();
     matcher.fill_next_token_bitmask(&mut pre_tag_mask);
@@ -703,7 +790,7 @@ fn experiment_structural_tag(vocab: &Arc<Vocabulary>, config: &Config) {
         if in_tag && restored { "PASS" } else { "FAIL" }
     );
 
-    // ---- Part 3: the serving engine on a mixed prose/tool-call batch. ----
+    // ---- Part 5: the serving engine on a mixed prose/tool-call batch. ----
     let profile = ModelProfile::llama31_8b_h100().scaled(config.time_scale);
     let requests: Vec<EngineRequest> = tasks
         .iter()

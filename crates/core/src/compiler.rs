@@ -375,6 +375,20 @@ impl GrammarCompiler {
     pub fn cached_count(&self) -> usize {
         self.cache.len()
     }
+
+    /// Returns `true` if a memoized structural-tag compilation with this
+    /// factory identity (see
+    /// [`ConstraintFactory::factory_key`](crate::ConstraintFactory::factory_key))
+    /// is still alive in this compiler's dispatch memo. Lets callers holding
+    /// sidecar state per compiled dispatch (matcher pools, metrics) prune it
+    /// once the memo has dropped the entry.
+    pub fn has_cached_tag_dispatch(&self, factory_key: usize) -> bool {
+        self.tag_dispatch_memo
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .any(|dispatch| crate::ConstraintFactory::factory_key(&**dispatch) == factory_key)
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +447,24 @@ mod tests {
         let c = compiler();
         assert!(c.compile_ebnf(r#"root ::= missing"#, "root").is_err());
         assert!(c.compile_json_schema(&serde_json::json!(false)).is_err());
+    }
+
+    #[test]
+    fn tag_dispatch_memo_membership_is_queryable() {
+        use xg_grammar::{StructuralTag, TagContent, TagSpec};
+        let c = compiler();
+        let tag = StructuralTag::new(vec![TagSpec {
+            begin: "<n>".into(),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: "</n>".into(),
+        }]);
+        let dispatch = c.compile_tag_dispatch(&tag).unwrap();
+        let key = crate::ConstraintFactory::factory_key(&*dispatch);
+        assert!(c.has_cached_tag_dispatch(key));
+        assert!(!c.has_cached_tag_dispatch(key.wrapping_add(1)));
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! The [`ConstraintMatcher`] trait: one runtime interface for every kind of
+//! constrained-decoding lane.
+//!
+//! The engine's hot path treats every constrained lane the same way — fill a
+//! token mask, accept the sampled token, occasionally jump forward over
+//! forced text or roll back recent tokens. Before this trait existed, the
+//! fully-constrained [`GrammarMatcher`](crate::GrammarMatcher) and the
+//! structural-tag [`StructuralTagMatcher`](crate::StructuralTagMatcher)
+//! offered those operations through parallel, unshared inherent APIs, and
+//! every consumer branched over the matcher kind by hand. Now both implement
+//! [`ConstraintMatcher`], serving engines drive boxed trait objects, and a
+//! new lane type (a regex lane, a composite constraint, a semantic filter)
+//! plugs in by implementing the trait — no new enum variant in any consumer.
+//!
+//! The companion [`ConstraintFactory`] trait is the compiled-artifact side:
+//! a compiled grammar or compiled tag dispatch acts as a factory of fresh
+//! matchers, which lets [`MatcherPool`](crate::MatcherPool) recycle matcher
+//! allocations for any constraint kind uniformly.
+
+use std::fmt;
+use std::sync::Arc;
+
+use xg_tokenizer::{TokenId, Vocabulary};
+
+use crate::error::{AcceptError, RollbackError};
+use crate::mask::TokenBitmask;
+
+/// Constraint-kind-independent runtime counters, reported by every
+/// [`ConstraintMatcher`]. Concrete matchers usually expose a richer inherent
+/// `stats()` as well (e.g. [`MatcherStats`](crate::MatcherStats) with
+/// context-dependent-token counts); this is the common denominator the
+/// serving layer aggregates across heterogeneous lanes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConstraintStats {
+    /// Token bitmasks generated.
+    pub masks_generated: u64,
+    /// Tokens accepted (excluding raw [`accept_bytes`] units).
+    ///
+    /// [`accept_bytes`]: ConstraintMatcher::accept_bytes
+    pub tokens_accepted: u64,
+}
+
+/// The incremental matcher of one constrained-decoding lane.
+///
+/// Implementations must keep three invariants the serving engine relies on:
+///
+/// 1. **Masks tell the truth**: a token allowed by
+///    [`fill_next_token_bitmask`](Self::fill_next_token_bitmask) must be
+///    accepted by the following [`accept_token`](Self::accept_token) call.
+/// 2. **Failed accepts are atomic**: an `Err` from
+///    [`accept_token`](Self::accept_token) /
+///    [`accept_bytes`](Self::accept_bytes) leaves the state unchanged.
+/// 3. **Rollback units**: every successful `accept_token` or `accept_bytes`
+///    call is one unit of [`rollback`](Self::rollback).
+///
+/// # Examples
+///
+/// A custom constraint plugs into the engine by implementing this trait —
+/// here, a budget lane that allows free generation for `budget` tokens and
+/// then forces end-of-sequence:
+///
+/// ```
+/// use std::sync::Arc;
+/// use xg_core::{AcceptError, ConstraintMatcher, ConstraintStats, RollbackError, TokenBitmask};
+/// use xg_tokenizer::{test_vocabulary, TokenId, Vocabulary};
+///
+/// #[derive(Debug)]
+/// struct TokenBudget {
+///     vocab: Arc<Vocabulary>,
+///     spent: usize,
+///     budget: usize,
+///     terminated: bool,
+/// }
+///
+/// impl ConstraintMatcher for TokenBudget {
+///     fn vocabulary(&self) -> &Arc<Vocabulary> {
+///         &self.vocab
+///     }
+///
+///     fn fill_next_token_bitmask(&mut self, mask: &mut TokenBitmask) {
+///         if self.terminated {
+///             mask.reject_all();
+///         } else if self.spent < self.budget {
+///             mask.allow_all();
+///         } else {
+///             mask.reject_all();
+///             if let Some(eos) = self.vocab.eos() {
+///                 mask.allow(eos);
+///             }
+///         }
+///     }
+///
+///     fn accept_token(&mut self, token: TokenId) -> Result<(), AcceptError> {
+///         if self.terminated {
+///             return Err(AcceptError::AlreadyTerminated);
+///         }
+///         if Some(token) == self.vocab.eos() {
+///             self.terminated = true;
+///         } else if self.spent < self.budget {
+///             self.spent += 1;
+///         } else {
+///             return Err(AcceptError::TokenRejected { token, matched_bytes: 0 });
+///         }
+///         Ok(())
+///     }
+///
+///     fn accept_bytes(&mut self, _bytes: &[u8]) -> Result<(), AcceptError> {
+///         self.spent += 1; // one rollback unit, whatever its byte length
+///         Ok(())
+///     }
+///
+///     fn rollback(&mut self, num_tokens: usize) -> Result<(), RollbackError> {
+///         if num_tokens > self.spent {
+///             return Err(RollbackError { requested: num_tokens, available: self.spent });
+///         }
+///         self.spent -= num_tokens;
+///         self.terminated = false;
+///         Ok(())
+///     }
+///
+///     fn rollback_window(&self) -> usize {
+///         self.spent
+///     }
+///
+///     fn find_jump_forward_string(&mut self) -> Vec<u8> {
+///         Vec::new() // nothing is ever forced
+///     }
+///
+///     fn can_terminate(&mut self) -> bool {
+///         !self.terminated
+///     }
+///
+///     fn is_terminated(&self) -> bool {
+///         self.terminated
+///     }
+///
+///     fn reset(&mut self) {
+///         self.spent = 0;
+///         self.terminated = false;
+///     }
+///
+///     fn stats(&self) -> ConstraintStats {
+///         ConstraintStats::default()
+///     }
+/// }
+///
+/// let vocab = Arc::new(test_vocabulary(600));
+/// let mut lane: Box<dyn ConstraintMatcher> = Box::new(TokenBudget {
+///     vocab: Arc::clone(&vocab),
+///     spent: 0,
+///     budget: 2,
+///     terminated: false,
+/// });
+/// let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+/// lane.fill_next_token_bitmask(&mut mask);
+/// assert!(mask.count_allowed() > 1);
+/// lane.accept_bytes(b"hi").unwrap();
+/// lane.accept_bytes(b"there").unwrap();
+/// lane.fill_next_token_bitmask(&mut mask);
+/// assert_eq!(mask.count_allowed(), 1); // only EOS once the budget is spent
+/// ```
+pub trait ConstraintMatcher: Send + fmt::Debug {
+    /// The vocabulary this matcher produces masks for.
+    fn vocabulary(&self) -> &Arc<Vocabulary>;
+
+    /// Fills `mask` with the set of tokens allowed at the next decoding step.
+    fn fill_next_token_bitmask(&mut self, mask: &mut TokenBitmask);
+
+    /// Accepts a sampled token, advancing the matcher state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AcceptError`] (leaving the state unchanged) when the
+    /// token violates the constraint.
+    fn accept_token(&mut self, token: TokenId) -> Result<(), AcceptError>;
+
+    /// Accepts a raw byte string as a single rollback unit (jump-forward
+    /// text, forced segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AcceptError`] (leaving the state unchanged) when the
+    /// bytes violate the constraint.
+    fn accept_bytes(&mut self, bytes: &[u8]) -> Result<(), AcceptError>;
+
+    /// Rolls back the last `num_tokens` accepted units.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RollbackError`] if more units are requested than the
+    /// rollback window holds; the state is unchanged.
+    fn rollback(&mut self, num_tokens: usize) -> Result<(), RollbackError>;
+
+    /// Number of accepted units that can currently be rolled back.
+    fn rollback_window(&self) -> usize;
+
+    /// The configured upper bound on [`rollback_window`](Self::rollback_window).
+    /// Defaults to [`DEFAULT_MAX_ROLLBACK_TOKENS`](crate::DEFAULT_MAX_ROLLBACK_TOKENS);
+    /// [`MatcherPool`](crate::MatcherPool) uses it to refuse recycling
+    /// matchers configured differently from the pool.
+    fn max_rollback(&self) -> usize {
+        crate::DEFAULT_MAX_ROLLBACK_TOKENS
+    }
+
+    /// The longest byte string *forced* by the constraint from the current
+    /// position (always a complete UTF-8 prefix), without modifying state.
+    /// Implementations with no forced-text notion return an empty vector.
+    fn find_jump_forward_string(&mut self) -> Vec<u8>;
+
+    /// Returns `true` if end-of-sequence would be accepted now.
+    fn can_terminate(&mut self) -> bool;
+
+    /// Returns `true` if end-of-sequence has been accepted.
+    fn is_terminated(&self) -> bool;
+
+    /// Resets the matcher to the start of its constraint, clearing history
+    /// and statistics. A reset matcher must be indistinguishable from a
+    /// freshly constructed one ([`MatcherPool`](crate::MatcherPool) relies on
+    /// this when recycling).
+    fn reset(&mut self);
+
+    /// Constraint-kind-independent runtime counters.
+    fn stats(&self) -> ConstraintStats;
+
+    /// Drops the oldest rollback snapshots until at most `keep` remain — a
+    /// memory-bounding hint used when an outer constraint (e.g. tag dispatch)
+    /// caps an inner matcher's effective window. Implementations without
+    /// per-unit history may ignore it (the default).
+    fn trim_history(&mut self, keep: usize) {
+        let _ = keep;
+    }
+
+    /// Identity of the compiled artifact this matcher was built from (the
+    /// [`ConstraintFactory::factory_key`] of its factory), used by
+    /// [`MatcherPool`](crate::MatcherPool) to refuse foreign matchers.
+    /// The default (`0`) marks the matcher as not pool-recyclable.
+    fn factory_key(&self) -> usize {
+        0
+    }
+}
+
+/// A compiled constraint artifact that can mint fresh matchers: the factory
+/// side of [`ConstraintMatcher`], implemented by
+/// [`CompiledGrammar`](crate::CompiledGrammar) and
+/// [`CompiledTagDispatch`](crate::CompiledTagDispatch).
+///
+/// [`MatcherPool`](crate::MatcherPool) is built on this trait, which is what
+/// lets one pool type recycle grammar matchers, tag-dispatch matchers, and
+/// the per-segment inner matchers tag dispatch opens.
+pub trait ConstraintFactory: Send + Sync + fmt::Debug {
+    /// Creates a matcher positioned at the start of the constraint with the
+    /// given rollback window.
+    fn new_matcher(self: Arc<Self>, max_rollback: usize) -> Box<dyn ConstraintMatcher>;
+
+    /// Stable identity of this compiled artifact while it is alive (its
+    /// allocation address). Matchers report the same value via
+    /// [`ConstraintMatcher::factory_key`] so pools can verify provenance.
+    fn factory_key(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// The vocabulary matchers of this factory produce masks for.
+    fn vocabulary(&self) -> &Arc<Vocabulary>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::GrammarCompiler;
+    use xg_tokenizer::test_vocabulary;
+
+    #[test]
+    fn both_matcher_kinds_drive_through_the_trait() {
+        use xg_grammar::{StructuralTag, TagContent, TagSpec};
+
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let grammar = compiler
+            .compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root")
+            .unwrap();
+        let tag = StructuralTag::new(vec![TagSpec {
+            begin: "<n>".into(),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: "</n>".into(),
+        }]);
+        let dispatch = compiler.compile_tag_dispatch(&tag).unwrap();
+
+        // One code path serves both constraint kinds.
+        let mut lanes: Vec<(Box<dyn ConstraintMatcher>, &[u8])> = vec![
+            (grammar.new_matcher(8), b"[42]"),
+            (dispatch.new_matcher(8), b"see <n>42</n> ok"),
+        ];
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        for (lane, text) in &mut lanes {
+            lane.fill_next_token_bitmask(&mut mask);
+            assert!(mask.count_allowed() > 0);
+            lane.accept_bytes(text).unwrap();
+            assert!(lane.can_terminate());
+            assert_eq!(lane.rollback_window(), 1);
+            lane.rollback(1).unwrap();
+            assert_eq!(lane.max_rollback(), 8);
+            assert_ne!(lane.factory_key(), 0);
+            lane.reset();
+            assert_eq!(lane.stats(), ConstraintStats::default());
+        }
+    }
+
+    #[test]
+    fn factory_keys_identify_the_compiled_artifact() {
+        let vocab = Arc::new(test_vocabulary(600));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let a = compiler.compile_ebnf(r#"root ::= "a""#, "root").unwrap();
+        let b = compiler.compile_ebnf(r#"root ::= "b""#, "root").unwrap();
+        assert_ne!(a.factory_key(), b.factory_key());
+        let matcher = Arc::clone(&a).new_matcher(crate::DEFAULT_MAX_ROLLBACK_TOKENS);
+        assert_eq!(matcher.factory_key(), a.factory_key());
+        assert_eq!(matcher.vocabulary().len(), vocab.len());
+    }
+}

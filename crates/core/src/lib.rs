@@ -20,10 +20,16 @@
 //! * the **serving concurrency layer** (§5): a budgeted LRU cache of compiled
 //!   grammars with compile-once semantics under contention ([`GrammarCache`])
 //!   and a pool of reusable per-request matchers ([`MatcherPool`]),
+//! * the **[`ConstraintMatcher`] trait**: one runtime interface for every
+//!   constrained lane kind (with [`ConstraintFactory`] as the compiled
+//!   artifact side), so engines drive boxed trait objects instead of
+//!   branching per matcher type,
 //! * **tag dispatch** for agentic tool calling: free text passes through
-//!   unconstrained while trigger strings dispatch into constrained tagged
-//!   segments ([`StructuralTagMatcher`], [`CompiledTagDispatch`]), with
-//!   rollback across mode boundaries.
+//!   unconstrained (scanned by an Aho–Corasick trigger automaton) while
+//!   trigger strings dispatch into constrained tagged segments
+//!   ([`StructuralTagMatcher`], [`CompiledTagDispatch`]), with rollback and
+//!   jump-forward across mode boundaries and boundary-union masks at segment
+//!   ends.
 //!
 //! # Quick start
 //!
@@ -50,6 +56,7 @@
 #![warn(missing_debug_implementations)]
 
 mod compiler;
+mod constraint;
 mod error;
 pub mod executor;
 mod grammar_cache;
@@ -61,6 +68,7 @@ mod persistent_stack;
 mod tag_dispatch;
 
 pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler};
+pub use constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats};
 pub use error::{AcceptError, RollbackError};
 pub use grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats};
 pub use mask::TokenBitmask;

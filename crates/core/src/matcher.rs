@@ -14,6 +14,7 @@ use xg_automata::PdaEdge;
 use xg_tokenizer::TokenId;
 
 use crate::compiler::CompiledGrammar;
+use crate::constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats};
 use crate::error::{AcceptError, RollbackError};
 use crate::executor::{advance_byte, can_pop_out, common_prefix_len, TokenTrail};
 use crate::mask::TokenBitmask;
@@ -475,15 +476,6 @@ impl GrammarMatcher {
         self.history.len()
     }
 
-    /// Drops the oldest history snapshots until at most `keep` remain.
-    /// Crate-internal: the tag-dispatch matcher bounds an inner matcher's
-    /// per-byte history to what the outer rollback window can still reach.
-    pub(crate) fn trim_history_to(&mut self, keep: usize) {
-        while self.history.len() > keep {
-            self.history.pop_front();
-        }
-    }
-
     /// The maximum rollback window this matcher was created with.
     pub fn max_rollback(&self) -> usize {
         self.max_rollback
@@ -598,6 +590,79 @@ impl GrammarMatcher {
             }
         }
         candidate
+    }
+}
+
+impl ConstraintMatcher for GrammarMatcher {
+    fn vocabulary(&self) -> &Arc<xg_tokenizer::Vocabulary> {
+        self.compiled.vocabulary()
+    }
+
+    fn fill_next_token_bitmask(&mut self, mask: &mut TokenBitmask) {
+        GrammarMatcher::fill_next_token_bitmask(self, mask);
+    }
+
+    fn accept_token(&mut self, token: TokenId) -> Result<(), AcceptError> {
+        GrammarMatcher::accept_token(self, token)
+    }
+
+    fn accept_bytes(&mut self, bytes: &[u8]) -> Result<(), AcceptError> {
+        GrammarMatcher::accept_bytes(self, bytes)
+    }
+
+    fn rollback(&mut self, num_tokens: usize) -> Result<(), RollbackError> {
+        GrammarMatcher::rollback(self, num_tokens)
+    }
+
+    fn rollback_window(&self) -> usize {
+        GrammarMatcher::rollback_window(self)
+    }
+
+    fn max_rollback(&self) -> usize {
+        GrammarMatcher::max_rollback(self)
+    }
+
+    fn find_jump_forward_string(&mut self) -> Vec<u8> {
+        GrammarMatcher::find_jump_forward_string(self)
+    }
+
+    fn can_terminate(&mut self) -> bool {
+        GrammarMatcher::can_terminate(self)
+    }
+
+    fn is_terminated(&self) -> bool {
+        GrammarMatcher::is_terminated(self)
+    }
+
+    fn reset(&mut self) {
+        GrammarMatcher::reset(self);
+    }
+
+    fn stats(&self) -> ConstraintStats {
+        ConstraintStats {
+            masks_generated: self.stats.masks_generated,
+            tokens_accepted: self.stats.tokens_accepted,
+        }
+    }
+
+    fn trim_history(&mut self, keep: usize) {
+        while self.history.len() > keep {
+            self.history.pop_front();
+        }
+    }
+
+    fn factory_key(&self) -> usize {
+        ConstraintFactory::factory_key(&*self.compiled)
+    }
+}
+
+impl ConstraintFactory for CompiledGrammar {
+    fn new_matcher(self: Arc<Self>, max_rollback: usize) -> Box<dyn ConstraintMatcher> {
+        Box::new(GrammarMatcher::with_max_rollback(self, max_rollback))
+    }
+
+    fn vocabulary(&self) -> &Arc<xg_tokenizer::Vocabulary> {
+        CompiledGrammar::vocabulary(self)
     }
 }
 

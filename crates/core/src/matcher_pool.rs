@@ -1,20 +1,26 @@
-//! A pool of reusable [`GrammarMatcher`]s for one compiled grammar.
+//! A pool of reusable [`ConstraintMatcher`]s for one compiled constraint.
 //!
 //! A serving engine creates one matcher per request lane. Matcher creation is
-//! cheap but not free (it allocates a fresh persistent stack tree), and under
-//! heavy traffic the same grammar serves thousands of requests, so lanes draw
+//! cheap but not free (it allocates fresh per-request state), and under heavy
+//! traffic the same constraint serves thousands of requests, so lanes draw
 //! matchers from a shared pool and return them when the request finishes. The
 //! pool resets a matcher before handing it out, so acquired matchers are
-//! always positioned at the start of the grammar.
+//! always positioned at the start of the constraint.
+//!
+//! The pool is generic over [`ConstraintFactory`], so one type recycles
+//! grammar matchers ([`CompiledGrammar`](crate::CompiledGrammar)),
+//! tag-dispatch matchers
+//! ([`CompiledTagDispatch`](crate::CompiledTagDispatch)), and — through the
+//! per-trigger pools tag dispatch embeds — the inner matchers opened for
+//! every tagged segment.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::compiler::CompiledGrammar;
-use crate::matcher::GrammarMatcher;
+use crate::constraint::{ConstraintFactory, ConstraintMatcher};
 
-/// A thread-safe pool of [`GrammarMatcher`]s bound to one
-/// [`CompiledGrammar`].
+/// A thread-safe pool of [`ConstraintMatcher`]s bound to one
+/// [`ConstraintFactory`].
 ///
 /// # Examples
 ///
@@ -35,8 +41,10 @@ use crate::matcher::GrammarMatcher;
 /// ```
 #[derive(Debug)]
 pub struct MatcherPool {
-    compiled: Arc<CompiledGrammar>,
-    idle: Mutex<Vec<GrammarMatcher>>,
+    factory: Arc<dyn ConstraintFactory>,
+    /// Rollback window of every matcher this pool creates and recycles.
+    max_rollback: usize,
+    idle: Mutex<Vec<Box<dyn ConstraintMatcher>>>,
     max_idle: usize,
     created: AtomicU64,
     reused: AtomicU64,
@@ -46,16 +54,29 @@ impl MatcherPool {
     /// Default cap on idle matchers retained by the pool.
     pub const DEFAULT_MAX_IDLE: usize = 256;
 
-    /// Creates a pool for `compiled` with the default idle cap.
-    pub fn new(compiled: Arc<CompiledGrammar>) -> Self {
-        Self::with_max_idle(compiled, Self::DEFAULT_MAX_IDLE)
+    /// Creates a pool for `factory` with the default idle cap and rollback
+    /// window.
+    pub fn new(factory: Arc<dyn ConstraintFactory>) -> Self {
+        Self::with_max_idle(factory, Self::DEFAULT_MAX_IDLE)
     }
 
     /// Creates a pool retaining at most `max_idle` idle matchers; matchers
     /// released beyond the cap are dropped.
-    pub fn with_max_idle(compiled: Arc<CompiledGrammar>, max_idle: usize) -> Self {
+    pub fn with_max_idle(factory: Arc<dyn ConstraintFactory>, max_idle: usize) -> Self {
+        Self::with_rollback_window(factory, max_idle, crate::DEFAULT_MAX_ROLLBACK_TOKENS)
+    }
+
+    /// Creates a pool whose matchers carry an explicit rollback window (e.g.
+    /// the effectively-unbounded window tag dispatch gives per-segment inner
+    /// matchers, which it trims externally).
+    pub fn with_rollback_window(
+        factory: Arc<dyn ConstraintFactory>,
+        max_idle: usize,
+        max_rollback: usize,
+    ) -> Self {
         MatcherPool {
-            compiled,
+            factory,
+            max_rollback,
             idle: Mutex::new(Vec::new()),
             max_idle,
             created: AtomicU64::new(0),
@@ -63,14 +84,25 @@ impl MatcherPool {
         }
     }
 
-    /// The compiled grammar this pool serves.
-    pub fn compiled(&self) -> &Arc<CompiledGrammar> {
-        &self.compiled
+    /// The compiled constraint this pool serves.
+    pub fn factory(&self) -> &Arc<dyn ConstraintFactory> {
+        &self.factory
     }
 
-    /// Takes a matcher positioned at the start of the grammar: a reset pooled
-    /// matcher when one is idle, a freshly constructed one otherwise.
-    pub fn acquire(&self) -> GrammarMatcher {
+    /// Identity of the compiled constraint this pool serves (its
+    /// [`ConstraintFactory::factory_key`]).
+    pub fn factory_key(&self) -> usize {
+        self.factory.factory_key()
+    }
+
+    /// The rollback window of matchers created by this pool.
+    pub fn max_rollback(&self) -> usize {
+        self.max_rollback
+    }
+
+    /// Takes a matcher positioned at the start of the constraint: a reset
+    /// pooled matcher when one is idle, a freshly constructed one otherwise.
+    pub fn acquire(&self) -> Box<dyn ConstraintMatcher> {
         let pooled = self.lock().pop();
         match pooled {
             Some(mut matcher) => {
@@ -80,18 +112,18 @@ impl MatcherPool {
             }
             None => {
                 self.created.fetch_add(1, Ordering::Relaxed);
-                GrammarMatcher::new(Arc::clone(&self.compiled))
+                Arc::clone(&self.factory).new_matcher(self.max_rollback)
             }
         }
     }
 
-    /// Returns a matcher to the pool. Matchers built for a different compiled
-    /// grammar or with a non-default rollback window (acquired matchers must
-    /// be indistinguishable from `GrammarMatcher::new`), and matchers beyond
-    /// the idle cap, are dropped instead.
-    pub fn release(&self, matcher: GrammarMatcher) {
-        if !Arc::ptr_eq(matcher.compiled(), &self.compiled)
-            || matcher.max_rollback() != crate::DEFAULT_MAX_ROLLBACK_TOKENS
+    /// Returns a matcher to the pool. Matchers built from a different
+    /// compiled constraint or with a different rollback window (acquired
+    /// matchers must be indistinguishable from freshly created ones), and
+    /// matchers beyond the idle cap, are dropped instead.
+    pub fn release(&self, matcher: Box<dyn ConstraintMatcher>) {
+        if matcher.factory_key() != self.factory.factory_key()
+            || matcher.max_rollback() != self.max_rollback
         {
             return;
         }
@@ -116,7 +148,7 @@ impl MatcherPool {
         self.reused.load(Ordering::Relaxed)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<GrammarMatcher>> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Box<dyn ConstraintMatcher>>> {
         self.idle.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -125,6 +157,7 @@ impl MatcherPool {
 mod tests {
     use super::*;
     use crate::compiler::{CompilerConfig, GrammarCompiler};
+    use crate::constraint::ConstraintStats;
     use crate::mask::TokenBitmask;
     use xg_tokenizer::test_vocabulary;
 
@@ -147,7 +180,7 @@ mod tests {
         assert_eq!(pool.reused(), 1);
         // The reused matcher is indistinguishable from a fresh one: counters
         // cleared and only '[' allowed at the start.
-        assert_eq!(reused.stats(), crate::MatcherStats::default());
+        assert_eq!(reused.stats(), ConstraintStats::default());
         let mut mask = TokenBitmask::new_all_rejected(vocab.len());
         reused.fill_next_token_bitmask(&mut mask);
         for t in mask.allowed_tokens() {
@@ -162,21 +195,48 @@ mod tests {
         let other = GrammarCompiler::with_config(Arc::clone(&vocab), CompilerConfig::baseline())
             .compile_ebnf(r#"root ::= "x""#, "root")
             .unwrap();
-        pool.release(GrammarMatcher::new(other));
+        pool.release(MatcherPool::new(other).acquire());
         assert_eq!(pool.idle_count(), 0);
-        // So is one with a non-default rollback window.
-        pool.release(GrammarMatcher::with_max_rollback(
-            Arc::clone(pool.compiled()),
-            0,
-        ));
+        // So is one with a different rollback window.
+        let zero_window =
+            MatcherPool::with_rollback_window(Arc::clone(pool.factory()), 4, 0).acquire();
+        pool.release(zero_window);
         assert_eq!(pool.idle_count(), 0);
         // The idle cap bounds retained matchers.
-        let tiny = MatcherPool::with_max_idle(Arc::clone(pool.compiled()), 1);
+        let tiny = MatcherPool::with_max_idle(Arc::clone(pool.factory()), 1);
         let a = tiny.acquire();
         let b = tiny.acquire();
         tiny.release(a);
         tiny.release(b);
         assert_eq!(tiny.idle_count(), 1);
+    }
+
+    #[test]
+    fn pool_recycles_structural_tag_matchers_too() {
+        use xg_grammar::{StructuralTag, TagContent, TagSpec};
+
+        let vocab = Arc::new(test_vocabulary(600));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let tag = StructuralTag::new(vec![TagSpec {
+            begin: "<n>".into(),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: "</n>".into(),
+        }]);
+        let dispatch = compiler.compile_tag_dispatch(&tag).unwrap();
+        let pool = MatcherPool::new(dispatch);
+        let mut matcher = pool.acquire();
+        matcher.accept_bytes(b"hi <n>42</n>").unwrap();
+        pool.release(matcher);
+        let mut again = pool.acquire();
+        assert_eq!(pool.created(), 1);
+        assert_eq!(pool.reused(), 1);
+        // The recycled matcher starts from free text again.
+        assert!(again.can_terminate());
+        again.accept_bytes(b"<n>7</n>").unwrap();
+        assert!(again.can_terminate());
     }
 
     #[test]

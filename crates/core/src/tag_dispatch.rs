@@ -4,37 +4,56 @@
 //! This is the runtime for [`StructuralTag`] descriptions (the agentic
 //! tool-calling scenario): a [`StructuralTagMatcher`] passes free text
 //! through *unconstrained* — the token mask is all-allowed and costs no
-//! automaton work — while scanning the emitted bytes for trigger strings.
-//! When a trigger completes, the matcher dispatches into the compiled
-//! combined grammar of that trigger (remainder of the begin tag, the content
-//! grammar, the end tag) and constrains decoding token by token until the
-//! segment closes, then returns to free text. Rollback works across mode
-//! boundaries: rolling back into a closed segment re-opens it, and rolling
-//! back across a segment's opening returns to free-text scanning with the
-//! trigger state restored.
+//! automaton work — while scanning the emitted bytes for trigger strings
+//! with a precompiled [`AhoCorasick`] automaton (amortized O(1) per byte,
+//! whatever the size of the tool catalog). When a trigger completes, the
+//! matcher dispatches into the compiled combined grammar of that trigger
+//! (remainder of the begin tag, the content grammar, the end tag) and
+//! constrains decoding token by token until the segment closes, then returns
+//! to free text. Rollback works across mode boundaries: rolling back into a
+//! closed segment re-opens it, and rolling back across a segment's opening
+//! returns to free-text scanning with the trigger state restored.
+//!
+//! Two boundary refinements keep tagged segments as cheap as fully
+//! constrained lanes:
+//!
+//! * segment grammars are compiled with a *free-text continuation tail*
+//!   ([`xg_grammar::append_free_text_tail`]), so the in-segment mask is the
+//!   union of "continue the segment" and "close it and resume prose" — a
+//!   single token spanning the end tag and following prose is admitted;
+//! * [`find_jump_forward_string`](StructuralTagMatcher::find_jump_forward_string)
+//!   exposes the forced bytes of the open segment (begin-tag remainder,
+//!   forced schema keys, the end tag), so jump-forward decoding works inside
+//!   tagged segments.
 //!
 //! Compilation lives on [`GrammarCompiler::compile_tag_dispatch`]: every
 //! per-trigger combined grammar goes through the ordinary compile path, so
 //! repeated tool schemas hit the shared [`GrammarCache`](crate::GrammarCache)
-//! like any other grammar.
+//! like any other grammar, and each trigger carries a
+//! [`MatcherPool`] recycling the inner matchers its segments open.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use xg_automata::{AcState, AhoCorasick};
 use xg_grammar::{GrammarError, StructuralTag};
 use xg_tokenizer::{TokenId, Vocabulary};
 
 use crate::compiler::{CompiledGrammar, GrammarCompiler};
+use crate::constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats};
 use crate::error::{AcceptError, RollbackError};
 use crate::mask::TokenBitmask;
-use crate::matcher::{GrammarMatcher, DEFAULT_MAX_ROLLBACK_TOKENS};
+use crate::matcher_pool::MatcherPool;
+use crate::DEFAULT_MAX_ROLLBACK_TOKENS;
 
-/// One compiled trigger: the byte string scanned for in free text plus the
-/// combined grammar that takes over once it fires.
+/// One compiled trigger: the byte string scanned for in free text, the
+/// combined grammar that takes over once it fires, and the pool recycling the
+/// per-segment matchers running that grammar.
 #[derive(Debug)]
 pub struct CompiledTrigger {
     trigger: Vec<u8>,
     grammar: Arc<CompiledGrammar>,
+    pool: Arc<MatcherPool>,
 }
 
 impl CompiledTrigger {
@@ -43,17 +62,27 @@ impl CompiledTrigger {
         &self.trigger
     }
 
-    /// The compiled combined grammar dispatched to by this trigger.
+    /// The compiled segment grammar dispatched to by this trigger: the
+    /// combined grammar (begin-tag remainder, content, end tag) followed by
+    /// the free-text continuation tail, so its masks admit tokens that close
+    /// the segment and continue with prose.
     pub fn grammar(&self) -> &Arc<CompiledGrammar> {
         &self.grammar
     }
+
+    /// The pool recycling this trigger's per-segment inner matchers.
+    pub fn matcher_pool(&self) -> &Arc<MatcherPool> {
+        &self.pool
+    }
 }
 
-/// A [`StructuralTag`] compiled against a vocabulary: the trigger strings and
-/// their combined grammars, ready to instantiate [`StructuralTagMatcher`]s.
+/// A [`StructuralTag`] compiled against a vocabulary: the trigger strings,
+/// their combined grammars and matcher pools, and the Aho–Corasick scanner
+/// over all triggers, ready to instantiate [`StructuralTagMatcher`]s.
 #[derive(Debug)]
 pub struct CompiledTagDispatch {
     triggers: Vec<CompiledTrigger>,
+    scanner: AhoCorasick,
     vocab: Arc<Vocabulary>,
 }
 
@@ -63,74 +92,41 @@ impl CompiledTagDispatch {
         &self.triggers
     }
 
+    /// The Aho–Corasick automaton scanning free text for all triggers at
+    /// once. Pattern indices match [`triggers`](Self::triggers) order.
+    pub fn scanner(&self) -> &AhoCorasick {
+        &self.scanner
+    }
+
     /// The vocabulary the sub-grammars were compiled against.
     pub fn vocabulary(&self) -> &Arc<Vocabulary> {
         &self.vocab
     }
+}
 
-    /// Advances the free-text trigger scan by one byte. `pending` holds the
-    /// longest suffix of the emitted text that is a proper prefix of some
-    /// trigger; returns the index of a trigger that just completed, if any.
-    ///
-    /// Tracking a single candidate suffix is complete because validation
-    /// rejects triggers that occur inside one another: a completed trigger
-    /// hidden in the middle of `pending` would imply it is an infix of the
-    /// trigger `pending` is a prefix of.
-    fn advance_scan(&self, pending: &mut Vec<u8>, byte: u8) -> Option<usize> {
-        pending.push(byte);
-        loop {
-            if let Some(idx) = self
-                .triggers
-                .iter()
-                .position(|t| t.trigger == pending.as_slice())
-            {
-                pending.clear();
-                return Some(idx);
-            }
-            if self
-                .triggers
-                .iter()
-                .any(|t| t.trigger.starts_with(pending.as_slice()))
-            {
-                return None;
-            }
-            if pending.is_empty() {
-                return None;
-            }
-            // Drop the oldest byte and retry: a trigger may start inside the
-            // suffix we have been tracking.
-            pending.remove(0);
-        }
+impl ConstraintFactory for CompiledTagDispatch {
+    fn new_matcher(self: Arc<Self>, max_rollback: usize) -> Box<dyn ConstraintMatcher> {
+        Box::new(StructuralTagMatcher::with_max_rollback(self, max_rollback))
     }
 
-    /// Scan state after a trigger completion that was *not* dispatched
-    /// (cancelled mid-token dispatch): the emitted text ends with the full
-    /// trigger string, so the pending suffix is the longest proper suffix of
-    /// that trigger that is a proper prefix of some trigger.
-    fn reseed_pending(&self, trigger_idx: usize) -> Vec<u8> {
-        let trigger = &self.triggers[trigger_idx].trigger;
-        for start in 1..trigger.len() {
-            let suffix = &trigger[start..];
-            if self
-                .triggers
-                .iter()
-                .any(|t| t.trigger.len() > suffix.len() && t.trigger.starts_with(suffix))
-            {
-                return suffix.to_vec();
-            }
-        }
-        Vec::new()
+    fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocab
     }
 }
+
+/// Idle cap of the per-trigger inner matcher pools: a serving process rarely
+/// has more concurrently *open* segments per trigger than lanes in a batch.
+const INNER_POOL_MAX_IDLE: usize = 64;
 
 impl GrammarCompiler {
     /// Compiles a [`StructuralTag`] description: every trigger's combined
     /// grammar (begin-tag remainder, content, end tag over the dispatched
-    /// tags) runs through the ordinary cached compile path, so shared tool
-    /// schemas are compiled once per [`GrammarCache`](crate::GrammarCache).
-    /// The dispatch description itself is memoized per compiler, so serving
-    /// batches that re-submit the same tool registry skip the
-    /// schema-to-grammar conversion and combined-grammar construction too.
+    /// tags, plus the free-text continuation tail) runs through the ordinary
+    /// cached compile path, so shared tool schemas are compiled once per
+    /// [`GrammarCache`](crate::GrammarCache). The dispatch description itself
+    /// is memoized per compiler, so serving batches that re-submit the same
+    /// tool registry skip the schema-to-grammar conversion, combined-grammar
+    /// construction and trigger-scanner build too.
     ///
     /// # Errors
     ///
@@ -150,14 +146,34 @@ impl GrammarCompiler {
         }
         let grammars = tag.build_trigger_grammars()?;
         let mut triggers = Vec::with_capacity(grammars.len());
+        let mut patterns = Vec::with_capacity(grammars.len());
         for (trigger, grammar) in grammars {
+            // The free-text tail turns the end-of-segment mask into the union
+            // with the prose continuation; acceptance is untouched because
+            // the matcher closes the segment eagerly, before the tail is ever
+            // entered across a token boundary.
+            let segment_grammar = xg_grammar::append_free_text_tail(&grammar);
+            let compiled = self.compile_grammar(&segment_grammar);
+            let pool = Arc::new(MatcherPool::with_rollback_window(
+                Arc::clone(&compiled) as Arc<dyn ConstraintFactory>,
+                INNER_POOL_MAX_IDLE,
+                // Inner matchers keep one rollback unit per byte. The window
+                // is nominally unbounded so the matcher never self-trims;
+                // `prune_unreachable_segments` trims it to exactly the units
+                // the outer rollback window can still reach.
+                usize::MAX,
+            ));
+            patterns.push(trigger.clone().into_bytes());
             triggers.push(CompiledTrigger {
                 trigger: trigger.into_bytes(),
-                grammar: self.compile_grammar(&grammar),
+                grammar: compiled,
+                pool,
             });
         }
+        let scanner = AhoCorasick::new(&patterns);
         let compiled = Arc::new(CompiledTagDispatch {
             triggers,
+            scanner,
             vocab: Arc::clone(self.vocabulary()),
         });
         let mut memo = self.tag_dispatch_memo().lock().unwrap();
@@ -190,6 +206,9 @@ pub struct TagDispatchStats {
     pub tags_opened: u64,
     /// Tagged segments closed.
     pub tags_closed: u64,
+    /// Segment slots dropped entirely because they fell behind the rollback
+    /// window (the remaining slots are all the per-token prune pass scans).
+    pub slots_dropped: u64,
 }
 
 /// The matcher's current high-level mode.
@@ -204,29 +223,33 @@ pub enum DispatchMode {
     },
 }
 
-/// Internal mode state; [`ModeState::Free`] carries the trigger-scan suffix.
-#[derive(Debug, Clone)]
+/// Internal mode state; [`ModeState::Free`] carries the trigger-scan
+/// automaton state, [`ModeState::Tagged`] the *absolute* segment index
+/// (stable across dropped slots).
+#[derive(Debug, Clone, Copy)]
 enum ModeState {
-    Free { pending: Vec<u8> },
+    Free { scan: AcState },
     Tagged { seg: usize },
 }
 
-/// A tagged segment's runtime state. The matcher is dropped (`None`) once no
-/// rollback snapshot can reach the segment any more.
+/// A tagged segment's runtime state. The matcher is returned to its trigger's
+/// pool (`None`) once no rollback snapshot can reach the segment any more.
 #[derive(Debug)]
 struct TagSegment {
     trigger: usize,
-    matcher: Option<GrammarMatcher>,
+    matcher: Option<Box<dyn ConstraintMatcher>>,
     /// Inner rollback units accepted so far (one per byte fed).
     units: usize,
 }
 
 /// State of the matcher *before* an accepted token, for rollback.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Snapshot {
     mode: ModeState,
     /// Inner units of the then-current segment (0 when `mode` is free).
     units: usize,
+    /// Total segments ever opened at snapshot time (`segments_base +
+    /// segments.len()`), for truncating later opens on restore.
     segments_len: usize,
 }
 
@@ -262,7 +285,12 @@ struct Snapshot {
 pub struct StructuralTagMatcher {
     compiled: Arc<CompiledTagDispatch>,
     mode: ModeState,
-    segments: Vec<TagSegment>,
+    /// Live segment slots. Slots behind the rollback window are dropped from
+    /// the front; `segments_base` is the absolute index of `segments[0]`, so
+    /// a request with hundreds of tool calls scans (and stores) only the
+    /// handful of slots a snapshot can still reach.
+    segments: VecDeque<TagSegment>,
+    segments_base: usize,
     history: VecDeque<Snapshot>,
     max_rollback: usize,
     terminated: bool,
@@ -278,12 +306,12 @@ impl StructuralTagMatcher {
     /// Creates a matcher that can roll back up to `max_rollback` recently
     /// accepted tokens, including across tag boundaries.
     pub fn with_max_rollback(compiled: Arc<CompiledTagDispatch>, max_rollback: usize) -> Self {
+        let scan = compiled.scanner.start();
         StructuralTagMatcher {
             compiled,
-            mode: ModeState::Free {
-                pending: Vec::new(),
-            },
-            segments: Vec::new(),
+            mode: ModeState::Free { scan },
+            segments: VecDeque::new(),
+            segments_base: 0,
             history: VecDeque::new(),
             max_rollback,
             terminated: false,
@@ -301,12 +329,17 @@ impl StructuralTagMatcher {
         self.stats
     }
 
+    /// The maximum rollback window this matcher was created with.
+    pub fn max_rollback(&self) -> usize {
+        self.max_rollback
+    }
+
     /// The matcher's current mode.
     pub fn mode(&self) -> DispatchMode {
         match &self.mode {
             ModeState::Free { .. } => DispatchMode::FreeText,
             ModeState::Tagged { seg } => DispatchMode::Tagged {
-                trigger: self.segments[*seg].trigger,
+                trigger: self.seg(*seg).trigger,
             },
         }
     }
@@ -327,20 +360,30 @@ impl StructuralTagMatcher {
         self.history.len()
     }
 
-    /// Resets the matcher to free text at the start of the stream.
+    /// Number of segment slots currently retained (the prune pass scans only
+    /// these; slots behind the rollback window are dropped entirely).
+    pub fn retained_segment_slots(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Resets the matcher to free text at the start of the stream, returning
+    /// every live inner matcher to its trigger's pool.
     pub fn reset(&mut self) {
+        self.release_segments_from(0);
         self.mode = ModeState::Free {
-            pending: Vec::new(),
+            scan: self.compiled.scanner.start(),
         };
-        self.segments.clear();
+        self.segments_base = 0;
         self.history.clear();
         self.terminated = false;
         self.stats = TagDispatchStats::default();
     }
 
     /// Fills `mask` with the allowed next tokens: all-allowed in free text
-    /// (special tokens except EOS stay rejected), the inner grammar's mask
-    /// inside a tagged segment.
+    /// (special tokens except EOS stay rejected), the segment grammar's mask
+    /// inside a tagged segment. The segment grammar carries the free-text
+    /// continuation tail, so near the end of a segment the mask also admits
+    /// tokens that finish the end tag and continue with prose.
     ///
     /// # Panics
     ///
@@ -357,7 +400,7 @@ impl StructuralTagMatcher {
             mask.reject_all();
             return;
         }
-        match &self.mode {
+        match self.mode {
             ModeState::Free { .. } => {
                 // Free text passes through unconstrained: no automaton work,
                 // no vocabulary scan. EOS is allowed (free text may end).
@@ -370,8 +413,7 @@ impl StructuralTagMatcher {
                 self.stats.free_masks += 1;
             }
             ModeState::Tagged { seg } => {
-                let seg = *seg;
-                self.segments[seg]
+                self.seg_mut(seg)
                     .matcher
                     .as_mut()
                     .expect("the current segment is never pruned")
@@ -485,33 +527,84 @@ impl StructuralTagMatcher {
             });
         }
         let target = self.history.len() - num_tokens;
-        let snapshot = self.history[target].clone();
+        let snapshot = self.history[target];
         self.restore(&snapshot);
         self.history.truncate(target);
         self.terminated = false;
         Ok(())
     }
 
+    /// Finds the longest byte string *forced* from the current position
+    /// (always trimmed to a complete UTF-8 prefix), without modifying state.
+    ///
+    /// Free text forces nothing (any byte is acceptable). Inside a tagged
+    /// segment the forced bytes come from the segment grammar: the unmatched
+    /// remainder of the begin tag, forced schema punctuation and keys, and —
+    /// once the content is complete — the end tag itself. The search stops
+    /// where the segment can close (the continuation is unconstrained prose,
+    /// so nothing beyond the close is forced).
+    pub fn find_jump_forward_string(&mut self) -> Vec<u8> {
+        if self.terminated {
+            return Vec::new();
+        }
+        match self.mode {
+            ModeState::Free { .. } => Vec::new(),
+            ModeState::Tagged { seg } => self
+                .seg_mut(seg)
+                .matcher
+                .as_mut()
+                .expect("the current segment is never pruned")
+                .find_jump_forward_string(),
+        }
+    }
+
+    /// Like [`find_jump_forward_string`](Self::find_jump_forward_string), but
+    /// returned as a `String` (the forced bytes are always trimmed to a
+    /// complete UTF-8 prefix, so the conversion cannot fail).
+    pub fn find_jump_forward_str(&mut self) -> String {
+        String::from_utf8(self.find_jump_forward_string())
+            .expect("forced string is trimmed to a valid UTF-8 boundary")
+    }
+
     // -----------------------------------------------------------------
     // Internals
     // -----------------------------------------------------------------
 
+    fn seg(&self, abs: usize) -> &TagSegment {
+        &self.segments[abs - self.segments_base]
+    }
+
+    fn seg_mut(&mut self, abs: usize) -> &mut TagSegment {
+        let idx = abs - self.segments_base;
+        &mut self.segments[idx]
+    }
+
+    /// Total segments ever opened (dropped slots included).
+    fn segments_total(&self) -> usize {
+        self.segments_base + self.segments.len()
+    }
+
     fn snapshot(&self) -> Snapshot {
         let units = match &self.mode {
             ModeState::Free { .. } => 0,
-            ModeState::Tagged { seg } => self.segments[*seg].units,
+            ModeState::Tagged { seg } => self.seg(*seg).units,
         };
         Snapshot {
-            mode: self.mode.clone(),
+            mode: self.mode,
             units,
-            segments_len: self.segments.len(),
+            segments_len: self.segments_total(),
         }
     }
 
     fn restore(&mut self, snapshot: &Snapshot) {
-        self.segments.truncate(snapshot.segments_len);
+        // Drop segments opened after the snapshot, returning their inner
+        // matchers to the pools. When `segments_base` has already advanced
+        // past the snapshot's total (the excess slots fell behind the
+        // rollback window and were dropped from the front), this saturates to
+        // clearing whatever is left.
+        self.release_segments_from(snapshot.segments_len.saturating_sub(self.segments_base));
         if let ModeState::Tagged { seg } = &snapshot.mode {
-            let segment = &mut self.segments[*seg];
+            let segment = self.seg_mut(*seg);
             let delta = segment.units - snapshot.units;
             if delta > 0 {
                 segment
@@ -523,7 +616,7 @@ impl StructuralTagMatcher {
                 segment.units = snapshot.units;
             }
         }
-        self.mode = snapshot.mode.clone();
+        self.mode = snapshot.mode;
     }
 
     /// Advances over `bytes`, switching modes as triggers fire and segments
@@ -535,10 +628,13 @@ impl StructuralTagMatcher {
     /// contradicts the tag grammar in the same call must not reject the
     /// token: the completed trigger is treated as plain prose instead
     /// (the byte position is recorded in `suppressed` and the call replays
-    /// from `base` without dispatching there). Only bytes violating a
-    /// segment that was already open when the call started are a real
-    /// rejection — that segment's constraint was visible in the mask.
+    /// from `base` without dispatching there — the scan then continues from
+    /// the automaton's match state, which tracks exactly the trigger-suffix
+    /// overlaps). Only bytes violating a segment that was already open when
+    /// the call started are a real rejection — that segment's constraint was
+    /// visible in the mask.
     fn advance_bytes_across_modes(&mut self, bytes: &[u8], base: &Snapshot) -> Result<(), usize> {
+        let compiled = Arc::clone(&self.compiled);
         let base_stats = self.stats;
         let mut suppressed: Vec<usize> = Vec::new();
         'attempt: loop {
@@ -547,19 +643,21 @@ impl StructuralTagMatcher {
             let mut opened_at: Option<usize> = None;
             for (i, &b) in bytes.iter().enumerate() {
                 match &mut self.mode {
-                    ModeState::Free { pending } => {
-                        if let Some(trigger) = self.compiled.advance_scan(pending, b) {
-                            if suppressed.contains(&i) {
-                                *pending = self.compiled.reseed_pending(trigger);
-                            } else {
+                    ModeState::Free { scan } => {
+                        let state = compiled.scanner.step(*scan, b);
+                        *scan = state;
+                        if let Some(trigger) = compiled.scanner.matched(state) {
+                            if !suppressed.contains(&i) {
                                 self.open_segment(trigger);
                                 opened_at = Some(i);
                             }
                         }
                     }
                     ModeState::Tagged { seg } => {
-                        let seg = *seg;
-                        let segment = &mut self.segments[seg];
+                        let segment = {
+                            let idx = *seg - self.segments_base;
+                            &mut self.segments[idx]
+                        };
                         let matcher = segment
                             .matcher
                             .as_mut()
@@ -584,39 +682,35 @@ impl StructuralTagMatcher {
         }
     }
 
-    /// Opens a tagged segment for `trigger`, immediately closing it again if
-    /// its combined grammar is already complete (pathological nullable tags).
+    /// Opens a tagged segment for `trigger` (drawing the inner matcher from
+    /// the trigger's pool), immediately closing it again if its combined
+    /// grammar is already complete (pathological nullable tags).
     fn open_segment(&mut self, trigger: usize) {
-        // Inner matchers keep one rollback unit per byte. The window is
-        // nominally unbounded so the matcher never self-trims; instead
-        // `prune_unreachable_segments` trims it after every accepted token to
-        // exactly the units the outer rollback window can still reach.
-        let mut matcher = GrammarMatcher::with_max_rollback(
-            Arc::clone(self.compiled.triggers[trigger].grammar()),
-            usize::MAX,
-        );
+        let pool = &self.compiled.triggers[trigger].pool;
+        let mut matcher = pool.acquire();
         self.stats.tags_opened += 1;
         if matcher.can_terminate() {
+            pool.release(matcher);
             self.stats.tags_closed += 1;
             self.mode = ModeState::Free {
-                pending: Vec::new(),
+                scan: self.compiled.scanner.start(),
             };
             return;
         }
-        self.segments.push(TagSegment {
+        self.segments.push_back(TagSegment {
             trigger,
             matcher: Some(matcher),
             units: 0,
         });
         self.mode = ModeState::Tagged {
-            seg: self.segments.len() - 1,
+            seg: self.segments_total() - 1,
         };
     }
 
     fn close_segment(&mut self) {
         self.stats.tags_closed += 1;
         self.mode = ModeState::Free {
-            pending: Vec::new(),
+            scan: self.compiled.scanner.start(),
         };
     }
 
@@ -628,10 +722,7 @@ impl StructuralTagMatcher {
             }
         }
         // Prune even with rollback disabled: with no snapshots retained,
-        // every closed segment becomes unreachable immediately. (Pruned
-        // entries keep their slim `TagSegment` slot — snapshots index
-        // segments by position — but drop the matcher, which owns the
-        // memory.)
+        // every closed segment becomes unreachable immediately.
         self.prune_unreachable_segments();
     }
 
@@ -640,35 +731,134 @@ impl StructuralTagMatcher {
         self.push_history_snapshot(snapshot);
     }
 
-    /// Drops the inner matchers of segments that no rollback snapshot (nor
-    /// the current mode) can reach any more, so long multi-call generations
-    /// do not accumulate one live matcher per closed tool call — and trims
-    /// each reachable segment's per-byte history down to the oldest unit any
-    /// snapshot can still roll back to, so a single long segment does not
-    /// accumulate history beyond the outer rollback window either.
+    /// Returns the inner matchers of segments that no rollback snapshot (nor
+    /// the current mode) can reach any more to their pools, drops the slots
+    /// of the unreachable *prefix* entirely (advancing `segments_base`, so
+    /// long multi-call generations neither hold nor rescan one slot per
+    /// closed tool call), and trims each reachable segment's per-byte history
+    /// down to the oldest unit any snapshot can still roll back to.
     fn prune_unreachable_segments(&mut self) {
-        // needed[seg] = the smallest `units` value any retained snapshot (or
-        // the current mode) could restore the segment to; None = unreachable.
+        let base = self.segments_base;
+        // needed[i] = the smallest `units` value any retained snapshot (or
+        // the current mode) could restore segment `base + i` to; None =
+        // unreachable.
         let mut needed: Vec<Option<usize>> = vec![None; self.segments.len()];
         if let ModeState::Tagged { seg } = &self.mode {
-            needed[*seg] = Some(self.segments[*seg].units);
+            needed[*seg - base] = Some(self.seg(*seg).units);
         }
         for snap in &self.history {
             if let ModeState::Tagged { seg } = &snap.mode {
-                let entry = needed[*seg].get_or_insert(snap.units);
+                debug_assert!(*seg >= base, "snapshots never reference dropped slots");
+                let entry = needed[*seg - base].get_or_insert(snap.units);
                 *entry = (*entry).min(snap.units);
             }
         }
-        for (segment, need) in self.segments.iter_mut().zip(needed) {
+        let compiled = Arc::clone(&self.compiled);
+        for (segment, need) in self.segments.iter_mut().zip(&needed) {
             match need {
-                None => segment.matcher = None,
+                None => {
+                    if let Some(matcher) = segment.matcher.take() {
+                        compiled.triggers[segment.trigger].pool.release(matcher);
+                    }
+                }
                 Some(min_units) => {
                     if let Some(matcher) = segment.matcher.as_mut() {
-                        matcher.trim_history_to(segment.units - min_units);
+                        matcher.trim_history(segment.units - min_units);
                     }
                 }
             }
         }
+        // Drop the unreachable prefix outright: no snapshot indexes below the
+        // first reachable slot, so those slots can never be restored (and
+        // truncation on restore only pops from the back).
+        let unreachable_prefix = needed
+            .iter()
+            .position(|n| n.is_some())
+            .unwrap_or(needed.len());
+        for _ in 0..unreachable_prefix {
+            self.segments.pop_front();
+            self.segments_base += 1;
+            self.stats.slots_dropped += 1;
+        }
+    }
+
+    /// Returns the inner matchers of all slots with index ≥ `from` (relative
+    /// to the deque) to their pools and removes the slots.
+    fn release_segments_from(&mut self, from: usize) {
+        let compiled = Arc::clone(&self.compiled);
+        while self.segments.len() > from {
+            if let Some(seg) = self.segments.pop_back() {
+                if let Some(matcher) = seg.matcher {
+                    compiled.triggers[seg.trigger].pool.release(matcher);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for StructuralTagMatcher {
+    fn drop(&mut self) {
+        // Hand the live inner matchers back to their pools, so dropping a
+        // dispatching matcher (or its backend session) recycles allocations
+        // for the next request.
+        self.release_segments_from(0);
+    }
+}
+
+impl ConstraintMatcher for StructuralTagMatcher {
+    fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.compiled.vocab
+    }
+
+    fn fill_next_token_bitmask(&mut self, mask: &mut TokenBitmask) {
+        StructuralTagMatcher::fill_next_token_bitmask(self, mask);
+    }
+
+    fn accept_token(&mut self, token: TokenId) -> Result<(), AcceptError> {
+        StructuralTagMatcher::accept_token(self, token)
+    }
+
+    fn accept_bytes(&mut self, bytes: &[u8]) -> Result<(), AcceptError> {
+        StructuralTagMatcher::accept_bytes(self, bytes)
+    }
+
+    fn rollback(&mut self, num_tokens: usize) -> Result<(), RollbackError> {
+        StructuralTagMatcher::rollback(self, num_tokens)
+    }
+
+    fn rollback_window(&self) -> usize {
+        StructuralTagMatcher::rollback_window(self)
+    }
+
+    fn max_rollback(&self) -> usize {
+        StructuralTagMatcher::max_rollback(self)
+    }
+
+    fn find_jump_forward_string(&mut self) -> Vec<u8> {
+        StructuralTagMatcher::find_jump_forward_string(self)
+    }
+
+    fn can_terminate(&mut self) -> bool {
+        StructuralTagMatcher::can_terminate(self)
+    }
+
+    fn is_terminated(&self) -> bool {
+        StructuralTagMatcher::is_terminated(self)
+    }
+
+    fn reset(&mut self) {
+        StructuralTagMatcher::reset(self);
+    }
+
+    fn stats(&self) -> ConstraintStats {
+        ConstraintStats {
+            masks_generated: self.stats.free_masks + self.stats.tag_masks,
+            tokens_accepted: self.stats.tokens_accepted,
+        }
+    }
+
+    fn factory_key(&self) -> usize {
+        ConstraintFactory::factory_key(&*self.compiled)
     }
 }
 
@@ -730,7 +920,8 @@ mod tests {
         drive_bytes(&vocab, &mut matcher, b"some prose <n>");
         assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
 
-        // Inside the tag only digits are allowed.
+        // Inside the tag only digits are allowed (the segment cannot close
+        // before at least one digit, so the free-tail union adds nothing).
         matcher.fill_next_token_bitmask(&mut mask);
         assert!(mask.is_allowed(token_for(&vocab, b"7")));
         assert!(!mask.is_allowed(token_for(&vocab, b"z")));
@@ -747,6 +938,34 @@ mod tests {
         let stats = matcher.stats();
         assert_eq!(stats.tags_opened, 1);
         assert_eq!(stats.tags_closed, 1);
+    }
+
+    #[test]
+    fn boundary_masks_admit_end_tag_plus_prose_tokens() {
+        // At a point where the segment can close, the mask must admit a
+        // token that finishes the end tag AND continues with prose — the
+        // boundary-spanning case the free-text tail exists for.
+        let tag = number_tag();
+        let (vocab, mut matcher) = setup(&tag);
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        drive_bytes(&vocab, &mut matcher, b"<n>42</n");
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        matcher.fill_next_token_bitmask(&mut mask);
+        // "><" closes the tag ('>') and continues with prose ('<').
+        let crossing = token_for(&vocab, b"><");
+        assert!(
+            mask.is_allowed(crossing),
+            "end-tag+prose token must be admitted at the boundary"
+        );
+        matcher.accept_token(crossing).unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert_eq!(matcher.stats().tags_closed, 1);
+        // Mid-content, a digit+prose token is still rejected (the segment
+        // cannot close before the end tag).
+        let mut matcher2 = StructuralTagMatcher::new(Arc::clone(matcher.compiled()));
+        matcher2.accept_bytes(b"<n>4").unwrap();
+        matcher2.fill_next_token_bitmask(&mut mask);
+        assert!(!mask.is_allowed(token_for(&vocab, b"z")));
     }
 
     #[test]
@@ -926,23 +1145,38 @@ mod tests {
     }
 
     #[test]
-    fn closed_segments_are_pruned_beyond_the_rollback_window() {
+    fn segment_slots_behind_the_rollback_window_are_dropped() {
+        // The hundreds-of-tool-calls case: every closed call's slot must be
+        // dropped (not just slimmed) once no snapshot can reach it, so the
+        // per-token prune pass scans O(window) slots, not O(calls).
         let tag = number_tag();
         let vocab = Arc::new(test_vocabulary(800));
         let compiler = GrammarCompiler::new(Arc::clone(&vocab));
         let compiled = compiler.compile_tag_dispatch(&tag).unwrap();
-        let mut matcher = StructuralTagMatcher::with_max_rollback(compiled, 4);
-        for _ in 0..3 {
+        let mut matcher = StructuralTagMatcher::with_max_rollback(Arc::clone(&compiled), 4);
+        for _ in 0..100 {
             matcher.accept_bytes(b"x <n>12</n> y").unwrap();
         }
-        // Only the last snapshots are retained; earlier segments are pruned.
-        let live = matcher
-            .segments
-            .iter()
-            .filter(|s| s.matcher.is_some())
-            .count();
-        assert!(live <= 1, "expected pruning, {live} live segments");
-        assert_eq!(matcher.stats().tags_opened, 3);
+        assert_eq!(matcher.stats().tags_opened, 100);
+        assert!(
+            matcher.retained_segment_slots() <= 4,
+            "expected slots behind the window to be dropped, {} retained",
+            matcher.retained_segment_slots()
+        );
+        assert!(matcher.stats().slots_dropped >= 96);
+        // The inner matchers were recycled through the trigger's pool rather
+        // than constructed fresh per call.
+        let pool = compiled.triggers()[0].matcher_pool();
+        assert!(
+            pool.created() < 10,
+            "inner matchers must recycle, created {}",
+            pool.created()
+        );
+        assert!(pool.reused() >= 90);
+        // Rollback within the window still works after dropping slots.
+        matcher.rollback(4).unwrap();
+        matcher.accept_bytes(b"<n>7</n>").unwrap();
+        assert!(matcher.can_terminate());
     }
 
     #[test]
@@ -974,6 +1208,41 @@ mod tests {
     }
 
     #[test]
+    fn jump_forward_spans_begin_tag_remainder_and_end_tag() {
+        // With the shared "<fn=" trigger and a single registered tag, the
+        // whole name remainder is forced right after the trigger fires.
+        let tag = StructuralTag::with_triggers(
+            vec![TagSpec {
+                begin: "<fn=lookup>".into(),
+                content: TagContent::Ebnf {
+                    text: "root ::= [0-9]+".into(),
+                    root: "root".into(),
+                },
+                end: "</fn>".into(),
+            }],
+            vec!["<fn=".into()],
+        );
+        let (_vocab, mut matcher) = setup(&tag);
+        // Free text forces nothing.
+        assert!(matcher.find_jump_forward_string().is_empty());
+        matcher.accept_bytes(b"calling <fn=").unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::Tagged { trigger: 0 });
+        // The begin-tag remainder is forced.
+        assert_eq!(matcher.find_jump_forward_str(), "lookup>");
+        matcher.accept_bytes(b"lookup>").unwrap();
+        // Inside [0-9]+ nothing is forced; after a digit the end tag is not
+        // forced either (more digits remain possible)...
+        assert!(matcher.find_jump_forward_string().is_empty());
+        matcher.accept_bytes(b"42</").unwrap();
+        // ...but mid-end-tag the remainder of the close is forced, and the
+        // jump stops at the segment boundary (prose is unconstrained).
+        assert_eq!(matcher.find_jump_forward_str(), "fn>");
+        matcher.accept_bytes(b"fn>").unwrap();
+        assert_eq!(matcher.mode(), DispatchMode::FreeText);
+        assert!(matcher.find_jump_forward_string().is_empty());
+    }
+
+    #[test]
     fn reset_returns_to_free_text() {
         let tag = number_tag();
         let (vocab, mut matcher) = setup(&tag);
@@ -982,5 +1251,6 @@ mod tests {
         assert_eq!(matcher.mode(), DispatchMode::FreeText);
         assert!(matcher.can_terminate());
         assert_eq!(matcher.stats(), TagDispatchStats::default());
+        assert_eq!(matcher.retained_segment_slots(), 0);
     }
 }

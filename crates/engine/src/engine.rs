@@ -54,6 +54,27 @@ impl LaneConstraint {
     pub fn is_constrained(&self) -> bool {
         !matches!(self, LaneConstraint::Unconstrained)
     }
+
+    /// Compiles the lane's constraint through `backend`, returning `None` for
+    /// unconstrained lanes. This is the engine's *single* per-constraint-kind
+    /// dispatch point: everything after construction — sessions, masks,
+    /// token acceptance, jump-forward — flows through the constraint-agnostic
+    /// [`BackendSession`] interface (backed by `xg-core`'s
+    /// `ConstraintMatcher` trait objects in the XGrammar backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's error if it cannot express the constraint.
+    pub fn compile(
+        &self,
+        backend: &dyn ConstrainedBackend,
+    ) -> Result<Option<Arc<dyn xg_baselines::CompiledConstraint>>, BackendError> {
+        match self {
+            LaneConstraint::Unconstrained => Ok(None),
+            LaneConstraint::Grammar(grammar) => backend.compile(grammar).map(Some),
+            LaneConstraint::StructuralTag(tag) => backend.compile_structural(tag).map(Some),
+        }
+    }
 }
 
 impl From<Grammar> for LaneConstraint {
@@ -253,15 +274,7 @@ impl ServingEngine {
         let preprocessing = Instant::now();
         let mut compiled_constraints = Vec::with_capacity(batch_size);
         for request in requests {
-            match &request.constraint {
-                LaneConstraint::Unconstrained => compiled_constraints.push(None),
-                LaneConstraint::Grammar(grammar) => {
-                    compiled_constraints.push(Some(self.backend.compile(grammar)?))
-                }
-                LaneConstraint::StructuralTag(tag) => {
-                    compiled_constraints.push(Some(self.backend.compile_structural(tag)?))
-                }
-            }
+            compiled_constraints.push(request.constraint.compile(self.backend.as_ref())?);
         }
         for compiled in &compiled_constraints {
             sessions.push(compiled.as_ref().map(|c| c.new_session()));

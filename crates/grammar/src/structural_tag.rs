@@ -245,6 +245,39 @@ impl StructuralTag {
     }
 }
 
+/// Wraps `grammar` as *grammar · any-character\** — the combined segment
+/// grammar followed by an unconstrained free-text continuation.
+///
+/// The tag-dispatch runtime closes a tagged segment *eagerly*, at the first
+/// byte where the combined grammar can terminate, and processes any remaining
+/// bytes of the same token as free text. Its token mask therefore must not be
+/// the combined grammar's mask alone: a single token that finishes the end
+/// tag *and* continues with prose is acceptable, and masking it away costs
+/// one token of throughput at every segment boundary. Compiling the segment
+/// grammar with this tail makes the mask the union of "continues the
+/// segment" and "closes the segment, then anything" — while acceptance
+/// semantics are untouched, because the eager close fires before the tail is
+/// ever entered across a token boundary.
+///
+/// The tail matches any sequence of Unicode scalar values, so token byte
+/// strings that are not valid UTF-8 stay (conservatively) rejected at the
+/// boundary.
+pub fn append_free_text_tail(grammar: &Grammar) -> Grammar {
+    let mut builder = Grammar::builder();
+    let root = builder.declare("segment_with_free_tail");
+    let inner_root = import_rules(&mut builder, grammar, "seg_");
+    builder.set_body(
+        root,
+        GrammarExpr::seq(vec![
+            GrammarExpr::RuleRef(inner_root),
+            GrammarExpr::star(GrammarExpr::CharClass(crate::ast::CharClass::any())),
+        ]),
+    );
+    builder
+        .build("segment_with_free_tail")
+        .expect("the root rule is declared above")
+}
+
 fn literal_or_empty(s: &str) -> GrammarExpr {
     if s.is_empty() {
         GrammarExpr::Empty
@@ -404,6 +437,23 @@ mod tests {
             root: "root".into(),
         };
         assert!(bad.to_grammar().is_err());
+    }
+
+    #[test]
+    fn free_text_tail_wraps_and_validates() {
+        let tag = StructuralTag::new(vec![simple_tag()]);
+        let grammars = tag.build_trigger_grammars().unwrap();
+        let (_, grammar) = &grammars[0];
+        let tailed = append_free_text_tail(grammar);
+        tailed.validate().unwrap();
+        // Every imported rule is present under the segment prefix, and the
+        // new root sequences the segment before the any-character tail.
+        assert!(tailed.rule_id("seg_tag_dispatch").is_some());
+        assert_eq!(tailed.rule(tailed.root()).name, "segment_with_free_tail");
+        // The tail makes the wrapped grammar nullable-extendable: the
+        // original root stays non-nullable, the tail adds nothing mandatory.
+        let nullable = tailed.nullable_rules();
+        assert!(!nullable[tailed.root().index()]);
     }
 
     #[test]

@@ -48,10 +48,11 @@ pub mod tokenizer {
 
 pub use xg_core::{
     AcceptError, CompiledGrammar, CompiledTagDispatch, CompiledTrigger, CompilerConfig,
-    DispatchMode, GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats,
-    GrammarCompiler, GrammarMatcher, MaskCache, MaskCacheStats, MatcherPool, MatcherStats,
-    NodeMaskEntry, PersistentStackTree, RollbackError, StackHandle, StructuralTagMatcher,
-    TagDispatchStats, TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
+    ConstraintFactory, ConstraintMatcher, ConstraintStats, DispatchMode, GrammarCache,
+    GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats, GrammarCompiler, GrammarMatcher,
+    MaskCache, MaskCacheStats, MatcherPool, MatcherStats, NodeMaskEntry, PersistentStackTree,
+    RollbackError, StackHandle, StructuralTagMatcher, TagDispatchStats, TokenBitmask,
+    DEFAULT_MAX_ROLLBACK_TOKENS,
 };
 pub use xg_grammar::{
     builtin, json_schema_to_grammar, parse_ebnf, Grammar, GrammarError, GrammarExpr, StructuralTag,

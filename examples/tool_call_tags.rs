@@ -68,7 +68,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mask.count_allowed(),
         matcher.mode()
     );
-    matcher.accept_bytes(br#"get_weather>{"city": "oslo", "days": 3}</function>"#)?;
+    // Inside the segment, forced bytes are jumpable: once "get" rules out
+    // the other registered tool, the rest of the name needs no sampled
+    // tokens (or GPU steps) at all.
+    matcher.accept_bytes(b"get")?;
+    let forced = matcher.find_jump_forward_str();
+    println!("jump-forward   : {forced:?} is forced, skipping the GPU for it");
+    assert_eq!(forced, "_weather>");
+    matcher.accept_bytes(forced.as_bytes())?;
+    matcher.accept_bytes(br#"{"city": "oslo", "days": 3}</function>"#)?;
     println!("after end tag  : mode {:?}", matcher.mode());
 
     // Invalid tool output is impossible: a wrong byte inside the tag fails.

@@ -147,6 +147,165 @@ fn rollback_across_boundaries_with_multibyte_tokens() {
     assert!(matches!(matcher.mode(), DispatchMode::Tagged { .. }));
 }
 
+/// Runs `bytes` against a plain (no free-text tail) segment matcher the way
+/// the dispatching matcher would: bytes advance the segment grammar until the
+/// first position where it can terminate (the eager close), after which any
+/// continuation is unconstrained prose. Returns `true` if the whole token is
+/// acceptable. The matcher is left exactly as it was found.
+fn plain_segment_accepts(plain: &mut GrammarMatcher, bytes: &[u8]) -> bool {
+    let mut fed = 0usize;
+    let mut ok = true;
+    for &b in bytes {
+        if plain.can_terminate() {
+            break; // segment closed mid-token: the rest is free text
+        }
+        if plain.accept_bytes(&[b]).is_err() {
+            ok = false;
+            break;
+        }
+        fed += 1;
+    }
+    plain.rollback(fed).expect("only fed units are rolled back");
+    ok
+}
+
+/// The boundary-union mask (segment grammar + free-text continuation tail)
+/// must never admit a token the plain sub-grammar + free-text continuation
+/// semantics would reject — and near segment ends it must actually admit
+/// tokens the plain grammar alone rejects (the end-tag+prose spanning case).
+#[test]
+fn boundary_union_masks_are_sound_against_plain_grammar() {
+    let vocab = Arc::new(test_vocabulary(800));
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let mut union_only_admissions = 0usize;
+    let mut in_tag_steps = 0usize;
+
+    for (i, task) in tool_call_tasks(3, 0xB0B).iter().enumerate() {
+        let tag = task.structural_tag();
+        let compiled = compiler.compile_tag_dispatch(&tag).expect("tags compile");
+        // The *plain* combined grammars, without the free-text tail.
+        let plain_grammars: Vec<_> = tag
+            .build_trigger_grammars()
+            .expect("tag validates")
+            .into_iter()
+            .map(|(_, g)| compiler.compile_grammar(&g))
+            .collect();
+        let mut matcher = StructuralTagMatcher::new(Arc::clone(&compiled));
+        let mut plain: Option<GrammarMatcher> = None;
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+
+        for (pos, &b) in task.reference.iter().enumerate() {
+            if let DispatchMode::Tagged { trigger } = matcher.mode() {
+                let plain = plain.get_or_insert_with(|| {
+                    GrammarMatcher::with_max_rollback(
+                        Arc::clone(&plain_grammars[trigger]),
+                        usize::MAX,
+                    )
+                });
+                matcher.fill_next_token_bitmask(&mut mask);
+                in_tag_steps += 1;
+                let mut plain_mask = TokenBitmask::new_all_rejected(vocab.len());
+                plain.fill_next_token_bitmask(&mut plain_mask);
+                for (token, bytes) in vocab.iter() {
+                    if vocab.is_special(token) {
+                        continue;
+                    }
+                    if mask.is_allowed(token) {
+                        assert!(
+                            plain_segment_accepts(plain, bytes),
+                            "task {i}: mask admits {:?} at byte {pos}, but the plain \
+                             sub-grammar + free continuation rejects it",
+                            String::from_utf8_lossy(bytes)
+                        );
+                        if !plain_mask.is_allowed(token) {
+                            union_only_admissions += 1;
+                        }
+                    } else {
+                        // Completeness, modulo UTF-8: a rejection is fine only
+                        // if the plain semantics reject too, or the post-close
+                        // prose continuation is not valid UTF-8 (which the
+                        // any-character tail conservatively cannot express).
+                        if plain_segment_accepts(plain, bytes) {
+                            assert!(
+                                std::str::from_utf8(bytes).is_err(),
+                                "task {i}: mask rejects {:?} at byte {pos}, which the \
+                                 plain sub-grammar + free continuation accepts",
+                                String::from_utf8_lossy(bytes)
+                            );
+                        }
+                    }
+                }
+                plain.accept_bytes(&[b]).expect("reference byte advances");
+            }
+            let was_tagged = matches!(matcher.mode(), DispatchMode::Tagged { .. });
+            matcher
+                .accept_token(token_for(&vocab, &[b]))
+                .unwrap_or_else(|e| panic!("task {i}: byte {pos} rejected: {e}"));
+            if was_tagged && matcher.mode() == DispatchMode::FreeText {
+                plain = None;
+            }
+        }
+    }
+    assert!(in_tag_steps > 100, "differential comparison barely ran");
+    assert!(
+        union_only_admissions > 0,
+        "the free-tail union never admitted a boundary-spanning token"
+    );
+}
+
+/// Jump-forward inside a tagged segment is a rollback unit like any other:
+/// rolling back across it restores the pre-jump state, and the same jump is
+/// forced again.
+#[test]
+fn rollback_across_jump_forward_in_tagged_segments() {
+    let vocab = Arc::new(test_vocabulary(800));
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let tag = xg_grammar::StructuralTag::with_triggers(
+        vec![xg_grammar::TagSpec {
+            begin: "<fn=lookup>".into(),
+            content: xg_grammar::TagContent::Ebnf {
+                text: r#"root ::= "{\"city\": \"" [a-z]+ "\"}""#.into(),
+                root: "root".into(),
+            },
+            end: "</fn>".into(),
+        }],
+        vec!["<fn=".into()],
+    );
+    let compiled = compiler.compile_tag_dispatch(&tag).unwrap();
+    let mut matcher = StructuralTagMatcher::new(compiled);
+
+    matcher.accept_bytes(b"calling ").unwrap(); // unit 1
+    matcher.accept_bytes(b"<fn=").unwrap(); // unit 2: opens the segment
+    assert!(matches!(matcher.mode(), DispatchMode::Tagged { .. }));
+
+    // The begin-tag remainder plus the content's forced prefix are jumpable.
+    let jump = matcher.find_jump_forward_string();
+    assert_eq!(
+        jump,
+        b"lookup>{\"city\": \"".to_vec(),
+        "expected the name remainder and forced content prefix"
+    );
+    matcher.accept_bytes(&jump).unwrap(); // unit 3: the jump-forward unit
+    matcher.accept_bytes(b"oslo").unwrap(); // unit 4
+    assert_eq!(matcher.rollback_window(), 4);
+
+    // Roll back across the value and the jump-forward unit: back to the
+    // fresh segment right after the trigger fired.
+    matcher.rollback(2).unwrap();
+    assert!(matches!(matcher.mode(), DispatchMode::Tagged { .. }));
+    assert_eq!(matcher.find_jump_forward_string(), jump);
+
+    // Roll back across the segment opening too, then replay the whole call.
+    matcher.rollback(1).unwrap();
+    assert_eq!(matcher.mode(), DispatchMode::FreeText);
+    matcher.accept_bytes(b"<fn=").unwrap();
+    matcher.accept_bytes(&jump).unwrap();
+    matcher.accept_bytes(b"paris\"}</fn> done").unwrap();
+    assert_eq!(matcher.mode(), DispatchMode::FreeText);
+    assert!(matcher.can_terminate());
+    assert_eq!(matcher.stats().tags_closed, 1);
+}
+
 /// Structural-tag compilation funnels sub-grammars through the shared
 /// compiled-grammar cache: two tasks over the same function registry reuse
 /// one compiled trigger grammar.

@@ -10,6 +10,10 @@
 //! * Compact output matches serde_json's escaping rules, so byte-for-byte
 //!   round-trips hold for everything the test-suite serializes.
 
+// Vendored shim: exempt from the workspace clippy policy (mirrors an
+// upstream API surface; see vendor/README.md).
+#![allow(clippy::all)]
+
 pub use serde::value::ValueIndex;
 pub use serde::{Deserialize, Error, Map, Number, Serialize, Value};
 
