@@ -105,7 +105,7 @@ fn expr_size(expr: &GrammarExpr) -> usize {
     match expr {
         GrammarExpr::Empty | GrammarExpr::RuleRef(_) => 1,
         GrammarExpr::Literal(bytes) => 1 + bytes.len() / 4,
-        GrammarExpr::CharClass(_) => 2,
+        GrammarExpr::CharClass(_) | GrammarExpr::ByteClass(_) => 2,
         GrammarExpr::Sequence(items) | GrammarExpr::Choice(items) => {
             1 + items.iter().map(expr_size).sum::<usize>()
         }
@@ -341,6 +341,14 @@ impl<'a> PdaBuilder<'a> {
                             cur = next;
                         }
                     }
+                }
+            }
+            GrammarExpr::ByteClass(bc) => {
+                // Raw byte ranges: one edge per range, no UTF-8 lowering.
+                for (lo, hi) in bc.normalized_ranges() {
+                    nodes[from]
+                        .edges
+                        .push(TmpEdge::Bytes(ByteRange::new(lo, hi), to));
                 }
             }
             GrammarExpr::RuleRef(id) => {

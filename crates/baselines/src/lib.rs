@@ -42,9 +42,9 @@ pub use xgrammar_backend::XGrammarBackend;
 use std::fmt;
 use std::sync::Arc;
 
-use xg_core::{GrammarCacheStats, TokenBitmask};
+use xg_core::{ForcedTokenRun, GrammarCacheStats, TokenBitmask};
 use xg_grammar::{Grammar, StructuralTag};
-use xg_tokenizer::{TokenId, Vocabulary};
+use xg_tokenizer::{SortedVocabulary, TokenId, Vocabulary};
 
 /// Errors produced when a backend cannot handle a grammar.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,6 +156,38 @@ pub trait BackendSession: Send + fmt::Debug {
     /// detection return an empty vector (the default).
     fn find_jump_forward(&mut self) -> Vec<u8> {
         Vec::new()
+    }
+
+    /// The forced continuation re-tokenized against `vocab`: the
+    /// longest-prefix token cover of [`find_jump_forward`]'s bytes, computed
+    /// through `sorted` (which must be built from `vocab`, the session's
+    /// vocabulary). This is the single engine-facing re-tokenization entry
+    /// point — mirroring `ConstraintMatcher::find_jump_forward_tokens` in
+    /// `xg-core` — so the serving loop never re-implements the cover rule.
+    ///
+    /// [`find_jump_forward`]: Self::find_jump_forward
+    fn find_jump_forward_tokens(
+        &mut self,
+        vocab: &Vocabulary,
+        sorted: &SortedVocabulary,
+    ) -> ForcedTokenRun {
+        ForcedTokenRun::cover(self.find_jump_forward(), vocab, sorted)
+    }
+
+    /// Rolls back the last `num_units` accepted units (each successful
+    /// `accept_token` or `accept_bytes` call is one unit). Returns `false`
+    /// when the backend does not support rollback or the window holds fewer
+    /// units (the default — the session state is then unchanged). Engines use
+    /// this to undo speculative forced-token runs.
+    fn rollback(&mut self, num_units: usize) -> bool {
+        let _ = num_units;
+        false
+    }
+
+    /// Number of accepted units the session can currently roll back
+    /// (`0` for backends without rollback support, the default).
+    fn rollback_window(&self) -> usize {
+        0
     }
 }
 

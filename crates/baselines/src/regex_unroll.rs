@@ -194,6 +194,13 @@ impl<'a> Unroller<'a> {
                     }
                 }
             }
+            GrammarExpr::ByteClass(bc) => {
+                for (lo, hi) in bc.normalized_ranges() {
+                    self.states[from]
+                        .byte_edges
+                        .push((ByteRange::new(lo, hi), to));
+                }
+            }
             GrammarExpr::RuleRef(rule) => {
                 self.compile_rule(*rule, from, to, depth - 1)?;
             }

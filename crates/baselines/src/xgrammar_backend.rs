@@ -247,6 +247,16 @@ impl BackendSession for XGrammarSession {
     fn find_jump_forward(&mut self) -> Vec<u8> {
         self.matcher().find_jump_forward_string()
     }
+
+    fn rollback(&mut self, num_units: usize) -> bool {
+        self.matcher().rollback(num_units).is_ok()
+    }
+
+    fn rollback_window(&self) -> usize {
+        self.matcher
+            .as_deref()
+            .map_or(0, |matcher| matcher.rollback_window())
+    }
 }
 
 #[cfg(test)]
@@ -389,9 +399,26 @@ mod tests {
         let mut session = compiled.new_session();
         let jump = session.find_jump_forward();
         assert_eq!(jump, b"{\"id\": ".to_vec());
+        // The re-tokenized view tiles the same bytes with real tokens.
+        let sorted = xg_tokenizer::SortedVocabulary::new(&vocab);
+        let run = session.find_jump_forward_tokens(&vocab, &sorted);
+        assert_eq!(run.bytes, jump);
+        assert_eq!(run.covered, jump.len());
+        let tiled: Vec<u8> = run
+            .tokens
+            .iter()
+            .flat_map(|t| vocab.token_bytes(*t).to_vec())
+            .collect();
+        assert_eq!(tiled, jump);
         assert!(session.accept_bytes(&jump));
         assert!(drive_session_bytes(&vocab, session.as_mut(), b"42}"));
         assert!(session.can_terminate());
+        // Forced runs are rollback units: undo everything (the three sampled
+        // bytes and the jump) and the same text is forced again.
+        assert_eq!(session.rollback_window(), 4);
+        assert!(session.rollback(4));
+        assert_eq!(session.find_jump_forward(), jump);
+        assert!(!session.rollback(100), "over-rollback must be refused");
         // Baseline sessions without jump-forward support report none (the
         // default), rather than forcing every backend to implement it.
         let naive = crate::NaivePdaBackend::new(Arc::clone(&vocab));

@@ -235,11 +235,68 @@ fn bench_tagged_jump_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// Engine-level jump-forward: the full serving loop (`run_batch`) over a
+/// schema-heavy batch with forced-token injection off vs on. The GPU profile
+/// is scaled way down so the measured difference is dominated by the grammar
+/// work the policies actually change: mask fills for sampled tokens vs
+/// forced-text retokenization and injection.
+fn bench_engine_jump_forward(c: &mut Criterion) {
+    use std::sync::Arc;
+    use xg_baselines::XGrammarBackend;
+    use xg_engine::{
+        EngineRequest, ExecutionMode, JumpForwardPolicy, LaneConstraint, ModelProfile,
+        ServingEngine,
+    };
+
+    let vocab = bench_vocabulary(16_000);
+    let backend: Arc<dyn xg_baselines::ConstrainedBackend> =
+        Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+    let requests: Vec<EngineRequest> = xg_datasets::json_mode_eval_like(4, 0x11F)
+        .into_iter()
+        .map(|t| EngineRequest {
+            constraint: LaneConstraint::Grammar(
+                xg_grammar::json_schema_to_grammar(&t.schema).expect("schema converts"),
+            ),
+            prompt_tokens: 16,
+            reference: t.reference,
+            max_tokens: 96,
+        })
+        .collect();
+    let profile = ModelProfile::llama31_8b_h100().scaled(0.001);
+    // Compile once outside the timing loop (the cache makes reruns cheap).
+    ServingEngine::new(Arc::clone(&backend), profile.clone(), ExecutionMode::Serial)
+        .run_batch(&requests)
+        .expect("warmup batch runs");
+
+    let mut group = c.benchmark_group("engine_jump_forward");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+    for (label, policy) in [
+        ("off", JumpForwardPolicy::Off),
+        ("matcher", JumpForwardPolicy::Matcher),
+        ("engine", JumpForwardPolicy::Engine),
+    ] {
+        let engine =
+            ServingEngine::new(Arc::clone(&backend), profile.clone(), ExecutionMode::Serial)
+                .with_mask_parallelism(1)
+                .with_jump_forward(policy);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let (results, metrics) = engine.run_batch(&requests).expect("batch runs");
+                (results.len(), metrics.total_tokens)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mask_generation,
     bench_batched_mask_generation,
     bench_trigger_scan,
-    bench_tagged_jump_forward
+    bench_tagged_jump_forward,
+    bench_engine_jump_forward
 );
 criterion_main!(benches);

@@ -20,7 +20,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use xg_tokenizer::{TokenId, Vocabulary};
+use xg_tokenizer::{SortedVocabulary, TokenId, Vocabulary};
 
 use crate::error::{AcceptError, RollbackError};
 use crate::mask::TokenBitmask;
@@ -38,6 +38,54 @@ pub struct ConstraintStats {
     ///
     /// [`accept_bytes`]: ConstraintMatcher::accept_bytes
     pub tokens_accepted: u64,
+    /// Bytes accepted through raw [`accept_bytes`] units — text that
+    /// advanced the matcher without per-token sampling: jump-forward
+    /// injections, but also any caller-seeded prefixes fed through
+    /// [`accept_bytes`] directly.
+    ///
+    /// [`accept_bytes`]: ConstraintMatcher::accept_bytes
+    pub bytes_forced: u64,
+}
+
+/// The forced continuation at a matcher's current position, re-tokenized
+/// against the real vocabulary — what engine-level jump-forward decoding
+/// injects instead of sampling. Produced by
+/// [`ConstraintMatcher::find_jump_forward_tokens`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ForcedTokenRun {
+    /// The raw forced bytes (a complete UTF-8 prefix).
+    pub bytes: Vec<u8>,
+    /// Longest-prefix token cover of `bytes[..covered]`: the tokens
+    /// concatenate to exactly that prefix, each being the longest
+    /// vocabulary token matching at its position (single-byte fallback
+    /// tokens keep the cover total on byte-fallback vocabularies).
+    pub tokens: Vec<TokenId>,
+    /// How many of `bytes` the cover tiles (less than `bytes.len()` only
+    /// when some forced byte exists in no token at all).
+    pub covered: usize,
+}
+
+impl ForcedTokenRun {
+    /// Builds the run for `bytes`: the longest-prefix token cover computed
+    /// through `sorted` (which must be built from `vocab`). This is the one
+    /// place the cover rule is applied — both the `ConstraintMatcher` and
+    /// the backend-session retokenization helpers delegate here.
+    pub fn cover(bytes: Vec<u8>, vocab: &Vocabulary, sorted: &SortedVocabulary) -> Self {
+        if bytes.is_empty() {
+            return ForcedTokenRun::default();
+        }
+        let (tokens, covered) = sorted.longest_prefix_cover(vocab, &bytes);
+        ForcedTokenRun {
+            bytes,
+            tokens,
+            covered,
+        }
+    }
+
+    /// Returns `true` when nothing is forced (or nothing could be covered).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
 }
 
 /// The incremental matcher of one constrained-decoding lane.
@@ -206,6 +254,22 @@ pub trait ConstraintMatcher: Send + fmt::Debug {
     /// position (always a complete UTF-8 prefix), without modifying state.
     /// Implementations with no forced-text notion return an empty vector.
     fn find_jump_forward_string(&mut self) -> Vec<u8>;
+
+    /// The forced continuation re-tokenized against the vocabulary: the
+    /// longest-prefix token cover of
+    /// [`find_jump_forward_string`](Self::find_jump_forward_string), computed
+    /// through `sorted` (which must be built from
+    /// [`vocabulary`](Self::vocabulary)). Engine-level jump-forward decoding
+    /// injects these tokens without sampling; because the bytes are forced,
+    /// every token of the cover is individually admitted by the matcher's own
+    /// mask, so injection preserves the mask-soundness invariant.
+    ///
+    /// The matcher state is not modified.
+    fn find_jump_forward_tokens(&mut self, sorted: &SortedVocabulary) -> ForcedTokenRun {
+        let bytes = self.find_jump_forward_string();
+        let vocab = Arc::clone(self.vocabulary());
+        ForcedTokenRun::cover(bytes, &vocab, sorted)
+    }
 
     /// Returns `true` if end-of-sequence would be accepted now.
     fn can_terminate(&mut self) -> bool;

@@ -68,7 +68,7 @@ mod persistent_stack;
 mod tag_dispatch;
 
 pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler};
-pub use constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats};
+pub use constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats, ForcedTokenRun};
 pub use error::{AcceptError, RollbackError};
 pub use grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats};
 pub use mask::TokenBitmask;

@@ -35,6 +35,10 @@ pub struct MatcherStats {
     pub context_dependent_checked: u64,
     /// Tokens whose validity was read directly from the cache.
     pub context_independent_hits: u64,
+    /// Bytes accepted through [`GrammarMatcher::accept_bytes`] — text that
+    /// advanced the matcher without per-token sampling (jump-forward
+    /// injections and any caller-seeded prefixes).
+    pub bytes_forced: u64,
 }
 
 /// The incremental grammar matcher for one generation request.
@@ -458,6 +462,7 @@ impl GrammarMatcher {
         }
         self.push_history();
         self.heads = self.canonicalize_heads(&compiled, heads);
+        self.stats.bytes_forced += bytes.len() as u64;
         Ok(())
     }
 
@@ -642,6 +647,7 @@ impl ConstraintMatcher for GrammarMatcher {
         ConstraintStats {
             masks_generated: self.stats.masks_generated,
             tokens_accepted: self.stats.tokens_accepted,
+            bytes_forced: self.stats.bytes_forced,
         }
     }
 

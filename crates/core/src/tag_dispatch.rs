@@ -209,6 +209,10 @@ pub struct TagDispatchStats {
     /// Segment slots dropped entirely because they fell behind the rollback
     /// window (the remaining slots are all the per-token prune pass scans).
     pub slots_dropped: u64,
+    /// Bytes accepted through [`StructuralTagMatcher::accept_bytes`] — text
+    /// that advanced the matcher without per-token sampling (jump-forward
+    /// injections and any caller-seeded prefixes).
+    pub bytes_forced: u64,
 }
 
 /// The matcher's current high-level mode.
@@ -497,6 +501,7 @@ impl StructuralTagMatcher {
         match self.advance_bytes_across_modes(bytes, &snapshot) {
             Ok(()) => {
                 self.push_history_snapshot(snapshot);
+                self.stats.bytes_forced += bytes.len() as u64;
                 Ok(())
             }
             Err(matched_bytes) => {
@@ -854,6 +859,7 @@ impl ConstraintMatcher for StructuralTagMatcher {
         ConstraintStats {
             masks_generated: self.stats.free_masks + self.stats.tag_masks,
             tokens_accepted: self.stats.tokens_accepted,
+            bytes_forced: self.stats.bytes_forced,
         }
     }
 

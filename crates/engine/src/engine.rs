@@ -17,15 +17,25 @@
 //! concurrently on the GPU thread, and the engine synchronizes before
 //! sampling — the co-design of §3.5. Grammar preprocessing (compilation) is
 //! likewise overlapped with prefill.
+//!
+//! With a [`JumpForwardPolicy`] other than `Off`, the loop additionally
+//! injects grammar-*forced* text (paper Appendix B / Figure 11) at lane
+//! start and after every accepted token: whenever the constraint admits
+//! exactly one continuation, the engine emits it directly — re-tokenized
+//! against the real vocabulary under the `Engine` policy — skipping both the
+//! mask and the GPU step for those tokens. Forced tokens are accounted
+//! separately ([`BatchMetrics::jump_forward_tokens`],
+//! [`BatchMetrics::forced_time`]) so TPOT stays honest.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use crate::llm::{LlmBehavior, SimulatedLlm};
+use crate::llm::{LlmBehavior, LlmRequestState, SimulatedLlm};
 use crate::profiles::ModelProfile;
 use xg_baselines::{BackendError, BackendSession, ConstrainedBackend};
 use xg_core::{GrammarCacheStats, TokenBitmask};
 use xg_grammar::{Grammar, StructuralTag};
+use xg_tokenizer::{SortedVocabulary, Vocabulary};
 
 /// Whether grammar work is overlapped with the simulated GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +44,33 @@ pub enum ExecutionMode {
     Serial,
     /// Mask generation concurrent with the GPU step (paper §3.5).
     Overlapped,
+}
+
+/// How the serving engine uses jump-forward decoding (paper Appendix B and
+/// Figure 11): whenever a lane's constraint forces a unique continuation
+/// (schema punctuation, forced keys, tag remainders), the engine can emit it
+/// directly instead of paying one GPU decoding step per token.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JumpForwardPolicy {
+    /// Never jump forward: every output token is sampled under its mask (the
+    /// pre-jump-forward serving path, kept selectable for comparisons).
+    #[default]
+    Off,
+    /// Matcher-level jump-forward: forced bytes are accepted through the
+    /// lane's matcher as **one raw byte run** (a single rollback unit, no
+    /// re-tokenization). The bytes land in the output and skip GPU steps,
+    /// but are not accounted as tokens — so on a lane that is cut short by
+    /// `max_tokens`, the forced bytes already injected can make the
+    /// truncated output longer than the `Off` path's (byte parity is
+    /// guaranteed for lanes that *complete*; `Engine` additionally never
+    /// injects past the cap).
+    Matcher,
+    /// Engine-level jump-forward: forced bytes are re-tokenized against the
+    /// real vocabulary (longest-prefix token cover, falling back to the
+    /// byte-level tokens) and injected **token by token** without sampling
+    /// or mask generation. Each injected token is a rollback unit, exactly
+    /// as if it had been sampled — the serving path of Figure 11.
+    Engine,
 }
 
 /// How one lane of a batch is constrained.
@@ -111,10 +148,21 @@ pub struct EngineRequest {
 /// Per-request result.
 #[derive(Debug, Clone)]
 pub struct RequestResult {
-    /// Generated text (token bytes concatenated).
+    /// Generated text (sampled token bytes and jump-forward-forced bytes
+    /// concatenated, in emission order).
     pub output: Vec<u8>,
-    /// Number of generated tokens (excluding EOS).
+    /// Number of *sampled* tokens (excluding EOS and tokens injected by
+    /// jump-forward decoding) — the tokens that paid a GPU decoding step.
     pub tokens: usize,
+    /// Tokens injected by engine-level jump-forward without sampling
+    /// (always 0 unless the engine runs [`JumpForwardPolicy::Engine`]).
+    pub jump_forward_tokens: usize,
+    /// Forced text injected by jump-forward without sampling, counted in
+    /// *bytes* of UTF-8 (the paper's "jump-forward characters" figure; ASCII
+    /// key names make the two coincide). Under the `Matcher` policy the
+    /// bytes are injected as raw runs, so this can be non-zero while
+    /// [`jump_forward_tokens`](Self::jump_forward_tokens) is 0.
+    pub jump_forward_chars: usize,
     /// Whether generation ended successfully: EOS was accepted (or an
     /// unconstrained lane emitted its full intention). `false` when the lane
     /// hit the token cap, had no allowed token, or violated its constraint.
@@ -127,12 +175,29 @@ pub struct BatchMetrics {
     /// Time to first token: prefill + grammar preprocessing (overlapped or
     /// not) + the first decoding round.
     pub ttft: Duration,
-    /// Mean time per output token across the batch.
+    /// Mean time per *sampled* output token across the batch. Time spent
+    /// injecting grammar-forced text ([`forced_time`](Self::forced_time)) and
+    /// the injected tokens themselves are both excluded, so jump-forward
+    /// cannot dilute the per-token latency it reports — the speedup shows up
+    /// as fewer sampled tokens and a shorter
+    /// [`total_time`](Self::total_time), not as an artificially low TPOT.
     pub tpot: Duration,
     /// Total wall-clock time of the batch.
     pub total_time: Duration,
-    /// Total generated tokens.
+    /// Total *sampled* tokens (jump-forward-injected tokens are counted in
+    /// [`jump_forward_tokens`](Self::jump_forward_tokens) instead).
     pub total_tokens: usize,
+    /// Tokens injected without sampling by engine-level jump-forward,
+    /// summed across lanes (0 unless the policy is
+    /// [`JumpForwardPolicy::Engine`]).
+    pub jump_forward_tokens: usize,
+    /// Forced text injected without sampling, summed across lanes and
+    /// counted in *bytes* of UTF-8 (`Matcher` and `Engine` policies; see
+    /// [`RequestResult::jump_forward_chars`]).
+    pub jump_forward_chars: usize,
+    /// Wall-clock time spent finding, re-tokenizing and injecting forced
+    /// text, summed over rounds. Excluded from [`tpot`](Self::tpot).
+    pub forced_time: Duration,
     /// Wall-clock time spent in grammar mask generation, summed over rounds.
     /// With parallel lane fill this is the time the batch actually waited.
     pub mask_time: Duration,
@@ -159,8 +224,10 @@ impl BatchMetrics {
     /// Estimated wall-clock speedup of parallel mask generation: summed
     /// per-worker busy time divided by the wall-clock time the batch waited.
     /// An upper bound under contention (worker busy time includes scheduler
-    /// wait — see [`mask_cpu_time`](Self::mask_cpu_time)). Returns 1.0 when
-    /// no masks were generated.
+    /// wait — see [`mask_cpu_time`](Self::mask_cpu_time)). Jump-forward
+    /// injection happens outside the mask workers, so forced tokens never
+    /// contribute to either side of the ratio. Returns 1.0 when no masks
+    /// were generated.
     pub fn parallel_speedup(&self) -> f64 {
         if self.mask_time.is_zero() || self.mask_cpu_time.is_zero() {
             1.0
@@ -180,6 +247,11 @@ pub struct ServingEngine {
     /// Worker threads for per-lane mask generation (0 = available
     /// parallelism, 1 = serial).
     mask_parallelism: usize,
+    /// How constrained lanes use jump-forward decoding.
+    jump_forward: JumpForwardPolicy,
+    /// Sorted vocabulary index for forced-text re-tokenization, built once
+    /// on the first batch that needs it (`Engine` policy only).
+    sorted_vocab: OnceLock<SortedVocabulary>,
 }
 
 impl ServingEngine {
@@ -199,6 +271,8 @@ impl ServingEngine {
             mode,
             llm,
             mask_parallelism: 0,
+            jump_forward: JumpForwardPolicy::default(),
+            sorted_vocab: OnceLock::new(),
         }
     }
 
@@ -217,6 +291,8 @@ impl ServingEngine {
             mode,
             llm,
             mask_parallelism: 0,
+            jump_forward: JumpForwardPolicy::default(),
+            sorted_vocab: OnceLock::new(),
         }
     }
 
@@ -229,9 +305,42 @@ impl ServingEngine {
         self
     }
 
+    /// Sets how constrained lanes use jump-forward decoding. The default is
+    /// [`JumpForwardPolicy::Off`] (the pre-jump-forward serving path);
+    /// [`JumpForwardPolicy::Engine`] injects grammar-forced tokens without
+    /// sampling, producing byte-identical outputs with fewer GPU steps.
+    ///
+    /// The byte-parity guarantee applies to lanes that run to completion: a
+    /// lane truncated by `max_tokens` is cut at whatever token boundary the
+    /// policy reached (sampled tokenization and the forced-token cover may
+    /// tile the same bytes differently), though forced tokens always count
+    /// toward the cap and injection never runs past it.
+    pub fn with_jump_forward(mut self, policy: JumpForwardPolicy) -> Self {
+        self.jump_forward = policy;
+        if matches!(policy, JumpForwardPolicy::Engine) {
+            // Build the re-tokenization index now, outside any batch's timed
+            // region — otherwise the O(V log V) sort would be charged to the
+            // first batch's total_time without showing up in forced_time.
+            let _ = self.sorted_vocabulary();
+        }
+        self
+    }
+
+    /// The active jump-forward policy.
+    pub fn jump_forward_policy(&self) -> JumpForwardPolicy {
+        self.jump_forward
+    }
+
     /// The backend driving constrained decoding.
     pub fn backend(&self) -> &Arc<dyn ConstrainedBackend> {
         &self.backend
+    }
+
+    /// The sorted vocabulary index used to re-tokenize forced text, built on
+    /// first use and shared by every subsequent batch.
+    fn sorted_vocabulary(&self) -> &SortedVocabulary {
+        self.sorted_vocab
+            .get_or_init(|| SortedVocabulary::new(self.backend.vocabulary()))
     }
 
     /// Effective mask-generation worker count for a batch of `lanes` lanes.
@@ -310,6 +419,36 @@ impl ServingEngine {
         let mut gpu_time = Duration::ZERO;
         let mut ttft = None;
         let gpu_step = self.profile.decode_step_time(batch_size);
+        let policy = self.jump_forward;
+        let sorted = match policy {
+            JumpForwardPolicy::Engine => Some(self.sorted_vocabulary()),
+            _ => None,
+        };
+        let mut injector = ForcedInjector::new(policy, sorted, &vocab, batch_size);
+
+        // Lane-start jump-forward: a constraint may force a prefix before
+        // the first token is ever sampled (e.g. `{"` and the first required
+        // key of a JSON schema). Inject it before the first mask is built so
+        // the first sampled token already continues the forced text.
+        if !matches!(policy, JumpForwardPolicy::Off) {
+            for i in 0..batch_size {
+                if finished[i] {
+                    continue;
+                }
+                if let Some(session) = &mut sessions[i] {
+                    if injector.inject_lane(
+                        i,
+                        requests[i].max_tokens,
+                        token_counts[i],
+                        session.as_mut(),
+                        &mut llm_states[i],
+                        &mut outputs[i],
+                    ) {
+                        finished[i] = true;
+                    }
+                }
+            }
+        }
 
         while finished.iter().any(|f| !f) {
             // Step 1 + 2: mask generation (lanes in parallel) and GPU
@@ -379,9 +518,27 @@ impl ServingEngine {
                 outputs[i].extend_from_slice(vocab.token_bytes(token));
                 llm_states[i].advance(token);
                 token_counts[i] += 1;
-                if token_counts[i] >= requests[i].max_tokens {
+                if token_counts[i] + injector.tokens_by_lane[i] >= requests[i].max_tokens {
                     // Token cap reached: finished, but not `completed`.
                     finished[i] = true;
+                }
+                // After every accepted token the constraint may force the
+                // next stretch of text (a key name just became unambiguous,
+                // an end tag is due): inject it now, without sampling, so
+                // the next round's mask and proposal already start after it.
+                if !finished[i] && !matches!(policy, JumpForwardPolicy::Off) {
+                    if let Some(session) = &mut sessions[i] {
+                        if injector.inject_lane(
+                            i,
+                            requests[i].max_tokens,
+                            token_counts[i],
+                            session.as_mut(),
+                            &mut llm_states[i],
+                            &mut outputs[i],
+                        ) {
+                            finished[i] = true;
+                        }
+                    }
                 }
                 // Unconstrained requests stop when the intention is done.
                 if sessions[i].is_none() && llm_states[i].finished() {
@@ -396,10 +553,15 @@ impl ServingEngine {
 
         let total_time = start.elapsed();
         let total_tokens: usize = token_counts.iter().sum();
+        let jump_forward_tokens: usize = injector.tokens_by_lane.iter().sum();
+        let jump_forward_chars: usize = injector.chars_by_lane.iter().sum();
+        let forced_time = injector.time;
         let results = (0..batch_size)
             .map(|i| RequestResult {
                 output: outputs[i].clone(),
                 tokens: token_counts[i],
+                jump_forward_tokens: injector.tokens_by_lane[i],
+                jump_forward_chars: injector.chars_by_lane[i],
                 completed: completed[i],
             })
             .collect();
@@ -408,12 +570,23 @@ impl ServingEngine {
             tpot: if total_tokens == 0 {
                 Duration::ZERO
             } else {
-                // Per-token latency of the batch as a whole, as in §4.2:
-                // decode wall-clock divided by tokens per sequence.
-                total_time / (total_tokens.max(1) as u32 / batch_size.max(1) as u32).max(1)
+                // Per-sampled-token latency of the batch as a whole, as in
+                // §4.2: decode wall-clock divided by sampled tokens per
+                // sequence (fractional — jump-forward can leave lanes with
+                // very few sampled tokens, where integer division would
+                // round the divisor down to 1 and report the whole decode
+                // time as "per token"). Forced-injection time is carved out
+                // so jump-forward cannot make the per-token figure look
+                // cheaper than the GPU steps it actually paid for.
+                total_time
+                    .saturating_sub(forced_time)
+                    .div_f64((total_tokens as f64 / batch_size.max(1) as f64).max(1.0))
             },
             total_time,
             total_tokens,
+            jump_forward_tokens,
+            jump_forward_chars,
+            forced_time,
             mask_time,
             mask_cpu_time,
             mask_threads,
@@ -479,6 +652,124 @@ impl ServingEngine {
             }
         });
         cpu_time
+    }
+}
+
+/// The forced-injection state of one batch: the policy, the re-tokenization
+/// index, per-lane forced-token/char counters and the accumulated wall-clock
+/// time. Both injection sites — the lane-start pass and the per-accepted-
+/// token pass — run through [`inject_lane`](Self::inject_lane), so budget
+/// handling, timing and accounting cannot drift between them.
+struct ForcedInjector<'a> {
+    policy: JumpForwardPolicy,
+    sorted: Option<&'a SortedVocabulary>,
+    vocab: &'a Vocabulary,
+    /// Forced tokens injected per lane (`Engine` policy only).
+    tokens_by_lane: Vec<usize>,
+    /// Forced bytes injected per lane (`Matcher` and `Engine` policies).
+    chars_by_lane: Vec<usize>,
+    /// Wall clock spent finding, re-tokenizing and injecting forced text.
+    time: Duration,
+}
+
+impl<'a> ForcedInjector<'a> {
+    fn new(
+        policy: JumpForwardPolicy,
+        sorted: Option<&'a SortedVocabulary>,
+        vocab: &'a Vocabulary,
+        lanes: usize,
+    ) -> Self {
+        ForcedInjector {
+            policy,
+            sorted,
+            vocab,
+            tokens_by_lane: vec![0; lanes],
+            chars_by_lane: vec![0; lanes],
+            time: Duration::ZERO,
+        }
+    }
+
+    /// Runs one lane's injection pass: compute the remaining token budget,
+    /// inject the forced continuation, account tokens/chars/time. Returns
+    /// `true` when the lane has reached its token cap (the caller marks it
+    /// finished). No-op (and `false`) under [`JumpForwardPolicy::Off`].
+    fn inject_lane(
+        &mut self,
+        lane: usize,
+        max_tokens: usize,
+        sampled_tokens: usize,
+        session: &mut dyn BackendSession,
+        llm_state: &mut LlmRequestState,
+        output: &mut Vec<u8>,
+    ) -> bool {
+        if matches!(self.policy, JumpForwardPolicy::Off) {
+            return false;
+        }
+        let budget = max_tokens.saturating_sub(sampled_tokens + self.tokens_by_lane[lane]);
+        if budget == 0 {
+            // Cap already reached: inject nothing (under either policy).
+            return true;
+        }
+        let start = Instant::now();
+        let (tokens, chars) = self.inject(session, llm_state, output, budget);
+        self.time += start.elapsed();
+        self.tokens_by_lane[lane] += tokens;
+        self.chars_by_lane[lane] += chars;
+        sampled_tokens + self.tokens_by_lane[lane] >= max_tokens
+    }
+
+    /// Injects the grammar-forced continuation through `session` without
+    /// sampling. Returns the number of injected tokens and bytes (`(0, 0)`
+    /// when nothing is forced or the backend does not expose forced text).
+    ///
+    /// Under the `Engine` policy the forced bytes are re-tokenized
+    /// ([`BackendSession::find_jump_forward_tokens`], the longest-prefix
+    /// token cover) and accepted token by token, capped at `token_budget`
+    /// (the lane's remaining `max_tokens` allowance); every injected token
+    /// is a rollback unit exactly like a sampled one. Under the `Matcher`
+    /// policy the whole run is accepted as one raw byte unit. In both cases
+    /// the simulated model is re-conditioned on the forced text so the
+    /// following proposals continue after it.
+    fn inject(
+        &self,
+        session: &mut dyn BackendSession,
+        llm_state: &mut LlmRequestState,
+        output: &mut Vec<u8>,
+        token_budget: usize,
+    ) -> (usize, usize) {
+        match self.policy {
+            JumpForwardPolicy::Off => (0, 0),
+            JumpForwardPolicy::Matcher => {
+                let forced = session.find_jump_forward();
+                if forced.is_empty() || !session.accept_bytes(&forced) {
+                    return (0, 0);
+                }
+                output.extend_from_slice(&forced);
+                llm_state.advance_bytes(&forced);
+                (0, forced.len())
+            }
+            JumpForwardPolicy::Engine => {
+                let sorted = self.sorted.expect("engine policy builds the sorted index");
+                let run = session.find_jump_forward_tokens(self.vocab, sorted);
+                let mut injected_tokens = 0;
+                let mut injected_bytes = 0;
+                for &token in run.tokens.iter().take(token_budget) {
+                    // Forced bytes are the unique allowed continuation, so
+                    // every cover token is admitted; a rejection (a backend
+                    // bug) stops the injection and leaves the lane to
+                    // ordinary sampling.
+                    if !session.accept_token(token) {
+                        break;
+                    }
+                    let bytes = self.vocab.token_bytes(token);
+                    output.extend_from_slice(bytes);
+                    llm_state.advance(token);
+                    injected_tokens += 1;
+                    injected_bytes += bytes.len();
+                }
+                (injected_tokens, injected_bytes)
+            }
+        }
     }
 }
 
@@ -651,6 +942,74 @@ mod tests {
         assert_eq!(first.cache.misses, 1);
         assert_eq!(second.cache.misses, 0);
         assert_eq!(second.cache.hits, 4);
+    }
+
+    #[test]
+    fn jump_forward_policies_agree_byte_for_byte() {
+        // Long forced key names make the schema lanes jump-forward heavy.
+        let vocab = Arc::new(test_vocabulary(2000));
+        let backend: Arc<dyn xg_baselines::ConstrainedBackend> =
+            Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+        let reqs = requests(3);
+        let run = |policy: JumpForwardPolicy| {
+            ServingEngine::new(Arc::clone(&backend), fast_profile(), ExecutionMode::Serial)
+                .with_mask_parallelism(1)
+                .with_jump_forward(policy)
+                .run_batch(&reqs)
+                .unwrap()
+        };
+        let (off_results, off_metrics) = run(JumpForwardPolicy::Off);
+        let (matcher_results, matcher_metrics) = run(JumpForwardPolicy::Matcher);
+        let (engine_results, engine_metrics) = run(JumpForwardPolicy::Engine);
+        for ((off, matcher), engine) in off_results
+            .iter()
+            .zip(&matcher_results)
+            .zip(&engine_results)
+        {
+            assert_eq!(off.output, matcher.output, "matcher policy changed bytes");
+            assert_eq!(off.output, engine.output, "engine policy changed bytes");
+            assert!(engine.tokens <= off.tokens, "jump-forward added GPU steps");
+        }
+        assert_eq!(off_metrics.jump_forward_tokens, 0);
+        assert_eq!(off_metrics.jump_forward_chars, 0);
+        assert_eq!(off_metrics.forced_time, Duration::ZERO);
+        // Matcher policy injects raw byte runs, Engine policy real tokens.
+        assert_eq!(matcher_metrics.jump_forward_tokens, 0);
+        assert!(matcher_metrics.jump_forward_chars > 0);
+        assert!(engine_metrics.jump_forward_tokens > 0);
+        assert!(engine_metrics.jump_forward_chars > 0);
+        assert!(engine_metrics.forced_time > Duration::ZERO);
+        assert!(engine_metrics.total_tokens < off_metrics.total_tokens);
+    }
+
+    #[test]
+    fn forced_tokens_count_toward_the_token_cap() {
+        // A grammar that forces a long fixed prefix: with a tiny cap, the
+        // engine must stop mid-injection instead of overshooting.
+        let vocab = Arc::new(test_vocabulary(2000));
+        let backend = Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+        let engine = ServingEngine::new(backend, fast_profile(), ExecutionMode::Serial)
+            .with_jump_forward(JumpForwardPolicy::Engine);
+        let grammar = xg_grammar::parse_ebnf(
+            r#"root ::= "{\"transaction_identifier\": " [0-9]+ "}""#,
+            "root",
+        )
+        .unwrap();
+        let req = EngineRequest {
+            constraint: LaneConstraint::Grammar(grammar),
+            prompt_tokens: 4,
+            reference: br#"{"transaction_identifier": 7}"#.to_vec(),
+            max_tokens: 3,
+        };
+        let (results, _) = engine.run_batch(std::slice::from_ref(&req)).unwrap();
+        assert!(!results[0].completed, "the cap must cut generation short");
+        assert!(
+            results[0].tokens + results[0].jump_forward_tokens <= 3,
+            "sampled {} + forced {} exceeded the cap",
+            results[0].tokens,
+            results[0].jump_forward_tokens
+        );
+        assert!(results[0].jump_forward_tokens > 0);
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   structural tag mixing free text with constrained tool calls),
 //! * [`run_accuracy_experiment`] — the Table 4 syntactic-correctness
 //!   experiment,
-//! * jump-forward decoding support through `xg-core`'s matcher (used by the
-//!   Figure 11 harness in `xg-bench`).
+//! * engine-level jump-forward decoding ([`JumpForwardPolicy`]): grammar-
+//!   forced text is re-tokenized and injected into the decode loop without
+//!   sampling, with forced tokens and time accounted separately in
+//!   [`BatchMetrics`] (paper Appendix B / Figure 11).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -26,7 +28,8 @@ mod profiles;
 
 pub use accuracy::{run_accuracy_experiment, AccuracyResult, AccuracyTask};
 pub use engine::{
-    BatchMetrics, EngineRequest, ExecutionMode, LaneConstraint, RequestResult, ServingEngine,
+    BatchMetrics, EngineRequest, ExecutionMode, JumpForwardPolicy, LaneConstraint, RequestResult,
+    ServingEngine,
 };
 pub use llm::{LlmBehavior, LlmRequestState, SimulatedLlm};
 pub use profiles::ModelProfile;

@@ -174,6 +174,66 @@ fn push_char_range(out: &mut Vec<CharRange>, s: u32, e: u32) {
     }
 }
 
+/// A set of raw byte values described by inclusive `(lo, hi)` ranges — the
+/// byte-level sibling of [`CharClass`].
+///
+/// Where a [`CharClass`] matches one Unicode scalar value (and is lowered to
+/// UTF-8 byte sequences during automaton construction, so non-UTF-8 bytes can
+/// never match), a `ByteClass` matches exactly one *byte*, whatever it is.
+/// This is what free-text continuation tails need: a token may close a tagged
+/// segment and continue with the leading bytes of a multi-byte character that
+/// the next token completes, and a character-level tail would conservatively
+/// reject that split (see [`crate::append_free_text_tail`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ByteClass {
+    /// Inclusive `(lo, hi)` byte ranges; a byte matches when any range
+    /// contains it.
+    pub ranges: Vec<(u8, u8)>,
+}
+
+impl ByteClass {
+    /// Creates a byte class from inclusive ranges.
+    pub fn new(ranges: Vec<(u8, u8)>) -> Self {
+        ByteClass { ranges }
+    }
+
+    /// A class matching any byte value (`0x00..=0xFF`).
+    pub fn any() -> Self {
+        ByteClass {
+            ranges: vec![(0x00, 0xFF)],
+        }
+    }
+
+    /// Returns `true` if `b` is matched by this class.
+    pub fn contains(&self, b: u8) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| lo <= b && b <= hi)
+    }
+
+    /// Normalizes into a sorted, non-overlapping range list.
+    pub fn normalized_ranges(&self) -> Vec<(u8, u8)> {
+        let mut ranges: Vec<(u8, u8)> = self
+            .ranges
+            .iter()
+            .filter(|(lo, hi)| lo <= hi)
+            .copied()
+            .collect();
+        ranges.sort_unstable();
+        let mut merged: Vec<(u8, u8)> = Vec::new();
+        for (lo, hi) in ranges {
+            match merged.last_mut() {
+                Some((_, mhi)) if lo as u16 <= *mhi as u16 + 1 => *mhi = (*mhi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        merged
+    }
+
+    /// Returns `true` if the class matches no byte at all.
+    pub fn is_empty(&self) -> bool {
+        self.normalized_ranges().is_empty()
+    }
+}
+
 /// Body expression of a grammar rule.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GrammarExpr {
@@ -183,6 +243,8 @@ pub enum GrammarExpr {
     Literal(Vec<u8>),
     /// A single character drawn from a character class.
     CharClass(CharClass),
+    /// A single raw byte drawn from a [`ByteClass`] (no UTF-8 structure).
+    ByteClass(ByteClass),
     /// A reference to another rule.
     RuleRef(RuleId),
     /// A sequence of sub-expressions matched one after another.
@@ -277,7 +339,10 @@ impl GrammarExpr {
                 }
             }
             GrammarExpr::Repeat { expr, .. } => expr.for_each_rule_ref(f),
-            GrammarExpr::Empty | GrammarExpr::Literal(_) | GrammarExpr::CharClass(_) => {}
+            GrammarExpr::Empty
+            | GrammarExpr::Literal(_)
+            | GrammarExpr::CharClass(_)
+            | GrammarExpr::ByteClass(_) => {}
         }
     }
 
@@ -287,7 +352,7 @@ impl GrammarExpr {
         match self {
             GrammarExpr::Empty => true,
             GrammarExpr::Literal(bytes) => bytes.is_empty(),
-            GrammarExpr::CharClass(_) => false,
+            GrammarExpr::CharClass(_) | GrammarExpr::ByteClass(_) => false,
             GrammarExpr::RuleRef(id) => nullable_rules.get(id.index()).copied().unwrap_or(false),
             GrammarExpr::Sequence(items) => items.iter().all(|e| e.is_nullable(nullable_rules)),
             GrammarExpr::Choice(items) => items.iter().any(|e| e.is_nullable(nullable_rules)),
@@ -445,7 +510,8 @@ impl Grammar {
     }
 
     /// Validates the grammar: all references defined (guaranteed by builder),
-    /// no empty character classes, no left recursion reachable from the root.
+    /// no empty character or byte classes, no left recursion reachable from
+    /// the root.
     ///
     /// # Errors
     ///
@@ -453,7 +519,7 @@ impl Grammar {
     pub fn validate(&self) -> Result<()> {
         for rule in &self.rules {
             let mut empty_class = false;
-            visit_char_classes(&rule.body, &mut |cc| {
+            visit_classes(&rule.body, &mut |cc| {
                 if cc.is_empty() {
                     empty_class = true;
                 }
@@ -468,15 +534,31 @@ impl Grammar {
     }
 }
 
-fn visit_char_classes(expr: &GrammarExpr, f: &mut impl FnMut(&CharClass)) {
+/// A character or byte class, for validation visitors that treat both alike.
+enum ClassRef<'a> {
+    Char(&'a CharClass),
+    Byte(&'a ByteClass),
+}
+
+impl ClassRef<'_> {
+    fn is_empty(&self) -> bool {
+        match self {
+            ClassRef::Char(cc) => cc.is_empty(),
+            ClassRef::Byte(bc) => bc.is_empty(),
+        }
+    }
+}
+
+fn visit_classes<'a>(expr: &'a GrammarExpr, f: &mut impl FnMut(ClassRef<'a>)) {
     match expr {
-        GrammarExpr::CharClass(cc) => f(cc),
+        GrammarExpr::CharClass(cc) => f(ClassRef::Char(cc)),
+        GrammarExpr::ByteClass(bc) => f(ClassRef::Byte(bc)),
         GrammarExpr::Sequence(items) | GrammarExpr::Choice(items) => {
             for it in items {
-                visit_char_classes(it, f);
+                visit_classes(it, f);
             }
         }
-        GrammarExpr::Repeat { expr, .. } => visit_char_classes(expr, f),
+        GrammarExpr::Repeat { expr, .. } => visit_classes(expr, f),
         _ => {}
     }
 }
@@ -498,7 +580,10 @@ fn collect_leftmost_refs(expr: &GrammarExpr, nullable: &[bool], out: &mut Vec<Ru
             }
         }
         GrammarExpr::Repeat { expr, .. } => collect_leftmost_refs(expr, nullable, out),
-        GrammarExpr::Empty | GrammarExpr::Literal(_) | GrammarExpr::CharClass(_) => {}
+        GrammarExpr::Empty
+        | GrammarExpr::Literal(_)
+        | GrammarExpr::CharClass(_)
+        | GrammarExpr::ByteClass(_) => {}
     }
 }
 

@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use crate::ast::{CharClass, Grammar, GrammarExpr};
+use crate::ast::{ByteClass, CharClass, Grammar, GrammarExpr};
 
 impl fmt::Display for Grammar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -27,6 +27,7 @@ fn write_expr(
         GrammarExpr::Empty => write!(f, "\"\""),
         GrammarExpr::Literal(bytes) => write_literal(f, bytes),
         GrammarExpr::CharClass(cc) => write_class(f, cc),
+        GrammarExpr::ByteClass(bc) => write_byte_class(f, bc),
         GrammarExpr::RuleRef(id) => write!(f, "{}", g.rule(*id).name),
         GrammarExpr::Sequence(items) => {
             if parenthesize {
@@ -112,6 +113,26 @@ fn write_class(f: &mut fmt::Formatter<'_>, cc: &CharClass) -> fmt::Result {
         }
     }
     write!(f, "]")
+}
+
+/// Byte classes render in an ABNF-style `%x` notation (`%x00-ff`,
+/// `%x00-08.0b-ff`), which cannot collide with any character-class rendering —
+/// cache keys hash the displayed grammar, so a byte-level tail must never
+/// print like its character-level sibling. The EBNF parser does not read this
+/// notation back; byte classes are only constructed programmatically.
+fn write_byte_class(f: &mut fmt::Formatter<'_>, bc: &ByteClass) -> fmt::Result {
+    write!(f, "%x")?;
+    for (i, (lo, hi)) in bc.normalized_ranges().iter().enumerate() {
+        if i > 0 {
+            write!(f, ".")?;
+        }
+        if lo == hi {
+            write!(f, "{lo:02x}")?;
+        } else {
+            write!(f, "{lo:02x}-{hi:02x}")?;
+        }
+    }
+    Ok(())
 }
 
 fn write_escaped_char(f: &mut fmt::Formatter<'_>, c: char, in_class: bool) -> fmt::Result {

@@ -39,8 +39,8 @@ mod json_schema;
 mod structural_tag;
 
 pub use ast::{
-    char_class, char_class_negated, CharClass, CharRange, Grammar, GrammarBuilder, GrammarExpr,
-    Rule, RuleId,
+    char_class, char_class_negated, ByteClass, CharClass, CharRange, Grammar, GrammarBuilder,
+    GrammarExpr, Rule, RuleId,
 };
 pub use ebnf::parse_ebnf;
 pub use error::{GrammarError, Result};

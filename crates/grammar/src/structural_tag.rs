@@ -245,8 +245,8 @@ impl StructuralTag {
     }
 }
 
-/// Wraps `grammar` as *grammar · any-character\** — the combined segment
-/// grammar followed by an unconstrained free-text continuation.
+/// Wraps `grammar` as *grammar · any-byte\** — the combined segment grammar
+/// followed by an unconstrained free-text continuation.
 ///
 /// The tag-dispatch runtime closes a tagged segment *eagerly*, at the first
 /// byte where the combined grammar can terminate, and processes any remaining
@@ -259,9 +259,13 @@ impl StructuralTag {
 /// semantics are untouched, because the eager close fires before the tail is
 /// ever entered across a token boundary.
 ///
-/// The tail matches any sequence of Unicode scalar values, so token byte
-/// strings that are not valid UTF-8 stay (conservatively) rejected at the
-/// boundary.
+/// The tail is *byte level* ([`crate::ByteClass`]): free text after the close
+/// is untokenized prose, and a boundary-spanning token may carry post-close
+/// bytes that are not valid UTF-8 on their own (e.g. the lead bytes of a
+/// multi-byte character whose continuation arrives in the next token). A
+/// character-level tail conservatively rejected those tokens at every segment
+/// boundary; the byte-level tail admits exactly what the free-text mode
+/// itself accepts — any byte.
 pub fn append_free_text_tail(grammar: &Grammar) -> Grammar {
     let mut builder = Grammar::builder();
     let root = builder.declare("segment_with_free_tail");
@@ -270,7 +274,7 @@ pub fn append_free_text_tail(grammar: &Grammar) -> Grammar {
         root,
         GrammarExpr::seq(vec![
             GrammarExpr::RuleRef(inner_root),
-            GrammarExpr::star(GrammarExpr::CharClass(crate::ast::CharClass::any())),
+            GrammarExpr::star(GrammarExpr::ByteClass(crate::ast::ByteClass::any())),
         ]),
     );
     builder
@@ -322,7 +326,10 @@ fn remap_refs(expr: &GrammarExpr, mapping: &[RuleId]) -> GrammarExpr {
             min: *min,
             max: *max,
         },
-        GrammarExpr::Empty | GrammarExpr::Literal(_) | GrammarExpr::CharClass(_) => expr.clone(),
+        GrammarExpr::Empty
+        | GrammarExpr::Literal(_)
+        | GrammarExpr::CharClass(_)
+        | GrammarExpr::ByteClass(_) => expr.clone(),
     }
 }
 

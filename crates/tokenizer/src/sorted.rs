@@ -21,6 +21,8 @@ pub struct SortedVocabulary {
     lcp: Vec<usize>,
     /// Total bytes across the sorted tokens.
     total_bytes: usize,
+    /// Length of the longest indexed token, bounding prefix lookups.
+    max_token_len: usize,
 }
 
 fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
@@ -46,9 +48,11 @@ impl SortedVocabulary {
         let ids = vocab.sorted_token_ids();
         let mut lcp = Vec::with_capacity(ids.len());
         let mut total_bytes = 0;
+        let mut max_token_len = 0;
         for (i, id) in ids.iter().enumerate() {
             let bytes = vocab.token_bytes(*id);
             total_bytes += bytes.len();
+            max_token_len = max_token_len.max(bytes.len());
             if i == 0 {
                 lcp.push(0);
             } else {
@@ -59,6 +63,7 @@ impl SortedVocabulary {
             ids,
             lcp,
             total_bytes,
+            max_token_len,
         }
     }
 
@@ -103,6 +108,70 @@ impl SortedVocabulary {
         }
         self.chars_to_check() as f64 / self.total_bytes as f64
     }
+
+    /// Length of the longest indexed token.
+    pub fn max_token_len(&self) -> usize {
+        self.max_token_len
+    }
+
+    /// The longest non-special token whose byte string is a prefix of
+    /// `bytes`, or `None` when no token matches even the first byte.
+    ///
+    /// Used by jump-forward decoding to re-tokenize grammar-forced text
+    /// against the real vocabulary: all prefixes of `bytes` are nested, so
+    /// the longest one can be found with one binary search per candidate
+    /// length, longest first — `O(max_token_len · log |vocab|)`.
+    ///
+    /// `vocab` must be the vocabulary this index was built from.
+    pub fn longest_prefix_token(&self, vocab: &Vocabulary, bytes: &[u8]) -> Option<TokenId> {
+        let max_len = self.max_token_len.min(bytes.len());
+        for len in (1..=max_len).rev() {
+            let prefix = &bytes[..len];
+            if let Ok(pos) = self
+                .ids
+                .binary_search_by(|id| vocab.token_bytes(*id).cmp(prefix))
+            {
+                return Some(self.ids[pos]);
+            }
+        }
+        None
+    }
+
+    /// Greedy longest-prefix token cover of `bytes`: repeatedly take the
+    /// longest token matching the remaining bytes (falling back to the
+    /// single-byte tokens of a byte-fallback vocabulary). Returns the cover
+    /// and the number of bytes it tiles; covering stops early at the first
+    /// position where no token (not even a one-byte one) matches, so the
+    /// returned tokens always concatenate to exactly `bytes[..covered]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use xg_tokenizer::{SortedVocabulary, Vocabulary};
+    ///
+    /// let vocab = Vocabulary::from_tokens(
+    ///     vec![b"a".to_vec(), b"b".to_vec(), b"ab".to_vec()], None);
+    /// let sorted = SortedVocabulary::new(&vocab);
+    /// let (tokens, covered) = sorted.longest_prefix_cover(&vocab, b"abba");
+    /// assert_eq!(covered, 4);
+    /// let bytes: Vec<u8> = tokens
+    ///     .iter()
+    ///     .flat_map(|t| vocab.token_bytes(*t).to_vec())
+    ///     .collect();
+    /// assert_eq!(bytes, b"abba");
+    /// ```
+    pub fn longest_prefix_cover(&self, vocab: &Vocabulary, bytes: &[u8]) -> (Vec<TokenId>, usize) {
+        let mut tokens = Vec::new();
+        let mut covered = 0;
+        while covered < bytes.len() {
+            let Some(token) = self.longest_prefix_token(vocab, &bytes[covered..]) else {
+                break;
+            };
+            covered += vocab.token_bytes(token).len();
+            tokens.push(token);
+        }
+        (tokens, covered)
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +215,82 @@ mod tests {
         let sorted = SortedVocabulary::new(&vocab);
         assert!(sorted.is_empty());
         assert_eq!(sorted.check_fraction(), 0.0);
+        assert_eq!(sorted.max_token_len(), 0);
+        assert_eq!(sorted.longest_prefix_token(&vocab, b"abc"), None);
+    }
+
+    #[test]
+    fn longest_prefix_token_prefers_the_longest_match() {
+        let vocab = Vocabulary::from_tokens(
+            vec![
+                b"</s>".to_vec(),
+                b"r".to_vec(),
+                b"re".to_vec(),
+                b"read".to_vec(),
+                b"reader".to_vec(),
+                b"x".to_vec(),
+            ],
+            Some(0),
+        );
+        let sorted = SortedVocabulary::new(&vocab);
+        let longest = |bytes: &[u8]| {
+            sorted
+                .longest_prefix_token(&vocab, bytes)
+                .map(|t| vocab.token_bytes(t).to_vec())
+        };
+        assert_eq!(longest(b"readers"), Some(b"reader".to_vec()));
+        assert_eq!(longest(b"reads"), Some(b"read".to_vec()));
+        assert_eq!(longest(b"rex"), Some(b"re".to_vec()));
+        assert_eq!(longest(b"rx"), Some(b"r".to_vec()));
+        assert_eq!(longest(b"zzz"), None);
+        // Special tokens never participate, even when their bytes match.
+        assert_eq!(longest(b"</s>"), None);
+    }
+
+    #[test]
+    fn prefix_cover_tiles_exactly_and_stops_at_gaps() {
+        let vocab =
+            Vocabulary::from_tokens(vec![b"ab".to_vec(), b"a".to_vec(), b"abc".to_vec()], None);
+        let sorted = SortedVocabulary::new(&vocab);
+        let (tokens, covered) = sorted.longest_prefix_cover(&vocab, b"abcaba");
+        assert_eq!(covered, 6);
+        let tiled: Vec<u8> = tokens
+            .iter()
+            .flat_map(|t| vocab.token_bytes(*t).to_vec())
+            .collect();
+        assert_eq!(tiled, b"abcaba");
+        // `z` has no token: the cover stops at the gap.
+        let (tokens, covered) = sorted.longest_prefix_cover(&vocab, b"abzab");
+        assert_eq!(covered, 2);
+        assert_eq!(tokens.len(), 1);
+    }
+
+    #[test]
+    fn prefix_cover_matches_brute_force_on_a_synthetic_vocabulary() {
+        let vocab = crate::test_vocabulary(800);
+        let sorted = SortedVocabulary::new(&vocab);
+        for bytes in [
+            &br#"{"name": "alice", "age": 30}"#[..],
+            b"the quick brown fox",
+            "unicode: héllo 🎉 done".as_bytes(),
+        ] {
+            let (tokens, covered) = sorted.longest_prefix_cover(&vocab, bytes);
+            assert_eq!(covered, bytes.len(), "byte fallback makes covers total");
+            let mut cursor = 0;
+            for token in tokens {
+                let got = vocab.token_bytes(token);
+                // Brute force: no non-special token matching at `cursor` is
+                // longer than the chosen one.
+                let best = vocab
+                    .iter()
+                    .filter(|(id, t)| !vocab.is_special(*id) && bytes[cursor..].starts_with(t))
+                    .map(|(_, t)| t.len())
+                    .max()
+                    .unwrap();
+                assert_eq!(got.len(), best, "not the longest match at {cursor}");
+                assert!(bytes[cursor..].starts_with(got));
+                cursor += got.len();
+            }
+        }
     }
 }

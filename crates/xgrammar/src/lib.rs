@@ -11,6 +11,9 @@
 //!   (`xg-automata`),
 //! * [`tokenizer`] — vocabularies, BPE training, synthetic vocabularies
 //!   (`xg-tokenizer`),
+//! * [`engine`] — the serving layer: [`engine::ServingEngine`] with
+//!   overlapped execution, mixed-constraint lanes and engine-level
+//!   jump-forward decoding ([`engine::JumpForwardPolicy`]) (`xg-engine`),
 //! * the core engine types re-exported at the crate root (`xg-core`).
 //!
 //! # Examples
@@ -46,17 +49,23 @@ pub mod tokenizer {
     pub use xg_tokenizer::*;
 }
 
+/// Serving engine: batched constrained decoding with overlapped execution
+/// and jump-forward decoding (re-export of `xg-engine`).
+pub mod engine {
+    pub use xg_engine::*;
+}
+
 pub use xg_core::{
     AcceptError, CompiledGrammar, CompiledTagDispatch, CompiledTrigger, CompilerConfig,
-    ConstraintFactory, ConstraintMatcher, ConstraintStats, DispatchMode, GrammarCache,
-    GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats, GrammarCompiler, GrammarMatcher,
-    MaskCache, MaskCacheStats, MatcherPool, MatcherStats, NodeMaskEntry, PersistentStackTree,
-    RollbackError, StackHandle, StructuralTagMatcher, TagDispatchStats, TokenBitmask,
-    DEFAULT_MAX_ROLLBACK_TOKENS,
+    ConstraintFactory, ConstraintMatcher, ConstraintStats, DispatchMode, ForcedTokenRun,
+    GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats, GrammarCompiler,
+    GrammarMatcher, MaskCache, MaskCacheStats, MatcherPool, MatcherStats, NodeMaskEntry,
+    PersistentStackTree, RollbackError, StackHandle, StructuralTagMatcher, TagDispatchStats,
+    TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
 };
 pub use xg_grammar::{
-    builtin, json_schema_to_grammar, parse_ebnf, Grammar, GrammarError, GrammarExpr, StructuralTag,
-    TagContent, TagSpec,
+    builtin, json_schema_to_grammar, parse_ebnf, ByteClass, Grammar, GrammarError, GrammarExpr,
+    StructuralTag, TagContent, TagSpec,
 };
 pub use xg_tokenizer::{TokenId, Vocabulary};
 
@@ -86,6 +95,40 @@ mod tests {
         assert_eq!(matcher.mode(), crate::DispatchMode::FreeText);
         matcher.accept_bytes(b"free text <n>42</n> more").unwrap();
         assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn facade_exposes_the_serving_engine_with_jump_forward() {
+        use std::sync::Arc;
+        use xg_baselines::XGrammarBackend;
+
+        let vocab = Arc::new(crate::tokenizer::test_vocabulary(600));
+        let backend = Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+        let engine = crate::engine::ServingEngine::new(
+            backend,
+            crate::engine::ModelProfile::llama31_8b_h100().scaled(0.01),
+            crate::engine::ExecutionMode::Serial,
+        )
+        .with_jump_forward(crate::engine::JumpForwardPolicy::Engine);
+        assert_eq!(
+            engine.jump_forward_policy(),
+            crate::engine::JumpForwardPolicy::Engine
+        );
+        let req = crate::engine::EngineRequest {
+            constraint: crate::engine::LaneConstraint::Grammar(
+                crate::parse_ebnf(r#"root ::= "{\"ok\": " ("true" | "false") "}""#, "root")
+                    .unwrap(),
+            ),
+            prompt_tokens: 4,
+            reference: br#"{"ok": true}"#.to_vec(),
+            max_tokens: 32,
+        };
+        let (results, metrics) = engine.run_batch(std::slice::from_ref(&req)).unwrap();
+        assert_eq!(results[0].output, br#"{"ok": true}"#.to_vec());
+        assert!(
+            metrics.jump_forward_chars > 0,
+            "the forced prefix is jumped"
+        );
     }
 
     #[test]

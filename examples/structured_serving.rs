@@ -11,7 +11,9 @@
 use std::sync::Arc;
 
 use xg_baselines::{ConstrainedBackend, NaivePdaBackend, XGrammarBackend};
-use xg_engine::{EngineRequest, ExecutionMode, LaneConstraint, ModelProfile, ServingEngine};
+use xg_engine::{
+    EngineRequest, ExecutionMode, JumpForwardPolicy, LaneConstraint, ModelProfile, ServingEngine,
+};
 use xgrammar::{CompilerConfig, GrammarCache, GrammarCacheConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -94,6 +96,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  cache holds {} compiled grammar(s), {:.2} MB of mask-cache data",
         cache.stats().entries,
         cache.stats().current_bytes as f64 / 1e6
+    );
+
+    // ---- Engine-level jump-forward: forced text skips the GPU step. ----
+    println!();
+    println!("engine-level jump-forward (forced tokens injected without sampling):");
+    let (off_results, off_metrics) = engine.run_batch(&requests)?;
+    let jf_engine = ServingEngine::new(
+        Arc::clone(&backend),
+        ModelProfile::llama31_8b_h100().scaled(0.1),
+        ExecutionMode::Overlapped,
+    )
+    .with_jump_forward(JumpForwardPolicy::Engine);
+    let (jf_results, jf_metrics) = jf_engine.run_batch(&requests)?;
+    // The differential guarantee: jump-forward changes nothing but speed.
+    for (off, jf) in off_results.iter().zip(&jf_results) {
+        assert_eq!(off.output, jf.output, "outputs must be byte-identical");
+    }
+    println!(
+        "  off   : {:>4} sampled tokens, TPOT {:.2} ms",
+        off_metrics.total_tokens,
+        off_metrics.tpot.as_secs_f64() * 1e3,
+    );
+    println!(
+        "  engine: {:>4} sampled + {} forced tokens ({} chars of forced text), TPOT {:.2} ms",
+        jf_metrics.total_tokens,
+        jf_metrics.jump_forward_tokens,
+        jf_metrics.jump_forward_chars,
+        jf_metrics.tpot.as_secs_f64() * 1e3,
+    );
+    let saved = off_metrics
+        .total_tokens
+        .saturating_sub(jf_metrics.total_tokens);
+    println!(
+        "  byte-identical outputs, {saved} fewer GPU decoding steps ({:.0}% of the batch)",
+        100.0 * saved as f64 / off_metrics.total_tokens.max(1) as f64
     );
     Ok(())
 }

@@ -221,18 +221,17 @@ fn boundary_union_masks_are_sound_against_plain_grammar() {
                             union_only_admissions += 1;
                         }
                     } else {
-                        // Completeness, modulo UTF-8: a rejection is fine only
-                        // if the plain semantics reject too, or the post-close
-                        // prose continuation is not valid UTF-8 (which the
-                        // any-character tail conservatively cannot express).
-                        if plain_segment_accepts(plain, bytes) {
-                            assert!(
-                                std::str::from_utf8(bytes).is_err(),
-                                "task {i}: mask rejects {:?} at byte {pos}, which the \
-                                 plain sub-grammar + free continuation accepts",
-                                String::from_utf8_lossy(bytes)
-                            );
-                        }
+                        // Completeness: a rejection is only fine if the plain
+                        // semantics reject too. The free-text tail is byte
+                        // level, so there is no UTF-8 carve-out any more —
+                        // even post-close bytes that are not valid UTF-8 on
+                        // their own must be admitted.
+                        assert!(
+                            !plain_segment_accepts(plain, bytes),
+                            "task {i}: mask rejects {:?} at byte {pos}, which the \
+                             plain sub-grammar + free continuation accepts",
+                            String::from_utf8_lossy(bytes)
+                        );
                     }
                 }
                 plain.accept_bytes(&[b]).expect("reference byte advances");
@@ -251,6 +250,60 @@ fn boundary_union_masks_are_sound_against_plain_grammar() {
         union_only_admissions > 0,
         "the free-tail union never admitted a boundary-spanning token"
     );
+}
+
+/// Regression for the byte-level free-text tail (ROADMAP "non-UTF-8 boundary
+/// continuations"): a token that closes a tagged segment and continues with
+/// the *leading bytes* of a multi-byte character — invalid UTF-8 on its own,
+/// completed by the next token — must be admitted by the boundary-union mask.
+/// The old character-level tail conservatively rejected it, costing a token
+/// of throughput at every such boundary.
+#[test]
+fn boundary_spanning_token_with_split_multibyte_char_is_admitted() {
+    // 🎉 is F0 9F 8E 89; the BPE-style split puts the first half at the end
+    // of the boundary-spanning token and the second half in its own token.
+    let spanning: Vec<u8> = b"}</fn> \xF0\x9F".to_vec();
+    let emoji_tail: Vec<u8> = b"\x8E\x89".to_vec();
+    let mut tokens: Vec<Vec<u8>> = vec![b"</s>".to_vec()];
+    tokens.extend((0u16..256).map(|b| vec![b as u8]));
+    let spanning_id = TokenId(tokens.len() as u32);
+    tokens.push(spanning.clone());
+    let tail_id = TokenId(tokens.len() as u32);
+    tokens.push(emoji_tail);
+    let vocab = Arc::new(Vocabulary::from_tokens(tokens, Some(0)));
+
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let tag = xg_grammar::StructuralTag::new(vec![xg_grammar::TagSpec {
+        begin: "<fn>".into(),
+        content: xg_grammar::TagContent::Ebnf {
+            text: r#"root ::= "{" [a-z]+ "}""#.into(),
+            root: "root".into(),
+        },
+        end: "</fn>".into(),
+    }]);
+    let compiled = compiler.compile_tag_dispatch(&tag).unwrap();
+    let mut matcher = StructuralTagMatcher::new(compiled);
+    matcher.accept_bytes(b"go <fn>{abc").unwrap();
+    assert!(matches!(matcher.mode(), DispatchMode::Tagged { .. }));
+
+    // The in-segment mask must admit the boundary-spanning token even though
+    // its post-close bytes are not a complete UTF-8 sequence.
+    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+    matcher.fill_next_token_bitmask(&mut mask);
+    assert!(
+        mask.is_allowed(spanning_id),
+        "byte-level tail must admit the split-multibyte boundary token"
+    );
+    matcher.accept_token(spanning_id).unwrap();
+    assert_eq!(matcher.mode(), DispatchMode::FreeText);
+    assert_eq!(matcher.stats().tags_closed, 1);
+
+    // The next token completes the emoji in free text; the transcript as a
+    // whole is coherent UTF-8 again and can terminate.
+    matcher.fill_next_token_bitmask(&mut mask);
+    assert!(mask.is_allowed(tail_id));
+    matcher.accept_token(tail_id).unwrap();
+    assert!(matcher.can_terminate());
 }
 
 /// Jump-forward inside a tagged segment is a rollback unit like any other:
