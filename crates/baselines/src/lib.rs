@@ -113,6 +113,23 @@ pub trait ConstrainedBackend: Send + Sync + fmt::Debug {
     fn cache_stats(&self) -> Option<GrammarCacheStats> {
         None
     }
+
+    /// Returns `true` if the backend already holds a compiled form of
+    /// `grammar`, without compiling anything. The serving engine's admission
+    /// control uses this to tell cache-hit admissions (near-zero compile
+    /// latency) from cold compiles. Backends without a cache return `false`.
+    fn is_cached(&self, grammar: &Grammar) -> bool {
+        let _ = grammar;
+        false
+    }
+
+    /// Returns `true` if the backend already holds a compiled form of the
+    /// structural-tag description `tag`. Backends without structural-tag
+    /// support (or without a memo) return `false`.
+    fn is_cached_structural(&self, tag: &StructuralTag) -> bool {
+        let _ = tag;
+        false
+    }
 }
 
 /// A compiled constraint shared between requests.

@@ -182,6 +182,16 @@ impl ConstrainedBackend for XGrammarBackend {
         // GrammarCache (the cache-wide counters would mix their traffic).
         Some(self.compiler.local_cache_stats())
     }
+
+    fn is_cached(&self, grammar: &Grammar) -> bool {
+        self.compiler
+            .cache()
+            .contains(&self.compiler.cache_key(grammar))
+    }
+
+    fn is_cached_structural(&self, tag: &StructuralTag) -> bool {
+        self.compiler.has_cached_tag_dispatch_for(tag)
+    }
 }
 
 /// A compiled constraint plus its pool of reusable matchers: sessions draw a

@@ -253,13 +253,15 @@ fn bench_engine_jump_forward(c: &mut Criterion) {
         Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
     let requests: Vec<EngineRequest> = xg_datasets::json_mode_eval_like(4, 0x11F)
         .into_iter()
-        .map(|t| EngineRequest {
+        .enumerate()
+        .map(|(i, t)| EngineRequest {
             constraint: LaneConstraint::Grammar(
                 xg_grammar::json_schema_to_grammar(&t.schema).expect("schema converts"),
             ),
             prompt_tokens: 16,
             reference: t.reference,
             max_tokens: 96,
+            seed: i as u64,
         })
         .collect();
     let profile = ModelProfile::llama31_8b_h100().scaled(0.001);

@@ -36,7 +36,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use xg_automata::{AcState, AhoCorasick};
-use xg_grammar::{GrammarError, StructuralTag};
+use xg_grammar::{GrammarError, SegmentExitPolicy, StructuralTag};
 use xg_tokenizer::{TokenId, Vocabulary};
 
 use crate::compiler::{CompiledGrammar, GrammarCompiler};
@@ -84,12 +84,19 @@ pub struct CompiledTagDispatch {
     triggers: Vec<CompiledTrigger>,
     scanner: AhoCorasick,
     vocab: Arc<Vocabulary>,
+    exit: SegmentExitPolicy,
 }
 
 impl CompiledTagDispatch {
     /// The compiled triggers, in `StructuralTag::effective_triggers` order.
     pub fn triggers(&self) -> &[CompiledTrigger] {
         &self.triggers
+    }
+
+    /// How tagged segments hand decoding back to free text (see
+    /// [`SegmentExitPolicy`]).
+    pub fn exit_policy(&self) -> SegmentExitPolicy {
+        self.exit
     }
 
     /// The Aho–Corasick automaton scanning free text for all triggers at
@@ -148,11 +155,19 @@ impl GrammarCompiler {
         let mut triggers = Vec::with_capacity(grammars.len());
         let mut patterns = Vec::with_capacity(grammars.len());
         for (trigger, grammar) in grammars {
-            // The free-text tail turns the end-of-segment mask into the union
-            // with the prose continuation; acceptance is untouched because
-            // the matcher closes the segment eagerly, before the tail is ever
-            // entered across a token boundary.
-            let segment_grammar = xg_grammar::append_free_text_tail(&grammar);
+            // Eager exit: the free-text tail turns the end-of-segment mask
+            // into the union with the prose continuation; acceptance is
+            // untouched because the matcher closes the segment eagerly,
+            // before the tail is ever entered across a token boundary.
+            // Greedy exit: the grammar stays *strict* (no tail) — the
+            // matcher needs its exact termination points to find the longest
+            // match, and a tail would keep it terminable (and byte-hungry)
+            // forever; the mask union with prose is built at mask time
+            // instead, from the segment's exitability.
+            let segment_grammar = match tag.exit {
+                SegmentExitPolicy::Eager => xg_grammar::append_free_text_tail(&grammar),
+                SegmentExitPolicy::Greedy => grammar,
+            };
             let compiled = self.compile_grammar(&segment_grammar);
             let pool = Arc::new(MatcherPool::with_rollback_window(
                 Arc::clone(&compiled) as Arc<dyn ConstraintFactory>,
@@ -175,6 +190,7 @@ impl GrammarCompiler {
             triggers,
             scanner,
             vocab: Arc::clone(self.vocabulary()),
+            exit: tag.exit,
         });
         let mut memo = self.tag_dispatch_memo().lock().unwrap();
         // The memo pins its compiled grammars beyond the GrammarCache's
@@ -187,6 +203,19 @@ impl GrammarCompiler {
         // underlying grammars still compile once (GrammarCache), and keeping
         // the first-inserted dispatch makes every caller share one Arc.
         Ok(Arc::clone(memo.entry(key).or_insert(compiled)))
+    }
+
+    /// Returns `true` if this compiler's dispatch memo already holds the
+    /// compiled form of `tag` — i.e.
+    /// [`compile_tag_dispatch`](Self::compile_tag_dispatch) would be a memo
+    /// hit. Probes only; compiles nothing. Admission control uses this to
+    /// classify cache-hit admissions.
+    pub fn has_cached_tag_dispatch_for(&self, tag: &StructuralTag) -> bool {
+        let key = format!("{tag:?}");
+        self.tag_dispatch_memo()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&key)
     }
 }
 
@@ -244,6 +273,13 @@ struct TagSegment {
     matcher: Option<Box<dyn ConstraintMatcher>>,
     /// Inner rollback units accepted so far (one per byte fed).
     units: usize,
+    /// Whether the inner grammar can terminate at the current position —
+    /// i.e. the segment could close here. Maintained per accepted byte (and
+    /// re-derived on rollback) so greedy-exit decisions and
+    /// [`StructuralTagMatcher::can_terminate`] need no `&mut` probe of the
+    /// inner matcher. Only meaningful under [`SegmentExitPolicy::Greedy`]
+    /// (eager segments close the moment this would become `true`).
+    exitable: bool,
 }
 
 /// State of the matcher *before* an accepted token, for rollback.
@@ -354,9 +390,19 @@ impl StructuralTagMatcher {
     }
 
     /// Returns `true` if end-of-sequence would be accepted now: free text can
-    /// always end, a tagged segment must be closed first.
+    /// always end; a tagged segment must be closed first — except a greedy
+    /// segment sitting on a termination point of its grammar, which closes
+    /// on EOS.
     pub fn can_terminate(&self) -> bool {
-        !self.terminated && matches!(self.mode, ModeState::Free { .. })
+        if self.terminated {
+            return false;
+        }
+        match self.mode {
+            ModeState::Free { .. } => true,
+            ModeState::Tagged { seg } => {
+                matches!(self.compiled.exit, SegmentExitPolicy::Greedy) && self.seg(seg).exitable
+            }
+        }
     }
 
     /// Number of accepted tokens that can currently be rolled back.
@@ -385,9 +431,16 @@ impl StructuralTagMatcher {
 
     /// Fills `mask` with the allowed next tokens: all-allowed in free text
     /// (special tokens except EOS stay rejected), the segment grammar's mask
-    /// inside a tagged segment. The segment grammar carries the free-text
-    /// continuation tail, so near the end of a segment the mask also admits
-    /// tokens that finish the end tag and continue with prose.
+    /// inside a tagged segment.
+    ///
+    /// Under [`SegmentExitPolicy::Eager`] the segment grammar carries the
+    /// free-text continuation tail, so near the end of a segment the mask
+    /// also admits tokens that finish the end tag and continue with prose.
+    /// Under [`SegmentExitPolicy::Greedy`] the segment grammar is strict;
+    /// whenever it can terminate the mask is the free-text mask instead
+    /// (continue-the-segment and exit-to-prose union), because
+    /// [`accept_token`](Self::accept_token) closes the segment at the last
+    /// terminable point when a longer match dies.
     ///
     /// # Panics
     ///
@@ -417,12 +470,29 @@ impl StructuralTagMatcher {
                 self.stats.free_masks += 1;
             }
             ModeState::Tagged { seg } => {
-                self.seg_mut(seg)
-                    .matcher
-                    .as_mut()
-                    .expect("the current segment is never pruned")
-                    .fill_next_token_bitmask(mask);
-                self.stats.tag_masks += 1;
+                let greedy = matches!(self.compiled.exit, SegmentExitPolicy::Greedy);
+                if greedy && self.seg(seg).exitable {
+                    // The segment grammar can terminate here, so any token is
+                    // acceptable: bytes the strict grammar accepts extend the
+                    // segment, and the rest close it and resume as prose
+                    // (`advance_bytes_across_modes` rewinds to the last
+                    // exitable point when a longer match dies). The union of
+                    // those outcomes is the free-text mask.
+                    mask.allow_all();
+                    for special in vocab.special_ids() {
+                        if Some(special) != vocab.eos() {
+                            mask.reject(special);
+                        }
+                    }
+                    self.stats.tag_masks += 1;
+                } else {
+                    self.seg_mut(seg)
+                        .matcher
+                        .as_mut()
+                        .expect("the current segment is never pruned")
+                        .fill_next_token_bitmask(mask);
+                    self.stats.tag_masks += 1;
+                }
             }
         }
     }
@@ -453,6 +523,12 @@ impl StructuralTagMatcher {
             if Some(token) == vocab.eos() {
                 if self.can_terminate() {
                     self.push_history();
+                    if matches!(self.mode, ModeState::Tagged { .. }) {
+                        // A greedy segment terminable here closes on EOS; the
+                        // history snapshot above restores the open segment on
+                        // rollback.
+                        self.close_segment();
+                    }
                     self.terminated = true;
                     self.stats.tokens_accepted += 1;
                     return Ok(());
@@ -612,13 +688,15 @@ impl StructuralTagMatcher {
             let segment = self.seg_mut(*seg);
             let delta = segment.units - snapshot.units;
             if delta > 0 {
-                segment
+                let matcher = segment
                     .matcher
                     .as_mut()
-                    .expect("segments reachable from snapshots are never pruned")
+                    .expect("segments reachable from snapshots are never pruned");
+                matcher
                     .rollback(delta)
                     .expect("inner matchers keep their full per-byte history");
                 segment.units = snapshot.units;
+                segment.exitable = matcher.can_terminate();
             }
         }
         self.mode = snapshot.mode;
@@ -640,13 +718,32 @@ impl StructuralTagMatcher {
     /// visible in the mask.
     fn advance_bytes_across_modes(&mut self, bytes: &[u8], base: &Snapshot) -> Result<(), usize> {
         let compiled = Arc::clone(&self.compiled);
+        let greedy = matches!(compiled.exit, SegmentExitPolicy::Greedy);
         let base_stats = self.stats;
         let mut suppressed: Vec<usize> = Vec::new();
+        // Byte positions where a greedy segment is *forced* to close on the
+        // current attempt: when the strict grammar dies at a point where the
+        // segment cannot end, the call replays from `base` and exits at the
+        // last position where it could (the longest match), handing the
+        // remaining bytes back to free text. Strictly increasing across
+        // attempts, so the replay loop terminates.
+        let mut forced_exits: Vec<usize> = Vec::new();
         'attempt: loop {
             // Position of the trigger completion that opened the currently
             // innermost segment, when that happened during this call.
             let mut opened_at: Option<usize> = None;
-            for (i, &b) in bytes.iter().enumerate() {
+            // Most recent byte index (this attempt) where the *current*
+            // greedy segment could have closed; cleared on every mode
+            // transition.
+            let mut last_exitable: Option<usize> = None;
+            let mut i = 0;
+            while i < bytes.len() {
+                let b = bytes[i];
+                if forced_exits.contains(&i) && matches!(self.mode, ModeState::Tagged { .. }) {
+                    self.close_segment();
+                    last_exitable = None;
+                    // Byte `i` now runs through the Free arm below.
+                }
                 match &mut self.mode {
                     ModeState::Free { scan } => {
                         let state = compiled.scanner.step(*scan, b);
@@ -655,6 +752,7 @@ impl StructuralTagMatcher {
                             if !suppressed.contains(&i) {
                                 self.open_segment(trigger);
                                 opened_at = Some(i);
+                                last_exitable = None;
                             }
                         }
                     }
@@ -663,11 +761,34 @@ impl StructuralTagMatcher {
                             let idx = *seg - self.segments_base;
                             &mut self.segments[idx]
                         };
+                        if greedy && segment.exitable {
+                            last_exitable = Some(i);
+                        }
                         let matcher = segment
                             .matcher
                             .as_mut()
                             .expect("the current segment is never pruned");
                         if matcher.accept_bytes(&[b]).is_err() {
+                            if greedy && segment.exitable {
+                                // The grammar cannot take this byte but the
+                                // segment can end right here: longest match
+                                // found. Close and re-run the byte as free
+                                // text.
+                                self.close_segment();
+                                last_exitable = None;
+                                continue;
+                            }
+                            if greedy {
+                                if let Some(exit) = last_exitable {
+                                    // The grammar died beyond the last point
+                                    // where the segment could end: rewind and
+                                    // replay, closing there instead.
+                                    forced_exits.push(exit);
+                                    self.restore(base);
+                                    self.stats = base_stats;
+                                    continue 'attempt;
+                                }
+                            }
                             if let Some(pos) = opened_at {
                                 suppressed.push(pos);
                                 self.restore(base);
@@ -677,24 +798,31 @@ impl StructuralTagMatcher {
                             return Err(i);
                         }
                         segment.units += 1;
-                        if matcher.can_terminate() {
+                        if greedy {
+                            segment.exitable = matcher.can_terminate();
+                        } else if matcher.can_terminate() {
                             self.close_segment();
+                            last_exitable = None;
                         }
                     }
                 }
+                i += 1;
             }
             return Ok(());
         }
     }
 
     /// Opens a tagged segment for `trigger` (drawing the inner matcher from
-    /// the trigger's pool), immediately closing it again if its combined
-    /// grammar is already complete (pathological nullable tags).
+    /// the trigger's pool). Under the eager policy a segment whose combined
+    /// grammar is already complete (pathological nullable tags) closes
+    /// immediately; under the greedy policy it stays open — merely
+    /// *exitable* — so longer matches still win.
     fn open_segment(&mut self, trigger: usize) {
         let pool = &self.compiled.triggers[trigger].pool;
         let mut matcher = pool.acquire();
         self.stats.tags_opened += 1;
-        if matcher.can_terminate() {
+        let exitable = matcher.can_terminate();
+        if exitable && matches!(self.compiled.exit, SegmentExitPolicy::Eager) {
             pool.release(matcher);
             self.stats.tags_closed += 1;
             self.mode = ModeState::Free {
@@ -706,6 +834,7 @@ impl StructuralTagMatcher {
             trigger,
             matcher: Some(matcher),
             units: 0,
+            exitable,
         });
         self.mode = ModeState::Tagged {
             seg: self.segments_total() - 1,

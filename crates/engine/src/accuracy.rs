@@ -140,6 +140,7 @@ pub fn run_accuracy_experiment(
             prompt_tokens: 139,
             reference: reference.clone(),
             max_tokens: 512,
+            seed: 0,
         };
         let (results, _) = engine
             .run_batch(std::slice::from_ref(&unconstrained))
@@ -153,6 +154,7 @@ pub fn run_accuracy_experiment(
             prompt_tokens: 139,
             reference,
             max_tokens: 512,
+            seed: 0,
         };
         let (results, _) = engine
             .run_batch(std::slice::from_ref(&constrained))

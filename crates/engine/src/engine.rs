@@ -1,8 +1,19 @@
-//! The simulated LLM serving engine: fixed-batch decoding with optional
+//! The simulated LLM serving engine: constrained batch decoding with
 //! CPU/GPU overlap (paper §3.5 and §4.2).
 //!
-//! The engine processes a batch of requests in lock-step decoding rounds,
-//! exactly like an online serving engine with a fixed batch:
+//! Two serving paths share one per-lane decode step ([`crate::lane`]):
+//!
+//! * [`ServingEngine::run_batch`] — the public batch API, now a thin wrapper
+//!   over the [`ContinuousScheduler`](crate::ContinuousScheduler): requests
+//!   are submitted to the scheduler's queue, compiled on an admission
+//!   worker, decoded in the persistent loop and collected when every lane
+//!   has finished. Outputs are byte-identical to the fixed loop below.
+//! * [`ServingEngine::run_batch_fixed`] — the original fixed-membership
+//!   batch loop, kept as the *reference implementation* for differential
+//!   testing: every lane joins at round 0, rounds run in lock-step, and the
+//!   batch ends when the last lane finishes.
+//!
+//! Each decoding round of the fixed loop:
 //!
 //! 1. for every live request, the grammar backend produces a token mask
 //!    (CPU work; the lanes are spread over scoped worker threads, see
@@ -18,31 +29,38 @@
 //! sampling — the co-design of §3.5. Grammar preprocessing (compilation) is
 //! likewise overlapped with prefill.
 //!
-//! With a [`JumpForwardPolicy`] other than `Off`, the loop additionally
-//! injects grammar-*forced* text (paper Appendix B / Figure 11) at lane
-//! start and after every accepted token: whenever the constraint admits
-//! exactly one continuation, the engine emits it directly — re-tokenized
-//! against the real vocabulary under the `Engine` policy — skipping both the
-//! mask and the GPU step for those tokens. Forced tokens are accounted
-//! separately ([`BatchMetrics::jump_forward_tokens`],
-//! [`BatchMetrics::forced_time`]) so TPOT stays honest.
+//! With a [`JumpForwardPolicy`] other than `Off` (the default is now
+//! [`JumpForwardPolicy::Engine`]), the loop additionally injects grammar-
+//! *forced* text (paper Appendix B / Figure 11) at lane start and after
+//! every accepted token: whenever the constraint admits exactly one
+//! continuation, the engine emits it directly — re-tokenized against the
+//! real vocabulary under the `Engine` policy — skipping both the mask and
+//! the GPU step for those tokens. Forced tokens are accounted separately
+//! ([`BatchMetrics::jump_forward_tokens`], [`BatchMetrics::forced_time`]) so
+//! TPOT stays honest.
 
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use crate::llm::{LlmBehavior, LlmRequestState, SimulatedLlm};
+use crate::lane::{ForcedContext, Lane};
+use crate::llm::{LlmBehavior, SimulatedLlm};
 use crate::profiles::ModelProfile;
+use crate::scheduler::SchedulerConfig;
 use xg_baselines::{BackendError, BackendSession, ConstrainedBackend};
 use xg_core::{GrammarCacheStats, TokenBitmask};
 use xg_grammar::{Grammar, StructuralTag};
-use xg_tokenizer::{SortedVocabulary, Vocabulary};
+use xg_tokenizer::SortedVocabulary;
 
 /// Whether grammar work is overlapped with the simulated GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionMode {
     /// Mask generation, then GPU step, sequentially.
     Serial,
-    /// Mask generation concurrent with the GPU step (paper §3.5).
+    /// Mask generation concurrent with the GPU step (paper §3.5). In the
+    /// continuous scheduler this additionally double-buffers: a lane's mask
+    /// for step *t+1* is dispatched to the mask workers as soon as its step
+    /// *t* token is accepted, so mask fill overlaps both the rest of the
+    /// sampling phase and the next GPU step.
     Overlapped,
 }
 
@@ -53,8 +71,8 @@ pub enum ExecutionMode {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum JumpForwardPolicy {
     /// Never jump forward: every output token is sampled under its mask (the
-    /// pre-jump-forward serving path, kept selectable for comparisons).
-    #[default]
+    /// pre-jump-forward serving path, kept selectable for comparisons via
+    /// [`ServingEngine::with_jump_forward`]).
     Off,
     /// Matcher-level jump-forward: forced bytes are accepted through the
     /// lane's matcher as **one raw byte run** (a single rollback unit, no
@@ -69,7 +87,10 @@ pub enum JumpForwardPolicy {
     /// real vocabulary (longest-prefix token cover, falling back to the
     /// byte-level tokens) and injected **token by token** without sampling
     /// or mask generation. Each injected token is a rollback unit, exactly
-    /// as if it had been sampled — the serving path of Figure 11.
+    /// as if it had been sampled — the serving path of Figure 11. This is
+    /// the default policy: the differential suite
+    /// (`tests/engine_jump_forward.rs`) proves it changes nothing but speed.
+    #[default]
     Engine,
 }
 
@@ -97,7 +118,9 @@ impl LaneConstraint {
     /// dispatch point: everything after construction — sessions, masks,
     /// token acceptance, jump-forward — flows through the constraint-agnostic
     /// [`BackendSession`] interface (backed by `xg-core`'s
-    /// `ConstraintMatcher` trait objects in the XGrammar backend).
+    /// `ConstraintMatcher` trait objects in the XGrammar backend). The
+    /// continuous scheduler calls it from its admission workers, off the
+    /// decode hot path.
     ///
     /// # Errors
     ///
@@ -110,6 +133,19 @@ impl LaneConstraint {
             LaneConstraint::Unconstrained => Ok(None),
             LaneConstraint::Grammar(grammar) => backend.compile(grammar).map(Some),
             LaneConstraint::StructuralTag(tag) => backend.compile_structural(tag).map(Some),
+        }
+    }
+
+    /// Probes whether `backend` already holds a compiled form of this
+    /// constraint (compiled-grammar cache or structural-tag memo), without
+    /// compiling anything. Unconstrained lanes report `true` — there is
+    /// nothing to compile. Admission control uses this to tell cache-hit
+    /// admissions (cheap, fast TTFT) from cold compiles.
+    pub fn is_cached(&self, backend: &dyn ConstrainedBackend) -> bool {
+        match self {
+            LaneConstraint::Unconstrained => true,
+            LaneConstraint::Grammar(grammar) => backend.is_cached(grammar),
+            LaneConstraint::StructuralTag(tag) => backend.is_cached_structural(tag),
         }
     }
 }
@@ -143,6 +179,11 @@ pub struct EngineRequest {
     pub reference: Vec<u8>,
     /// Hard cap on generated tokens.
     pub max_tokens: usize,
+    /// Per-request seed for the simulated LLM's error injection. Part of the
+    /// request (not derived from its batch position) so a request produces
+    /// the same bytes whether it runs in a fixed batch or joins the
+    /// continuous scheduler in any arrival order.
+    pub seed: u64,
 }
 
 /// Per-request result.
@@ -169,11 +210,26 @@ pub struct RequestResult {
     pub completed: bool,
 }
 
+impl RequestResult {
+    /// An empty, uncompleted result — what a request that failed admission
+    /// (its grammar did not compile) reports.
+    pub(crate) fn failed() -> Self {
+        RequestResult {
+            output: Vec::new(),
+            tokens: 0,
+            jump_forward_tokens: 0,
+            jump_forward_chars: 0,
+            completed: false,
+        }
+    }
+}
+
 /// Batch-level metrics, the quantities reported in §4.2.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BatchMetrics {
     /// Time to first token: prefill + grammar preprocessing (overlapped or
-    /// not) + the first decoding round.
+    /// not) + the first decoding round. Under the scheduler-backed
+    /// [`ServingEngine::run_batch`] this is the earliest per-lane TTFT.
     pub ttft: Duration,
     /// Mean time per *sampled* output token across the batch. Time spent
     /// injecting grammar-forced text ([`forced_time`](Self::forced_time)) and
@@ -199,12 +255,15 @@ pub struct BatchMetrics {
     /// text, summed over rounds. Excluded from [`tpot`](Self::tpot).
     pub forced_time: Duration,
     /// Wall-clock time spent in grammar mask generation, summed over rounds.
-    /// With parallel lane fill this is the time the batch actually waited.
+    /// With parallel lane fill this is the time the batch actually waited
+    /// (in overlapped mode: the residual wait after the GPU step, i.e. the
+    /// mask time the overlap failed to hide).
     pub mask_time: Duration,
     /// Per-worker busy time in grammar mask generation, summed across
     /// workers. Each worker measures its own wall clock, so on an
     /// oversubscribed machine this includes scheduler wait and can exceed
-    /// true CPU time. With one worker this equals `mask_time`.
+    /// true CPU time. With one worker this equals `mask_time` in serial
+    /// mode.
     pub mask_cpu_time: Duration,
     /// Worker-thread ceiling for mask generation (each round additionally
     /// caps the workers by the number of still-live constrained lanes, so
@@ -227,7 +286,9 @@ impl BatchMetrics {
     /// wait — see [`mask_cpu_time`](Self::mask_cpu_time)). Jump-forward
     /// injection happens outside the mask workers, so forced tokens never
     /// contribute to either side of the ratio. Returns 1.0 when no masks
-    /// were generated.
+    /// were generated (either duration is zero — e.g. an instantaneous or
+    /// fully unconstrained batch), so callers can multiply by it
+    /// unconditionally.
     pub fn parallel_speedup(&self) -> f64 {
         if self.mask_time.is_zero() || self.mask_cpu_time.is_zero() {
             1.0
@@ -250,8 +311,8 @@ pub struct ServingEngine {
     /// How constrained lanes use jump-forward decoding.
     jump_forward: JumpForwardPolicy,
     /// Sorted vocabulary index for forced-text re-tokenization, built once
-    /// on the first batch that needs it (`Engine` policy only).
-    sorted_vocab: OnceLock<SortedVocabulary>,
+    /// and shared by every batch and scheduler (`Engine` policy only).
+    sorted_vocab: OnceLock<Arc<SortedVocabulary>>,
 }
 
 impl ServingEngine {
@@ -259,21 +320,13 @@ impl ServingEngine {
     /// profile and an execution mode. Mask generation parallelism defaults to
     /// the machine's available parallelism (capped by the batch size); use
     /// [`with_mask_parallelism`](Self::with_mask_parallelism) to override.
+    /// Jump-forward decoding defaults to [`JumpForwardPolicy::Engine`].
     pub fn new(
         backend: Arc<dyn ConstrainedBackend>,
         profile: ModelProfile,
         mode: ExecutionMode,
     ) -> Self {
-        let llm = SimulatedLlm::new(Arc::clone(backend.vocabulary()), LlmBehavior::default());
-        ServingEngine {
-            backend,
-            profile,
-            mode,
-            llm,
-            mask_parallelism: 0,
-            jump_forward: JumpForwardPolicy::default(),
-            sorted_vocab: OnceLock::new(),
-        }
+        Self::with_llm_behavior(backend, profile, mode, LlmBehavior::default())
     }
 
     /// Creates an engine with explicit simulated-LLM behaviour (used by the
@@ -291,9 +344,10 @@ impl ServingEngine {
             mode,
             llm,
             mask_parallelism: 0,
-            jump_forward: JumpForwardPolicy::default(),
+            jump_forward: JumpForwardPolicy::Off,
             sorted_vocab: OnceLock::new(),
         }
+        .with_jump_forward(JumpForwardPolicy::default())
     }
 
     /// Sets the number of worker threads used to fill the per-lane token
@@ -306,9 +360,10 @@ impl ServingEngine {
     }
 
     /// Sets how constrained lanes use jump-forward decoding. The default is
-    /// [`JumpForwardPolicy::Off`] (the pre-jump-forward serving path);
-    /// [`JumpForwardPolicy::Engine`] injects grammar-forced tokens without
-    /// sampling, producing byte-identical outputs with fewer GPU steps.
+    /// [`JumpForwardPolicy::Engine`] — grammar-forced tokens are injected
+    /// without sampling, producing byte-identical outputs with fewer GPU
+    /// steps; [`JumpForwardPolicy::Off`] restores the pre-jump-forward
+    /// serving path (every token sampled) for comparisons.
     ///
     /// The byte-parity guarantee applies to lanes that run to completion: a
     /// lane truncated by `max_tokens` is cut at whatever token boundary the
@@ -336,15 +391,32 @@ impl ServingEngine {
         &self.backend
     }
 
+    /// The latency profile of the simulated GPU.
+    pub(crate) fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The execution mode (serial vs overlapped grammar work).
+    pub(crate) fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The simulated LLM.
+    pub(crate) fn llm(&self) -> &SimulatedLlm {
+        &self.llm
+    }
+
     /// The sorted vocabulary index used to re-tokenize forced text, built on
-    /// first use and shared by every subsequent batch.
-    fn sorted_vocabulary(&self) -> &SortedVocabulary {
-        self.sorted_vocab
-            .get_or_init(|| SortedVocabulary::new(self.backend.vocabulary()))
+    /// first use and shared by every subsequent batch and scheduler.
+    pub(crate) fn sorted_vocabulary(&self) -> Arc<SortedVocabulary> {
+        Arc::clone(
+            self.sorted_vocab
+                .get_or_init(|| Arc::new(SortedVocabulary::new(self.backend.vocabulary()))),
+        )
     }
 
     /// Effective mask-generation worker count for a batch of `lanes` lanes.
-    fn effective_mask_threads(&self, lanes: usize) -> usize {
+    pub(crate) fn effective_mask_threads(&self, lanes: usize) -> usize {
         let requested = if self.mask_parallelism == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -353,13 +425,111 @@ impl ServingEngine {
         requested.min(lanes).max(1)
     }
 
-    /// Runs a fixed batch of requests to completion.
+    /// Starts a [`ContinuousScheduler`](crate::ContinuousScheduler) serving
+    /// requests with this engine's backend, profile, execution mode and
+    /// jump-forward policy. The scheduler owns its worker threads until
+    /// [`shutdown`](crate::ContinuousScheduler::shutdown) (or drop).
+    pub fn serve(&self, config: SchedulerConfig) -> crate::ContinuousScheduler {
+        crate::ContinuousScheduler::start(self, config)
+    }
+
+    /// Runs a batch of requests to completion through the continuous
+    /// scheduler: every request is submitted up front, compiled on one
+    /// admission worker (in submission order, so cache accounting matches
+    /// the fixed loop), decoded concurrently, and collected when the last
+    /// lane finishes. Produces byte-identical per-lane outputs to
+    /// [`run_batch_fixed`](Self::run_batch_fixed) — proven differentially in
+    /// `tests/continuous_batching.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's error if one of the grammars cannot be compiled
+    /// by this backend (after letting the remaining lanes finish).
+    pub fn run_batch(
+        &self,
+        requests: &[EngineRequest],
+    ) -> Result<(Vec<RequestResult>, BatchMetrics), BackendError> {
+        assert!(!requests.is_empty(), "batch must not be empty");
+        let batch_size = requests.len();
+        let constrained_lanes = requests
+            .iter()
+            .filter(|r| r.constraint.is_constrained())
+            .count();
+        let mask_threads = self.effective_mask_threads(constrained_lanes.max(1));
+        let cache_before = self.backend.cache_stats().unwrap_or_default();
+        let start = Instant::now();
+
+        let scheduler = self.serve(SchedulerConfig {
+            max_lanes: batch_size,
+            queue_capacity: batch_size,
+            admission_workers: 1,
+            mask_workers: mask_threads,
+        });
+        let mut handles = Vec::with_capacity(batch_size);
+        for request in requests {
+            handles.push(
+                scheduler
+                    .submit(request.clone())
+                    .expect("wrapper queue is sized to the batch"),
+            );
+        }
+        let mut results = Vec::with_capacity(batch_size);
+        let mut first_error = None;
+        let mut ttft: Option<Duration> = None;
+        for handle in handles {
+            match handle.wait() {
+                Ok(done) => {
+                    ttft = Some(ttft.map_or(done.timing.ttft, |t| t.min(done.timing.ttft)));
+                    results.push(done.result);
+                }
+                Err(err) => {
+                    if first_error.is_none() {
+                        first_error = Some(err);
+                    }
+                    results.push(RequestResult::failed());
+                }
+            }
+        }
+        let sched_metrics = scheduler.metrics();
+        scheduler.shutdown();
+        if let Some(err) = first_error {
+            return Err(err);
+        }
+
+        let total_time = start.elapsed();
+        let total_tokens: usize = results.iter().map(|r| r.tokens).sum();
+        let forced_time = sched_metrics.forced_time;
+        let metrics = BatchMetrics {
+            ttft: ttft.unwrap_or(total_time),
+            tpot: tpot_of(total_time, forced_time, total_tokens, batch_size),
+            total_time,
+            total_tokens,
+            jump_forward_tokens: results.iter().map(|r| r.jump_forward_tokens).sum(),
+            jump_forward_chars: results.iter().map(|r| r.jump_forward_chars).sum(),
+            forced_time,
+            mask_time: sched_metrics.mask_wait_time,
+            mask_cpu_time: sched_metrics.mask_busy_time,
+            mask_threads,
+            gpu_time: sched_metrics.gpu_time,
+            cache: self
+                .backend
+                .cache_stats()
+                .unwrap_or_default()
+                .delta_since(&cache_before),
+        };
+        Ok((results, metrics))
+    }
+
+    /// Runs a fixed batch of requests to completion with the original
+    /// lock-step loop: every lane joins at round 0 and the batch ends when
+    /// the last lane finishes. Kept as the reference implementation the
+    /// continuous scheduler is differentially tested against.
     ///
     /// # Errors
     ///
     /// Returns the backend's error if one of the grammars cannot be compiled
     /// by this backend.
-    pub fn run_batch(
+    pub fn run_batch_fixed(
         &self,
         requests: &[EngineRequest],
     ) -> Result<(Vec<RequestResult>, BatchMetrics), BackendError> {
@@ -379,15 +549,22 @@ impl ServingEngine {
         // ---- Prefill phase: grammar compilation overlapped with prefill. ----
         let total_prompt_tokens: usize = requests.iter().map(|r| r.prompt_tokens).sum();
         let prefill_time = self.profile.prefill_time(total_prompt_tokens);
-        let mut sessions: Vec<Option<Box<dyn BackendSession>>> = Vec::with_capacity(batch_size);
         let preprocessing = Instant::now();
         let mut compiled_constraints = Vec::with_capacity(batch_size);
         for request in requests {
             compiled_constraints.push(request.constraint.compile(self.backend.as_ref())?);
         }
-        for compiled in &compiled_constraints {
-            sessions.push(compiled.as_ref().map(|c| c.new_session()));
-        }
+        let mut lanes: Vec<Lane> = requests
+            .iter()
+            .zip(&compiled_constraints)
+            .map(|(request, compiled)| {
+                Lane::new(
+                    compiled.as_ref().map(|c| c.new_session()),
+                    self.llm.start_request(&request.reference, request.seed),
+                    request.max_tokens,
+                )
+            })
+            .collect();
         let preprocessing_time = preprocessing.elapsed();
         // Prefill runs on the GPU; preprocessing runs on the CPU. Overlapped
         // mode hides whichever is shorter.
@@ -398,18 +575,6 @@ impl ServingEngine {
         busy_wait(prefill_wall.saturating_sub(preprocessing_time));
 
         // ---- Decode phase. ----
-        let mut llm_states: Vec<_> = requests
-            .iter()
-            .enumerate()
-            .map(|(i, r)| self.llm.start_request(&r.reference, i as u64))
-            .collect();
-        let mut outputs: Vec<Vec<u8>> = vec![Vec::new(); batch_size];
-        let mut token_counts = vec![0usize; batch_size];
-        let mut finished = vec![false; batch_size];
-        // `completed` = the lane ended *successfully* (EOS, or the intention
-        // fully emitted on an unconstrained lane) — as opposed to dying on
-        // the token cap, a stuck mask, or a constraint violation.
-        let mut completed = vec![false; batch_size];
         let mut masks: Vec<TokenBitmask> = (0..batch_size)
             .map(|_| TokenBitmask::new_all_rejected(vocab.len()))
             .collect();
@@ -424,33 +589,19 @@ impl ServingEngine {
             JumpForwardPolicy::Engine => Some(self.sorted_vocabulary()),
             _ => None,
         };
-        let mut injector = ForcedInjector::new(policy, sorted, &vocab, batch_size);
+        let ctx = ForcedContext {
+            policy,
+            sorted: sorted.as_deref(),
+            vocab: &vocab,
+        };
 
-        // Lane-start jump-forward: a constraint may force a prefix before
-        // the first token is ever sampled (e.g. `{"` and the first required
-        // key of a JSON schema). Inject it before the first mask is built so
-        // the first sampled token already continues the forced text.
-        if !matches!(policy, JumpForwardPolicy::Off) {
-            for i in 0..batch_size {
-                if finished[i] {
-                    continue;
-                }
-                if let Some(session) = &mut sessions[i] {
-                    if injector.inject_lane(
-                        i,
-                        requests[i].max_tokens,
-                        token_counts[i],
-                        session.as_mut(),
-                        &mut llm_states[i],
-                        &mut outputs[i],
-                    ) {
-                        finished[i] = true;
-                    }
-                }
-            }
+        // Lane-start jump-forward: inject any forced prefix before the first
+        // mask is built.
+        for lane in &mut lanes {
+            lane.start(&ctx);
         }
 
-        while finished.iter().any(|f| !f) {
+        while lanes.iter().any(|l| !l.finished) {
             // Step 1 + 2: mask generation (lanes in parallel) and GPU
             // decoding.
             let mut mask_elapsed = Duration::ZERO;
@@ -458,8 +609,7 @@ impl ServingEngine {
             match self.mode {
                 ExecutionMode::Serial => {
                     let mask_start = Instant::now();
-                    mask_cpu =
-                        self.generate_masks(&mut sessions, &finished, &mut masks, mask_threads);
+                    mask_cpu = generate_masks(&mut lanes, &mut masks, mask_threads);
                     mask_elapsed = mask_start.elapsed();
                     busy_wait(gpu_step);
                 }
@@ -467,8 +617,7 @@ impl ServingEngine {
                     std::thread::scope(|scope| {
                         let gpu = scope.spawn(|| busy_wait(gpu_step));
                         let mask_start = Instant::now();
-                        mask_cpu =
-                            self.generate_masks(&mut sessions, &finished, &mut masks, mask_threads);
+                        mask_cpu = generate_masks(&mut lanes, &mut masks, mask_threads);
                         mask_elapsed = mask_start.elapsed();
                         gpu.join().expect("gpu simulation thread panicked");
                     });
@@ -479,72 +628,12 @@ impl ServingEngine {
             gpu_time += gpu_step;
 
             // Step 3: sampling and state advance.
-            for i in 0..batch_size {
-                if finished[i] {
+            for (lane, mask) in lanes.iter_mut().zip(&masks) {
+                if lane.finished {
                     continue;
                 }
-                let token = match &mut sessions[i] {
-                    Some(_) => {
-                        let choice = llm_states[i].propose_constrained(&masks[i]);
-                        match choice {
-                            Some(t) => t,
-                            None => {
-                                // No token is allowed: the structure is stuck
-                                // (should not happen); the lane dies without
-                                // completing.
-                                finished[i] = true;
-                                continue;
-                            }
-                        }
-                    }
-                    None => llm_states[i].propose(),
-                };
-                if Some(token) == vocab.eos() {
-                    finished[i] = true;
-                    completed[i] = match &mut sessions[i] {
-                        Some(session) => session.accept_token(token),
-                        None => true,
-                    };
-                    continue;
-                }
-                if let Some(session) = &mut sessions[i] {
-                    if !session.accept_token(token) {
-                        // The sampled token violated the constraint: the lane
-                        // dies without completing.
-                        finished[i] = true;
-                        continue;
-                    }
-                }
-                outputs[i].extend_from_slice(vocab.token_bytes(token));
-                llm_states[i].advance(token);
-                token_counts[i] += 1;
-                if token_counts[i] + injector.tokens_by_lane[i] >= requests[i].max_tokens {
-                    // Token cap reached: finished, but not `completed`.
-                    finished[i] = true;
-                }
-                // After every accepted token the constraint may force the
-                // next stretch of text (a key name just became unambiguous,
-                // an end tag is due): inject it now, without sampling, so
-                // the next round's mask and proposal already start after it.
-                if !finished[i] && !matches!(policy, JumpForwardPolicy::Off) {
-                    if let Some(session) = &mut sessions[i] {
-                        if injector.inject_lane(
-                            i,
-                            requests[i].max_tokens,
-                            token_counts[i],
-                            session.as_mut(),
-                            &mut llm_states[i],
-                            &mut outputs[i],
-                        ) {
-                            finished[i] = true;
-                        }
-                    }
-                }
-                // Unconstrained requests stop when the intention is done.
-                if sessions[i].is_none() && llm_states[i].finished() {
-                    finished[i] = true;
-                    completed[i] = true;
-                }
+                let mask = lane.is_constrained().then_some(mask);
+                lane.step(mask, &ctx);
             }
             if ttft.is_none() {
                 ttft = Some(start.elapsed());
@@ -552,36 +641,23 @@ impl ServingEngine {
         }
 
         let total_time = start.elapsed();
-        let total_tokens: usize = token_counts.iter().sum();
-        let jump_forward_tokens: usize = injector.tokens_by_lane.iter().sum();
-        let jump_forward_chars: usize = injector.chars_by_lane.iter().sum();
-        let forced_time = injector.time;
-        let results = (0..batch_size)
-            .map(|i| RequestResult {
-                output: outputs[i].clone(),
-                tokens: token_counts[i],
-                jump_forward_tokens: injector.tokens_by_lane[i],
-                jump_forward_chars: injector.chars_by_lane[i],
-                completed: completed[i],
+        let total_tokens: usize = lanes.iter().map(|l| l.sampled_tokens).sum();
+        let jump_forward_tokens: usize = lanes.iter().map(|l| l.forced_tokens).sum();
+        let jump_forward_chars: usize = lanes.iter().map(|l| l.forced_chars).sum();
+        let forced_time: Duration = lanes.iter().map(|l| l.forced_time).sum();
+        let results = lanes
+            .iter()
+            .map(|lane| RequestResult {
+                output: lane.output.clone(),
+                tokens: lane.sampled_tokens,
+                jump_forward_tokens: lane.forced_tokens,
+                jump_forward_chars: lane.forced_chars,
+                completed: lane.completed,
             })
             .collect();
         let metrics = BatchMetrics {
             ttft: ttft.unwrap_or(total_time),
-            tpot: if total_tokens == 0 {
-                Duration::ZERO
-            } else {
-                // Per-sampled-token latency of the batch as a whole, as in
-                // §4.2: decode wall-clock divided by sampled tokens per
-                // sequence (fractional — jump-forward can leave lanes with
-                // very few sampled tokens, where integer division would
-                // round the divisor down to 1 and report the whole decode
-                // time as "per token"). Forced-injection time is carved out
-                // so jump-forward cannot make the per-token figure look
-                // cheaper than the GPU steps it actually paid for.
-                total_time
-                    .saturating_sub(forced_time)
-                    .div_f64((total_tokens as f64 / batch_size.max(1) as f64).max(1.0))
-            },
+            tpot: tpot_of(total_time, forced_time, total_tokens, batch_size),
             total_time,
             total_tokens,
             jump_forward_tokens,
@@ -599,184 +675,81 @@ impl ServingEngine {
         };
         Ok((results, metrics))
     }
+}
 
-    /// Fills the token bitmask of every live lane, spreading the lanes over
-    /// up to `threads` scoped worker threads. Returns the per-lane CPU time
-    /// summed across workers (≥ the wall-clock time when `threads > 1`).
-    fn generate_masks(
-        &self,
-        sessions: &mut [Option<Box<dyn BackendSession>>],
-        finished: &[bool],
-        masks: &mut [TokenBitmask],
-        threads: usize,
-    ) -> Duration {
-        let mut lanes: Vec<(&mut Box<dyn BackendSession>, &mut TokenBitmask)> = sessions
-            .iter_mut()
-            .zip(masks.iter_mut())
-            .zip(finished)
-            .filter_map(|((session, mask), done)| {
-                if *done {
-                    return None;
-                }
-                session.as_mut().map(|s| (s, mask))
+/// Per-sampled-token latency of the batch as a whole, as in §4.2: decode
+/// wall-clock divided by sampled tokens per sequence (fractional —
+/// jump-forward can leave lanes with very few sampled tokens, where integer
+/// division would round the divisor down to 1 and report the whole decode
+/// time as "per token"). Forced-injection time is carved out so jump-forward
+/// cannot make the per-token figure look cheaper than the GPU steps it
+/// actually paid for.
+fn tpot_of(
+    total_time: Duration,
+    forced_time: Duration,
+    total_tokens: usize,
+    batch_size: usize,
+) -> Duration {
+    if total_tokens == 0 {
+        Duration::ZERO
+    } else {
+        total_time
+            .saturating_sub(forced_time)
+            .div_f64((total_tokens as f64 / batch_size.max(1) as f64).max(1.0))
+    }
+}
+
+/// Fills the token bitmask of every live constrained lane, spreading the
+/// lanes over up to `threads` scoped worker threads. Returns the per-lane
+/// CPU time summed across workers (≥ the wall-clock time when `threads > 1`).
+fn generate_masks(lanes: &mut [Lane], masks: &mut [TokenBitmask], threads: usize) -> Duration {
+    let mut live: Vec<(&mut Box<dyn BackendSession>, &mut TokenBitmask)> = lanes
+        .iter_mut()
+        .zip(masks.iter_mut())
+        .filter_map(|(lane, mask)| {
+            if lane.finished {
+                return None;
+            }
+            lane.session.as_mut().map(|s| (s, mask))
+        })
+        .collect();
+    if live.is_empty() {
+        return Duration::ZERO;
+    }
+    let threads = threads.min(live.len()).max(1);
+    if threads == 1 {
+        let lane_start = Instant::now();
+        for (session, mask) in &mut live {
+            session.fill_mask(mask);
+        }
+        return lane_start.elapsed();
+    }
+    let chunk_size = live.len().div_ceil(threads);
+    let mut cpu_time = Duration::ZERO;
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = live
+            .chunks_mut(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let lane_start = Instant::now();
+                    for (session, mask) in chunk {
+                        session.fill_mask(mask);
+                    }
+                    lane_start.elapsed()
+                })
             })
             .collect();
-        if lanes.is_empty() {
-            return Duration::ZERO;
+        for worker in workers {
+            cpu_time += worker.join().expect("mask worker panicked");
         }
-        let threads = threads.min(lanes.len()).max(1);
-        if threads == 1 {
-            let lane_start = Instant::now();
-            for (session, mask) in &mut lanes {
-                session.fill_mask(mask);
-            }
-            return lane_start.elapsed();
-        }
-        let chunk_size = lanes.len().div_ceil(threads);
-        let mut cpu_time = Duration::ZERO;
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = lanes
-                .chunks_mut(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let lane_start = Instant::now();
-                        for (session, mask) in chunk {
-                            session.fill_mask(mask);
-                        }
-                        lane_start.elapsed()
-                    })
-                })
-                .collect();
-            for worker in workers {
-                cpu_time += worker.join().expect("mask worker panicked");
-            }
-        });
-        cpu_time
-    }
-}
-
-/// The forced-injection state of one batch: the policy, the re-tokenization
-/// index, per-lane forced-token/char counters and the accumulated wall-clock
-/// time. Both injection sites — the lane-start pass and the per-accepted-
-/// token pass — run through [`inject_lane`](Self::inject_lane), so budget
-/// handling, timing and accounting cannot drift between them.
-struct ForcedInjector<'a> {
-    policy: JumpForwardPolicy,
-    sorted: Option<&'a SortedVocabulary>,
-    vocab: &'a Vocabulary,
-    /// Forced tokens injected per lane (`Engine` policy only).
-    tokens_by_lane: Vec<usize>,
-    /// Forced bytes injected per lane (`Matcher` and `Engine` policies).
-    chars_by_lane: Vec<usize>,
-    /// Wall clock spent finding, re-tokenizing and injecting forced text.
-    time: Duration,
-}
-
-impl<'a> ForcedInjector<'a> {
-    fn new(
-        policy: JumpForwardPolicy,
-        sorted: Option<&'a SortedVocabulary>,
-        vocab: &'a Vocabulary,
-        lanes: usize,
-    ) -> Self {
-        ForcedInjector {
-            policy,
-            sorted,
-            vocab,
-            tokens_by_lane: vec![0; lanes],
-            chars_by_lane: vec![0; lanes],
-            time: Duration::ZERO,
-        }
-    }
-
-    /// Runs one lane's injection pass: compute the remaining token budget,
-    /// inject the forced continuation, account tokens/chars/time. Returns
-    /// `true` when the lane has reached its token cap (the caller marks it
-    /// finished). No-op (and `false`) under [`JumpForwardPolicy::Off`].
-    fn inject_lane(
-        &mut self,
-        lane: usize,
-        max_tokens: usize,
-        sampled_tokens: usize,
-        session: &mut dyn BackendSession,
-        llm_state: &mut LlmRequestState,
-        output: &mut Vec<u8>,
-    ) -> bool {
-        if matches!(self.policy, JumpForwardPolicy::Off) {
-            return false;
-        }
-        let budget = max_tokens.saturating_sub(sampled_tokens + self.tokens_by_lane[lane]);
-        if budget == 0 {
-            // Cap already reached: inject nothing (under either policy).
-            return true;
-        }
-        let start = Instant::now();
-        let (tokens, chars) = self.inject(session, llm_state, output, budget);
-        self.time += start.elapsed();
-        self.tokens_by_lane[lane] += tokens;
-        self.chars_by_lane[lane] += chars;
-        sampled_tokens + self.tokens_by_lane[lane] >= max_tokens
-    }
-
-    /// Injects the grammar-forced continuation through `session` without
-    /// sampling. Returns the number of injected tokens and bytes (`(0, 0)`
-    /// when nothing is forced or the backend does not expose forced text).
-    ///
-    /// Under the `Engine` policy the forced bytes are re-tokenized
-    /// ([`BackendSession::find_jump_forward_tokens`], the longest-prefix
-    /// token cover) and accepted token by token, capped at `token_budget`
-    /// (the lane's remaining `max_tokens` allowance); every injected token
-    /// is a rollback unit exactly like a sampled one. Under the `Matcher`
-    /// policy the whole run is accepted as one raw byte unit. In both cases
-    /// the simulated model is re-conditioned on the forced text so the
-    /// following proposals continue after it.
-    fn inject(
-        &self,
-        session: &mut dyn BackendSession,
-        llm_state: &mut LlmRequestState,
-        output: &mut Vec<u8>,
-        token_budget: usize,
-    ) -> (usize, usize) {
-        match self.policy {
-            JumpForwardPolicy::Off => (0, 0),
-            JumpForwardPolicy::Matcher => {
-                let forced = session.find_jump_forward();
-                if forced.is_empty() || !session.accept_bytes(&forced) {
-                    return (0, 0);
-                }
-                output.extend_from_slice(&forced);
-                llm_state.advance_bytes(&forced);
-                (0, forced.len())
-            }
-            JumpForwardPolicy::Engine => {
-                let sorted = self.sorted.expect("engine policy builds the sorted index");
-                let run = session.find_jump_forward_tokens(self.vocab, sorted);
-                let mut injected_tokens = 0;
-                let mut injected_bytes = 0;
-                for &token in run.tokens.iter().take(token_budget) {
-                    // Forced bytes are the unique allowed continuation, so
-                    // every cover token is admitted; a rejection (a backend
-                    // bug) stops the injection and leaves the lane to
-                    // ordinary sampling.
-                    if !session.accept_token(token) {
-                        break;
-                    }
-                    let bytes = self.vocab.token_bytes(token);
-                    output.extend_from_slice(bytes);
-                    llm_state.advance(token);
-                    injected_tokens += 1;
-                    injected_bytes += bytes.len();
-                }
-                (injected_tokens, injected_bytes)
-            }
-        }
-    }
+    });
+    cpu_time
 }
 
 /// Spends approximately `duration` of wall-clock time on the current thread.
 /// Short waits spin (sleep granularity is too coarse for sub-millisecond GPU
 /// steps); longer waits sleep most of the duration and spin the rest.
-fn busy_wait(duration: Duration) {
+pub(crate) fn busy_wait(duration: Duration) {
     if duration.is_zero() {
         return;
     }
@@ -809,13 +782,15 @@ mod tests {
     fn requests(n: usize) -> Vec<EngineRequest> {
         json_mode_eval_like(n, 17)
             .into_iter()
-            .map(|task| EngineRequest {
+            .enumerate()
+            .map(|(i, task)| EngineRequest {
                 constraint: LaneConstraint::Grammar(
                     xg_grammar::json_schema_to_grammar(&task.schema).unwrap(),
                 ),
                 prompt_tokens: 139,
                 reference: task.reference,
                 max_tokens: 200,
+                seed: i as u64,
             })
             .collect()
     }
@@ -920,11 +895,12 @@ mod tests {
         let schema = xg_datasets::json_mode_eval_like(1, 17).remove(0).schema;
         let grammar = xg_grammar::json_schema_to_grammar(&schema).unwrap();
         let reqs: Vec<EngineRequest> = (0..4)
-            .map(|_| EngineRequest {
+            .map(|i| EngineRequest {
                 constraint: LaneConstraint::Grammar(grammar.clone()),
                 prompt_tokens: 10,
                 reference: br#"{"location": "paris", "unit": "celsius", "days": 2}"#.to_vec(),
                 max_tokens: 64,
+                seed: i as u64,
             })
             .collect();
         let (_, metrics) = engine.run_batch(&reqs).unwrap();
@@ -1000,6 +976,7 @@ mod tests {
             prompt_tokens: 4,
             reference: br#"{"transaction_identifier": 7}"#.to_vec(),
             max_tokens: 3,
+            seed: 0,
         };
         let (results, _) = engine.run_batch(std::slice::from_ref(&req)).unwrap();
         assert!(!results[0].completed, "the cap must cut generation short");
@@ -1022,6 +999,7 @@ mod tests {
             prompt_tokens: 10,
             reference: br#"{"ok": true}"#.to_vec(),
             max_tokens: 100,
+            seed: 0,
         };
         let (results, _) = engine.run_batch(std::slice::from_ref(&req)).unwrap();
         assert!(results[0].completed);
@@ -1062,12 +1040,14 @@ mod tests {
                 prompt_tokens: 20,
                 reference: tool_reference.to_vec(),
                 max_tokens: 200,
+                seed: 0,
             },
             EngineRequest {
                 constraint: LaneConstraint::Unconstrained,
                 prompt_tokens: 20,
                 reference: b"Plain prose lane, no structure at all.".to_vec(),
                 max_tokens: 200,
+                seed: 1,
             },
         ];
         let (results, metrics) = engine.run_batch(&reqs).unwrap();
@@ -1086,5 +1066,59 @@ mod tests {
         assert!(results[1].completed);
         // Only the structural lane counts as constrained for mask workers.
         assert_eq!(metrics.mask_threads, 1);
+    }
+
+    #[test]
+    fn jump_forward_defaults_to_engine_policy() {
+        let engine = engine(ExecutionMode::Serial);
+        assert_eq!(engine.jump_forward_policy(), JumpForwardPolicy::Engine);
+        // `Off` stays reachable through the builder.
+        let vocab = Arc::new(test_vocabulary(600));
+        let off = ServingEngine::new(
+            Arc::new(XGrammarBackend::new(vocab)),
+            fast_profile(),
+            ExecutionMode::Serial,
+        )
+        .with_jump_forward(JumpForwardPolicy::Off);
+        assert_eq!(off.jump_forward_policy(), JumpForwardPolicy::Off);
+    }
+
+    #[test]
+    fn parallel_speedup_guards_zero_mask_times() {
+        let base = BatchMetrics {
+            ttft: Duration::ZERO,
+            tpot: Duration::ZERO,
+            total_time: Duration::ZERO,
+            total_tokens: 0,
+            jump_forward_tokens: 0,
+            jump_forward_chars: 0,
+            forced_time: Duration::ZERO,
+            mask_time: Duration::ZERO,
+            mask_cpu_time: Duration::ZERO,
+            mask_threads: 4,
+            gpu_time: Duration::ZERO,
+            cache: GrammarCacheStats::default(),
+        };
+        // An instantaneous (or fully unconstrained) batch reports a neutral
+        // speedup instead of dividing by zero.
+        assert_eq!(base.parallel_speedup(), 1.0);
+        // One-sided zeros are guarded too.
+        let wall_only = BatchMetrics {
+            mask_time: Duration::from_millis(5),
+            ..base
+        };
+        assert_eq!(wall_only.parallel_speedup(), 1.0);
+        let cpu_only = BatchMetrics {
+            mask_cpu_time: Duration::from_millis(5),
+            ..base
+        };
+        assert_eq!(cpu_only.parallel_speedup(), 1.0);
+        // Both sides populated: the honest ratio.
+        let both = BatchMetrics {
+            mask_time: Duration::from_millis(5),
+            mask_cpu_time: Duration::from_millis(20),
+            ..base
+        };
+        assert!((both.parallel_speedup() - 4.0).abs() < 1e-9);
     }
 }

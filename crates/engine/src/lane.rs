@@ -1,0 +1,247 @@
+//! Per-lane decode state shared by the fixed-batch reference loop and the
+//! continuous-batching scheduler.
+//!
+//! Byte parity between [`ServingEngine::run_batch_fixed`] and the
+//! [`ContinuousScheduler`] is guaranteed *by construction*: both drive every
+//! lane through [`Lane::step`] (and [`Lane::start`] for the lane-start
+//! jump-forward pass), so the sampling order, EOS handling, token-cap
+//! accounting and forced-injection budgeting cannot drift between the two
+//! serving paths. A lane is self-contained — its simulated-LLM state is
+//! seeded from [`EngineRequest::seed`](crate::EngineRequest::seed) and its
+//! backend session sees only this lane's tokens — so the bytes a lane emits
+//! do not depend on which other lanes share the batch or on when the lane
+//! joined it.
+//!
+//! [`ServingEngine::run_batch_fixed`]: crate::ServingEngine::run_batch_fixed
+//! [`ContinuousScheduler`]: crate::ContinuousScheduler
+
+use std::time::{Duration, Instant};
+
+use crate::engine::JumpForwardPolicy;
+use crate::llm::LlmRequestState;
+use xg_baselines::BackendSession;
+use xg_core::TokenBitmask;
+use xg_tokenizer::{SortedVocabulary, Vocabulary};
+
+/// Shared forced-injection context of one serving run: the policy, the
+/// re-tokenization index (`Engine` policy only) and the vocabulary.
+pub(crate) struct ForcedContext<'a> {
+    pub policy: JumpForwardPolicy,
+    pub sorted: Option<&'a SortedVocabulary>,
+    pub vocab: &'a Vocabulary,
+}
+
+/// One decode lane: the backend session (None for unconstrained lanes), the
+/// simulated model's request state, the accumulated output and the token
+/// accounting shared by every serving path.
+pub(crate) struct Lane {
+    /// Backend session driving the constraint; `None` = unconstrained.
+    pub session: Option<Box<dyn BackendSession>>,
+    /// Simulated-LLM request state (seeded per request).
+    pub llm_state: LlmRequestState,
+    /// Emitted bytes, sampled and forced, in emission order.
+    pub output: Vec<u8>,
+    /// Hard cap on generated tokens (sampled + forced).
+    pub max_tokens: usize,
+    /// Sampled tokens so far (each paid a GPU decoding step).
+    pub sampled_tokens: usize,
+    /// Tokens injected by engine-level jump-forward.
+    pub forced_tokens: usize,
+    /// Bytes injected by jump-forward (`Matcher` and `Engine` policies).
+    pub forced_chars: usize,
+    /// Wall clock spent finding, re-tokenizing and injecting forced text.
+    pub forced_time: Duration,
+    /// The lane stopped decoding (successfully or not).
+    pub finished: bool,
+    /// The lane ended *successfully*: EOS was accepted, or an unconstrained
+    /// lane emitted its full intention — as opposed to dying on the token
+    /// cap, a stuck mask, or a constraint violation.
+    pub completed: bool,
+}
+
+impl Lane {
+    /// Creates a fresh lane.
+    pub fn new(
+        session: Option<Box<dyn BackendSession>>,
+        llm_state: LlmRequestState,
+        max_tokens: usize,
+    ) -> Self {
+        Lane {
+            session,
+            llm_state,
+            output: Vec::new(),
+            max_tokens,
+            sampled_tokens: 0,
+            forced_tokens: 0,
+            forced_chars: 0,
+            forced_time: Duration::ZERO,
+            finished: false,
+            completed: false,
+        }
+    }
+
+    /// Returns `true` if the lane needs token masks.
+    pub fn is_constrained(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Lane-start jump-forward: a constraint may force a prefix before the
+    /// first token is ever sampled (e.g. `{"` and the first required key of
+    /// a JSON schema). Must run before the lane's first mask is built so the
+    /// first sampled token already continues the forced text. No-op under
+    /// [`JumpForwardPolicy::Off`] and on unconstrained lanes.
+    pub fn start(&mut self, ctx: &ForcedContext<'_>) {
+        if self.finished || matches!(ctx.policy, JumpForwardPolicy::Off) || self.session.is_none() {
+            return;
+        }
+        if self.inject_forced(ctx) {
+            self.finished = true;
+        }
+    }
+
+    /// Runs one sampling step for this lane: propose under `mask` (which must
+    /// be `Some` exactly when the lane is constrained), accept, advance the
+    /// simulated model, enforce the token cap and run the post-token forced
+    /// injection. Returns the byte offset in [`output`](Self::output) where
+    /// this step's emission began (`output[offset..]` is the step's newly
+    /// emitted text — empty when the lane finished without emitting).
+    pub fn step(&mut self, mask: Option<&TokenBitmask>, ctx: &ForcedContext<'_>) -> usize {
+        let emitted_from = self.output.len();
+        if self.finished {
+            return emitted_from;
+        }
+        let token = match &mut self.session {
+            Some(_) => {
+                let mask = mask.expect("constrained lane steps with a mask");
+                match self.llm_state.propose_constrained(mask) {
+                    Some(t) => t,
+                    None => {
+                        // No token is allowed: the structure is stuck (should
+                        // not happen); the lane dies without completing.
+                        self.finished = true;
+                        return emitted_from;
+                    }
+                }
+            }
+            None => self.llm_state.propose(),
+        };
+        if Some(token) == ctx.vocab.eos() {
+            self.finished = true;
+            self.completed = match &mut self.session {
+                Some(session) => session.accept_token(token),
+                None => true,
+            };
+            return emitted_from;
+        }
+        if let Some(session) = &mut self.session {
+            if !session.accept_token(token) {
+                // The sampled token violated the constraint: the lane dies
+                // without completing.
+                self.finished = true;
+                return emitted_from;
+            }
+        }
+        self.output.extend_from_slice(ctx.vocab.token_bytes(token));
+        self.llm_state.advance(token);
+        self.sampled_tokens += 1;
+        if self.sampled_tokens + self.forced_tokens >= self.max_tokens {
+            // Token cap reached: finished, but not `completed`.
+            self.finished = true;
+        }
+        // After every accepted token the constraint may force the next
+        // stretch of text (a key name just became unambiguous, an end tag is
+        // due): inject it now, without sampling, so the next round's mask and
+        // proposal already start after it.
+        if !self.finished
+            && !matches!(ctx.policy, JumpForwardPolicy::Off)
+            && self.session.is_some()
+            && self.inject_forced(ctx)
+        {
+            self.finished = true;
+        }
+        // Unconstrained requests stop when the intention is done.
+        if self.session.is_none() && self.llm_state.finished() {
+            self.finished = true;
+            self.completed = true;
+        }
+        emitted_from
+    }
+
+    /// Runs one forced-injection pass: compute the remaining token budget,
+    /// inject the forced continuation, account tokens/chars/time. Returns
+    /// `true` when the lane has reached its token cap (the caller marks it
+    /// finished).
+    fn inject_forced(&mut self, ctx: &ForcedContext<'_>) -> bool {
+        let budget = self
+            .max_tokens
+            .saturating_sub(self.sampled_tokens + self.forced_tokens);
+        if budget == 0 {
+            // Cap already reached: inject nothing (under either policy).
+            return true;
+        }
+        let start = Instant::now();
+        let session = self
+            .session
+            .as_mut()
+            .expect("inject_forced runs on constrained lanes")
+            .as_mut();
+        let (tokens, chars) = inject(ctx, session, &mut self.llm_state, &mut self.output, budget);
+        self.forced_time += start.elapsed();
+        self.forced_tokens += tokens;
+        self.forced_chars += chars;
+        self.sampled_tokens + self.forced_tokens >= self.max_tokens
+    }
+}
+
+/// Injects the grammar-forced continuation through `session` without
+/// sampling. Returns the number of injected tokens and bytes (`(0, 0)` when
+/// nothing is forced or the backend does not expose forced text).
+///
+/// Under the `Engine` policy the forced bytes are re-tokenized
+/// ([`BackendSession::find_jump_forward_tokens`], the longest-prefix token
+/// cover) and accepted token by token, capped at `token_budget` (the lane's
+/// remaining `max_tokens` allowance); every injected token is a rollback
+/// unit exactly like a sampled one. Under the `Matcher` policy the whole run
+/// is accepted as one raw byte unit. In both cases the simulated model is
+/// re-conditioned on the forced text so the following proposals continue
+/// after it.
+fn inject(
+    ctx: &ForcedContext<'_>,
+    session: &mut dyn BackendSession,
+    llm_state: &mut LlmRequestState,
+    output: &mut Vec<u8>,
+    token_budget: usize,
+) -> (usize, usize) {
+    match ctx.policy {
+        JumpForwardPolicy::Off => (0, 0),
+        JumpForwardPolicy::Matcher => {
+            let forced = session.find_jump_forward();
+            if forced.is_empty() || !session.accept_bytes(&forced) {
+                return (0, 0);
+            }
+            output.extend_from_slice(&forced);
+            llm_state.advance_bytes(&forced);
+            (0, forced.len())
+        }
+        JumpForwardPolicy::Engine => {
+            let sorted = ctx.sorted.expect("engine policy builds the sorted index");
+            let run = session.find_jump_forward_tokens(ctx.vocab, sorted);
+            let mut injected_tokens = 0;
+            let mut injected_bytes = 0;
+            for &token in run.tokens.iter().take(token_budget) {
+                // Forced bytes are the unique allowed continuation, so every
+                // cover token is admitted; a rejection (a backend bug) stops
+                // the injection and leaves the lane to ordinary sampling.
+                if !session.accept_token(token) {
+                    break;
+                }
+                let bytes = ctx.vocab.token_bytes(token);
+                output.extend_from_slice(bytes);
+                llm_state.advance(token);
+                injected_tokens += 1;
+                injected_bytes += bytes.len();
+            }
+            (injected_tokens, injected_bytes)
+        }
+    }
+}

@@ -7,24 +7,35 @@
 //!   GPUs (H100, RTX 4090, Apple M3 Max, iPhone),
 //! * [`SimulatedLlm`] — a deterministic token proposer with configurable
 //!   formatting-error injection,
-//! * [`ServingEngine`] — fixed-batch decoding with serial or overlapped
-//!   (CPU ∥ GPU) execution of grammar work; lanes choose their constraint
-//!   via [`LaneConstraint`] (unconstrained prose, a full grammar, or a
-//!   structural tag mixing free text with constrained tool calls),
+//! * [`ContinuousScheduler`] — the continuous-batching serving core
+//!   (started via [`ServingEngine::serve`]): a bounded request queue feeds
+//!   admission workers that compile grammars off the decode hot path, a
+//!   persistent decode loop admits lanes mid-batch and retires them on
+//!   termination, and mask generation overlaps the simulated GPU phase via
+//!   double-buffering; each request streams its bytes through a
+//!   [`StreamingRequest`] handle,
+//! * [`ServingEngine::run_batch`] — one-shot batch decoding, now a thin
+//!   wrapper over the scheduler (byte-identical to the fixed-membership
+//!   reference loop [`ServingEngine::run_batch_fixed`]); lanes choose their
+//!   constraint via [`LaneConstraint`] (unconstrained prose, a full grammar,
+//!   or a structural tag mixing free text with constrained tool calls),
 //! * [`run_accuracy_experiment`] — the Table 4 syntactic-correctness
 //!   experiment,
-//! * engine-level jump-forward decoding ([`JumpForwardPolicy`]): grammar-
-//!   forced text is re-tokenized and injected into the decode loop without
-//!   sampling, with forced tokens and time accounted separately in
-//!   [`BatchMetrics`] (paper Appendix B / Figure 11).
+//! * engine-level jump-forward decoding ([`JumpForwardPolicy`], default
+//!   [`JumpForwardPolicy::Engine`]): grammar-forced text is re-tokenized and
+//!   injected into the decode loop without sampling, with forced tokens and
+//!   time accounted separately in [`BatchMetrics`] (paper Appendix B /
+//!   Figure 11).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod accuracy;
 mod engine;
+mod lane;
 mod llm;
 mod profiles;
+mod scheduler;
 
 pub use accuracy::{run_accuracy_experiment, AccuracyResult, AccuracyTask};
 pub use engine::{
@@ -33,3 +44,7 @@ pub use engine::{
 };
 pub use llm::{LlmBehavior, LlmRequestState, SimulatedLlm};
 pub use profiles::ModelProfile;
+pub use scheduler::{
+    ContinuousScheduler, FinishedRequest, LaneTiming, SchedulerConfig, SchedulerMetrics,
+    StreamEvent, StreamingRequest, SubmitError,
+};

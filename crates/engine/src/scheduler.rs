@@ -1,0 +1,1208 @@
+//! Continuous-batching scheduler: the persistent serving core.
+//!
+//! [`ServingEngine::run_batch`](crate::ServingEngine::run_batch) used to be a
+//! one-shot, fixed-membership batch — every lane joined at step 0 and the
+//! call returned when the last lane finished. This module replaces that with
+//! the pipeline the paper actually describes (§3.5): a bounded submission
+//! queue feeds **admission workers** that compile each request's grammar off
+//! the decode hot path (hitting the backend's `GrammarCache` first), a
+//! persistent **decode loop** admits compiled lanes into the running batch
+//! between steps and retires them on termination, and a pool of **mask
+//! workers** fills token bitmasks overlapped with the simulated GPU phase.
+//! Each request streams its bytes out through a per-request channel as they
+//! are emitted.
+//!
+//! ```text
+//! submit() ──▶ [queue (bounded)] ──▶ admission workers ──▶ [ready (bounded)]
+//!                                     compile / cache probe        │
+//!                                                                  ▼
+//!             mask workers ◀──(MaskJob: session+bitmask)── decode loop
+//!                          ──(MaskDone)──▶                  join / step /
+//!                                                           retire lanes
+//!                                                                  │
+//!             StreamingRequest ◀── Admitted / Bytes / Finished ────┘
+//! ```
+//!
+//! Backpressure composes naturally: the submission queue is a bounded
+//! channel ([`try_submit`](ContinuousScheduler::try_submit) reports
+//! [`SubmitError::Saturated`] instead of blocking), the ready channel holds
+//! at most `max_lanes` compiled lanes, and an admission worker blocks on its
+//! `send` when the decode loop is full — so a compile storm or a saturated
+//! batch stalls admission, not decoding.
+//!
+//! In [`ExecutionMode::Overlapped`](crate::ExecutionMode::Overlapped) the
+//! decode loop double-buffers mask generation: the moment a lane's step-`t`
+//! token is accepted, its step-`t+1` mask-fill job is dispatched to the mask
+//! workers — so mask fill for step `t+1` overlaps both the remaining lanes'
+//! sampling *and* the next simulated GPU step, and the loop only waits on a
+//! collect barrier right before it needs the masks. In `Serial` mode the
+//! loop dispatches and collects all masks before each GPU step, exposing the
+//! full mask wall-clock (the paper's no-overlap baseline).
+//!
+//! Byte parity with the fixed loop is by construction — both paths drive
+//! lanes exclusively through [`Lane::start`]/[`Lane::step`], and a lane's
+//! bytes depend only on its own request (its seed, reference and
+//! constraint), never on batch composition or arrival order. The
+//! differential suite in `tests/continuous_batching.rs` proves it.
+//!
+//! [`Lane::start`]: crate::lane::Lane::start
+//! [`Lane::step`]: crate::lane::Lane::step
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::engine::{
+    busy_wait, EngineRequest, ExecutionMode, JumpForwardPolicy, RequestResult, ServingEngine,
+};
+use crate::lane::{ForcedContext, Lane};
+use crate::llm::{LlmRequestState, SimulatedLlm};
+use crate::profiles::ModelProfile;
+use xg_baselines::{BackendError, BackendSession, ConstrainedBackend};
+use xg_core::{GrammarCacheStats, TokenBitmask};
+use xg_tokenizer::{SortedVocabulary, Vocabulary};
+
+/// Sizing and worker-count configuration of a [`ContinuousScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum number of lanes decoding concurrently. Compiled requests
+    /// beyond this wait in the bounded ready channel (which also holds at
+    /// most `max_lanes` entries), stalling admission.
+    pub max_lanes: usize,
+    /// Capacity of the submission queue. [`submit`] blocks and
+    /// [`try_submit`] reports [`SubmitError::Saturated`] when it is full.
+    ///
+    /// [`submit`]: ContinuousScheduler::submit
+    /// [`try_submit`]: ContinuousScheduler::try_submit
+    pub queue_capacity: usize,
+    /// Number of admission workers compiling grammars off the hot path.
+    pub admission_workers: usize,
+    /// Number of mask-fill workers. `0` selects the engine's configured mask
+    /// parallelism capped at `max_lanes`.
+    pub mask_workers: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_lanes: 64,
+            queue_capacity: 256,
+            admission_workers: 2,
+            mask_workers: 0,
+        }
+    }
+}
+
+/// One event in a request's stream, in order: one `Admitted`, zero or more
+/// `Bytes`, then exactly one of `Finished` / `Failed`.
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// The request left the queue and compiled; it joins the batch next.
+    Admitted {
+        /// Time spent waiting in the submission queue.
+        queue_time: Duration,
+        /// Time the admission worker spent compiling the constraint (near
+        /// zero on a cache hit).
+        compile_time: Duration,
+        /// Whether the backend already held a compiled form of the
+        /// constraint when the request was admitted.
+        cache_hit: bool,
+    },
+    /// Bytes emitted by one decode step (sampled token bytes plus any
+    /// jump-forward-forced continuation, in emission order).
+    Bytes(Vec<u8>),
+    /// The request finished decoding; terminal.
+    Finished {
+        /// The complete result, byte-identical to the fixed-batch loop.
+        result: RequestResult,
+        /// Per-request latency breakdown.
+        timing: LaneTiming,
+    },
+    /// The request's constraint failed to compile; terminal.
+    Failed(BackendError),
+}
+
+/// Per-request latency breakdown reported with [`StreamEvent::Finished`].
+#[derive(Debug, Clone, Copy)]
+pub struct LaneTiming {
+    /// Time from submission to admission (queue wait).
+    pub queue_time: Duration,
+    /// Time the admission worker spent compiling the constraint.
+    pub compile_time: Duration,
+    /// Time from submission to the first emitted bytes (sampled or forced).
+    pub ttft: Duration,
+    /// Mean decode time per sampled token after the first emission, with
+    /// forced-injection time carved out. Zero when the lane sampled at most
+    /// one token.
+    pub tpot: Duration,
+    /// Time from submission to termination.
+    pub total_time: Duration,
+    /// Whether the constraint was already compiled when the request was
+    /// admitted (its compile was a cache hit).
+    pub cache_hit: bool,
+}
+
+/// A finished request: the result plus its latency breakdown.
+#[derive(Debug, Clone)]
+pub struct FinishedRequest {
+    /// The generation result, byte-identical to the fixed-batch loop.
+    pub result: RequestResult,
+    /// Per-request latency breakdown.
+    pub timing: LaneTiming,
+}
+
+/// Handle to one in-flight request: a stream of [`StreamEvent`]s.
+#[derive(Debug)]
+pub struct StreamingRequest {
+    id: u64,
+    events: Receiver<StreamEvent>,
+}
+
+impl StreamingRequest {
+    /// Scheduler-assigned request id (submission order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the next event, or `None` once the stream is exhausted
+    /// (after the terminal event, or if the scheduler shut down early).
+    pub fn next_event(&self) -> Option<StreamEvent> {
+        self.events.recv().ok()
+    }
+
+    /// Returns the next event if one is already queued, without blocking.
+    pub fn try_next_event(&self) -> Option<StreamEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// Drains the stream to its terminal event and returns the finished
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's compile error if the request failed admission,
+    /// or a scheduler-shutdown error if the stream ended without a terminal
+    /// event.
+    pub fn wait(self) -> Result<FinishedRequest, BackendError> {
+        while let Some(event) = self.next_event() {
+            match event {
+                StreamEvent::Admitted { .. } | StreamEvent::Bytes(_) => {}
+                StreamEvent::Finished { result, timing } => {
+                    return Ok(FinishedRequest { result, timing });
+                }
+                StreamEvent::Failed(err) => return Err(err),
+            }
+        }
+        Err(BackendError::UnsupportedGrammar {
+            backend: "scheduler",
+            reason: "scheduler shut down before the request finished".into(),
+        })
+    }
+}
+
+/// Why a submission was not accepted. The request is handed back (boxed, to
+/// keep the `Err` variant small) so the caller can retry or shed load.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The submission queue is full (backpressure); retry later.
+    Saturated(Box<EngineRequest>),
+    /// The scheduler has been shut down.
+    ShutDown(Box<EngineRequest>),
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Saturated(_) => write!(f, "submission queue is full"),
+            SubmitError::ShutDown(_) => write!(f, "scheduler has been shut down"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// Aggregate scheduler statistics, captured by
+/// [`ContinuousScheduler::metrics`].
+#[derive(Debug, Clone)]
+pub struct SchedulerMetrics {
+    /// Requests accepted into the submission queue.
+    pub submitted: u64,
+    /// Requests rejected by [`try_submit`](ContinuousScheduler::try_submit)
+    /// because the queue was full.
+    pub rejected: u64,
+    /// Requests admitted (compiled and handed to the decode loop).
+    pub admitted: u64,
+    /// Requests that finished decoding.
+    pub completed: u64,
+    /// Requests whose constraint failed to compile.
+    pub failed: u64,
+    /// Admissions whose constraint was already compiled (cache hits).
+    pub cache_hit_admissions: u64,
+    /// Queue depth sampled at each admission; mean over samples.
+    pub mean_queue_depth: f64,
+    /// High-water mark of the submission queue depth.
+    pub max_queue_depth: usize,
+    /// High-water mark of concurrently decoding lanes.
+    pub max_concurrent_lanes: usize,
+    /// Decode-loop steps executed (one per batch round, not per lane).
+    pub decode_steps: u64,
+    /// Tokens sampled across all lanes.
+    pub sampled_tokens: u64,
+    /// Tokens injected by jump-forward across all lanes.
+    pub forced_tokens: u64,
+    /// Bytes injected by jump-forward across all lanes.
+    pub forced_chars: u64,
+    /// Wall clock spent finding and injecting forced text.
+    pub forced_time: Duration,
+    /// Wall clock the decode loop spent *waiting* on mask collection (in
+    /// overlapped mode: the residual the overlap failed to hide).
+    pub mask_wait_time: Duration,
+    /// CPU time the mask workers spent filling bitmasks (≥ wall wait when
+    /// the overlap works).
+    pub mask_busy_time: Duration,
+    /// Wall clock spent in simulated GPU decode steps.
+    pub gpu_time: Duration,
+    /// Wall clock spent in simulated prefill (paid at lane join).
+    pub prefill_time: Duration,
+    /// Wall clock of the decode loop while at least one lane was live.
+    pub decode_time: Duration,
+    /// Wall clock the admission workers spent compiling constraints.
+    pub compile_time: Duration,
+    /// Number of mask workers serving the decode loop.
+    pub mask_workers: usize,
+    /// Grammar-cache activity since the scheduler started.
+    pub cache: GrammarCacheStats,
+}
+
+impl SchedulerMetrics {
+    /// Fraction of the decode wall-clock the mask workers were busy,
+    /// normalized by worker count. Zero when nothing decoded.
+    pub fn mask_worker_utilization(&self) -> f64 {
+        let denom = self.mask_workers as f64 * self.decode_time.as_secs_f64();
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.mask_busy_time.as_secs_f64() / denom
+    }
+
+    /// Generated tokens (sampled + forced) per second of decode wall-clock.
+    /// Zero when nothing decoded.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.decode_time.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        (self.sampled_tokens + self.forced_tokens) as f64 / secs
+    }
+}
+
+/// A request travelling from `submit` to an admission worker.
+struct Submission {
+    id: u64,
+    request: EngineRequest,
+    events: Sender<StreamEvent>,
+    submitted_at: Instant,
+}
+
+/// A compiled request travelling from an admission worker to the decode loop.
+struct ReadyLane {
+    id: u64,
+    events: Sender<StreamEvent>,
+    session: Option<Box<dyn BackendSession>>,
+    llm_state: LlmRequestState,
+    prompt_tokens: usize,
+    max_tokens: usize,
+    submitted_at: Instant,
+    queue_time: Duration,
+    compile_time: Duration,
+    cache_hit: bool,
+}
+
+/// A mask-fill job: ownership of the lane's backend session and bitmask
+/// transfers to a mask worker and returns via [`MaskDone`].
+struct MaskJob {
+    lane: u64,
+    session: Box<dyn BackendSession>,
+    mask: TokenBitmask,
+}
+
+/// A completed mask-fill job returning to the decode loop.
+struct MaskDone {
+    lane: u64,
+    session: Box<dyn BackendSession>,
+    mask: TokenBitmask,
+    busy: Duration,
+}
+
+struct MaskPoolState {
+    jobs: VecDeque<MaskJob>,
+    shutdown: bool,
+}
+
+/// Work queue shared by the persistent mask workers.
+struct MaskPool {
+    state: Mutex<MaskPoolState>,
+    available: Condvar,
+    busy_nanos: AtomicU64,
+}
+
+impl MaskPool {
+    fn new() -> Self {
+        MaskPool {
+            state: Mutex::new(MaskPoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, job: MaskJob) {
+        let mut state = self.state.lock().expect("mask pool poisoned");
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    fn shutdown(&self) {
+        let mut state = self.state.lock().expect("mask pool poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// Body of one persistent mask worker: pop a job, fill the bitmask, send the
+/// session and mask back. Exits when the pool shuts down and drains, or when
+/// the decode loop (the receiver) is gone.
+fn mask_worker(pool: &MaskPool, done: &Sender<MaskDone>) {
+    loop {
+        let job = {
+            let mut state = pool.state.lock().expect("mask pool poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = pool.available.wait(state).expect("mask pool poisoned");
+            }
+        };
+        let MaskJob {
+            lane,
+            mut session,
+            mut mask,
+        } = job;
+        let start = Instant::now();
+        session.fill_mask(&mut mask);
+        let busy = start.elapsed();
+        pool.busy_nanos
+            .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+        if done
+            .send(MaskDone {
+                lane,
+                session,
+                mask,
+                busy,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+#[derive(Default, Clone)]
+struct StatsInner {
+    submitted: u64,
+    rejected: u64,
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    cache_hit_admissions: u64,
+    queue_depth_sum: u64,
+    queue_samples: u64,
+    max_concurrent_lanes: usize,
+    decode_steps: u64,
+    sampled_tokens: u64,
+    forced_tokens: u64,
+    forced_chars: u64,
+    forced_time: Duration,
+    mask_wait_time: Duration,
+    gpu_time: Duration,
+    prefill_time: Duration,
+    decode_time: Duration,
+    compile_time: Duration,
+}
+
+/// State shared by the submitter, admission workers and the decode loop.
+struct Shared {
+    stats: Mutex<StatsInner>,
+    queue_depth: AtomicUsize,
+    max_queue_depth: AtomicUsize,
+}
+
+/// The continuous-batching scheduler: owns the admission workers, the decode
+/// loop and the mask workers, started by
+/// [`ServingEngine::serve`](crate::ServingEngine::serve).
+///
+/// Dropping the scheduler (or calling
+/// [`shutdown`](ContinuousScheduler::shutdown)) closes the submission queue,
+/// lets every in-flight request finish, and joins all worker threads.
+#[derive(Debug)]
+pub struct ContinuousScheduler {
+    submit_tx: Mutex<Option<SyncSender<Submission>>>,
+    next_id: AtomicU64,
+    shared: Arc<Shared>,
+    mask_pool: Arc<MaskPool>,
+    mask_workers: usize,
+    backend: Arc<dyn ConstrainedBackend>,
+    cache_before: GrammarCacheStats,
+    admission_handles: Vec<JoinHandle<()>>,
+    decode_handle: Option<JoinHandle<()>>,
+    mask_handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Shared {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("queue_depth", &self.queue_depth.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Debug for MaskPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaskPool")
+            .field("busy", &self.busy_time())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ContinuousScheduler {
+    /// Starts the scheduler's worker threads against `engine`'s backend,
+    /// profile, execution mode and jump-forward policy.
+    pub(crate) fn start(engine: &ServingEngine, config: SchedulerConfig) -> Self {
+        let max_lanes = config.max_lanes.max(1);
+        let queue_capacity = config.queue_capacity.max(1);
+        let admission_workers = config.admission_workers.max(1);
+        let mask_workers = if config.mask_workers == 0 {
+            engine.effective_mask_threads(max_lanes)
+        } else {
+            config.mask_workers
+        };
+
+        let backend = Arc::clone(engine.backend());
+        let cache_before = backend.cache_stats().unwrap_or_default();
+        let shared = Arc::new(Shared {
+            stats: Mutex::new(StatsInner::default()),
+            queue_depth: AtomicUsize::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+        });
+        let mask_pool = Arc::new(MaskPool::new());
+
+        let (submit_tx, submit_rx) = mpsc::sync_channel::<Submission>(queue_capacity);
+        // Bounded at `max_lanes`: an admission worker with a compiled lane
+        // in hand blocks here while the batch is full, which in turn fills
+        // the submission queue — the backpressure chain.
+        let (ready_tx, ready_rx) = mpsc::sync_channel::<ReadyLane>(max_lanes);
+        let (mask_done_tx, mask_done_rx) = mpsc::channel::<MaskDone>();
+
+        // ---- Mask workers. ----
+        let mask_handles: Vec<JoinHandle<()>> = (0..mask_workers)
+            .map(|i| {
+                let pool = Arc::clone(&mask_pool);
+                let done = mask_done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("xg-mask-{i}"))
+                    .spawn(move || mask_worker(&pool, &done))
+                    .expect("spawn mask worker")
+            })
+            .collect();
+        drop(mask_done_tx);
+
+        // ---- Admission workers. ----
+        let submit_rx = Arc::new(Mutex::new(submit_rx));
+        let admission_handles: Vec<JoinHandle<()>> = (0..admission_workers)
+            .map(|i| {
+                let submissions = Arc::clone(&submit_rx);
+                let ready = ready_tx.clone();
+                let backend = Arc::clone(&backend);
+                let llm = engine.llm().clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("xg-admit-{i}"))
+                    .spawn(move || admission_worker(&submissions, &ready, &*backend, &llm, &shared))
+                    .expect("spawn admission worker")
+            })
+            .collect();
+        drop(ready_tx);
+
+        // ---- Decode loop. ----
+        let decode = DecodeLoop {
+            ready: ready_rx,
+            mask_done: mask_done_rx,
+            mask_pool: Arc::clone(&mask_pool),
+            shared: Arc::clone(&shared),
+            vocab: Arc::clone(backend.vocabulary()),
+            sorted: match engine.jump_forward_policy() {
+                JumpForwardPolicy::Engine => Some(engine.sorted_vocabulary()),
+                _ => None,
+            },
+            policy: engine.jump_forward_policy(),
+            profile: engine.profile().clone(),
+            mode: engine.mode(),
+            max_lanes,
+        };
+        let decode_handle = std::thread::Builder::new()
+            .name("xg-decode".into())
+            .spawn(move || decode.run())
+            .expect("spawn decode loop");
+
+        ContinuousScheduler {
+            submit_tx: Mutex::new(Some(submit_tx)),
+            next_id: AtomicU64::new(0),
+            shared,
+            mask_pool,
+            mask_workers,
+            backend,
+            cache_before,
+            admission_handles,
+            decode_handle: Some(decode_handle),
+            mask_handles,
+        }
+    }
+
+    /// Submits a request, blocking while the submission queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::ShutDown`] if the scheduler has been shut
+    /// down.
+    pub fn submit(&self, request: EngineRequest) -> Result<StreamingRequest, SubmitError> {
+        self.submit_inner(request, true)
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Saturated`] (handing the request back) when
+    /// the queue is full, or [`SubmitError::ShutDown`] after shutdown.
+    pub fn try_submit(&self, request: EngineRequest) -> Result<StreamingRequest, SubmitError> {
+        self.submit_inner(request, false)
+    }
+
+    fn submit_inner(
+        &self,
+        request: EngineRequest,
+        block: bool,
+    ) -> Result<StreamingRequest, SubmitError> {
+        let tx = {
+            let guard = self.submit_tx.lock().expect("submit lock poisoned");
+            match guard.as_ref() {
+                Some(tx) => tx.clone(),
+                None => return Err(SubmitError::ShutDown(Box::new(request))),
+            }
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (events_tx, events_rx) = mpsc::channel();
+        let submission = Submission {
+            id,
+            request,
+            events: events_tx,
+            submitted_at: Instant::now(),
+        };
+        let depth = self.shared.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        let sent = if block {
+            tx.send(submission).map_err(|e| e.0)
+        } else {
+            tx.try_send(submission).map_err(|e| match e {
+                TrySendError::Full(s) | TrySendError::Disconnected(s) => s,
+            })
+        };
+        match sent {
+            Ok(()) => {
+                self.shared.stats.lock().expect("stats poisoned").submitted += 1;
+                Ok(StreamingRequest {
+                    id,
+                    events: events_rx,
+                })
+            }
+            Err(submission) => {
+                self.shared.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.shared.stats.lock().expect("stats poisoned").rejected += 1;
+                Err(if block {
+                    SubmitError::ShutDown(Box::new(submission.request))
+                } else {
+                    SubmitError::Saturated(Box::new(submission.request))
+                })
+            }
+        }
+    }
+
+    /// Current depth of the submission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the scheduler's aggregate metrics.
+    pub fn metrics(&self) -> SchedulerMetrics {
+        let stats = self.shared.stats.lock().expect("stats poisoned").clone();
+        let cache = self
+            .backend
+            .cache_stats()
+            .unwrap_or_default()
+            .delta_since(&self.cache_before);
+        SchedulerMetrics {
+            submitted: stats.submitted,
+            rejected: stats.rejected,
+            admitted: stats.admitted,
+            completed: stats.completed,
+            failed: stats.failed,
+            cache_hit_admissions: stats.cache_hit_admissions,
+            mean_queue_depth: if stats.queue_samples == 0 {
+                0.0
+            } else {
+                stats.queue_depth_sum as f64 / stats.queue_samples as f64
+            },
+            max_queue_depth: self.shared.max_queue_depth.load(Ordering::Relaxed),
+            max_concurrent_lanes: stats.max_concurrent_lanes,
+            decode_steps: stats.decode_steps,
+            sampled_tokens: stats.sampled_tokens,
+            forced_tokens: stats.forced_tokens,
+            forced_chars: stats.forced_chars,
+            forced_time: stats.forced_time,
+            mask_wait_time: stats.mask_wait_time,
+            mask_busy_time: self.mask_pool.busy_time(),
+            gpu_time: stats.gpu_time,
+            prefill_time: stats.prefill_time,
+            decode_time: stats.decode_time,
+            compile_time: stats.compile_time,
+            mask_workers: self.mask_workers,
+            cache,
+        }
+    }
+
+    /// Stops accepting submissions, lets every in-flight request finish, and
+    /// joins all worker threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Closing the submission channel lets the admission workers drain
+        // the queue and exit; dropping their ready senders then lets the
+        // decode loop finish its live lanes and exit; only then do the mask
+        // workers stop.
+        *self.submit_tx.lock().expect("submit lock poisoned") = None;
+        for handle in self.admission_handles.drain(..) {
+            handle.join().expect("admission worker panicked");
+        }
+        if let Some(handle) = self.decode_handle.take() {
+            handle.join().expect("decode loop panicked");
+        }
+        self.mask_pool.shutdown();
+        for handle in self.mask_handles.drain(..) {
+            handle.join().expect("mask worker panicked");
+        }
+    }
+}
+
+impl Drop for ContinuousScheduler {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Body of one admission worker: receive a submission, probe the cache,
+/// compile the constraint off the hot path, start the simulated-LLM request
+/// state, and hand the ready lane to the decode loop (blocking while the
+/// batch is full).
+fn admission_worker(
+    submissions: &Mutex<Receiver<Submission>>,
+    ready: &SyncSender<ReadyLane>,
+    backend: &dyn ConstrainedBackend,
+    llm: &SimulatedLlm,
+    shared: &Shared,
+) {
+    loop {
+        // Holding the lock across `recv` is deliberate: it makes the lock
+        // double as the "which worker gets the next submission" arbiter, and
+        // the senders never take it.
+        let submission = {
+            let rx = submissions.lock().expect("submission receiver poisoned");
+            match rx.recv() {
+                Ok(s) => s,
+                Err(_) => return,
+            }
+        };
+        let depth = shared.queue_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        {
+            let mut stats = shared.stats.lock().expect("stats poisoned");
+            stats.queue_depth_sum += depth as u64;
+            stats.queue_samples += 1;
+        }
+        let queue_time = submission.submitted_at.elapsed();
+        let cache_hit = submission.request.constraint.is_cached(backend);
+        let compile_start = Instant::now();
+        let compiled = match submission.request.constraint.compile(backend) {
+            Ok(c) => c,
+            Err(err) => {
+                let mut stats = shared.stats.lock().expect("stats poisoned");
+                stats.failed += 1;
+                stats.compile_time += compile_start.elapsed();
+                drop(stats);
+                // Receiver may be gone (caller dropped the handle) — fine.
+                let _ = submission.events.send(StreamEvent::Failed(err));
+                continue;
+            }
+        };
+        let session = compiled.map(|c| c.new_session());
+        let compile_time = compile_start.elapsed();
+        let llm_state = llm.start_request(&submission.request.reference, submission.request.seed);
+        {
+            let mut stats = shared.stats.lock().expect("stats poisoned");
+            stats.admitted += 1;
+            stats.compile_time += compile_time;
+            if cache_hit {
+                stats.cache_hit_admissions += 1;
+            }
+        }
+        let _ = submission.events.send(StreamEvent::Admitted {
+            queue_time,
+            compile_time,
+            cache_hit,
+        });
+        let lane = ReadyLane {
+            id: submission.id,
+            events: submission.events,
+            session,
+            llm_state,
+            prompt_tokens: submission.request.prompt_tokens,
+            max_tokens: submission.request.max_tokens,
+            submitted_at: submission.submitted_at,
+            queue_time,
+            compile_time,
+            cache_hit,
+        };
+        if ready.send(lane).is_err() {
+            // Decode loop is gone; nothing more to admit.
+            return;
+        }
+    }
+}
+
+/// One lane live in the decode loop.
+struct ActiveLane {
+    id: u64,
+    lane: Lane,
+    events: Sender<StreamEvent>,
+    /// The lane's bitmask when not in flight to a mask worker.
+    mask: Option<TokenBitmask>,
+    mask_in_flight: bool,
+    submitted_at: Instant,
+    queue_time: Duration,
+    compile_time: Duration,
+    cache_hit: bool,
+    /// Time from submission to the first emitted bytes.
+    first_emit: Option<Duration>,
+}
+
+/// The persistent decode loop: admits ready lanes between steps, drives each
+/// step through [`Lane::step`], overlaps mask fill with the simulated GPU
+/// phase in overlapped mode, streams emitted bytes, and retires finished
+/// lanes.
+struct DecodeLoop {
+    ready: Receiver<ReadyLane>,
+    mask_done: Receiver<MaskDone>,
+    mask_pool: Arc<MaskPool>,
+    shared: Arc<Shared>,
+    vocab: Arc<Vocabulary>,
+    sorted: Option<Arc<SortedVocabulary>>,
+    policy: JumpForwardPolicy,
+    profile: ModelProfile,
+    mode: ExecutionMode,
+    max_lanes: usize,
+}
+
+impl DecodeLoop {
+    fn run(self) {
+        let ctx = ForcedContext {
+            policy: self.policy,
+            sorted: self.sorted.as_deref(),
+            vocab: &self.vocab,
+        };
+        let mut lanes: Vec<ActiveLane> = Vec::with_capacity(self.max_lanes);
+        let mut in_flight = 0usize;
+        let mut ready_open = true;
+
+        loop {
+            // ---- Join phase: admit compiled lanes into the batch. ----
+            if lanes.is_empty() {
+                if !ready_open {
+                    return;
+                }
+                // Idle: block until a request arrives or admission closes.
+                match self.ready.recv() {
+                    Ok(lane) => self.join(lane, &mut lanes, &ctx, &mut in_flight),
+                    Err(_) => return,
+                }
+            }
+            while ready_open && lanes.len() < self.max_lanes {
+                match self.ready.try_recv() {
+                    Ok(lane) => self.join(lane, &mut lanes, &ctx, &mut in_flight),
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        ready_open = false;
+                    }
+                }
+            }
+            if lanes.is_empty() {
+                continue;
+            }
+
+            // ---- One decode step for the whole batch. ----
+            let step_start = Instant::now();
+            let gpu_step = self.profile.decode_step_time(lanes.len());
+            let mut mask_wait = Duration::ZERO;
+            match self.mode {
+                ExecutionMode::Serial => {
+                    // No overlap: dispatch and collect every mask, exposing
+                    // the full mask wall-clock, then run the GPU step.
+                    for lane in lanes.iter_mut() {
+                        dispatch(&self.mask_pool, lane, &mut in_flight, &self.vocab);
+                    }
+                    let wait = Instant::now();
+                    collect_all(&self.mask_done, &mut lanes, &mut in_flight);
+                    mask_wait += wait.elapsed();
+                    busy_wait(gpu_step);
+                }
+                ExecutionMode::Overlapped => {
+                    // Masks were dispatched as each lane's previous token
+                    // was accepted (and at join); they fill while the GPU
+                    // works. Only the residual shows up as wait time.
+                    busy_wait(gpu_step);
+                    let wait = Instant::now();
+                    collect_all(&self.mask_done, &mut lanes, &mut in_flight);
+                    mask_wait += wait.elapsed();
+                }
+            }
+
+            // ---- Sampling phase. ----
+            for al in lanes.iter_mut() {
+                let mask = if al.lane.is_constrained() {
+                    Some(al.mask.as_ref().expect("constrained lane holds its mask"))
+                } else {
+                    None
+                };
+                let emitted_from = al.lane.step(mask, &ctx);
+                if al.lane.output.len() > emitted_from {
+                    if al.first_emit.is_none() {
+                        al.first_emit = Some(al.submitted_at.elapsed());
+                    }
+                    let _ = al
+                        .events
+                        .send(StreamEvent::Bytes(al.lane.output[emitted_from..].to_vec()));
+                }
+                if matches!(self.mode, ExecutionMode::Overlapped) && !al.lane.finished {
+                    // Double-buffering: this lane's step-t+1 mask starts
+                    // filling while the remaining lanes still sample step t
+                    // (and through the next GPU step).
+                    dispatch(&self.mask_pool, al, &mut in_flight, &self.vocab);
+                }
+            }
+
+            // ---- Accounting, then retire finished lanes. ----
+            {
+                let mut stats = self.shared.stats.lock().expect("stats poisoned");
+                stats.decode_steps += 1;
+                stats.gpu_time += gpu_step;
+                stats.mask_wait_time += mask_wait;
+                stats.decode_time += step_start.elapsed();
+            }
+            let mut i = 0;
+            while i < lanes.len() {
+                if lanes[i].lane.finished {
+                    let lane = lanes.swap_remove(i);
+                    self.finish(lane);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Admits one compiled lane: pay its prefill, run the lane-start
+    /// jump-forward pass, stream any forced prefix, and (in overlapped mode)
+    /// dispatch its first mask fill.
+    fn join(
+        &self,
+        ready: ReadyLane,
+        lanes: &mut Vec<ActiveLane>,
+        ctx: &ForcedContext<'_>,
+        in_flight: &mut usize,
+    ) {
+        let prefill = self.profile.prefill_time(ready.prompt_tokens);
+        busy_wait(prefill);
+        {
+            let mut stats = self.shared.stats.lock().expect("stats poisoned");
+            stats.prefill_time += prefill;
+        }
+        let mut lane = Lane::new(ready.session, ready.llm_state, ready.max_tokens);
+        lane.start(ctx);
+        let mut al = ActiveLane {
+            id: ready.id,
+            lane,
+            events: ready.events,
+            mask: Some(TokenBitmask::new_all_rejected(self.vocab.len())),
+            mask_in_flight: false,
+            submitted_at: ready.submitted_at,
+            queue_time: ready.queue_time,
+            compile_time: ready.compile_time,
+            cache_hit: ready.cache_hit,
+            first_emit: None,
+        };
+        if !al.lane.output.is_empty() {
+            // The lane-start jump-forward already forced a prefix.
+            al.first_emit = Some(al.submitted_at.elapsed());
+            let _ = al.events.send(StreamEvent::Bytes(al.lane.output.clone()));
+        }
+        if al.lane.finished {
+            // The constraint forced the entire output (or the cap is 0).
+            self.finish(al);
+            return;
+        }
+        if matches!(self.mode, ExecutionMode::Overlapped) {
+            dispatch(&self.mask_pool, &mut al, in_flight, &self.vocab);
+        }
+        lanes.push(al);
+        let mut stats = self.shared.stats.lock().expect("stats poisoned");
+        stats.max_concurrent_lanes = stats.max_concurrent_lanes.max(lanes.len());
+    }
+
+    /// Retires one finished lane: compute its timing, commit its counters,
+    /// and send the terminal event.
+    fn finish(&self, al: ActiveLane) {
+        debug_assert!(!al.mask_in_flight, "retiring a lane with a mask in flight");
+        let total_time = al.submitted_at.elapsed();
+        let ttft = al.first_emit.unwrap_or(total_time);
+        let lane = al.lane;
+        let tpot = if lane.sampled_tokens > 1 {
+            total_time
+                .saturating_sub(ttft)
+                .saturating_sub(lane.forced_time)
+                .div_f64((lane.sampled_tokens - 1) as f64)
+        } else {
+            Duration::ZERO
+        };
+        {
+            let mut stats = self.shared.stats.lock().expect("stats poisoned");
+            stats.completed += 1;
+            stats.sampled_tokens += lane.sampled_tokens as u64;
+            stats.forced_tokens += lane.forced_tokens as u64;
+            stats.forced_chars += lane.forced_chars as u64;
+            stats.forced_time += lane.forced_time;
+        }
+        let result = RequestResult {
+            output: lane.output,
+            tokens: lane.sampled_tokens,
+            jump_forward_tokens: lane.forced_tokens,
+            jump_forward_chars: lane.forced_chars,
+            completed: lane.completed,
+        };
+        let timing = LaneTiming {
+            queue_time: al.queue_time,
+            compile_time: al.compile_time,
+            ttft,
+            tpot,
+            total_time,
+            cache_hit: al.cache_hit,
+        };
+        let _ = al.events.send(StreamEvent::Finished { result, timing });
+    }
+}
+
+/// Sends a lane's session and bitmask to the mask workers. No-op for
+/// unconstrained or finished lanes and when a fill is already in flight.
+fn dispatch(pool: &MaskPool, al: &mut ActiveLane, in_flight: &mut usize, vocab: &Vocabulary) {
+    if al.mask_in_flight || al.lane.finished || !al.lane.is_constrained() {
+        return;
+    }
+    let session = al
+        .lane
+        .session
+        .take()
+        .expect("constrained lane holds a session");
+    let mask = al
+        .mask
+        .take()
+        .unwrap_or_else(|| TokenBitmask::new_all_rejected(vocab.len()));
+    pool.push(MaskJob {
+        lane: al.id,
+        session,
+        mask,
+    });
+    al.mask_in_flight = true;
+    *in_flight += 1;
+}
+
+/// Collect barrier: receives every in-flight mask result, restoring each
+/// lane's session and freshly filled bitmask.
+fn collect_all(done: &Receiver<MaskDone>, lanes: &mut [ActiveLane], in_flight: &mut usize) {
+    while *in_flight > 0 {
+        let result = done.recv().expect("mask workers outlive the decode loop");
+        let al = lanes
+            .iter_mut()
+            .find(|l| l.id == result.lane)
+            .expect("mask result for a live lane");
+        al.lane.session = Some(result.session);
+        al.mask = Some(result.mask);
+        al.mask_in_flight = false;
+        let _ = result.busy;
+        *in_flight -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{LaneConstraint, ServingEngine};
+    use crate::profiles::ModelProfile;
+    use std::sync::Arc;
+    use xg_baselines::XGrammarBackend;
+    use xg_grammar::parse_ebnf;
+    use xg_tokenizer::test_vocabulary;
+
+    fn engine(mode: ExecutionMode) -> ServingEngine {
+        let vocab = Arc::new(test_vocabulary(600));
+        let backend = Arc::new(XGrammarBackend::new(vocab));
+        ServingEngine::new(backend, ModelProfile::llama31_8b_h100().scaled(0.01), mode)
+    }
+
+    fn request(seed: u64) -> EngineRequest {
+        EngineRequest {
+            constraint: LaneConstraint::Grammar(
+                parse_ebnf(r#"root ::= "{\"ok\": " ("true" | "false") "}""#, "root").unwrap(),
+            ),
+            prompt_tokens: 4,
+            reference: br#"{"ok": true}"#.to_vec(),
+            max_tokens: 32,
+            seed,
+        }
+    }
+
+    #[test]
+    fn streams_admission_bytes_and_finish_in_order() {
+        let engine = engine(ExecutionMode::Overlapped);
+        let scheduler = engine.serve(SchedulerConfig::default());
+        let handle = scheduler.submit(request(0)).unwrap();
+
+        let mut saw_admitted = false;
+        let mut streamed = Vec::new();
+        let finished = loop {
+            match handle.next_event().expect("stream ended early") {
+                StreamEvent::Admitted { cache_hit, .. } => {
+                    assert!(!saw_admitted, "exactly one Admitted event");
+                    assert!(!cache_hit, "first compile of this grammar");
+                    saw_admitted = true;
+                }
+                StreamEvent::Bytes(bytes) => {
+                    assert!(saw_admitted, "Bytes only after Admitted");
+                    streamed.extend_from_slice(&bytes);
+                }
+                StreamEvent::Finished { result, timing } => {
+                    assert!(saw_admitted);
+                    break (result, timing);
+                }
+                StreamEvent::Failed(err) => panic!("unexpected failure: {err}"),
+            }
+        };
+        let (result, timing) = finished;
+        assert_eq!(streamed, result.output, "streamed bytes equal the result");
+        assert_eq!(result.output, br#"{"ok": true}"#.to_vec());
+        assert!(result.completed);
+        assert!(timing.ttft <= timing.total_time);
+
+        let metrics = scheduler.metrics();
+        assert_eq!(metrics.submitted, 1);
+        assert_eq!(metrics.admitted, 1);
+        assert_eq!(metrics.completed, 1);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn try_submit_saturates_under_backpressure() {
+        let engine = engine(ExecutionMode::Serial);
+        // One lane, one queue slot: the pipeline holds at most one decoding
+        // lane, one ready lane, one submission in an admission worker's hand
+        // and one queued submission — a rapid burst beyond that must bounce.
+        let scheduler = engine.serve(SchedulerConfig {
+            max_lanes: 1,
+            queue_capacity: 1,
+            admission_workers: 1,
+            mask_workers: 1,
+        });
+        let mut handles = Vec::new();
+        let mut saturated = 0;
+        for seed in 0..12 {
+            match scheduler.try_submit(request(seed)) {
+                Ok(handle) => handles.push(handle),
+                Err(SubmitError::Saturated(req)) => {
+                    assert_eq!(req.seed, seed, "the request is handed back");
+                    saturated += 1;
+                }
+                Err(SubmitError::ShutDown(_)) => panic!("scheduler is live"),
+            }
+        }
+        assert!(saturated > 0, "a rapid burst must hit backpressure");
+        for handle in handles {
+            let done = handle.wait().expect("accepted requests finish");
+            assert_eq!(done.result.output, br#"{"ok": true}"#.to_vec());
+        }
+        let metrics = scheduler.metrics();
+        assert_eq!(metrics.rejected, saturated);
+        assert_eq!(metrics.completed + metrics.failed, metrics.admitted);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn idle_scheduler_shuts_down_cleanly() {
+        let engine = engine(ExecutionMode::Serial);
+        let scheduler = engine.serve(SchedulerConfig::default());
+        let metrics = scheduler.metrics();
+        assert_eq!(metrics.submitted, 0);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn cache_hit_admission_is_reported() {
+        let engine = engine(ExecutionMode::Overlapped);
+        let scheduler = engine.serve(SchedulerConfig::default());
+        scheduler.submit(request(0)).unwrap().wait().unwrap();
+        let done = scheduler.submit(request(1)).unwrap().wait().unwrap();
+        assert!(
+            done.timing.cache_hit,
+            "second compile of the same grammar hits the cache"
+        );
+        let metrics = scheduler.metrics();
+        assert_eq!(metrics.cache_hit_admissions, 1);
+        assert_eq!(metrics.cache.hits, 1);
+        assert_eq!(metrics.cache.misses, 1);
+        scheduler.shutdown();
+    }
+}

@@ -47,4 +47,6 @@ pub use error::{GrammarError, Result};
 pub use json_schema::{
     json_schema_to_grammar, json_schema_to_grammar_with_options, JsonSchemaOptions,
 };
-pub use structural_tag::{append_free_text_tail, StructuralTag, TagContent, TagSpec};
+pub use structural_tag::{
+    append_free_text_tail, SegmentExitPolicy, StructuralTag, TagContent, TagSpec,
+};

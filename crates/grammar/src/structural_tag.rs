@@ -88,6 +88,26 @@ pub struct TagSpec {
     pub end: String,
 }
 
+/// When a tagged segment hands decoding back to free text.
+///
+/// The distinction only matters for tags whose combined grammar has more
+/// than one point where it could end — e.g. an empty end string over
+/// repeating content (`[0-9]+`), or an end tag that is itself a valid
+/// continuation of the content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentExitPolicy {
+    /// Close the segment at the *first* byte where the combined grammar can
+    /// terminate (shortest match). The historical behavior.
+    #[default]
+    Eager,
+    /// Keep the segment open while its grammar can still consume the next
+    /// byte, closing at the *last* reachable termination point instead
+    /// (longest match, possessive): the segment exits only when a byte
+    /// contradicts the grammar, falling back to the most recent point where
+    /// it could have ended.
+    Greedy,
+}
+
 /// A structural-tag description: free text interleaved with tagged,
 /// grammar-constrained segments, dispatched on trigger strings.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +117,8 @@ pub struct StructuralTag {
     /// Trigger strings scanned for in the free text. Empty means "use the
     /// begin strings of `tags`" (deduplicated).
     pub triggers: Vec<String>,
+    /// How tagged segments hand decoding back to free text.
+    pub exit: SegmentExitPolicy,
 }
 
 impl StructuralTag {
@@ -105,6 +127,7 @@ impl StructuralTag {
         StructuralTag {
             tags,
             triggers: Vec::new(),
+            exit: SegmentExitPolicy::default(),
         }
     }
 
@@ -112,7 +135,18 @@ impl StructuralTag {
     /// begin strings it dispatches for, e.g. one `"<function="` trigger
     /// covering many `<function=NAME>` tags).
     pub fn with_triggers(tags: Vec<TagSpec>, triggers: Vec<String>) -> Self {
-        StructuralTag { tags, triggers }
+        StructuralTag {
+            tags,
+            triggers,
+            exit: SegmentExitPolicy::default(),
+        }
+    }
+
+    /// Sets how tagged segments hand decoding back to free text.
+    #[must_use]
+    pub fn with_segment_exit(mut self, exit: SegmentExitPolicy) -> Self {
+        self.exit = exit;
+        self
     }
 
     /// The effective trigger list: the explicit triggers, or the deduplicated
@@ -423,10 +457,7 @@ mod tests {
         // with_triggers([]) falls back to begins, which always cover; build an
         // explicit mismatch instead.
         assert!(uncovered.validate().is_ok());
-        let mismatch = StructuralTag {
-            tags: vec![simple_tag()],
-            triggers: vec!["<other>".into()],
-        };
+        let mismatch = StructuralTag::with_triggers(vec![simple_tag()], vec!["<other>".into()]);
         assert!(mismatch.validate().is_err());
     }
 

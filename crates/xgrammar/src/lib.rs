@@ -65,7 +65,7 @@ pub use xg_core::{
 };
 pub use xg_grammar::{
     builtin, json_schema_to_grammar, parse_ebnf, ByteClass, Grammar, GrammarError, GrammarExpr,
-    StructuralTag, TagContent, TagSpec,
+    SegmentExitPolicy, StructuralTag, TagContent, TagSpec,
 };
 pub use xg_tokenizer::{TokenId, Vocabulary};
 
@@ -122,6 +122,7 @@ mod tests {
             prompt_tokens: 4,
             reference: br#"{"ok": true}"#.to_vec(),
             max_tokens: 32,
+            seed: 0,
         };
         let (results, metrics) = engine.run_batch(std::slice::from_ref(&req)).unwrap();
         assert_eq!(results[0].output, br#"{"ok": true}"#.to_vec());

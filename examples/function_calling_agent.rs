@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             prompt_tokens: 139,
             reference: task.reference.clone(),
             max_tokens: 256,
+            seed: 0,
         };
         let unconstrained = EngineRequest {
             constraint: LaneConstraint::Unconstrained,

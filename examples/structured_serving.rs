@@ -22,13 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let requests: Vec<EngineRequest> = xg_datasets::json_mode_eval_like(8, 7)
         .into_iter()
-        .map(|task| EngineRequest {
+        .enumerate()
+        .map(|(i, task)| EngineRequest {
             constraint: LaneConstraint::Grammar(
                 xgrammar::json_schema_to_grammar(&task.schema).expect("schema converts"),
             ),
             prompt_tokens: 139,
             reference: task.reference,
             max_tokens: 96,
+            seed: i as u64,
         })
         .collect();
 
@@ -78,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CompilerConfig::default(),
         Arc::clone(&cache),
     ));
-    let engine = ServingEngine::new(Arc::clone(&backend), profile, ExecutionMode::Overlapped);
+    // Jump-forward now defaults to `Engine`; this engine opts out so the
+    // comparison below still contrasts Off vs Engine.
+    let engine = ServingEngine::new(Arc::clone(&backend), profile, ExecutionMode::Overlapped)
+        .with_jump_forward(JumpForwardPolicy::Off);
     for batch_round in ["first batch (cold cache)", "second batch (warm cache)"] {
         let (_, metrics) = engine.run_batch(&requests)?;
         println!(

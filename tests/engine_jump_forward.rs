@@ -34,6 +34,7 @@ fn mixed_requests() -> (Vec<EngineRequest>, Vec<usize>) {
         prompt_tokens: 24,
         reference: b"Plain prose lane: no structure at all, sampled token by token.".to_vec(),
         max_tokens: 200,
+        seed: 0,
     }];
     let mut schema_lanes = Vec::new();
     for task in xg_datasets::json_mode_eval_like(3, 0x1F2) {
@@ -45,6 +46,7 @@ fn mixed_requests() -> (Vec<EngineRequest>, Vec<usize>) {
             prompt_tokens: 139,
             reference: task.reference,
             max_tokens: 200,
+            seed: requests.len() as u64,
         });
     }
     let tool_task = &xg_datasets::tool_call_tasks(1, 0x7A9)[0];
@@ -53,6 +55,7 @@ fn mixed_requests() -> (Vec<EngineRequest>, Vec<usize>) {
         prompt_tokens: 139,
         reference: tool_task.reference.clone(),
         max_tokens: 400,
+        seed: requests.len() as u64,
     });
     (requests, schema_lanes)
 }
