@@ -293,12 +293,80 @@ fn bench_engine_jump_forward(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-token mask generation on a keyword-heavy JSON Schema: string
+/// `pattern` regexes, `format` rules (uuid/ipv4/email), a `multipleOf` DFA,
+/// digit-wise integer bounds and a bounded `number` range all active in one
+/// grammar — the converter features that go beyond plain typed objects.
+fn bench_schema_keyword_mask_generation(c: &mut Criterion) {
+    use xg_core::{GrammarCompiler, GrammarMatcher};
+
+    let vocab = bench_vocabulary(16_000);
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    let schema: serde_json::Value = serde_json::from_str(
+        r#"{
+            "type": "object",
+            "properties": {
+                "id": {"type": "string", "pattern": "^[A-Z]{2}-[0-9]{4}$"},
+                "uuid": {"type": "string", "format": "uuid"},
+                "ip": {"type": "string", "format": "ipv4"},
+                "email": {"type": "string", "format": "email"},
+                "count": {"type": "integer", "multipleOf": 12},
+                "score": {"type": "integer", "minimum": -40, "maximum": 400},
+                "ratio": {"type": "number", "minimum": 0, "maximum": 10}
+            },
+            "required": ["id", "uuid", "ip", "email", "count", "score", "ratio"]
+        }"#,
+    )
+    .expect("bench schema is valid JSON");
+    let compiled = compiler
+        .compile_json_schema(&schema)
+        .expect("bench schema compiles");
+    let reference = br#"{"id": "AB-1234", "uuid": "123e4567-e89b-12d3-a456-426614174000", "ip": "192.168.0.1", "email": "user@example.com", "count": 144, "score": 37, "ratio": 2.5}"#;
+    let llm = SimulatedLlm::new(
+        Arc::clone(&vocab),
+        LlmBehavior {
+            prose_probability: 0.0,
+            type_error_probability: 0.0,
+            seed: 0,
+        },
+    );
+
+    let mut group = c.benchmark_group("fig9_schema_keywords");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_secs(1));
+    group.bench_function("pattern_format_heavy", |b| {
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        b.iter(|| {
+            // One full constrained generation of the reference instance:
+            // mask + accept per token.
+            let mut matcher = GrammarMatcher::new(Arc::clone(&compiled));
+            let mut state = llm.start_request(reference, 0);
+            let mut filled = 0u32;
+            for _ in 0..120 {
+                matcher.fill_next_token_bitmask(&mut mask);
+                filled += 1;
+                let Some(token) = state.propose_constrained(&mask) else {
+                    break;
+                };
+                if Some(token) == vocab.eos() || matcher.accept_token(token).is_err() {
+                    break;
+                }
+                state.advance(token);
+            }
+            filled
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mask_generation,
     bench_batched_mask_generation,
     bench_trigger_scan,
     bench_tagged_jump_forward,
-    bench_engine_jump_forward
+    bench_engine_jump_forward,
+    bench_schema_keyword_mask_generation
 );
 criterion_main!(benches);

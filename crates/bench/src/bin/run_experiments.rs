@@ -6,7 +6,8 @@
 //!
 //! `experiment` is one of `fig9`, `fig10`, `table1`, `table2`, `table3`,
 //! `table4`, `fig11`, `fig12`, `stats`, `cache_serving`, `structural_tag`,
-//! `engine_jump_forward`, `continuous_batching`, or `all` (default);
+//! `engine_jump_forward`, `continuous_batching`, `schema_corpus`, or `all`
+//! (default);
 //! `--list` prints the available experiments and exits. `--full` uses the
 //! 128k-token vocabulary and larger request counts (slower); `--quick` (the
 //! default) uses a 32k vocabulary so the whole suite finishes in a few
@@ -27,13 +28,14 @@ use xg_engine::{
     run_accuracy_experiment, AccuracyTask, EngineRequest, ExecutionMode, LaneConstraint,
     LlmBehavior, ModelProfile, ServingEngine, SimulatedLlm,
 };
-use xg_tokenizer::Vocabulary;
+use xg_tokenizer::{SortedVocabulary, Vocabulary};
 
 struct Config {
     vocab_size: usize,
     fig9_references: usize,
     engine_requests: usize,
     accuracy_requests: usize,
+    schema_corpus_cases: usize,
     time_scale: f64,
 }
 
@@ -44,6 +46,7 @@ impl Config {
             fig9_references: 4,
             engine_requests: 4,
             accuracy_requests: 10,
+            schema_corpus_cases: 204,
             time_scale: 0.05,
         }
     }
@@ -54,6 +57,7 @@ impl Config {
             fig9_references: 10,
             engine_requests: 8,
             accuracy_requests: 50,
+            schema_corpus_cases: 396,
             time_scale: 1.0,
         }
     }
@@ -82,7 +86,7 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
     // Single source of truth for name validation, `--list` and dispatch.
     type Experiment = fn(&Arc<Vocabulary>, &Config);
-    let experiments: [(&str, &str, Experiment); 13] = [
+    let experiments: [(&str, &str, Experiment); 14] = [
         (
             "stats",
             "preprocessing statistics for the JSON grammar (§3.1–§3.3)",
@@ -119,6 +123,11 @@ fn main() {
             "continuous_batching",
             "request scheduler with mid-batch join/leave (differential, PASS-gated)",
             experiment_continuous_batching,
+        ),
+        (
+            "schema_corpus",
+            "JSON-Schema conformance corpus by converter feature (PASS-gated)",
+            experiment_schema_corpus,
         ),
     ];
     if args.iter().any(|a| a == "--list") {
@@ -1122,6 +1131,129 @@ fn experiment_continuous_batching(vocab: &Arc<Vocabulary>, config: &Config) {
         } else {
             "FAIL"
         }
+    );
+    println!();
+}
+
+/// JSON-Schema conformance corpus (PASS-gated): the generated per-feature
+/// schema corpus from `xg_datasets::schema_corpus` is compiled through the
+/// full `GrammarCompiler` pipeline, every known-valid instance is driven
+/// token by token through mask generation (each token must be admitted by a
+/// freshly generated mask and the final state must admit EOS), and every
+/// known-invalid instance must be rejected. Reports per-feature compile
+/// time, mask-fill time, and conformance counts.
+fn experiment_schema_corpus(vocab: &Arc<Vocabulary>, config: &Config) {
+    use std::collections::BTreeMap;
+
+    println!("## Schema corpus — JSON-Schema conformance by converter feature");
+    let cases = xg_datasets::schema_corpus(config.schema_corpus_cases, 0x5C0);
+    let compiler = GrammarCompiler::new(Arc::clone(vocab));
+    let sorted = SortedVocabulary::new(vocab);
+    let eos = vocab.eos().expect("synthetic vocabulary has EOS");
+    let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+
+    #[derive(Default)]
+    struct FeatureStats {
+        schemas: usize,
+        compile_time: Duration,
+        mask_time: Duration,
+        mask_fills: u64,
+        valid_pass: usize,
+        valid_total: usize,
+        invalid_pass: usize,
+        invalid_total: usize,
+    }
+    let mut by_feature: BTreeMap<&'static str, FeatureStats> = BTreeMap::new();
+
+    for case in &cases {
+        let stats = by_feature.entry(case.feature).or_default();
+        stats.schemas += 1;
+        let start = Instant::now();
+        let compiled = compiler
+            .compile_json_schema(&case.schema)
+            .expect("corpus schemas compile in strict mode");
+        stats.compile_time += start.elapsed();
+
+        // Valid instances: every token admitted by its mask, EOS at the end.
+        for instance in &case.valid {
+            stats.valid_total += 1;
+            let bytes = instance.as_bytes();
+            let (tokens, covered) = sorted.longest_prefix_cover(vocab, bytes);
+            let mut matcher = GrammarMatcher::new(Arc::clone(&compiled));
+            let mut ok = covered == bytes.len();
+            for &token in &tokens {
+                if !ok {
+                    break;
+                }
+                let start = Instant::now();
+                matcher.fill_next_token_bitmask(&mut mask);
+                stats.mask_time += start.elapsed();
+                stats.mask_fills += 1;
+                ok = mask.is_allowed(token) && matcher.accept_token(token).is_ok();
+            }
+            if ok {
+                let start = Instant::now();
+                matcher.fill_next_token_bitmask(&mut mask);
+                stats.mask_time += start.elapsed();
+                stats.mask_fills += 1;
+                ok = matcher.can_terminate() && mask.is_allowed(eos);
+            }
+            stats.valid_pass += usize::from(ok);
+        }
+
+        // Invalid instances: the matcher must refuse the bytes or refuse to
+        // terminate after them.
+        for instance in &case.invalid {
+            stats.invalid_total += 1;
+            let mut matcher = GrammarMatcher::new(Arc::clone(&compiled));
+            let rejected =
+                matcher.accept_bytes(instance.as_bytes()).is_err() || !matcher.can_terminate();
+            stats.invalid_pass += usize::from(rejected);
+        }
+    }
+
+    println!(
+        "  {:<18} {:>7} {:>12} {:>13} {:>12} {:>12}",
+        "feature", "schemas", "compile(us)", "mask(us/fill)", "valid", "invalid"
+    );
+    let mut totals = FeatureStats::default();
+    for (feature, s) in &by_feature {
+        println!(
+            "  {:<18} {:>7} {:>12.1} {:>13.1} {:>9}/{:<2} {:>9}/{:<2}",
+            feature,
+            s.schemas,
+            s.compile_time.as_secs_f64() * 1e6 / s.schemas.max(1) as f64,
+            s.mask_time.as_secs_f64() * 1e6 / s.mask_fills.max(1) as f64,
+            s.valid_pass,
+            s.valid_total,
+            s.invalid_pass,
+            s.invalid_total,
+        );
+        totals.schemas += s.schemas;
+        totals.valid_pass += s.valid_pass;
+        totals.valid_total += s.valid_total;
+        totals.invalid_pass += s.invalid_pass;
+        totals.invalid_total += s.invalid_total;
+    }
+    let conformant = totals.valid_pass == totals.valid_total
+        && totals.invalid_pass == totals.invalid_total
+        && totals.valid_total > 0
+        && totals.invalid_total > 0;
+    println!(
+        "  {} schemas over {} features, {} valid + {} invalid instances, conformance {:.1}%",
+        totals.schemas,
+        by_feature.len(),
+        totals.valid_total,
+        totals.invalid_total,
+        100.0 * (totals.valid_pass + totals.invalid_pass) as f64
+            / (totals.valid_total + totals.invalid_total).max(1) as f64,
+    );
+
+    // ---- The conformance gate enforced by CI. ----
+    let pass = conformant && totals.schemas >= 200 && by_feature.len() >= 10;
+    println!(
+        "  schema corpus conformance (>=200 schemas, >=10 features, 100% pass rate): {}",
+        if pass { "PASS" } else { "FAIL" }
     );
     println!();
 }

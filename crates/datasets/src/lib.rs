@@ -15,6 +15,9 @@
 //! * [`python_dsl_tasks`] — Python-DSL generation tasks,
 //! * [`json_documents`] — free-form JSON documents for the CFG (JSON)
 //!   workload,
+//! * [`schema_corpus`] — a JSON-Schema conformance corpus grouped by
+//!   converter feature (pattern, format, bounds, `allOf`, `$ref`, ...) with
+//!   known-valid and known-invalid instances,
 //! * [`training_corpus`] — mixed text used to train the BPE tokenizer
 //!   substitute.
 
@@ -24,12 +27,14 @@
 mod corpus;
 mod json_tasks;
 mod python_tasks;
+mod schema_corpus;
 mod tool_call_tasks;
 mod xml_tasks_mod;
 
 pub use corpus::training_corpus;
 pub use json_tasks::{json_documents, json_mode_eval_like, FunctionCallTask};
 pub use python_tasks::python_dsl_tasks;
+pub use schema_corpus::{schema_corpus, SchemaCase, SCHEMA_FEATURES};
 pub use tool_call_tasks::{
     tool_call_tasks, ToolCallTask, ToolFunction, TOOL_CALL_END, TOOL_CALL_TRIGGER,
 };

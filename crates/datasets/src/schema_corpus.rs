@@ -1,0 +1,534 @@
+//! Seeded JSON-Schema conformance corpus.
+//!
+//! Generates schemas grouped into feature classes — one per converter
+//! feature (pattern, format, numeric bounds, `multipleOf`, `allOf`, `$ref`,
+//! ...) — together with serialized instances that must be accepted
+//! (`valid`) and instances that must be rejected (`invalid`) by the grammar
+//! compiled from the schema. The `schema_corpus` experiment and the
+//! conformance test suite drive every instance token-by-token through the
+//! matcher, so the corpus is the ground truth tying the JSON-Schema
+//! converter to the paper's "real-world schema" claim.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+
+/// One corpus entry: a schema, the feature class that produced it, and
+/// serialized instances with known verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaCase {
+    /// Feature class this schema exercises (one of [`SCHEMA_FEATURES`]).
+    pub feature: &'static str,
+    /// The JSON Schema document.
+    pub schema: Value,
+    /// Serialized JSON instances the schema's grammar must accept.
+    pub valid: Vec<String>,
+    /// Serialized JSON instances the schema's grammar must reject.
+    pub invalid: Vec<String>,
+}
+
+/// The feature classes covered by [`schema_corpus`], in generation order.
+pub const SCHEMA_FEATURES: &[&str] = &[
+    "pattern",
+    "format",
+    "string-length",
+    "integer-bounds",
+    "exclusive-bounds",
+    "number-bounds",
+    "multiple-of",
+    "enum-const",
+    "object-required",
+    "array-bounds",
+    "all-of",
+    "ref-recursive",
+];
+
+/// Generates a deterministic corpus of `count` schema cases, round-robin
+/// over [`SCHEMA_FEATURES`].
+///
+/// # Examples
+///
+/// ```
+/// let corpus = xg_datasets::schema_corpus(24, 42);
+/// assert_eq!(corpus.len(), 24);
+/// assert!(corpus.iter().all(|c| !c.valid.is_empty() && !c.invalid.is_empty()));
+/// ```
+pub fn schema_corpus(count: usize, seed: u64) -> Vec<SchemaCase> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let feature = SCHEMA_FEATURES[i % SCHEMA_FEATURES.len()];
+            case_for(feature, &mut rng)
+        })
+        .collect()
+}
+
+fn case_for(feature: &'static str, rng: &mut SmallRng) -> SchemaCase {
+    match feature {
+        "pattern" => pattern_case(rng),
+        "format" => format_case(rng),
+        "string-length" => string_length_case(rng),
+        "integer-bounds" => integer_bounds_case(rng),
+        "exclusive-bounds" => exclusive_bounds_case(rng),
+        "number-bounds" => number_bounds_case(rng),
+        "multiple-of" => multiple_of_case(rng),
+        "enum-const" => enum_const_case(rng),
+        "object-required" => object_required_case(rng),
+        "array-bounds" => array_bounds_case(rng),
+        "all-of" => all_of_case(rng),
+        "ref-recursive" => ref_recursive_case(rng),
+        other => unreachable!("unknown feature class {other}"),
+    }
+}
+
+fn lower_word(rng: &mut SmallRng, len: usize) -> String {
+    (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+fn quoted(s: &str) -> String {
+    serde_json::to_string(&Value::String(s.to_string())).expect("serializable")
+}
+
+fn pattern_case(rng: &mut SmallRng) -> SchemaCase {
+    let (pattern, valid, invalid) = match rng.gen_range(0..3u32) {
+        0 => {
+            let min = rng.gen_range(2..=4usize);
+            let max = min + rng.gen_range(1..=4usize);
+            (
+                format!("^[a-z]{{{min},{max}}}$"),
+                vec![lower_word(rng, min), lower_word(rng, max)],
+                vec![lower_word(rng, min - 1), "1".repeat(min)],
+            )
+        }
+        1 => {
+            let digits = rng.gen_range(100..=999u32);
+            (
+                "^[A-Z]{2}-[0-9]{3}$".to_string(),
+                vec![format!("QK-{digits}"), format!("AB-{digits}")],
+                vec![format!("qk-{digits}"), format!("QK-{digits}9")],
+            )
+        }
+        _ => {
+            let n = rng.gen_range(1..=999u32);
+            (
+                "^(alpha|beta|gamma)-[0-9]+$".to_string(),
+                vec![format!("beta-{n}"), format!("gamma-{n}")],
+                vec![format!("delta-{n}"), "beta-".to_string()],
+            )
+        }
+    };
+    SchemaCase {
+        feature: "pattern",
+        schema: json!({"type": "string", "pattern": pattern}),
+        valid: valid.iter().map(|s| quoted(s)).collect(),
+        invalid: invalid.iter().map(|s| quoted(s)).collect(),
+    }
+}
+
+fn format_case(rng: &mut SmallRng) -> SchemaCase {
+    let (format, valid, invalid): (&str, Vec<String>, Vec<String>) = match rng.gen_range(0..8u32) {
+        0 => {
+            let (y, m, d) = (
+                rng.gen_range(1990..=2030u32),
+                rng.gen_range(1..=12u32),
+                rng.gen_range(1..=28u32),
+            );
+            (
+                "date",
+                vec![format!("{y}-{m:02}-{d:02}")],
+                vec![format!("{y}-13-{d:02}"), format!("{y}-{m:02}-32")],
+            )
+        }
+        1 => {
+            let (h, mi, s) = (
+                rng.gen_range(0..=23u32),
+                rng.gen_range(0..=59u32),
+                rng.gen_range(0..=59u32),
+            );
+            (
+                "time",
+                vec![
+                    format!("{h:02}:{mi:02}:{s:02}Z"),
+                    format!("{h:02}:{mi:02}:{s:02}+01:30"),
+                ],
+                vec![
+                    format!("25:{mi:02}:{s:02}Z"),
+                    format!("{h:02}:{mi:02}:{s:02}"),
+                ],
+            )
+        }
+        2 => {
+            let (y, m, d, h) = (
+                rng.gen_range(2000..=2029u32),
+                rng.gen_range(1..=12u32),
+                rng.gen_range(1..=28u32),
+                rng.gen_range(0..=23u32),
+            );
+            (
+                "date-time",
+                vec![format!("{y}-{m:02}-{d:02}T{h:02}:30:00Z")],
+                vec![format!("{y}-{m:02}-{d:02} {h:02}:30:00Z")],
+            )
+        }
+        3 => {
+            let hex: String = (0..32)
+                .map(|_| char::from_digit(rng.gen_range(0..16u32), 16).expect("hex digit"))
+                .collect();
+            let uuid = format!(
+                "{}-{}-{}-{}-{}",
+                &hex[0..8],
+                &hex[8..12],
+                &hex[12..16],
+                &hex[16..20],
+                &hex[20..32]
+            );
+            let broken = format!("g{}", &uuid[1..]);
+            ("uuid", vec![uuid.clone()], vec![broken, hex])
+        }
+        4 => {
+            let user_len = rng.gen_range(3..=8usize);
+            let user = lower_word(rng, user_len);
+            (
+                "email",
+                vec![format!("{user}@example.com"), format!("{user}.x@mail.org")],
+                vec![format!("{user}example.com"), format!("{user}@nodot")],
+            )
+        }
+        5 => {
+            let (a, b, c, d) = (
+                rng.gen_range(0..=255u32),
+                rng.gen_range(0..=255u32),
+                rng.gen_range(0..=255u32),
+                rng.gen_range(0..=255u32),
+            );
+            (
+                "ipv4",
+                vec![format!("{a}.{b}.{c}.{d}")],
+                vec![format!("{a}.{b}.{c}.300"), format!("{a}.{b}.{c}")],
+            )
+        }
+        6 => {
+            let groups: Vec<String> = (0..8)
+                .map(|_| format!("{:x}", rng.gen_range(0..=0xffffu32)))
+                .collect();
+            let addr = groups.join(":");
+            let broken = format!("{}:zzzz", groups[..7].join(":"));
+            ("ipv6", vec![addr], vec![broken])
+        }
+        _ => {
+            let host_len = rng.gen_range(3..=10usize);
+            let host = lower_word(rng, host_len);
+            (
+                "hostname",
+                vec![format!("{host}.example.com"), host.clone()],
+                vec![format!("-{host}.example.com"), format!("{host}_bad.com")],
+            )
+        }
+    };
+    SchemaCase {
+        feature: "format",
+        schema: json!({"type": "string", "format": format}),
+        valid: valid.iter().map(|s| quoted(s)).collect(),
+        invalid: invalid.iter().map(|s| quoted(s)).collect(),
+    }
+}
+
+fn string_length_case(rng: &mut SmallRng) -> SchemaCase {
+    let min = rng.gen_range(1..=4usize);
+    let max = min + rng.gen_range(1..=6usize);
+    SchemaCase {
+        feature: "string-length",
+        schema: json!({"type": "string", "minLength": min, "maxLength": max}),
+        valid: vec![quoted(&lower_word(rng, min)), quoted(&lower_word(rng, max))],
+        invalid: vec![
+            quoted(&lower_word(rng, min - 1)),
+            quoted(&lower_word(rng, max + 1)),
+        ],
+    }
+}
+
+fn integer_bounds_case(rng: &mut SmallRng) -> SchemaCase {
+    let lo = rng.gen_range(-500..=500i64);
+    let hi = lo + rng.gen_range(1..=400i64);
+    let inside = rng.gen_range(lo..=hi);
+    SchemaCase {
+        feature: "integer-bounds",
+        schema: json!({"type": "integer", "minimum": lo, "maximum": hi}),
+        valid: vec![lo.to_string(), hi.to_string(), inside.to_string()],
+        invalid: vec![
+            (lo - 1 - rng.gen_range(0..=5i64)).to_string(),
+            (hi + 1 + rng.gen_range(0..=5i64)).to_string(),
+        ],
+    }
+}
+
+fn exclusive_bounds_case(rng: &mut SmallRng) -> SchemaCase {
+    let lo = rng.gen_range(-200..=200i64);
+    let hi = lo + rng.gen_range(2..=300i64);
+    SchemaCase {
+        feature: "exclusive-bounds",
+        schema: json!({"type": "integer", "exclusiveMinimum": lo, "exclusiveMaximum": hi}),
+        valid: vec![(lo + 1).to_string(), (hi - 1).to_string()],
+        invalid: vec![lo.to_string(), hi.to_string()],
+    }
+}
+
+fn number_bounds_case(rng: &mut SmallRng) -> SchemaCase {
+    let lo = rng.gen_range(-100..=100i64);
+    let hi = lo + rng.gen_range(2..=200i64);
+    let v = rng.gen_range(lo..hi);
+    // `v.5` lies in (v, v+1) for v >= 0; for negative v use a zero fraction,
+    // whose value is exactly v and therefore inside [lo, hi].
+    let fractional = if v >= 0 {
+        format!("{v}.5")
+    } else {
+        format!("{v}.0")
+    };
+    // A fractional instance outside the range: `hi.5` exceeds `hi` when
+    // `hi >= 0`; for a negative `hi` the decimal digits *lower* the value,
+    // so overshoot below the range with `lo.5` instead.
+    let out_of_range_fraction = if hi >= 0 {
+        format!("{hi}.5")
+    } else {
+        format!("{lo}.5")
+    };
+    SchemaCase {
+        feature: "number-bounds",
+        schema: json!({"type": "number", "minimum": lo, "maximum": hi}),
+        valid: vec![lo.to_string(), hi.to_string(), fractional],
+        invalid: vec![
+            (lo - 1).to_string(),
+            (hi + 1).to_string(),
+            out_of_range_fraction,
+        ],
+    }
+}
+
+fn multiple_of_case(rng: &mut SmallRng) -> SchemaCase {
+    let k = rng.gen_range(2..=12i64);
+    let q = rng.gen_range(-40..=40i64);
+    let base = rng.gen_range(1..=40i64);
+    let r = rng.gen_range(1..k);
+    SchemaCase {
+        feature: "multiple-of",
+        schema: json!({"type": "integer", "multipleOf": k}),
+        valid: vec![(k * q).to_string(), "0".to_string()],
+        invalid: vec![(k * base + r).to_string(), format!("0{k}")],
+    }
+}
+
+fn enum_const_case(rng: &mut SmallRng) -> SchemaCase {
+    if rng.gen_bool(0.5) {
+        let members: Vec<String> = (0..rng.gen_range(3..=5usize))
+            .map(|_| {
+                let len = rng.gen_range(3..=7usize);
+                lower_word(rng, len)
+            })
+            .collect();
+        let pick = members[rng.gen_range(0..members.len())].clone();
+        SchemaCase {
+            feature: "enum-const",
+            schema: json!({"enum": members}),
+            valid: vec![quoted(&pick)],
+            invalid: vec![quoted("zzz_not_a_member"), "7".to_string()],
+        }
+    } else {
+        let n = rng.gen_range(-99..=99i64);
+        SchemaCase {
+            feature: "enum-const",
+            schema: json!({"const": n}),
+            valid: vec![n.to_string()],
+            invalid: vec![(n + 1).to_string(), quoted("x")],
+        }
+    }
+}
+
+fn object_required_case(rng: &mut SmallRng) -> SchemaCase {
+    let n_props = rng.gen_range(2..=4usize);
+    let names: Vec<String> = (0..n_props)
+        .map(|i| format!("{}_{i}", lower_word(rng, 4)))
+        .collect();
+    let mut properties = serde_json::Map::new();
+    let mut full = serde_json::Map::new();
+    let mut required_only = serde_json::Map::new();
+    let mut required: Vec<String> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let (prop_schema, value) = match rng.gen_range(0..3u32) {
+            0 => (json!({"type": "string"}), json!(lower_word(rng, 5))),
+            1 => (json!({"type": "integer"}), json!(rng.gen_range(0..1000i64))),
+            _ => (json!({"type": "boolean"}), json!(rng.gen_bool(0.5))),
+        };
+        let is_required = i == 0 || rng.gen_bool(0.5);
+        properties.insert(name.clone(), prop_schema);
+        full.insert(name.clone(), value.clone());
+        if is_required {
+            required.push(name.clone());
+            required_only.insert(name.clone(), value);
+        }
+    }
+    let serialize = |m: &serde_json::Map<String, Value>| {
+        serde_json::to_string(&Value::Object(m.clone())).expect("serializable")
+    };
+    let mut with_extra = full.clone();
+    with_extra.insert("unexpected_key".to_string(), json!(1));
+    let mut missing = full.clone();
+    missing.remove(&required[0]);
+    SchemaCase {
+        feature: "object-required",
+        schema: json!({"type": "object", "properties": properties, "required": required}),
+        valid: vec![serialize(&full), serialize(&required_only)],
+        invalid: vec![serialize(&with_extra), serialize(&missing)],
+    }
+}
+
+fn array_bounds_case(rng: &mut SmallRng) -> SchemaCase {
+    let min = rng.gen_range(1..=3usize);
+    let max = min + rng.gen_range(0..=3usize);
+    let make = |n: usize, rng: &mut SmallRng| {
+        let items: Vec<Value> = (0..n).map(|_| json!(rng.gen_range(0..100i64))).collect();
+        serde_json::to_string(&Value::Array(items)).expect("serializable")
+    };
+    let valid = vec![make(min, rng), make(max, rng)];
+    let invalid = vec![make(min - 1, rng), make(max + 1, rng)];
+    SchemaCase {
+        feature: "array-bounds",
+        schema: json!({
+            "type": "array",
+            "items": {"type": "integer"},
+            "minItems": min,
+            "maxItems": max
+        }),
+        valid,
+        invalid,
+    }
+}
+
+fn all_of_case(rng: &mut SmallRng) -> SchemaCase {
+    let a_key = format!("{}_a", lower_word(rng, 4));
+    let b_key = format!("{}_b", lower_word(rng, 4));
+    let a_val = lower_word(rng, 5);
+    let b_val = rng.gen_range(0..500i64);
+    let schema = json!({
+        "allOf": [
+            {
+                "type": "object",
+                "properties": {a_key.clone(): {"type": "string"}},
+                "required": [a_key.clone()]
+            },
+            {
+                "properties": {b_key.clone(): {"type": "integer"}},
+                "required": [b_key.clone()]
+            }
+        ]
+    });
+    let valid = format!(
+        "{{{}:{},{}:{}}}",
+        quoted(&a_key),
+        quoted(&a_val),
+        quoted(&b_key),
+        b_val
+    );
+    let missing_b = format!("{{{}:{}}}", quoted(&a_key), quoted(&a_val));
+    let wrong_type = format!(
+        "{{{}:{},{}:{}}}",
+        quoted(&a_key),
+        quoted(&a_val),
+        quoted(&b_key),
+        quoted("str")
+    );
+    SchemaCase {
+        feature: "all-of",
+        schema,
+        valid: vec![valid],
+        invalid: vec![missing_b, wrong_type],
+    }
+}
+
+fn ref_recursive_case(rng: &mut SmallRng) -> SchemaCase {
+    let v1 = rng.gen_range(0..100i64);
+    let v2 = rng.gen_range(0..100i64);
+    SchemaCase {
+        feature: "ref-recursive",
+        schema: json!({
+            "$ref": "#/$defs/node",
+            "$defs": {
+                "node": {
+                    "type": "object",
+                    "properties": {
+                        "value": {"type": "integer"},
+                        "children": {"type": "array", "items": {"$ref": "#/$defs/node"}}
+                    },
+                    "required": ["value"]
+                }
+            }
+        }),
+        valid: vec![
+            format!("{{\"value\":{v1}}}"),
+            format!("{{\"value\":{v1},\"children\":[{{\"value\":{v2}}}]}}"),
+        ],
+        invalid: vec![
+            format!("{{\"value\":\"{v1}\"}}"),
+            format!("{{\"children\":[{{\"value\":{v2}}}]}}"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let a = schema_corpus(36, 7);
+        let b = schema_corpus(36, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, schema_corpus(36, 8));
+    }
+
+    #[test]
+    fn corpus_covers_every_feature_class() {
+        let corpus = schema_corpus(SCHEMA_FEATURES.len() * 2, 1);
+        for feature in SCHEMA_FEATURES {
+            assert!(
+                corpus.iter().any(|c| c.feature == *feature),
+                "feature {feature} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn every_case_has_instances_on_both_sides() {
+        for case in schema_corpus(60, 3) {
+            assert!(!case.valid.is_empty(), "{} has no valid", case.feature);
+            assert!(!case.invalid.is_empty(), "{} has no invalid", case.feature);
+        }
+    }
+
+    #[test]
+    fn schemas_compile_and_instances_conform() {
+        // Ground-truth check over a slice of the corpus: every schema
+        // compiles strictly, every valid instance is accepted byte-wise and
+        // every invalid instance is rejected.
+        for case in schema_corpus(SCHEMA_FEATURES.len() * 2, 11) {
+            let grammar = xg_grammar::json_schema_to_grammar(&case.schema)
+                .unwrap_or_else(|e| panic!("{} schema failed: {e}", case.feature));
+            let pda = xg_automata::build_pda_default(&grammar);
+            for instance in &case.valid {
+                assert!(
+                    xg_automata::SimpleMatcher::new(&pda).accepts(instance.as_bytes()),
+                    "{}: valid instance {instance} rejected",
+                    case.feature
+                );
+            }
+            for instance in &case.invalid {
+                assert!(
+                    !xg_automata::SimpleMatcher::new(&pda).accepts(instance.as_bytes()),
+                    "{}: invalid instance {instance} accepted",
+                    case.feature
+                );
+            }
+        }
+    }
+}

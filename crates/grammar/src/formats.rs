@@ -1,0 +1,84 @@
+//! Grammars for JSON Schema `format` values.
+//!
+//! Each supported format is defined as an anchored regex over the string
+//! content and compiled through the same machinery as the `pattern` keyword
+//! ([`crate::regex_pattern_to_expr`]), mirroring llguidance's lookup table of
+//! format regexes. Unknown formats are **not** listed here; the converter
+//! decides (strict vs lenient) what to do with them.
+
+use crate::ast::GrammarExpr;
+use crate::error::Result;
+use crate::pattern::regex_pattern_to_expr;
+
+/// The `format` values the converter supports, in the order they appear in
+/// the README keyword matrix.
+pub const SUPPORTED_FORMATS: &[&str] = &[
+    "date-time",
+    "date",
+    "time",
+    "uuid",
+    "email",
+    "ipv4",
+    "ipv6",
+    "hostname",
+];
+
+const DATE: &str = "[0-9]{4}-(0[1-9]|1[0-2])-(0[1-9]|[12][0-9]|3[01])";
+const TIME: &str =
+    "([01][0-9]|2[0-3]):[0-5][0-9]:[0-5][0-9](\\.[0-9]+)?([Zz]|[+-]([01][0-9]|2[0-3]):[0-5][0-9])";
+const UUID: &str = "[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}";
+const EMAIL: &str = "[a-zA-Z0-9._%+-]+@[a-zA-Z0-9.-]+\\.[a-zA-Z]{2,}";
+const HOSTNAME: &str =
+    "[a-zA-Z0-9]([a-zA-Z0-9-]{0,61}[a-zA-Z0-9])?(\\.[a-zA-Z0-9]([a-zA-Z0-9-]{0,61}[a-zA-Z0-9])?)*";
+const IPV4_OCTET: &str = "(25[0-5]|2[0-4][0-9]|[01]?[0-9][0-9]?)";
+const IPV6: &str = "(([0-9a-fA-F]{1,4}:){7}[0-9a-fA-F]{1,4}\
+|([0-9a-fA-F]{1,4}:){1,7}:\
+|([0-9a-fA-F]{1,4}:){1,6}:[0-9a-fA-F]{1,4}\
+|([0-9a-fA-F]{1,4}:){1,5}(:[0-9a-fA-F]{1,4}){1,2}\
+|([0-9a-fA-F]{1,4}:){1,4}(:[0-9a-fA-F]{1,4}){1,3}\
+|([0-9a-fA-F]{1,4}:){1,3}(:[0-9a-fA-F]{1,4}){1,4}\
+|([0-9a-fA-F]{1,4}:){1,2}(:[0-9a-fA-F]{1,4}){1,5}\
+|[0-9a-fA-F]{1,4}:(:[0-9a-fA-F]{1,4}){1,6}\
+|:((:[0-9a-fA-F]{1,4}){1,7}|:))";
+
+/// Returns the anchored content regex for a supported format name, or `None`
+/// for unknown formats.
+pub(crate) fn format_regex(name: &str) -> Option<String> {
+    match name {
+        "date" => Some(DATE.to_string()),
+        "time" => Some(TIME.to_string()),
+        "date-time" => Some(format!("{DATE}[Tt]{TIME}")),
+        "uuid" => Some(UUID.to_string()),
+        "email" => Some(EMAIL.to_string()),
+        "ipv4" => Some(format!("{IPV4_OCTET}(\\.{IPV4_OCTET}){{3}}")),
+        "ipv6" => Some(IPV6.to_string()),
+        "hostname" => Some(HOSTNAME.to_string()),
+        _ => None,
+    }
+}
+
+/// Compiles the content grammar for a supported format name.
+pub(crate) fn format_expr(name: &str) -> Option<Result<GrammarExpr>> {
+    format_regex(name).map(|rx| regex_pattern_to_expr(&rx, &format!("format `{name}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_supported_format_compiles() {
+        for name in SUPPORTED_FORMATS {
+            let expr = format_expr(name)
+                .unwrap_or_else(|| panic!("format `{name}` missing"))
+                .unwrap_or_else(|e| panic!("format `{name}` failed to compile: {e}"));
+            assert!(!matches!(expr, GrammarExpr::Empty));
+        }
+    }
+
+    #[test]
+    fn unknown_formats_are_none() {
+        assert!(format_expr("duration").is_none());
+        assert!(format_expr("uri").is_none());
+    }
+}

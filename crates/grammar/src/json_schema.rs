@@ -5,39 +5,127 @@
 //! schema, which is what the paper's "JSON Schema" workload (function
 //! calling) requires.
 //!
-//! Supported keywords: `type` (object/array/string/integer/number/boolean/
-//! null, or a list of types), `properties`, `required`,
-//! `additionalProperties` (boolean or schema), `items`, `prefixItems`,
-//! `minItems`, `maxItems`, `enum`, `const`, `anyOf`, `oneOf`, `allOf` (single
-//! element only), `$ref` into `#/definitions` or `#/$defs`, `minLength`,
-//! `maxLength`. Unsupported keywords that do not affect syntax (e.g.
-//! `description`, `title`, `default`, `format`) are ignored; unsupported
-//! keywords that would affect syntax produce [`GrammarError::Schema`].
+//! Supported keywords (see [`SUPPORTED_KEYWORDS`]): `type` (object/array/
+//! string/integer/number/boolean/null, or a list of types), `properties`,
+//! `required`, `additionalProperties` (boolean or schema), `items`,
+//! `prefixItems`, `minItems`, `maxItems`, `enum`, `const`, `anyOf`, `oneOf`,
+//! `allOf` (merged by sibling-key intersection), general in-document `$ref`
+//! (JSON-pointer resolution, recursive schemas become recursive grammar
+//! rules), `minLength`, `maxLength`, `pattern` (compiled through
+//! [`crate::regex_pattern_to_expr`]), `format` (see
+//! [`crate::SUPPORTED_FORMATS`]), `minimum`, `maximum`, `exclusiveMinimum`,
+//! `exclusiveMaximum` (digit-wise bounded-number grammars) and `multipleOf`
+//! on integers (a divisibility DFA over decimal digits).
+//!
+//! Annotation keywords ([`ANNOTATION_KEYWORDS`]) never affect syntax and are
+//! always ignored. Any *other* keyword would silently widen the accepted
+//! language, so by default the converter rejects it with
+//! [`GrammarError::Schema`]; set [`JsonSchemaOptions::lenient`] to ignore
+//! unknown keywords (and fall back to unconstrained grammars when a
+//! supported keyword has an unsupported value).
+
+use std::collections::HashMap;
 
 use serde_json::Value;
 
 use crate::ast::{CharClass, CharRange, Grammar, GrammarBuilder, GrammarExpr, RuleId};
+use crate::bounded_number::{integer_range_expr, number_range_expr};
 use crate::error::{GrammarError, Result};
+use crate::formats::format_expr;
+use crate::pattern::regex_pattern_to_expr;
 
-/// Options controlling the generated grammar.
-#[derive(Debug, Clone)]
-pub struct JsonSchemaOptions {
-    /// Whether whitespace is allowed between JSON punctuation. The paper's
-    /// engine (and OpenAI-style function calling) generally wants compact or
-    /// lightly-spaced output; allowing arbitrary whitespace enlarges the
-    /// automaton but is more faithful to free-form JSON.
-    pub allow_whitespace: bool,
-    /// Value of `additionalProperties` assumed when a schema does not set it.
-    pub default_additional_properties: bool,
+type Map = serde_json::Map<String, Value>;
+
+/// Keywords the converter consumes and enforces. Anything outside this list
+/// and [`ANNOTATION_KEYWORDS`] is rejected in strict mode.
+pub const SUPPORTED_KEYWORDS: &[&str] = &[
+    "$ref",
+    "additionalProperties",
+    "allOf",
+    "anyOf",
+    "const",
+    "enum",
+    "exclusiveMaximum",
+    "exclusiveMinimum",
+    "format",
+    "items",
+    "maxItems",
+    "maxLength",
+    "maximum",
+    "minItems",
+    "minLength",
+    "minimum",
+    "multipleOf",
+    "oneOf",
+    "pattern",
+    "prefixItems",
+    "properties",
+    "required",
+    "type",
+];
+
+/// Keywords that are pure annotations (or reference containers resolved
+/// through `$ref`) and never affect the accepted language.
+pub const ANNOTATION_KEYWORDS: &[&str] = &[
+    "$comment",
+    "$defs",
+    "$id",
+    "$schema",
+    "default",
+    "definitions",
+    "deprecated",
+    "description",
+    "examples",
+    "readOnly",
+    "title",
+    "writeOnly",
+];
+
+/// Maximum `allOf`/`$ref` inline-flattening depth before the converter
+/// assumes a cycle and errors out. Recursive schemas are still supported
+/// through pure `$ref` (which becomes a recursive grammar rule); the guard
+/// only trips when a `$ref` cycle passes through an `allOf` merge, which has
+/// no finite flattening.
+const MAX_FLATTEN_DEPTH: usize = 64;
+
+/// Largest `multipleOf` divisor compiled into a digit DFA; the DFA has one
+/// rule per residue class, so this bounds grammar size.
+const MAX_MULTIPLE_OF: u64 = 1024;
+
+/// Controls the JSON punctuation separators the generated grammar accepts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum WhitespaceConfig {
+    /// No whitespace anywhere: `{"a":1,"b":[2,3]}`.
+    Compact,
+    /// Arbitrary whitespace (space, tab, newline, carriage return) around
+    /// every punctuation token, as in free-form JSON. This is the default
+    /// but enlarges the automaton.
+    #[default]
+    Flexible,
+    /// Fixed separator strings, llguidance-style: `item_separator` replaces
+    /// `,` and `key_separator` replaces `:`. Each must contain the
+    /// punctuation character exactly once plus only whitespace (e.g. `", "`
+    /// and `": "`).
+    Separators {
+        /// Replacement for `,` between members/items, e.g. `", "`.
+        item_separator: String,
+        /// Replacement for `:` between object keys and values, e.g. `": "`.
+        key_separator: String,
+    },
 }
 
-impl Default for JsonSchemaOptions {
-    fn default() -> Self {
-        JsonSchemaOptions {
-            allow_whitespace: true,
-            default_additional_properties: false,
-        }
-    }
+/// Options controlling the generated grammar.
+#[derive(Debug, Clone, Default)]
+pub struct JsonSchemaOptions {
+    /// Separator/whitespace policy threaded through the converter.
+    pub whitespace: WhitespaceConfig,
+    /// Value of `additionalProperties` assumed when a schema does not set it.
+    pub default_additional_properties: bool,
+    /// When `true`, unknown keywords are ignored and supported keywords with
+    /// unsupported values fall back to the unconstrained grammar for their
+    /// type, instead of raising [`GrammarError::Schema`]. The default is
+    /// strict: silent widening of the accepted language is an error.
+    pub lenient: bool,
 }
 
 /// Converts a JSON Schema document (already parsed into a
@@ -54,7 +142,7 @@ impl Default for JsonSchemaOptions {
 ///     "type": "object",
 ///     "properties": {
 ///         "name": {"type": "string"},
-///         "age": {"type": "integer"}
+///         "age": {"type": "integer", "minimum": 0}
 ///     },
 ///     "required": ["name"]
 /// });
@@ -69,26 +157,60 @@ pub fn json_schema_to_grammar(schema: &Value) -> Result<Grammar> {
 ///
 /// # Errors
 ///
-/// Returns [`GrammarError::Schema`] for malformed or unsupported schemas.
+/// Returns [`GrammarError::Schema`] for malformed or unsupported schemas and
+/// for invalid [`WhitespaceConfig::Separators`] strings.
 pub fn json_schema_to_grammar_with_options(
     schema: &Value,
     options: &JsonSchemaOptions,
 ) -> Result<Grammar> {
+    validate_whitespace_config(&options.whitespace)?;
     let mut conv = Converter {
         builder: GrammarBuilder::new(),
         options: options.clone(),
         root_schema: schema,
         counter: 0,
         basics: Basics::default(),
+        ref_rules: HashMap::new(),
+        format_rules: HashMap::new(),
+        depth: 0,
     };
     conv.install_basic_rules();
     let root_expr = conv.convert(schema, "#")?;
-    let ws = conv.ws_expr();
-    let root_body = GrammarExpr::seq(vec![ws.clone(), root_expr, ws]);
+    let pad = conv.pad();
+    let root_body = GrammarExpr::seq(vec![pad.clone(), root_expr, pad]);
     conv.builder.add_rule("root", root_body);
     let grammar = conv.builder.build("root")?;
     grammar.validate()?;
     Ok(grammar)
+}
+
+fn validate_whitespace_config(config: &WhitespaceConfig) -> Result<()> {
+    let WhitespaceConfig::Separators {
+        item_separator,
+        key_separator,
+    } = config
+    else {
+        return Ok(());
+    };
+    for (name, sep, punct) in [
+        ("item_separator", item_separator, ','),
+        ("key_separator", key_separator, ':'),
+    ] {
+        let punct_count = sep.chars().filter(|&c| c == punct).count();
+        let rest_ok = sep
+            .chars()
+            .all(|c| c == punct || matches!(c, ' ' | '\t' | '\n' | '\r'));
+        if punct_count != 1 || !rest_ok {
+            return Err(GrammarError::Schema {
+                path: "#".to_string(),
+                message: format!(
+                    "invalid {name} `{sep}`: must contain `{punct}` exactly once \
+                     plus only whitespace"
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[derive(Debug, Default)]
@@ -108,6 +230,13 @@ struct Converter<'a> {
     root_schema: &'a Value,
     counter: usize,
     basics: Basics,
+    /// `$ref` pointer → grammar rule, so each target compiles once and
+    /// recursive references become recursive rules instead of diverging.
+    ref_rules: HashMap<String, RuleId>,
+    /// `format` name → grammar rule for the quoted format string.
+    format_rules: HashMap<String, RuleId>,
+    /// Current `allOf` re-entry depth (see [`MAX_FLATTEN_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Converter<'a> {
@@ -123,15 +252,47 @@ impl<'a> Converter<'a> {
         format!("{}_{}", hint, self.counter)
     }
 
-    fn ws_expr(&self) -> GrammarExpr {
+    /// Optional padding around structural tokens: the `json_ws` rule in
+    /// flexible mode, nothing otherwise.
+    fn pad(&self) -> GrammarExpr {
         match self.basics.ws {
             Some(id) => GrammarExpr::RuleRef(id),
             None => GrammarExpr::Empty,
         }
     }
 
+    /// The separator between members/items (`,` under the active config).
+    fn comma(&self) -> GrammarExpr {
+        match &self.options.whitespace {
+            WhitespaceConfig::Compact => GrammarExpr::literal(","),
+            WhitespaceConfig::Flexible => {
+                GrammarExpr::seq(vec![self.pad(), GrammarExpr::literal(","), self.pad()])
+            }
+            WhitespaceConfig::Separators { item_separator, .. } => {
+                GrammarExpr::Literal(item_separator.clone().into_bytes())
+            }
+        }
+    }
+
+    /// The separator between an object key and its value (`:`).
+    fn colon(&self) -> GrammarExpr {
+        match &self.options.whitespace {
+            WhitespaceConfig::Compact => GrammarExpr::literal(":"),
+            WhitespaceConfig::Flexible => {
+                GrammarExpr::seq(vec![self.pad(), GrammarExpr::literal(":"), self.pad()])
+            }
+            WhitespaceConfig::Separators { key_separator, .. } => {
+                GrammarExpr::Literal(key_separator.clone().into_bytes())
+            }
+        }
+    }
+
+    fn any_rule(&self) -> GrammarExpr {
+        GrammarExpr::RuleRef(self.basics.any.expect("installed"))
+    }
+
     fn install_basic_rules(&mut self) {
-        if self.options.allow_whitespace {
+        if self.options.whitespace == WhitespaceConfig::Flexible {
             let ws = self.builder.add_rule(
                 "json_ws",
                 GrammarExpr::star(GrammarExpr::CharClass(CharClass::new(vec![
@@ -240,51 +401,42 @@ impl<'a> Converter<'a> {
         // json_any: a full JSON value (used for untyped schemas and
         // additionalProperties: true). Mutually recursive, so declare first.
         let any = self.builder.declare("json_any");
-        let ws = self.ws_expr();
+        let pad = self.pad();
         let any_member = GrammarExpr::seq(vec![
             GrammarExpr::RuleRef(string),
-            ws.clone(),
-            GrammarExpr::literal(":"),
-            ws.clone(),
+            self.colon(),
             GrammarExpr::RuleRef(any),
         ]);
         let any_object = GrammarExpr::choice(vec![
             GrammarExpr::seq(vec![
                 GrammarExpr::literal("{"),
-                ws.clone(),
+                pad.clone(),
                 GrammarExpr::literal("}"),
             ]),
             GrammarExpr::seq(vec![
                 GrammarExpr::literal("{"),
-                ws.clone(),
+                pad.clone(),
                 any_member.clone(),
-                GrammarExpr::star(GrammarExpr::seq(vec![
-                    ws.clone(),
-                    GrammarExpr::literal(","),
-                    ws.clone(),
-                    any_member,
-                ])),
-                ws.clone(),
+                GrammarExpr::star(GrammarExpr::seq(vec![self.comma(), any_member])),
+                pad.clone(),
                 GrammarExpr::literal("}"),
             ]),
         ]);
         let any_array = GrammarExpr::choice(vec![
             GrammarExpr::seq(vec![
                 GrammarExpr::literal("["),
-                ws.clone(),
+                pad.clone(),
                 GrammarExpr::literal("]"),
             ]),
             GrammarExpr::seq(vec![
                 GrammarExpr::literal("["),
-                ws.clone(),
+                pad.clone(),
                 GrammarExpr::RuleRef(any),
                 GrammarExpr::star(GrammarExpr::seq(vec![
-                    ws.clone(),
-                    GrammarExpr::literal(","),
-                    ws.clone(),
+                    self.comma(),
                     GrammarExpr::RuleRef(any),
                 ])),
-                ws.clone(),
+                pad.clone(),
                 GrammarExpr::literal("]"),
             ]),
         ]);
@@ -302,72 +454,322 @@ impl<'a> Converter<'a> {
         self.basics.any = Some(any);
     }
 
-    fn resolve_ref<'b>(&self, reference: &str, path: &str) -> Result<&'a Value>
-    where
-        'a: 'b,
-    {
+    /// Resolves an in-document JSON-pointer reference (`#`, `#/a/~0b/0`, ...)
+    /// against the root schema.
+    fn resolve_ref(&self, reference: &str, path: &str) -> Result<&'a Value> {
+        if reference == "#" {
+            return Ok(self.root_schema);
+        }
         let rest = reference
             .strip_prefix("#/")
             .ok_or_else(|| self.schema_err(path, format!("unsupported $ref `{reference}`")))?;
         let mut node = self.root_schema;
-        for part in rest.split('/') {
-            node = node.get(part).ok_or_else(|| {
+        for raw in rest.split('/') {
+            let part = raw.replace("~1", "/").replace("~0", "~");
+            let next = match node {
+                Value::Object(map) => map.get(part.as_str()),
+                Value::Array(arr) => part.parse::<usize>().ok().and_then(|i| arr.get(i)),
+                _ => None,
+            };
+            node = next.ok_or_else(|| {
                 self.schema_err(path, format!("$ref target `{reference}` not found"))
             })?;
         }
         Ok(node)
     }
 
+    /// Returns the (possibly recursive) grammar rule for a pure `$ref`.
+    /// The rule is registered *before* converting the target so that a
+    /// reference cycle resolves to a rule reference instead of diverging.
+    fn ref_rule(&mut self, reference: &str, path: &str) -> Result<RuleId> {
+        if let Some(&id) = self.ref_rules.get(reference) {
+            return Ok(id);
+        }
+        let target = self.resolve_ref(reference, path)?;
+        let raw = reference.rsplit('/').next().unwrap_or("");
+        let mut hint: String = raw
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if hint.trim_matches('_').is_empty() {
+            hint = "schema".to_string();
+        }
+        let name = self.fresh_name(&format!("ref_{hint}"));
+        let id = self.builder.declare(&name);
+        self.ref_rules.insert(reference.to_string(), id);
+        let body = self.convert(target, reference)?;
+        self.builder.set_body(id, body);
+        Ok(id)
+    }
+
+    /// Rejects keywords outside the supported + annotation allowlists
+    /// (strict mode only): an unknown keyword would silently widen the
+    /// accepted language.
+    fn check_keywords(&self, obj: &Map, path: &str) -> Result<()> {
+        if self.options.lenient {
+            return Ok(());
+        }
+        for key in obj.keys() {
+            if !SUPPORTED_KEYWORDS.contains(&key.as_str())
+                && !ANNOTATION_KEYWORDS.contains(&key.as_str())
+            {
+                return Err(self.schema_err(
+                    path,
+                    format!(
+                        "unknown keyword `{key}` would silently widen the accepted \
+                         language (set JsonSchemaOptions::lenient to ignore it)"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Converts a schema node into an expression matching one JSON value.
     fn convert(&mut self, schema: &Value, path: &str) -> Result<GrammarExpr> {
         match schema {
-            Value::Bool(true) => Ok(GrammarExpr::RuleRef(self.basics.any.expect("installed"))),
+            Value::Bool(true) => Ok(self.any_rule()),
             Value::Bool(false) => Err(self.schema_err(path, "schema `false` matches nothing")),
-            Value::Object(obj) => {
-                if let Some(reference) = obj.get("$ref").and_then(Value::as_str) {
-                    let target = self.resolve_ref(reference, path)?;
-                    return self.convert(target, &format!("{path}/$ref"));
+            Value::Object(obj) => self.convert_map(obj, path),
+            other => Err(self.schema_err(path, format!("schema must be an object, got {other}"))),
+        }
+    }
+
+    fn convert_map(&mut self, obj: &Map, path: &str) -> Result<GrammarExpr> {
+        self.check_keywords(obj, path)?;
+        let ref_with_siblings = obj.get("$ref").is_some()
+            && obj
+                .keys()
+                .any(|k| k != "$ref" && SUPPORTED_KEYWORDS.contains(&k.as_str()));
+        if obj.contains_key("allOf") || ref_with_siblings {
+            if self.depth >= MAX_FLATTEN_DEPTH {
+                return Err(self.schema_err(
+                    path,
+                    "allOf/$ref nesting too deep (reference cycle through allOf?)",
+                ));
+            }
+            let merged = self.flatten_all_of(obj, path)?;
+            self.depth += 1;
+            let out = self.convert_map(&merged, path);
+            self.depth -= 1;
+            return out;
+        }
+        if let Some(reference) = obj.get("$ref") {
+            let reference = reference
+                .as_str()
+                .ok_or_else(|| self.schema_err(path, "$ref must be a string"))?;
+            let id = self.ref_rule(reference, path)?;
+            return Ok(GrammarExpr::RuleRef(id));
+        }
+        if let Some(constant) = obj.get("const") {
+            return Ok(GrammarExpr::Literal(
+                serde_json::to_string(constant)
+                    .expect("serializing a Value cannot fail")
+                    .into_bytes(),
+            ));
+        }
+        if let Some(variants) = obj.get("enum") {
+            return self.convert_enum(variants, path);
+        }
+        if let Some(any_of) = obj.get("anyOf").or_else(|| obj.get("oneOf")) {
+            return self.convert_any_of(any_of, path);
+        }
+        match obj.get("type") {
+            Some(Value::String(t)) => self.convert_typed(t, obj, path),
+            Some(Value::Array(types)) => {
+                let mut alts = Vec::new();
+                for (i, t) in types.iter().enumerate() {
+                    let t = t.as_str().ok_or_else(|| {
+                        self.schema_err(path, "type array entries must be strings")
+                    })?;
+                    alts.push(self.convert_typed(t, obj, &format!("{path}/type/{i}"))?);
                 }
-                if let Some(constant) = obj.get("const") {
-                    return Ok(GrammarExpr::Literal(
-                        serde_json::to_string(constant)
-                            .expect("serializing a Value cannot fail")
-                            .into_bytes(),
-                    ));
+                Ok(GrammarExpr::choice(alts))
+            }
+            Some(other) => Err(self.schema_err(path, format!("invalid `type`: {other}"))),
+            None => Ok(self.any_rule()),
+        }
+    }
+
+    /// Flattens `allOf` (and any `$ref` members) into one merged schema map
+    /// by sibling-key intersection, llguidance-style.
+    fn flatten_all_of(&mut self, obj: &Map, path: &str) -> Result<Map> {
+        let mut base = obj.clone();
+        let all_of = base.remove("allOf");
+        let mut members: Vec<Map> = Vec::new();
+        self.collect_member(&Value::Object(base), path, &mut members, 0)?;
+        if let Some(all_of) = all_of {
+            let arr = all_of
+                .as_array()
+                .ok_or_else(|| self.schema_err(path, "allOf must be an array"))?;
+            if arr.is_empty() {
+                return Err(self.schema_err(path, "allOf must not be empty"));
+            }
+            for (i, sub) in arr.iter().enumerate() {
+                self.collect_member(sub, &format!("{path}/allOf/{i}"), &mut members, 0)?;
+            }
+        }
+        let mut acc = Map::new();
+        for member in &members {
+            self.merge_member(&mut acc, member, path)?;
+        }
+        Ok(acc)
+    }
+
+    /// Normalizes one `allOf` member: `true` contributes nothing, `false`
+    /// fails, `$ref` and nested `allOf` are inlined (bounded by
+    /// [`MAX_FLATTEN_DEPTH`] to catch cycles).
+    fn collect_member(
+        &mut self,
+        schema: &Value,
+        path: &str,
+        out: &mut Vec<Map>,
+        depth: usize,
+    ) -> Result<()> {
+        if depth >= MAX_FLATTEN_DEPTH {
+            return Err(self.schema_err(
+                path,
+                "allOf/$ref nesting too deep (reference cycle through allOf?)",
+            ));
+        }
+        match schema {
+            Value::Bool(true) => Ok(()),
+            Value::Bool(false) => Err(self.schema_err(path, "schema `false` matches nothing")),
+            Value::Object(map) => {
+                let mut map = map.clone();
+                if let Some(reference) = map.remove("$ref") {
+                    let reference = reference
+                        .as_str()
+                        .ok_or_else(|| self.schema_err(path, "$ref must be a string"))?;
+                    let target = self.resolve_ref(reference, path)?.clone();
+                    self.collect_member(&target, path, out, depth + 1)?;
                 }
-                if let Some(variants) = obj.get("enum") {
-                    return self.convert_enum(variants, path);
-                }
-                if let Some(any_of) = obj.get("anyOf").or_else(|| obj.get("oneOf")) {
-                    return self.convert_any_of(any_of, path);
-                }
-                if let Some(all_of) = obj.get("allOf") {
-                    let arr = all_of
+                if let Some(inner) = map.remove("allOf") {
+                    let arr = inner
                         .as_array()
-                        .ok_or_else(|| self.schema_err(path, "allOf must be an array"))?;
-                    if arr.len() == 1 {
-                        return self.convert(&arr[0], &format!("{path}/allOf/0"));
+                        .ok_or_else(|| self.schema_err(path, "allOf must be an array"))?
+                        .clone();
+                    for (i, sub) in arr.iter().enumerate() {
+                        self.collect_member(sub, &format!("{path}/allOf/{i}"), out, depth + 1)?;
                     }
-                    return Err(self.schema_err(path, "allOf with more than one schema"));
                 }
-                match obj.get("type") {
-                    Some(Value::String(t)) => self.convert_typed(t, obj, path),
-                    Some(Value::Array(types)) => {
-                        let mut alts = Vec::new();
-                        for (i, t) in types.iter().enumerate() {
-                            let t = t.as_str().ok_or_else(|| {
-                                self.schema_err(path, "type array entries must be strings")
-                            })?;
-                            alts.push(self.convert_typed(t, obj, &format!("{path}/type/{i}"))?);
-                        }
-                        Ok(GrammarExpr::choice(alts))
-                    }
-                    Some(other) => Err(self.schema_err(path, format!("invalid `type`: {other}"))),
-                    None => Ok(GrammarExpr::RuleRef(self.basics.any.expect("installed"))),
+                if !map.is_empty() {
+                    out.push(map);
                 }
+                Ok(())
             }
             other => Err(self.schema_err(path, format!("schema must be an object, got {other}"))),
         }
+    }
+
+    /// Merges one member schema into the accumulator, keyword by keyword.
+    fn merge_member(&self, acc: &mut Map, member: &Map, path: &str) -> Result<()> {
+        for (key, new) in member.iter() {
+            let Some(old) = acc.get(key) else {
+                acc.insert(key.clone(), new.clone());
+                continue;
+            };
+            if old == new {
+                continue;
+            }
+            let old = old.clone();
+            let merged = match key.as_str() {
+                "properties" => self.merge_properties(&old, new, path)?,
+                "required" => merge_required(&old, new),
+                "type" => self.merge_types(&old, new, path)?,
+                "minimum" | "exclusiveMinimum" | "minLength" | "minItems" => {
+                    self.merge_numeric(&old, new, key, path, true)?
+                }
+                "maximum" | "exclusiveMaximum" | "maxLength" | "maxItems" => {
+                    self.merge_numeric(&old, new, key, path, false)?
+                }
+                "additionalProperties" => merge_additional_properties(&old, new),
+                "enum" => self.merge_enums(&old, new, path)?,
+                "items" => all_of_pair(old, new.clone()),
+                _ if ANNOTATION_KEYWORDS.contains(&key.as_str()) => continue,
+                other => {
+                    if self.options.lenient {
+                        continue;
+                    }
+                    return Err(self.schema_err(
+                        path,
+                        format!("conflicting `{other}` values in allOf cannot be merged"),
+                    ));
+                }
+            };
+            acc.insert(key.clone(), merged);
+        }
+        Ok(())
+    }
+
+    fn merge_properties(&self, old: &Value, new: &Value, path: &str) -> Result<Value> {
+        let (Some(old), Some(new)) = (old.as_object(), new.as_object()) else {
+            return Err(self.schema_err(path, "properties must be an object"));
+        };
+        let mut merged = old.clone();
+        for (name, sub) in new.iter() {
+            match merged.get(name) {
+                None => {
+                    merged.insert(name.clone(), sub.clone());
+                }
+                Some(existing) if existing == sub => {}
+                Some(existing) => {
+                    let wrapped = all_of_pair(existing.clone(), sub.clone());
+                    merged.insert(name.clone(), wrapped);
+                }
+            }
+        }
+        Ok(Value::Object(merged))
+    }
+
+    fn merge_types(&self, old: &Value, new: &Value, path: &str) -> Result<Value> {
+        let to_list = |v: &Value| -> Option<Vec<String>> {
+            match v {
+                Value::String(s) => Some(vec![s.clone()]),
+                Value::Array(items) => items
+                    .iter()
+                    .map(|t| t.as_str().map(str::to_string))
+                    .collect(),
+                _ => None,
+            }
+        };
+        let (Some(a), Some(b)) = (to_list(old), to_list(new)) else {
+            return Err(self.schema_err(path, "type must be a string or array of strings"));
+        };
+        let common: Vec<String> = a.into_iter().filter(|t| b.contains(t)).collect();
+        match common.len() {
+            0 => Err(self.schema_err(path, "allOf `type` intersection is empty")),
+            1 => Ok(Value::String(common.into_iter().next().expect("len 1"))),
+            _ => Ok(Value::Array(
+                common.into_iter().map(Value::String).collect(),
+            )),
+        }
+    }
+
+    fn merge_numeric(
+        &self,
+        old: &Value,
+        new: &Value,
+        key: &str,
+        path: &str,
+        take_max: bool,
+    ) -> Result<Value> {
+        let (Some(a), Some(b)) = (old.as_f64(), new.as_f64()) else {
+            return Err(self.schema_err(path, format!("`{key}` must be a number")));
+        };
+        let pick_new = if take_max { b > a } else { b < a };
+        Ok(if pick_new { new.clone() } else { old.clone() })
+    }
+
+    fn merge_enums(&self, old: &Value, new: &Value, path: &str) -> Result<Value> {
+        let (Some(a), Some(b)) = (old.as_array(), new.as_array()) else {
+            return Err(self.schema_err(path, "enum must be an array"));
+        };
+        let common: Vec<Value> = a.iter().filter(|v| b.contains(v)).cloned().collect();
+        if common.is_empty() {
+            return Err(self.schema_err(path, "allOf `enum` intersection is empty"));
+        }
+        Ok(Value::Array(common))
     }
 
     fn convert_enum(&mut self, variants: &Value, path: &str) -> Result<GrammarExpr> {
@@ -404,18 +806,11 @@ impl<'a> Converter<'a> {
         Ok(GrammarExpr::choice(alts))
     }
 
-    fn convert_typed(
-        &mut self,
-        type_name: &str,
-        obj: &serde_json::Map<String, Value>,
-        path: &str,
-    ) -> Result<GrammarExpr> {
+    fn convert_typed(&mut self, type_name: &str, obj: &Map, path: &str) -> Result<GrammarExpr> {
         match type_name {
             "string" => self.convert_string(obj, path),
-            "integer" => Ok(GrammarExpr::RuleRef(
-                self.basics.integer.expect("installed"),
-            )),
-            "number" => Ok(GrammarExpr::RuleRef(self.basics.number.expect("installed"))),
+            "integer" => self.convert_integer(obj, path),
+            "number" => self.convert_number(obj, path),
             "boolean" => Ok(GrammarExpr::RuleRef(
                 self.basics.boolean.expect("installed"),
             )),
@@ -426,11 +821,62 @@ impl<'a> Converter<'a> {
         }
     }
 
-    fn convert_string(
-        &mut self,
-        obj: &serde_json::Map<String, Value>,
-        _path: &str,
-    ) -> Result<GrammarExpr> {
+    fn convert_string(&mut self, obj: &Map, path: &str) -> Result<GrammarExpr> {
+        let has_length_bounds = obj.contains_key("minLength") || obj.contains_key("maxLength");
+        if let Some(pattern) = obj.get("pattern") {
+            match pattern.as_str() {
+                None if !self.options.lenient => {
+                    return Err(self.schema_err(path, "pattern must be a string"));
+                }
+                None => {}
+                Some(p) => {
+                    if !self.options.lenient {
+                        if obj.contains_key("format") {
+                            return Err(self.schema_err(
+                                path,
+                                "cannot combine `pattern` with `format` on one string schema",
+                            ));
+                        }
+                        if has_length_bounds {
+                            return Err(self.schema_err(
+                                path,
+                                "cannot combine `pattern` with minLength/maxLength",
+                            ));
+                        }
+                    }
+                    match regex_pattern_to_expr(p, path) {
+                        Ok(content) => {
+                            return Ok(GrammarExpr::seq(vec![
+                                GrammarExpr::literal("\""),
+                                content,
+                                GrammarExpr::literal("\""),
+                            ]));
+                        }
+                        Err(err) if !self.options.lenient => return Err(err),
+                        Err(_) => {} // lenient: fall back to the plain string grammar
+                    }
+                }
+            }
+        }
+        if let Some(format) = obj.get("format") {
+            match format.as_str() {
+                None if !self.options.lenient => {
+                    return Err(self.schema_err(path, "format must be a string"));
+                }
+                None => {}
+                Some(name) => {
+                    if !self.options.lenient && has_length_bounds {
+                        return Err(self
+                            .schema_err(path, "cannot combine `format` with minLength/maxLength"));
+                    }
+                    if let Some(id) = self.format_rule(name, path)? {
+                        return Ok(GrammarExpr::RuleRef(id));
+                    }
+                    // lenient + unknown format: fall through to the plain
+                    // (possibly length-bounded) string grammar.
+                }
+            }
+        }
         let min = obj.get("minLength").and_then(Value::as_u64).unwrap_or(0) as u32;
         let max = obj
             .get("maxLength")
@@ -455,59 +901,251 @@ impl<'a> Converter<'a> {
         ]))
     }
 
-    fn convert_object(
-        &mut self,
-        obj: &serde_json::Map<String, Value>,
-        path: &str,
-    ) -> Result<GrammarExpr> {
-        let ws = self.ws_expr();
-        let empty_map = serde_json::Map::new();
+    /// Returns the cached rule for a supported `format` name (the quoted
+    /// string), `Ok(None)` for a lenient-mode unknown format.
+    fn format_rule(&mut self, name: &str, path: &str) -> Result<Option<RuleId>> {
+        if let Some(&id) = self.format_rules.get(name) {
+            return Ok(Some(id));
+        }
+        let Some(compiled) = format_expr(name) else {
+            if self.options.lenient {
+                return Ok(None);
+            }
+            return Err(self.schema_err(path, format!("unsupported string format `{name}`")));
+        };
+        let content = compiled?;
+        let rule_name = format!("format_{}", name.replace('-', "_"));
+        let id = self.builder.add_rule(
+            &rule_name,
+            GrammarExpr::seq(vec![
+                GrammarExpr::literal("\""),
+                content,
+                GrammarExpr::literal("\""),
+            ]),
+        );
+        self.format_rules.insert(name.to_string(), id);
+        Ok(Some(id))
+    }
+
+    /// Extracts a numeric bound, returning `None` when absent (or, in
+    /// lenient mode, malformed).
+    fn numeric_bound(&self, obj: &Map, key: &str, path: &str) -> Result<Option<f64>> {
+        let Some(value) = obj.get(key) else {
+            return Ok(None);
+        };
+        // Bounds beyond ±9e15 exceed exact i64/f64 interop; treat as malformed.
+        match value.as_f64().filter(|f| f.is_finite() && f.abs() < 9.0e15) {
+            Some(f) => Ok(Some(f)),
+            None if self.options.lenient => Ok(None),
+            None => Err(self.schema_err(path, format!("`{key}` must be a finite number"))),
+        }
+    }
+
+    fn convert_integer(&mut self, obj: &Map, path: &str) -> Result<GrammarExpr> {
+        let mut lo: Option<i64> = None;
+        let mut hi: Option<i64> = None;
+        if let Some(v) = self.numeric_bound(obj, "minimum", path)? {
+            let b = v.ceil() as i64;
+            lo = Some(lo.map_or(b, |c| c.max(b)));
+        }
+        if let Some(v) = self.numeric_bound(obj, "exclusiveMinimum", path)? {
+            let b = v.floor() as i64 + 1;
+            lo = Some(lo.map_or(b, |c| c.max(b)));
+        }
+        if let Some(v) = self.numeric_bound(obj, "maximum", path)? {
+            let b = v.floor() as i64;
+            hi = Some(hi.map_or(b, |c| c.min(b)));
+        }
+        if let Some(v) = self.numeric_bound(obj, "exclusiveMaximum", path)? {
+            let b = v.ceil() as i64 - 1;
+            hi = Some(hi.map_or(b, |c| c.min(b)));
+        }
+
+        if let Some(multiple) = obj.get("multipleOf") {
+            let k = multiple
+                .as_u64()
+                .filter(|&k| (1..=MAX_MULTIPLE_OF).contains(&k));
+            match k {
+                Some(_) if lo.is_some() || hi.is_some() => {
+                    if !self.options.lenient {
+                        return Err(self.schema_err(
+                            path,
+                            "cannot combine `multipleOf` with minimum/maximum bounds",
+                        ));
+                    }
+                    // lenient: keep the bounds, drop the divisibility constraint
+                }
+                Some(1) => {
+                    return Ok(GrammarExpr::RuleRef(
+                        self.basics.integer.expect("installed"),
+                    ));
+                }
+                Some(k) => return Ok(self.multiple_of_expr(k)),
+                None => {
+                    if !self.options.lenient {
+                        return Err(self.schema_err(
+                            path,
+                            format!(
+                                "`multipleOf` must be a positive integer \
+                                 no greater than {MAX_MULTIPLE_OF}"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        if lo.is_none() && hi.is_none() {
+            return Ok(GrammarExpr::RuleRef(
+                self.basics.integer.expect("installed"),
+            ));
+        }
+        integer_range_expr(lo, hi, path)
+    }
+
+    /// Builds a divisibility DFA over decimal digits: one right-recursive
+    /// rule per residue class mod `k`, accepting exactly the canonical
+    /// decimal integers divisible by `k`.
+    fn multiple_of_expr(&mut self, k: u64) -> GrammarExpr {
+        let prefix = self.fresh_name("multiple_of");
+        let states: Vec<RuleId> = (0..k)
+            .map(|s| self.builder.declare(&format!("{prefix}_m{s}")))
+            .collect();
+        let grouped = |start: u64, state: u64| -> Vec<GrammarExpr> {
+            let mut by_next: std::collections::BTreeMap<u64, Vec<u8>> =
+                std::collections::BTreeMap::new();
+            for d in start..10 {
+                by_next
+                    .entry((state * 10 + d) % k)
+                    .or_default()
+                    .push(b'0' + d as u8);
+            }
+            by_next
+                .into_iter()
+                .map(|(next, digits)| {
+                    GrammarExpr::seq(vec![
+                        digit_set_class(&digits),
+                        GrammarExpr::RuleRef(states[next as usize]),
+                    ])
+                })
+                .collect()
+        };
+        for s in 0..k {
+            let mut alts = Vec::new();
+            if s == 0 {
+                alts.push(GrammarExpr::Empty);
+            }
+            alts.extend(grouped(0, s));
+            self.builder
+                .set_body(states[s as usize], GrammarExpr::choice(alts));
+        }
+        // Leading digit 1-9 (no leading zeros); zero itself is spelled "0".
+        GrammarExpr::choice(vec![
+            GrammarExpr::literal("0"),
+            GrammarExpr::seq(vec![
+                GrammarExpr::optional(GrammarExpr::literal("-")),
+                GrammarExpr::choice(grouped(1, 0)),
+            ]),
+        ])
+    }
+
+    fn convert_number(&mut self, obj: &Map, path: &str) -> Result<GrammarExpr> {
+        if obj.contains_key("multipleOf") && !self.options.lenient {
+            return Err(self.schema_err(
+                path,
+                "`multipleOf` on type `number` is unsupported (use type `integer`)",
+            ));
+        }
+        let min_inc = self.number_bound(obj, "minimum", path)?;
+        let min_exc = self.number_bound(obj, "exclusiveMinimum", path)?;
+        let max_inc = self.number_bound(obj, "maximum", path)?;
+        let max_exc = self.number_bound(obj, "exclusiveMaximum", path)?;
+        // The stricter lower bound wins: a larger value, or exclusivity on a tie.
+        let lower = match (min_inc, min_exc) {
+            (Some(a), Some(b)) if b >= a => Some((b, true)),
+            (Some(a), _) => Some((a, false)),
+            (None, Some(b)) => Some((b, true)),
+            (None, None) => None,
+        };
+        let upper = match (max_inc, max_exc) {
+            (Some(a), Some(b)) if b <= a => Some((b, true)),
+            (Some(a), _) => Some((a, false)),
+            (None, Some(b)) => Some((b, true)),
+            (None, None) => None,
+        };
+        if lower.is_none() && upper.is_none() {
+            return Ok(GrammarExpr::RuleRef(self.basics.number.expect("installed")));
+        }
+        let (lo, lo_exclusive) = lower.map_or((None, false), |(v, e)| (Some(v), e));
+        let (hi, hi_exclusive) = upper.map_or((None, false), |(v, e)| (Some(v), e));
+        number_range_expr(lo, hi, lo_exclusive, hi_exclusive, path)
+    }
+
+    /// Extracts an integer-valued bound for type `number`; fractional bounds
+    /// are unsupported (dropped in lenient mode).
+    fn number_bound(&self, obj: &Map, key: &str, path: &str) -> Result<Option<i64>> {
+        match self.numeric_bound(obj, key, path)? {
+            None => Ok(None),
+            Some(v) if v.fract() == 0.0 => Ok(Some(v as i64)),
+            Some(_) if self.options.lenient => Ok(None),
+            Some(v) => Err(self.schema_err(
+                path,
+                format!("`{key}` on type `number` must be integer-valued, got {v}"),
+            )),
+        }
+    }
+
+    fn convert_object(&mut self, obj: &Map, path: &str) -> Result<GrammarExpr> {
+        let pad = self.pad();
+        let empty_map = Map::new();
         let properties = obj
             .get("properties")
             .and_then(Value::as_object)
             .unwrap_or(&empty_map);
-        let required: Vec<&str> = obj
+        let required: Vec<String> = obj
             .get("required")
             .and_then(Value::as_array)
-            .map(|a| a.iter().filter_map(Value::as_str).collect())
+            .map(|a| {
+                a.iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
             .unwrap_or_default();
         let additional = obj.get("additionalProperties");
         let (allow_additional, additional_schema) = match additional {
             None => (self.options.default_additional_properties, None),
             Some(Value::Bool(b)) => (*b, None),
-            Some(schema) => (true, Some(schema)),
+            Some(schema) => (true, Some(schema.clone())),
         };
 
         // Build member expressions for each declared property, in order.
+        let colon = self.colon();
         let mut members: Vec<(GrammarExpr, bool)> = Vec::new();
-        for (name, prop_schema) in properties {
+        let property_list: Vec<(String, Value)> = properties
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (name, prop_schema) in &property_list {
             let value_expr = self.convert(prop_schema, &format!("{path}/properties/{name}"))?;
             let key_literal = GrammarExpr::Literal(
                 serde_json::to_string(&Value::String(name.clone()))
                     .expect("serializing a string cannot fail")
                     .into_bytes(),
             );
-            let member = GrammarExpr::seq(vec![
-                key_literal,
-                ws.clone(),
-                GrammarExpr::literal(":"),
-                ws.clone(),
-                value_expr,
-            ]);
-            members.push((member, required.contains(&name.as_str())));
+            let member = GrammarExpr::seq(vec![key_literal, colon.clone(), value_expr]);
+            members.push((member, required.iter().any(|r| r == name)));
         }
 
         // Additional members expression (used when additionalProperties allows them).
         let additional_member = if allow_additional {
-            let value_expr = match additional_schema {
+            let value_expr = match &additional_schema {
                 Some(schema) => self.convert(schema, &format!("{path}/additionalProperties"))?,
-                None => GrammarExpr::RuleRef(self.basics.any.expect("installed")),
+                None => self.any_rule(),
             };
             Some(GrammarExpr::seq(vec![
                 GrammarExpr::RuleRef(self.basics.string.expect("installed")),
-                ws.clone(),
-                GrammarExpr::literal(":"),
-                ws.clone(),
+                colon.clone(),
                 value_expr,
             ]))
         } else {
@@ -517,7 +1155,7 @@ impl<'a> Converter<'a> {
         // Recursive construction over property suffixes. For each suffix we
         // build two expressions: one assuming no member has been emitted yet
         // (`first`) and one assuming a comma is needed (`rest`).
-        let comma = GrammarExpr::seq(vec![ws.clone(), GrammarExpr::literal(","), ws.clone()]);
+        let comma = self.comma();
         let additional_tail = additional_member
             .as_ref()
             .map(|m| GrammarExpr::star(GrammarExpr::seq(vec![comma.clone(), m.clone()])));
@@ -531,7 +1169,6 @@ impl<'a> Converter<'a> {
             ])),
             None => GrammarExpr::Empty,
         };
-        let mut suffix_nullable = true;
         for (member, is_required) in members.into_iter().rev() {
             let hint = self.fresh_name("props");
             // Materialize current suffixes as rules to keep expressions small.
@@ -565,7 +1202,6 @@ impl<'a> Converter<'a> {
                     GrammarExpr::RuleRef(first_rule),
                 ])
             };
-            suffix_nullable = suffix_nullable && !is_required;
             rest_suffix = new_rest;
             first_suffix = new_first;
         }
@@ -574,25 +1210,21 @@ impl<'a> Converter<'a> {
         let members_rule = self.builder.add_rule(&body_rule_name, first_suffix);
         Ok(GrammarExpr::seq(vec![
             GrammarExpr::literal("{"),
-            ws.clone(),
+            pad.clone(),
             GrammarExpr::RuleRef(members_rule),
-            ws,
+            pad,
             GrammarExpr::literal("}"),
         ]))
     }
 
-    fn convert_array(
-        &mut self,
-        obj: &serde_json::Map<String, Value>,
-        path: &str,
-    ) -> Result<GrammarExpr> {
-        let ws = self.ws_expr();
+    fn convert_array(&mut self, obj: &Map, path: &str) -> Result<GrammarExpr> {
+        let pad = self.pad();
         let min_items = obj.get("minItems").and_then(Value::as_u64).unwrap_or(0) as u32;
         let max_items = obj
             .get("maxItems")
             .and_then(Value::as_u64)
             .map(|v| v as u32);
-        if let (Some(max), true) = (max_items, max_items.is_some()) {
+        if let Some(max) = max_items {
             if max < min_items {
                 return Err(GrammarError::InvalidRepetition {
                     min: min_items,
@@ -603,49 +1235,46 @@ impl<'a> Converter<'a> {
 
         // prefixItems (tuple validation).
         if let Some(prefix) = obj.get("prefixItems").and_then(Value::as_array) {
-            let mut parts = vec![GrammarExpr::literal("["), ws.clone()];
+            let prefix = prefix.clone();
+            let mut parts = vec![GrammarExpr::literal("["), pad.clone()];
             for (i, sub) in prefix.iter().enumerate() {
                 if i > 0 {
-                    parts.push(ws.clone());
-                    parts.push(GrammarExpr::literal(","));
-                    parts.push(ws.clone());
+                    parts.push(self.comma());
                 }
                 parts.push(self.convert(sub, &format!("{path}/prefixItems/{i}"))?);
             }
-            parts.push(ws.clone());
+            parts.push(pad.clone());
             parts.push(GrammarExpr::literal("]"));
             return Ok(GrammarExpr::seq(parts));
         }
 
         let item_expr = match obj.get("items") {
-            Some(items) => self.convert(items, &format!("{path}/items"))?,
-            None => GrammarExpr::RuleRef(self.basics.any.expect("installed")),
+            Some(items) => {
+                let items = items.clone();
+                self.convert(&items, &format!("{path}/items"))?
+            }
+            None => self.any_rule(),
         };
         let item_rule_name = self.fresh_name("array_item");
         let item_rule = self.builder.add_rule(&item_rule_name, item_expr);
         let item = GrammarExpr::RuleRef(item_rule);
-        let comma_item = GrammarExpr::seq(vec![
-            ws.clone(),
-            GrammarExpr::literal(","),
-            ws.clone(),
-            item.clone(),
-        ]);
+        let comma_item = GrammarExpr::seq(vec![self.comma(), item.clone()]);
 
         let empty_array = GrammarExpr::seq(vec![
             GrammarExpr::literal("["),
-            ws.clone(),
+            pad.clone(),
             GrammarExpr::literal("]"),
         ]);
         let non_empty = GrammarExpr::seq(vec![
             GrammarExpr::literal("["),
-            ws.clone(),
+            pad.clone(),
             item,
             GrammarExpr::Repeat {
                 expr: Box::new(comma_item),
                 min: min_items.saturating_sub(1),
                 max: max_items.map(|m| m.saturating_sub(1)),
             },
-            ws.clone(),
+            pad.clone(),
             GrammarExpr::literal("]"),
         ]);
         if min_items == 0 {
@@ -659,157 +1288,46 @@ impl<'a> Converter<'a> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use serde_json::json;
+/// `{"allOf": [a, b]}` — the merge fallback for keywords whose constraints
+/// compose by conjunction on a nested schema.
+fn all_of_pair(a: Value, b: Value) -> Value {
+    let mut map = Map::new();
+    map.insert("allOf".to_string(), Value::Array(vec![a, b]));
+    Value::Object(map)
+}
 
-    #[test]
-    fn simple_object_schema_converts() {
-        let schema = json!({
-            "type": "object",
-            "properties": {
-                "name": {"type": "string"},
-                "age": {"type": "integer"},
-                "active": {"type": "boolean"}
-            },
-            "required": ["name", "age"]
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-        assert!(g.rules().len() > 8);
+fn merge_required(old: &Value, new: &Value) -> Value {
+    let mut union: Vec<Value> = old.as_array().cloned().unwrap_or_default();
+    for item in new.as_array().cloned().unwrap_or_default() {
+        if !union.contains(&item) {
+            union.push(item);
+        }
     }
+    Value::Array(union)
+}
 
-    #[test]
-    fn enum_and_const_convert_to_literals() {
-        let schema = json!({
-            "type": "object",
-            "properties": {
-                "unit": {"enum": ["celsius", "fahrenheit"]},
-                "version": {"const": 2}
-            },
-            "required": ["unit", "version"]
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn nested_objects_and_arrays() {
-        let schema = json!({
-            "type": "object",
-            "properties": {
-                "tags": {"type": "array", "items": {"type": "string"}, "minItems": 1},
-                "address": {
-                    "type": "object",
-                    "properties": {
-                        "street": {"type": "string"},
-                        "zip": {"type": "string"}
-                    },
-                    "required": ["street"]
-                }
-            },
-            "required": ["tags"]
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn ref_into_defs_resolves() {
-        let schema = json!({
-            "type": "object",
-            "properties": {"child": {"$ref": "#/$defs/leaf"}},
-            "required": ["child"],
-            "$defs": {"leaf": {"type": "string"}}
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn missing_ref_is_an_error() {
-        let schema = json!({"$ref": "#/$defs/nope"});
-        assert!(matches!(
-            json_schema_to_grammar(&schema),
-            Err(GrammarError::Schema { .. })
-        ));
-    }
-
-    #[test]
-    fn any_of_becomes_choice() {
-        let schema = json!({
-            "anyOf": [{"type": "string"}, {"type": "integer"}, {"type": "null"}]
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn untyped_schema_matches_any_json() {
-        let schema = json!(true);
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.rule_id("json_any").is_some());
-    }
-
-    #[test]
-    fn false_schema_is_rejected() {
-        let schema = json!(false);
-        assert!(json_schema_to_grammar(&schema).is_err());
-    }
-
-    #[test]
-    fn bounded_arrays_and_strings() {
-        let schema = json!({
-            "type": "object",
-            "properties": {
-                "code": {"type": "string", "minLength": 2, "maxLength": 4},
-                "points": {"type": "array", "items": {"type": "number"}, "minItems": 2, "maxItems": 3}
-            },
-            "required": ["code", "points"]
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn type_list_becomes_choice() {
-        let schema = json!({"type": ["string", "null"]});
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn additional_properties_schema() {
-        let schema = json!({
-            "type": "object",
-            "properties": {"id": {"type": "integer"}},
-            "required": ["id"],
-            "additionalProperties": {"type": "string"}
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn prefix_items_tuple() {
-        let schema = json!({
-            "type": "array",
-            "prefixItems": [{"type": "string"}, {"type": "integer"}]
-        });
-        let g = json_schema_to_grammar(&schema).unwrap();
-        assert!(g.validate().is_ok());
-    }
-
-    #[test]
-    fn compact_mode_has_no_ws_rule() {
-        let schema =
-            json!({"type": "object", "properties": {"a": {"type": "integer"}}, "required": ["a"]});
-        let opts = JsonSchemaOptions {
-            allow_whitespace: false,
-            ..Default::default()
-        };
-        let g = json_schema_to_grammar_with_options(&schema, &opts).unwrap();
-        assert!(g.rule_id("json_ws").is_none());
+fn merge_additional_properties(old: &Value, new: &Value) -> Value {
+    match (old, new) {
+        (Value::Bool(false), _) | (_, Value::Bool(false)) => Value::Bool(false),
+        (Value::Bool(true), other) | (other, Value::Bool(true)) => other.clone(),
+        (a, b) => all_of_pair(a.clone(), b.clone()),
     }
 }
+
+/// A character class over an ascending list of ASCII digits, merging
+/// contiguous runs into ranges.
+fn digit_set_class(digits: &[u8]) -> GrammarExpr {
+    let mut ranges: Vec<CharRange> = Vec::new();
+    for &d in digits {
+        let c = d as char;
+        match ranges.last_mut() {
+            Some(last) if last.end as u32 + 1 == c as u32 => last.end = c,
+            _ => ranges.push(CharRange::new(c, c)),
+        }
+    }
+    GrammarExpr::CharClass(CharClass::new(ranges))
+}
+
+#[cfg(test)]
+#[path = "json_schema_tests.rs"]
+mod tests;

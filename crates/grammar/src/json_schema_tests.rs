@@ -1,0 +1,630 @@
+//! Unit tests for the JSON Schema converter (see `json_schema.rs`).
+
+use super::*;
+use serde_json::json;
+
+fn lenient() -> JsonSchemaOptions {
+    JsonSchemaOptions {
+        lenient: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn simple_object_schema_converts() {
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "name": {"type": "string"},
+            "age": {"type": "integer"},
+            "active": {"type": "boolean"}
+        },
+        "required": ["name", "age"]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+    assert!(g.rules().len() > 8);
+}
+
+#[test]
+fn enum_and_const_convert_to_literals() {
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "unit": {"enum": ["celsius", "fahrenheit"]},
+            "version": {"const": 2}
+        },
+        "required": ["unit", "version"]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn nested_objects_and_arrays() {
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "tags": {"type": "array", "items": {"type": "string"}, "minItems": 1},
+            "address": {
+                "type": "object",
+                "properties": {
+                    "street": {"type": "string"},
+                    "zip": {"type": "string"}
+                },
+                "required": ["street"]
+            }
+        },
+        "required": ["tags"]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn ref_into_defs_resolves() {
+    let schema = json!({
+        "type": "object",
+        "properties": {"child": {"$ref": "#/$defs/leaf"}},
+        "required": ["child"],
+        "$defs": {"leaf": {"type": "string"}}
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn missing_ref_is_an_error() {
+    let schema = json!({"$ref": "#/$defs/nope"});
+    assert!(matches!(
+        json_schema_to_grammar(&schema),
+        Err(GrammarError::Schema { .. })
+    ));
+}
+
+#[test]
+fn any_of_becomes_choice() {
+    let schema = json!({
+        "anyOf": [{"type": "string"}, {"type": "integer"}, {"type": "null"}]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn untyped_schema_matches_any_json() {
+    let schema = json!(true);
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.rule_id("json_any").is_some());
+}
+
+#[test]
+fn false_schema_is_rejected() {
+    let schema = json!(false);
+    assert!(json_schema_to_grammar(&schema).is_err());
+}
+
+#[test]
+fn bounded_arrays_and_strings() {
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "code": {"type": "string", "minLength": 2, "maxLength": 4},
+            "points": {"type": "array", "items": {"type": "number"}, "minItems": 2, "maxItems": 3}
+        },
+        "required": ["code", "points"]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn type_list_becomes_choice() {
+    let schema = json!({"type": ["string", "null"]});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn additional_properties_schema() {
+    let schema = json!({
+        "type": "object",
+        "properties": {"id": {"type": "integer"}},
+        "required": ["id"],
+        "additionalProperties": {"type": "string"}
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn prefix_items_tuple() {
+    let schema = json!({
+        "type": "array",
+        "prefixItems": [{"type": "string"}, {"type": "integer"}]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn compact_mode_has_no_ws_rule() {
+    let schema =
+        json!({"type": "object", "properties": {"a": {"type": "integer"}}, "required": ["a"]});
+    let opts = JsonSchemaOptions {
+        whitespace: WhitespaceConfig::Compact,
+        ..Default::default()
+    };
+    let g = json_schema_to_grammar_with_options(&schema, &opts).unwrap();
+    assert!(g.rule_id("json_ws").is_none());
+}
+
+// ---- pattern ----
+
+#[test]
+fn pattern_compiles_through_regex_machinery() {
+    let schema = json!({"type": "string", "pattern": "^[a-z]{2,5}-[0-9]+$"});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+    // The pattern replaces the generic string rule at the use site.
+    assert!(g.to_string().contains("[a-z]"));
+}
+
+#[test]
+fn pattern_with_length_bounds_is_strict_error() {
+    let schema = json!({"type": "string", "pattern": "^a+$", "minLength": 2});
+    assert!(matches!(
+        json_schema_to_grammar(&schema),
+        Err(GrammarError::Schema { .. })
+    ));
+    // Lenient mode keeps the pattern and drops the length bound.
+    assert!(json_schema_to_grammar_with_options(&schema, &lenient()).is_ok());
+}
+
+#[test]
+fn pattern_combined_with_format_is_strict_error() {
+    let schema = json!({"type": "string", "pattern": "^a$", "format": "uuid"});
+    assert!(json_schema_to_grammar(&schema).is_err());
+}
+
+#[test]
+fn unsupported_pattern_falls_back_when_lenient() {
+    let schema = json!({"type": "string", "pattern": "^(?=a)b$"});
+    assert!(json_schema_to_grammar(&schema).is_err());
+    let g = json_schema_to_grammar_with_options(&schema, &lenient()).unwrap();
+    assert!(g.rule_id("json_string").is_some());
+}
+
+// ---- format ----
+
+#[test]
+fn known_formats_become_named_rules() {
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "when": {"type": "string", "format": "date-time"},
+            "id": {"type": "string", "format": "uuid"}
+        },
+        "required": ["when", "id"]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.rule_id("format_date_time").is_some());
+    assert!(g.rule_id("format_uuid").is_some());
+}
+
+#[test]
+fn format_rules_are_cached_per_name() {
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "a": {"type": "string", "format": "ipv4"},
+            "b": {"type": "string", "format": "ipv4"}
+        },
+        "required": ["a", "b"]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    let text = g.to_string();
+    assert_eq!(text.matches("format_ipv4 ::=").count(), 1);
+}
+
+#[test]
+fn unknown_format_errors_in_strict_mode() {
+    let schema = json!({"type": "string", "format": "duration"});
+    assert!(matches!(
+        json_schema_to_grammar(&schema),
+        Err(GrammarError::Schema { .. })
+    ));
+    let g = json_schema_to_grammar_with_options(&schema, &lenient()).unwrap();
+    assert!(g.rule_id("json_string").is_some());
+}
+
+// ---- numeric bounds ----
+
+#[test]
+fn integer_bounds_produce_digit_grammar() {
+    let schema = json!({"type": "integer", "minimum": 3, "maximum": 121});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+    // The unconstrained integer rule must not be the root's value.
+    assert!(!g.to_string().contains("root ::= json_ws json_integer"));
+}
+
+#[test]
+fn exclusive_integer_bounds_tighten_the_range() {
+    let schema = json!({"type": "integer", "exclusiveMinimum": 0, "exclusiveMaximum": 10});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn empty_integer_range_is_an_error() {
+    let schema = json!({"type": "integer", "minimum": 5, "maximum": 4});
+    assert!(matches!(
+        json_schema_to_grammar(&schema),
+        Err(GrammarError::Schema { .. })
+    ));
+}
+
+#[test]
+fn number_bounds_produce_digit_grammar() {
+    let schema = json!({"type": "number", "minimum": 0, "exclusiveMaximum": 100});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn fractional_number_bound_is_strict_error() {
+    let schema = json!({"type": "number", "minimum": 0.5});
+    assert!(json_schema_to_grammar(&schema).is_err());
+    // Lenient mode drops the fractional bound entirely.
+    let g = json_schema_to_grammar_with_options(&schema, &lenient()).unwrap();
+    assert!(g.rule_id("json_number").is_some());
+}
+
+#[test]
+fn draft4_boolean_exclusive_minimum_is_rejected() {
+    let schema = json!({"type": "integer", "minimum": 1, "exclusiveMinimum": true});
+    assert!(json_schema_to_grammar(&schema).is_err());
+    assert!(json_schema_to_grammar_with_options(&schema, &lenient()).is_ok());
+}
+
+// ---- multipleOf ----
+
+#[test]
+fn multiple_of_builds_residue_dfa() {
+    let schema = json!({"type": "integer", "multipleOf": 7});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+    let text = g.to_string();
+    // One rule per residue class mod 7.
+    for s in 0..7 {
+        assert!(text.contains(&format!("_m{s} ::=")), "missing state {s}");
+    }
+}
+
+#[test]
+fn multiple_of_one_is_plain_integer() {
+    let schema = json!({"type": "integer", "multipleOf": 1});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(!g.to_string().contains("multiple_of"));
+}
+
+#[test]
+fn multiple_of_with_bounds_is_strict_error() {
+    let schema = json!({"type": "integer", "multipleOf": 3, "minimum": 0});
+    assert!(json_schema_to_grammar(&schema).is_err());
+    // Lenient: the bounds win, divisibility is dropped.
+    assert!(json_schema_to_grammar_with_options(&schema, &lenient()).is_ok());
+}
+
+#[test]
+fn invalid_multiple_of_values_error_in_strict_mode() {
+    for bad in [json!(0), json!(-3), json!(2.5), json!(100_000)] {
+        let schema = json!({"type": "integer", "multipleOf": bad.clone()});
+        assert!(
+            json_schema_to_grammar(&schema).is_err(),
+            "multipleOf {bad} should be rejected"
+        );
+        assert!(json_schema_to_grammar_with_options(&schema, &lenient()).is_ok());
+    }
+}
+
+#[test]
+fn multiple_of_on_number_is_strict_error() {
+    let schema = json!({"type": "number", "multipleOf": 2});
+    assert!(json_schema_to_grammar(&schema).is_err());
+    assert!(json_schema_to_grammar_with_options(&schema, &lenient()).is_ok());
+}
+
+// ---- allOf ----
+
+#[test]
+fn all_of_merges_properties_and_required() {
+    let schema = json!({
+        "allOf": [
+            {"type": "object", "properties": {"a": {"type": "string"}}, "required": ["a"]},
+            {"type": "object", "properties": {"b": {"type": "integer"}}, "required": ["b"]}
+        ]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+    let text = g.to_string();
+    assert!(text.contains("\\\"a\\\"") || text.contains("\"a\""));
+}
+
+#[test]
+fn all_of_intersects_numeric_bounds() {
+    let schema = json!({
+        "type": "integer",
+        "allOf": [{"minimum": 0}, {"minimum": 5, "maximum": 20}, {"maximum": 30}]
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn all_of_empty_type_intersection_is_error() {
+    let schema = json!({"allOf": [{"type": "string"}, {"type": "integer"}]});
+    assert!(matches!(
+        json_schema_to_grammar(&schema),
+        Err(GrammarError::Schema { .. })
+    ));
+}
+
+#[test]
+fn all_of_conflicting_const_is_error() {
+    let schema = json!({"allOf": [{"const": 1}, {"const": 2}]});
+    assert!(json_schema_to_grammar(&schema).is_err());
+}
+
+#[test]
+fn all_of_with_ref_member_is_inlined() {
+    let schema = json!({
+        "allOf": [
+            {"$ref": "#/$defs/base"},
+            {"type": "object", "properties": {"extra": {"type": "boolean"}}, "required": ["extra"]}
+        ],
+        "$defs": {
+            "base": {"type": "object", "properties": {"id": {"type": "integer"}}, "required": ["id"]}
+        }
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn all_of_enum_intersection() {
+    let schema = json!({"allOf": [{"enum": ["a", "b", "c"]}, {"enum": ["b", "c", "d"]}]});
+    let g = json_schema_to_grammar(&schema).unwrap();
+    let text = g.to_string();
+    assert!(text.contains("b") && text.contains("c"));
+    let empty = json!({"allOf": [{"enum": ["a"]}, {"enum": ["b"]}]});
+    assert!(json_schema_to_grammar(&empty).is_err());
+}
+
+// ---- $ref ----
+
+#[test]
+fn recursive_ref_becomes_recursive_rule() {
+    let schema = json!({
+        "$ref": "#/$defs/node",
+        "$defs": {
+            "node": {
+                "type": "object",
+                "properties": {
+                    "value": {"type": "integer"},
+                    "children": {"type": "array", "items": {"$ref": "#/$defs/node"}}
+                },
+                "required": ["value"]
+            }
+        }
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn degenerate_self_ref_is_rejected() {
+    // `{"$ref": "#"}` expands to itself with no terminals: left recursion.
+    let schema = json!({"$ref": "#"});
+    assert!(json_schema_to_grammar(&schema).is_err());
+}
+
+#[test]
+fn json_pointer_escapes_resolve() {
+    let schema = json!({
+        "$ref": "#/$defs/a~1b",
+        "$defs": {"a/b": {"type": "boolean"}}
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn ref_with_sibling_keys_merges_like_all_of() {
+    let schema = json!({
+        "$ref": "#/$defs/base",
+        "required": ["name"],
+        "$defs": {
+            "base": {"type": "object", "properties": {"name": {"type": "string"}}}
+        }
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    assert!(g.validate().is_ok());
+}
+
+#[test]
+fn shared_ref_targets_compile_once() {
+    let schema = json!({
+        "type": "object",
+        "properties": {
+            "a": {"$ref": "#/$defs/leaf"},
+            "b": {"$ref": "#/$defs/leaf"}
+        },
+        "required": ["a", "b"],
+        "$defs": {"leaf": {"type": "string", "format": "uuid"}}
+    });
+    let g = json_schema_to_grammar(&schema).unwrap();
+    let text = g.to_string();
+    let definitions = text
+        .lines()
+        .filter(|l| l.starts_with("ref_leaf") && l.contains("::="))
+        .count();
+    assert_eq!(
+        definitions, 1,
+        "shared $ref target must compile once:\n{text}"
+    );
+    assert!(
+        text.matches("ref_leaf").count() >= 3,
+        "both uses reference it"
+    );
+}
+
+// ---- strict vs lenient keyword handling ----
+
+#[test]
+fn unknown_keyword_errors_in_strict_mode() {
+    let schema = json!({"type": "string", "patternProperties": {}});
+    let err = json_schema_to_grammar(&schema).unwrap_err();
+    assert!(err.to_string().contains("patternProperties"), "{err}");
+    assert!(json_schema_to_grammar_with_options(&schema, &lenient()).is_ok());
+}
+
+#[test]
+fn annotation_keywords_are_always_ignored() {
+    let schema = json!({
+        "type": "string",
+        "title": "Name",
+        "description": "a name",
+        "examples": ["x"],
+        "default": "y",
+        "$comment": "note"
+    });
+    assert!(json_schema_to_grammar(&schema).is_ok());
+}
+
+#[test]
+fn every_supported_keyword_is_consumed_in_strict_mode() {
+    // Regression guard: one minimal schema per supported keyword, each of
+    // which must compile strictly. If a keyword is added to
+    // SUPPORTED_KEYWORDS without converter support (or vice versa) this
+    // test fails.
+    let cases: Vec<(&str, Value)> = vec![
+        (
+            "$ref",
+            json!({"$ref": "#/$defs/a", "$defs": {"a": {"type": "string"}}}),
+        ),
+        (
+            "additionalProperties",
+            json!({"type": "object", "additionalProperties": {"type": "integer"}}),
+        ),
+        (
+            "allOf",
+            json!({"allOf": [{"type": "object"}, {"required": []}]}),
+        ),
+        (
+            "anyOf",
+            json!({"anyOf": [{"type": "string"}, {"type": "null"}]}),
+        ),
+        ("const", json!({"const": 42})),
+        ("enum", json!({"enum": [1, 2]})),
+        (
+            "exclusiveMaximum",
+            json!({"type": "integer", "exclusiveMaximum": 10}),
+        ),
+        (
+            "exclusiveMinimum",
+            json!({"type": "integer", "exclusiveMinimum": 0}),
+        ),
+        ("format", json!({"type": "string", "format": "date"})),
+        (
+            "items",
+            json!({"type": "array", "items": {"type": "boolean"}}),
+        ),
+        ("maxItems", json!({"type": "array", "maxItems": 3})),
+        ("maxLength", json!({"type": "string", "maxLength": 5})),
+        ("maximum", json!({"type": "integer", "maximum": 99})),
+        ("minItems", json!({"type": "array", "minItems": 1})),
+        ("minLength", json!({"type": "string", "minLength": 1})),
+        ("minimum", json!({"type": "integer", "minimum": -4})),
+        ("multipleOf", json!({"type": "integer", "multipleOf": 4})),
+        (
+            "oneOf",
+            json!({"oneOf": [{"type": "integer"}, {"type": "boolean"}]}),
+        ),
+        ("pattern", json!({"type": "string", "pattern": "^[ab]+$"})),
+        (
+            "prefixItems",
+            json!({"type": "array", "prefixItems": [{"type": "string"}]}),
+        ),
+        (
+            "properties",
+            json!({"type": "object", "properties": {"x": {"type": "null"}}}),
+        ),
+        (
+            "required",
+            json!({"type": "object", "properties": {"x": {"type": "null"}}, "required": ["x"]}),
+        ),
+        ("type", json!({"type": "boolean"})),
+    ];
+    let covered: Vec<&str> = cases.iter().map(|(k, _)| *k).collect();
+    assert_eq!(
+        covered, SUPPORTED_KEYWORDS,
+        "cases must cover SUPPORTED_KEYWORDS in order"
+    );
+    for (kw, schema) in cases {
+        json_schema_to_grammar(&schema)
+            .unwrap_or_else(|e| panic!("keyword `{kw}` failed strict conversion: {e}"));
+    }
+}
+
+#[test]
+fn keyword_allowlists_are_disjoint_and_sorted() {
+    for list in [SUPPORTED_KEYWORDS, ANNOTATION_KEYWORDS] {
+        let mut sorted = list.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, list, "allowlist must stay sorted");
+    }
+    for kw in SUPPORTED_KEYWORDS {
+        assert!(!ANNOTATION_KEYWORDS.contains(kw), "`{kw}` in both lists");
+    }
+}
+
+// ---- WhitespaceConfig ----
+
+#[test]
+fn separator_config_threads_through_object_grammar() {
+    let schema = json!({
+        "type": "object",
+        "properties": {"a": {"type": "integer"}, "b": {"type": "integer"}},
+        "required": ["a", "b"]
+    });
+    let opts = JsonSchemaOptions {
+        whitespace: WhitespaceConfig::Separators {
+            item_separator: ", ".to_string(),
+            key_separator: ": ".to_string(),
+        },
+        ..Default::default()
+    };
+    let g = json_schema_to_grammar_with_options(&schema, &opts).unwrap();
+    let text = g.to_string();
+    assert!(g.rule_id("json_ws").is_none());
+    assert!(text.contains("\", \"") || text.contains(", "), "{text}");
+}
+
+#[test]
+fn invalid_separator_strings_are_rejected() {
+    for (item, key) in [("; ", ": "), (", ", " "), (",,", ": "), (",x", ": ")] {
+        let opts = JsonSchemaOptions {
+            whitespace: WhitespaceConfig::Separators {
+                item_separator: item.to_string(),
+                key_separator: key.to_string(),
+            },
+            ..Default::default()
+        };
+        assert!(
+            json_schema_to_grammar_with_options(&json!({"type": "object"}), &opts).is_err(),
+            "separators ({item:?}, {key:?}) should be rejected"
+        );
+    }
+}

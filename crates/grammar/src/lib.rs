@@ -31,11 +31,14 @@
 #![warn(missing_debug_implementations)]
 
 mod ast;
+mod bounded_number;
 pub mod builtin;
 mod display;
 mod ebnf;
 mod error;
+mod formats;
 mod json_schema;
+mod pattern;
 mod structural_tag;
 
 pub use ast::{
@@ -44,9 +47,12 @@ pub use ast::{
 };
 pub use ebnf::parse_ebnf;
 pub use error::{GrammarError, Result};
+pub use formats::SUPPORTED_FORMATS;
 pub use json_schema::{
     json_schema_to_grammar, json_schema_to_grammar_with_options, JsonSchemaOptions,
+    WhitespaceConfig, ANNOTATION_KEYWORDS, SUPPORTED_KEYWORDS,
 };
+pub use pattern::regex_pattern_to_expr;
 pub use structural_tag::{
     append_free_text_tail, SegmentExitPolicy, StructuralTag, TagContent, TagSpec,
 };

@@ -1,0 +1,648 @@
+//! Regex `pattern` → [`GrammarExpr`] compilation for JSON Schema strings.
+//!
+//! JSON Schema's `pattern` keyword (and the built-in `format` grammars, which
+//! are defined as regexes over the same dialect) describe the *content* of a
+//! JSON string. This module compiles a practical regex subset into a grammar
+//! expression that generates the content **as it appears inside the quoted
+//! JSON serialization**:
+//!
+//! * characters that must be escaped in JSON (`"`, `\`) are emitted as their
+//!   two-character escape sequences,
+//! * control characters required by a *literal* are emitted as their JSON
+//!   escapes (`\n`, `\t`, `\u00XX`),
+//! * control characters inside *character classes* are dropped from the class
+//!   (the grammar narrows rather than widens — constrained decoding must
+//!   never emit invalid JSON).
+//!
+//! Supported syntax: literals, `.`, character classes (`[a-z0-9_]`,
+//! `[^...]`, ranges, class escapes), escapes (`\d \D \w \W \s \S`, `\n \r \t
+//! \f \v \0`, `\xHH`, `\uHHHH`, escaped metacharacters), groups `(...)` /
+//! `(?:...)` / `(?<name>...)` / `(?P<name>...)`, alternation `|`, and the
+//! quantifiers `* + ? {m} {m,} {m,n}` (lazy variants accepted — laziness does
+//! not change the matched language). Patterns are **anchored**: a leading `^`
+//! and trailing `$` are accepted and implied, matching llguidance's treatment
+//! of JSON Schema patterns.
+//!
+//! Unsupported constructs — backreferences, lookaround, word boundaries,
+//! mid-pattern anchors — produce [`GrammarError::Schema`] so that a schema
+//! never silently widens.
+
+use crate::ast::{CharClass, CharRange, GrammarExpr};
+use crate::error::{GrammarError, Result};
+
+/// Compiles an (anchored) regex pattern into a grammar expression over the
+/// characters of a JSON string body (between the quotes).
+///
+/// `path` is the JSON-pointer-like location used in error messages.
+///
+/// # Errors
+///
+/// Returns [`GrammarError::Schema`] for syntax errors and unsupported
+/// constructs (backreferences, lookaround, word boundaries).
+///
+/// # Examples
+///
+/// ```
+/// let expr = xg_grammar::regex_pattern_to_expr("^[A-Z]{2}-[0-9]{4}$", "#").unwrap();
+/// assert!(!matches!(expr, xg_grammar::GrammarExpr::Empty));
+/// ```
+pub fn regex_pattern_to_expr(pattern: &str, path: &str) -> Result<GrammarExpr> {
+    let mut trimmed = pattern;
+    if let Some(rest) = trimmed.strip_prefix('^') {
+        trimmed = rest;
+    }
+    if trimmed.ends_with('$') && !ends_with_escaped_dollar(trimmed) {
+        trimmed = &trimmed[..trimmed.len() - 1];
+    }
+    let chars: Vec<char> = trimmed.chars().collect();
+    let mut parser = PatternParser {
+        chars: &chars,
+        pos: 0,
+        path,
+    };
+    let expr = parser.parse_alternation()?;
+    if parser.pos != parser.chars.len() {
+        return Err(parser.err(format!(
+            "unexpected `{}` at offset {}",
+            parser.chars[parser.pos], parser.pos
+        )));
+    }
+    Ok(expr)
+}
+
+/// `true` if the trailing `$` is escaped (`\$`), i.e. a literal dollar sign.
+fn ends_with_escaped_dollar(s: &str) -> bool {
+    let mut backslashes = 0;
+    for c in s[..s.len() - 1].chars().rev() {
+        if c == '\\' {
+            backslashes += 1;
+        } else {
+            break;
+        }
+    }
+    backslashes % 2 == 1
+}
+
+struct PatternParser<'a> {
+    chars: &'a [char],
+    pos: usize,
+    path: &'a str,
+}
+
+impl PatternParser<'_> {
+    fn err(&self, message: impl Into<String>) -> GrammarError {
+        GrammarError::Schema {
+            path: self.path.to_string(),
+            message: format!("pattern: {}", message.into()),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_alternation(&mut self) -> Result<GrammarExpr> {
+        let mut alts = vec![self.parse_concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_concat()?);
+        }
+        if alts.len() == 1 {
+            return Ok(alts.pop().expect("len checked"));
+        }
+        Ok(GrammarExpr::Choice(alts))
+    }
+
+    fn parse_concat(&mut self) -> Result<GrammarExpr> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(GrammarExpr::seq(items))
+    }
+
+    fn parse_repeat(&mut self) -> Result<GrammarExpr> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.bump();
+                (0, None)
+            }
+            Some('+') => {
+                self.bump();
+                (1, None)
+            }
+            Some('?') => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some('{') => self.parse_counted_repeat()?,
+            _ => return Ok(atom),
+        };
+        // A trailing `?` marks a lazy quantifier; the matched language is the
+        // same, so it is accepted and ignored.
+        if self.peek() == Some('?') {
+            self.bump();
+        }
+        if min == 1 && max == Some(1) {
+            return Ok(atom);
+        }
+        Ok(GrammarExpr::Repeat {
+            expr: Box::new(atom),
+            min,
+            max,
+        })
+    }
+
+    fn parse_counted_repeat(&mut self) -> Result<(u32, Option<u32>)> {
+        self.bump(); // '{'
+        let min = self.parse_number()?;
+        match self.bump() {
+            Some('}') => Ok((min, Some(min))),
+            Some(',') => {
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok((min, None));
+                }
+                let max = self.parse_number()?;
+                if self.bump() != Some('}') {
+                    return Err(self.err("unterminated `{m,n}` quantifier"));
+                }
+                if max < min {
+                    return Err(GrammarError::InvalidRepetition { min, max });
+                }
+                Ok((min, Some(max)))
+            }
+            _ => Err(self.err("unterminated `{m}` quantifier")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<u32> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number in quantifier"));
+        }
+        let digits: String = self.chars[start..self.pos].iter().collect();
+        digits
+            .parse::<u32>()
+            .map_err(|_| self.err(format!("quantifier bound `{digits}` is too large")))
+    }
+
+    fn parse_atom(&mut self) -> Result<GrammarExpr> {
+        match self.bump() {
+            Some('(') => self.parse_group(),
+            Some('[') => self.parse_class(),
+            Some('.') => {
+                // `.` matches any character except newline.
+                class_to_json_expr(
+                    &CharClass::negated(vec![CharRange::single('\n')]),
+                    self.path,
+                )
+            }
+            Some('\\') => self.parse_escape(),
+            Some('^') | Some('$') => {
+                Err(self.err("anchors are only supported at the pattern boundaries"))
+            }
+            Some('*') | Some('+') | Some('?') | Some('{') => {
+                Err(self.err("quantifier with nothing to repeat"))
+            }
+            Some(c) => Ok(json_char_literal(c)),
+            None => Err(self.err("unexpected end of pattern")),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<GrammarExpr> {
+        if self.peek() == Some('?') {
+            self.bump();
+            match self.peek() {
+                Some(':') => {
+                    self.bump();
+                }
+                Some('=') | Some('!') => {
+                    return Err(self.err("lookahead assertions are not supported"));
+                }
+                Some('<') => {
+                    // `(?<name>` is a named group; `(?<=` / `(?<!` lookbehind.
+                    match self.chars.get(self.pos + 1) {
+                        Some('=') | Some('!') => {
+                            return Err(self.err("lookbehind assertions are not supported"));
+                        }
+                        _ => self.skip_group_name('<')?,
+                    }
+                }
+                Some('P') => self.skip_group_name('P')?,
+                _ => return Err(self.err("unsupported group modifier")),
+            }
+        }
+        let inner = self.parse_alternation()?;
+        if self.bump() != Some(')') {
+            return Err(self.err("unterminated group"));
+        }
+        Ok(inner)
+    }
+
+    /// Skips `(?<name>` / `(?P<name>` up to and including the closing `>`.
+    fn skip_group_name(&mut self, lead: char) -> Result<()> {
+        self.bump(); // consume '<' or 'P'
+        if lead == 'P' && self.bump() != Some('<') {
+            return Err(self.err("unsupported group modifier"));
+        }
+        while let Some(c) = self.bump() {
+            if c == '>' {
+                return Ok(());
+            }
+        }
+        Err(self.err("unterminated group name"))
+    }
+
+    fn parse_class(&mut self) -> Result<GrammarExpr> {
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<CharRange> = Vec::new();
+        let mut first = true;
+        loop {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("unterminated character class"))?;
+            if c == ']' && !first {
+                break;
+            }
+            first = false;
+            let item = match c {
+                '\\' => self.parse_class_escape()?,
+                c => ClassItem::Char(c),
+            };
+            match item {
+                ClassItem::Ranges(rs) => ranges.extend(rs),
+                ClassItem::Char(start) => {
+                    // A `-` forms a range unless it is the last class char or
+                    // the next escape is a multi-char class like `\d`.
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.bump(); // '-'
+                        let end_c = self
+                            .bump()
+                            .ok_or_else(|| self.err("unterminated character class"))?;
+                        let end = match end_c {
+                            '\\' => match self.parse_class_escape()? {
+                                ClassItem::Char(e) => e,
+                                ClassItem::Ranges(_) => {
+                                    return Err(self.err("class escape cannot be a range endpoint"));
+                                }
+                            },
+                            e => e,
+                        };
+                        if end < start {
+                            return Err(self.err(format!("invalid range `{start}-{end}`")));
+                        }
+                        ranges.push(CharRange::new(start, end));
+                    } else {
+                        ranges.push(CharRange::single(start));
+                    }
+                }
+            }
+        }
+        let class = if negated {
+            CharClass::negated(ranges)
+        } else {
+            CharClass::new(ranges)
+        };
+        class_to_json_expr(&class, self.path)
+    }
+
+    fn parse_class_escape(&mut self) -> Result<ClassItem> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("dangling escape in character class"))?;
+        if let Some(ranges) = perl_class_ranges(c) {
+            return Ok(ClassItem::Ranges(ranges));
+        }
+        Ok(ClassItem::Char(self.escape_char(c)?))
+    }
+
+    fn parse_escape(&mut self) -> Result<GrammarExpr> {
+        let c = self
+            .bump()
+            .ok_or_else(|| self.err("dangling escape at end of pattern"))?;
+        if let Some(ranges) = perl_class_ranges(c) {
+            let class = if c.is_ascii_uppercase() {
+                CharClass::negated(ranges)
+            } else {
+                CharClass::new(ranges)
+            };
+            return class_to_json_expr(&class, self.path);
+        }
+        match c {
+            'b' | 'B' => Err(self.err("word-boundary assertions are not supported")),
+            '1'..='9' => Err(self.err("backreferences are not supported")),
+            _ => Ok(json_char_literal(self.escape_char(c)?)),
+        }
+    }
+
+    /// Resolves a single-character escape (`\n`, `\xHH`, `\uHHHH`, escaped
+    /// metacharacters) to the character it denotes.
+    fn escape_char(&mut self, c: char) -> Result<char> {
+        Ok(match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            'f' => '\u{c}',
+            'v' => '\u{b}',
+            '0' => '\0',
+            'x' => self.hex_escape(2)?,
+            'u' => self.hex_escape(4)?,
+            // Escaped metacharacters and punctuation stand for themselves.
+            c if !c.is_alphanumeric() => c,
+            other => return Err(self.err(format!("unsupported escape `\\{other}`"))),
+        })
+    }
+
+    fn hex_escape(&mut self, len: usize) -> Result<char> {
+        let mut value = 0u32;
+        for _ in 0..len {
+            let d = self
+                .bump()
+                .and_then(|c| c.to_digit(16))
+                .ok_or_else(|| self.err("invalid hex escape"))?;
+            value = value * 16 + d;
+        }
+        char::from_u32(value).ok_or_else(|| self.err("hex escape is not a scalar value"))
+    }
+}
+
+enum ClassItem {
+    Char(char),
+    Ranges(Vec<CharRange>),
+}
+
+/// Positive ranges for `\d \w \s` (the negated `\D \W \S` variants reuse them
+/// with class-level negation).
+fn perl_class_ranges(c: char) -> Option<Vec<CharRange>> {
+    match c.to_ascii_lowercase() {
+        'd' if c.is_ascii_alphabetic() => Some(vec![CharRange::new('0', '9')]),
+        'w' if c.is_ascii_alphabetic() => Some(vec![
+            CharRange::new('0', '9'),
+            CharRange::new('A', 'Z'),
+            CharRange::single('_'),
+            CharRange::new('a', 'z'),
+        ]),
+        's' if c.is_ascii_alphabetic() => Some(vec![
+            CharRange::single('\t'),
+            CharRange::new('\n', '\r'), // \n \v \f \r
+            CharRange::single(' '),
+        ]),
+        _ => None,
+    }
+}
+
+/// Emits a single pattern character as the bytes it occupies inside a JSON
+/// string (escaping `"`, `\` and control characters).
+fn json_char_literal(c: char) -> GrammarExpr {
+    GrammarExpr::Literal(json_escape_char(c).into_bytes())
+}
+
+fn json_escape_char(c: char) -> String {
+    match c {
+        '"' => "\\\"".to_string(),
+        '\\' => "\\\\".to_string(),
+        '\n' => "\\n".to_string(),
+        '\r' => "\\r".to_string(),
+        '\t' => "\\t".to_string(),
+        '\u{8}' => "\\b".to_string(),
+        '\u{c}' => "\\f".to_string(),
+        c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32),
+        c => c.to_string(),
+    }
+}
+
+/// Lowers a character class into an expression valid inside a JSON string:
+/// control characters are dropped, and `"` / `\` become alternatives matching
+/// their two-character escape sequences.
+fn class_to_json_expr(class: &CharClass, path: &str) -> Result<GrammarExpr> {
+    // Characters a JSON string cannot contain unescaped: controls, `"`, `\`.
+    const FORBIDDEN: &[(u32, u32)] = &[(0x00, 0x1F), (0x22, 0x22), (0x5C, 0x5C)];
+    let mut has_quote = false;
+    let mut has_backslash = false;
+    let mut clean: Vec<CharRange> = Vec::new();
+    for range in class.normalized_ranges() {
+        has_quote |= range.contains('"');
+        has_backslash |= range.contains('\\');
+        let mut segments = vec![(range.start as u32, range.end as u32)];
+        for &(flo, fhi) in FORBIDDEN {
+            let mut next = Vec::new();
+            for (lo, hi) in segments {
+                if hi < flo || lo > fhi {
+                    next.push((lo, hi));
+                    continue;
+                }
+                if lo < flo {
+                    next.push((lo, flo - 1));
+                }
+                if hi > fhi {
+                    next.push((fhi + 1, hi));
+                }
+            }
+            segments = next;
+        }
+        for (lo, hi) in segments {
+            push_range(&mut clean, lo, hi);
+        }
+    }
+    let mut alts = Vec::new();
+    if !clean.is_empty() {
+        alts.push(GrammarExpr::CharClass(CharClass::new(clean)));
+    }
+    if has_quote {
+        alts.push(GrammarExpr::literal("\\\""));
+    }
+    if has_backslash {
+        alts.push(GrammarExpr::literal("\\\\"));
+    }
+    if alts.is_empty() {
+        return Err(GrammarError::Schema {
+            path: path.to_string(),
+            message: "pattern: character class matches no JSON string character".to_string(),
+        });
+    }
+    Ok(GrammarExpr::choice(alts))
+}
+
+fn push_range(out: &mut Vec<CharRange>, lo: u32, hi: u32) {
+    if let (Some(start), Some(end)) = (char::from_u32(lo), char::from_u32(hi)) {
+        if start <= end {
+            out.push(CharRange::new(start, end));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(p: &str) -> GrammarExpr {
+        regex_pattern_to_expr(p, "#").unwrap()
+    }
+
+    #[test]
+    fn literal_pattern_is_a_literal_sequence() {
+        let expr = compile("abc");
+        match expr {
+            GrammarExpr::Sequence(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected sequence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anchors_are_stripped() {
+        assert_eq!(compile("^abc$"), compile("abc"));
+    }
+
+    #[test]
+    fn quantifiers_build_repeats() {
+        match compile("a{2,5}") {
+            GrammarExpr::Repeat { min, max, .. } => {
+                assert_eq!(min, 2);
+                assert_eq!(max, Some(5));
+            }
+            other => panic!("expected repeat, got {other:?}"),
+        }
+        match compile("[0-9]+") {
+            GrammarExpr::Repeat { min, max, .. } => {
+                assert_eq!(min, 1);
+                assert_eq!(max, None);
+            }
+            other => panic!("expected repeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lazy_quantifiers_are_accepted() {
+        assert_eq!(compile("a*?"), compile("a*"));
+        assert_eq!(compile("a+?b"), compile("a+b"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        match compile("(ab|cd)e") {
+            GrammarExpr::Sequence(items) => {
+                assert!(matches!(items[0], GrammarExpr::Choice(_)));
+            }
+            other => panic!("expected sequence, got {other:?}"),
+        }
+        assert_eq!(compile("(?:ab)"), compile("ab"));
+        assert_eq!(compile("(?<tag>ab)"), compile("ab"));
+        assert_eq!(compile("(?P<tag>ab)"), compile("ab"));
+    }
+
+    #[test]
+    fn classes_handle_ranges_and_negation() {
+        match compile("[a-z0-9_]") {
+            GrammarExpr::CharClass(cc) => {
+                assert!(cc.contains('q'));
+                assert!(cc.contains('_'));
+                assert!(!cc.contains('A'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+        match compile("[^a-z]") {
+            GrammarExpr::CharClass(cc) => {
+                assert!(cc.contains('A'));
+                assert!(!cc.contains('q'));
+                // JSON-unsafe characters are excluded even though the regex
+                // class would admit them.
+                assert!(!cc.contains('\n'));
+            }
+            // `[^a-z]` admits `"` and `\`, so the class widens into a choice
+            // with their escape sequences.
+            GrammarExpr::Choice(_) => {}
+            other => panic!("expected class or choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quote_and_backslash_become_escape_sequences() {
+        assert_eq!(
+            compile("\""),
+            GrammarExpr::Literal(b"\\\"".to_vec()),
+            "a literal quote must serialize as its JSON escape"
+        );
+        match compile("[\"x]") {
+            GrammarExpr::Choice(alts) => {
+                assert!(alts.contains(&GrammarExpr::literal("\\\"")));
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn perl_classes_expand() {
+        match compile("\\d") {
+            GrammarExpr::CharClass(cc) => assert!(cc.contains('7') && !cc.contains('a')),
+            other => panic!("expected class, got {other:?}"),
+        }
+        match compile("\\w") {
+            GrammarExpr::CharClass(cc) => assert!(cc.contains('_') && !cc.contains('-')),
+            other => panic!("expected class, got {other:?}"),
+        }
+        // `\S` includes `"` and `\`, so its JSON-string form is a choice of
+        // a narrowed class plus the two escape-sequence literals.
+        match compile("\\S") {
+            GrammarExpr::Choice(alts) => {
+                let class = alts.iter().find_map(|a| match a {
+                    GrammarExpr::CharClass(cc) => Some(cc),
+                    _ => None,
+                });
+                let cc = class.expect("narrowed class present");
+                assert!(cc.contains('x') && !cc.contains(' ') && !cc.contains('"'));
+                assert!(alts.contains(&GrammarExpr::literal("\\\"")));
+                assert!(alts.contains(&GrammarExpr::literal("\\\\")));
+            }
+            other => panic!("expected choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        for p in [
+            "(?=x)y",
+            "(?!x)y",
+            "(?<=x)y",
+            "(?<!x)y",
+            "\\bword\\b",
+            "(a)\\1",
+            "a^b",
+            "a$b",
+            "a{3,1}",
+            "[z-a]",
+            "(unclosed",
+            "[unclosed",
+        ] {
+            assert!(
+                regex_pattern_to_expr(p, "#").is_err(),
+                "pattern `{p}` should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pattern_matches_the_empty_string() {
+        assert_eq!(compile(""), GrammarExpr::Empty);
+    }
+}

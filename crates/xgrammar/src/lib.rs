@@ -64,8 +64,10 @@ pub use xg_core::{
     TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
 };
 pub use xg_grammar::{
-    builtin, json_schema_to_grammar, parse_ebnf, ByteClass, Grammar, GrammarError, GrammarExpr,
-    SegmentExitPolicy, StructuralTag, TagContent, TagSpec,
+    builtin, json_schema_to_grammar, json_schema_to_grammar_with_options, parse_ebnf,
+    regex_pattern_to_expr, ByteClass, Grammar, GrammarError, GrammarExpr, JsonSchemaOptions,
+    SegmentExitPolicy, StructuralTag, TagContent, TagSpec, WhitespaceConfig, ANNOTATION_KEYWORDS,
+    SUPPORTED_FORMATS, SUPPORTED_KEYWORDS,
 };
 pub use xg_tokenizer::{TokenId, Vocabulary};
 
@@ -75,6 +77,21 @@ mod tests {
     fn facade_reexports_compile() {
         let grammar = crate::parse_ebnf(r#"root ::= "x""#, "root").unwrap();
         assert_eq!(grammar.rules().len(), 1);
+    }
+
+    #[test]
+    fn facade_exposes_schema_keyword_surface() {
+        assert!(crate::SUPPORTED_KEYWORDS.contains(&"pattern"));
+        assert!(crate::ANNOTATION_KEYWORDS.contains(&"$comment"));
+        assert!(crate::SUPPORTED_FORMATS.contains(&"uuid"));
+        assert_eq!(
+            crate::WhitespaceConfig::default(),
+            crate::WhitespaceConfig::Flexible
+        );
+        let options = crate::JsonSchemaOptions::default();
+        assert!(!options.lenient);
+        let expr = crate::regex_pattern_to_expr("^[a-z]{2}$", "#").unwrap();
+        assert!(!matches!(expr, crate::GrammarExpr::Empty));
     }
 
     #[test]

@@ -158,3 +158,72 @@ fn stress_shared_compiler_masks_stay_correct_under_threads() {
     }
     assert!(masks[0].count_allowed() > 0);
 }
+
+#[test]
+fn near_identical_schemas_get_distinct_cache_keys() {
+    // Schemas differing only in a numeric bound, a string format, a pattern
+    // quantifier, or the whitespace configuration must land on distinct
+    // cache keys — a collision would silently serve the wrong grammar.
+    let vocab = Arc::new(test_vocabulary(800));
+    let config = CompilerConfig::default();
+    let schemas = [
+        r#"{"type":"integer","minimum":0,"maximum":100}"#,
+        r#"{"type":"integer","minimum":0,"maximum":101}"#,
+        r#"{"type":"integer","minimum":1,"maximum":100}"#,
+        r#"{"type":"integer","multipleOf":5}"#,
+        r#"{"type":"integer","multipleOf":7}"#,
+        r#"{"type":"number","minimum":0,"maximum":100}"#,
+        r#"{"type":"string","format":"ipv4"}"#,
+        r#"{"type":"string","format":"ipv6"}"#,
+        r#"{"type":"string","pattern":"^a{1,3}$"}"#,
+        r#"{"type":"string","pattern":"^a{1,4}$"}"#,
+    ];
+    let grammars: Vec<xg_grammar::Grammar> = schemas
+        .iter()
+        .map(|source| {
+            let schema: serde_json::Value = serde_json::from_str(source).unwrap();
+            xg_grammar::json_schema_to_grammar(&schema).expect("schema converts")
+        })
+        .collect();
+    let keys: Vec<GrammarCacheKey> = grammars
+        .iter()
+        .map(|grammar| GrammarCacheKey::new(grammar, vocab.fingerprint(), &config))
+        .collect();
+    for (i, a) in keys.iter().enumerate() {
+        for (j, b) in keys.iter().enumerate().skip(i + 1) {
+            assert_ne!(
+                a, b,
+                "cache-key collision between schemas {i} and {j}:\n  {}\n  {}",
+                schemas[i], schemas[j]
+            );
+        }
+    }
+
+    // Whitespace configuration is part of the grammar, hence of the key.
+    let schema: serde_json::Value = serde_json::from_str(
+        r#"{"type":"object","properties":{"a":{"type":"integer"}},"required":["a"]}"#,
+    )
+    .unwrap();
+    let compact = xg_grammar::json_schema_to_grammar_with_options(
+        &schema,
+        &xg_grammar::JsonSchemaOptions {
+            whitespace: xg_grammar::WhitespaceConfig::Compact,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let flexible = xg_grammar::json_schema_to_grammar(&schema).unwrap();
+    assert_ne!(
+        GrammarCacheKey::new(&compact, vocab.fingerprint(), &config),
+        GrammarCacheKey::new(&flexible, vocab.fingerprint(), &config),
+        "compact and flexible whitespace grammars must not share a cache entry"
+    );
+
+    // End to end: one shared compiler caches each variant separately.
+    let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+    for grammar in &grammars {
+        let _ = compiler.compile_grammar(grammar);
+    }
+    assert_eq!(compiler.cached_count(), grammars.len());
+    assert_eq!(compiler.cache().stats().misses, grammars.len() as u64);
+}

@@ -1,0 +1,227 @@
+//! Golden schema→EBNF tests for the JSON-Schema converter keywords added
+//! for llguidance parity: each schema pins the exact display form of the
+//! rules its keyword produces, re-parses the printed grammar, and checks the
+//! round trip preserves both the text (printing is a fixed point) and the
+//! language (probe strings accept/reject identically).
+
+use xg_automata::{build_pda_default, SimpleMatcher};
+use xg_grammar::{JsonSchemaOptions, WhitespaceConfig};
+
+struct Golden {
+    name: &'static str,
+    schema: &'static str,
+    compact: bool,
+    /// Exact lines that must appear in the grammar's display output.
+    expected_lines: &'static [&'static str],
+    accepts: &'static [&'static str],
+    rejects: &'static [&'static str],
+}
+
+const GOLDENS: &[Golden] = &[
+    Golden {
+        name: "integer-bounds",
+        schema: r#"{"type":"integer","minimum":0,"maximum":9}"#,
+        compact: false,
+        expected_lines: &[r#"root ::= json_ws ("0" | [1-8] | "9") json_ws"#],
+        accepts: &["0", "9", " 5 "],
+        rejects: &["10", "-1", "00"],
+    },
+    Golden {
+        name: "exclusive-bounds",
+        schema: r#"{"type":"integer","exclusiveMinimum":0,"exclusiveMaximum":10}"#,
+        compact: false,
+        expected_lines: &[r#"root ::= json_ws ("1" | [2-8] | "9") json_ws"#],
+        accepts: &["1", "9"],
+        rejects: &["0", "10"],
+    },
+    Golden {
+        name: "pattern",
+        schema: r#"{"type":"string","pattern":"^[a-c]{2}$"}"#,
+        compact: false,
+        expected_lines: &[r#"root ::= json_ws "\"" [a-c]{2} "\"" json_ws"#],
+        accepts: &[r#""ab""#, r#""cc""#],
+        rejects: &[r#""a""#, r#""abc""#, r#""xy""#],
+    },
+    Golden {
+        name: "format",
+        schema: r#"{"type":"string","format":"uuid"}"#,
+        compact: false,
+        expected_lines: &[
+            r##"format_uuid ::= "\"" [0-9A-Fa-f]{8} "-" [0-9A-Fa-f]{4} "-" [0-9A-Fa-f]{4} "-" [0-9A-Fa-f]{4} "-" [0-9A-Fa-f]{12} "\"""##,
+            r#"root ::= json_ws format_uuid json_ws"#,
+        ],
+        accepts: &[r#""123e4567-e89b-12d3-a456-426614174000""#],
+        rejects: &[r#""123e4567-e89b-12d3-a456-42661417400g""#, r#""plain""#],
+    },
+    Golden {
+        name: "string-length",
+        schema: r#"{"type":"string","minLength":1,"maxLength":3}"#,
+        compact: false,
+        expected_lines: &[r#"root ::= json_ws "\"" json_char{1,3} "\"" json_ws"#],
+        accepts: &[r#""a""#, r#""abc""#],
+        rejects: &[r#""""#, r#""abcd""#],
+    },
+    Golden {
+        name: "multiple-of",
+        schema: r#"{"type":"integer","multipleOf":3}"#,
+        compact: false,
+        expected_lines: &[
+            r#"multiple_of_1_m0 ::= "" | [0369] multiple_of_1_m0 | [147] multiple_of_1_m1 | [258] multiple_of_1_m2"#,
+            r#"multiple_of_1_m1 ::= [258] multiple_of_1_m0 | [0369] multiple_of_1_m1 | [147] multiple_of_1_m2"#,
+            r#"multiple_of_1_m2 ::= [147] multiple_of_1_m0 | [258] multiple_of_1_m1 | [0369] multiple_of_1_m2"#,
+            r#"root ::= json_ws ("0" | "-"? ([369] multiple_of_1_m0 | [147] multiple_of_1_m1 | [258] multiple_of_1_m2)) json_ws"#,
+        ],
+        accepts: &["0", "3", "27", "-12"],
+        rejects: &["1", "25", "03"],
+    },
+    Golden {
+        name: "number-bounds",
+        schema: r#"{"type":"number","minimum":0,"maximum":2}"#,
+        compact: false,
+        expected_lines: &[
+            r#"root ::= json_ws (("0" | "1") ("." [0-9]+)? | "2" ("." [0]+)?) json_ws"#,
+        ],
+        accepts: &["0", "1.75", "2.0"],
+        rejects: &["2.5", "-1", "3"],
+    },
+    Golden {
+        name: "all-of",
+        schema: r#"{"allOf":[{"type":"object","properties":{"a":{"type":"integer"}},"required":["a"]},{"properties":{"b":{"type":"boolean"}},"required":["b"]}]}"#,
+        compact: false,
+        expected_lines: &[
+            r#"object_members_3 ::= "\"a\"" json_ws ":" json_ws json_integer props_2_rest"#,
+            r#"props_2_rest ::= json_ws "," json_ws "\"b\"" json_ws ":" json_ws json_boolean props_1_rest"#,
+            r#"root ::= json_ws "{" json_ws object_members_3 json_ws "}" json_ws"#,
+        ],
+        accepts: &[r#"{"a": 1, "b": true}"#],
+        rejects: &[r#"{"a": 1}"#, r#"{"b": true}"#, r#"{"a": "x", "b": true}"#],
+    },
+    Golden {
+        name: "ref-recursive",
+        schema: r##"{"$defs":{"node":{"type":"object","properties":{"next":{"anyOf":[{"$ref":"#/$defs/node"},{"type":"null"}]}},"required":["next"]}},"$ref":"#/$defs/node"}"##,
+        compact: false,
+        expected_lines: &[
+            r#"ref_node_1 ::= "{" json_ws object_members_3 json_ws "}""#,
+            r#"object_members_3 ::= "\"next\"" json_ws ":" json_ws (ref_node_1 | json_null) props_2_rest"#,
+            r#"root ::= json_ws ref_node_1 json_ws"#,
+        ],
+        accepts: &[r#"{"next": null}"#, r#"{"next": {"next": {"next": null}}}"#],
+        rejects: &[r#"{"next": 3}"#, r#"{"next": {"next": 1}}"#],
+    },
+    Golden {
+        name: "compact-whitespace",
+        schema: r#"{"type":"object","properties":{"a":{"type":"integer"}},"required":["a"]}"#,
+        compact: true,
+        expected_lines: &[
+            r#"object_members_2 ::= "\"a\"" ":" json_integer props_1_rest"#,
+            r#"root ::= "{" object_members_2 "}""#,
+        ],
+        accepts: &[r#"{"a":7}"#],
+        rejects: &[r#"{"a": 7}"#, r#"{ "a":7}"#],
+    },
+];
+
+#[test]
+fn golden_rules_and_display_round_trip() {
+    for golden in GOLDENS {
+        let schema: serde_json::Value =
+            serde_json::from_str(golden.schema).expect("golden schemas are valid JSON");
+        let grammar = if golden.compact {
+            let options = JsonSchemaOptions {
+                whitespace: WhitespaceConfig::Compact,
+                ..Default::default()
+            };
+            xg_grammar::json_schema_to_grammar_with_options(&schema, &options)
+        } else {
+            xg_grammar::json_schema_to_grammar(&schema)
+        }
+        .unwrap_or_else(|e| panic!("{}: golden schema converts: {e}", golden.name));
+
+        // The keyword's footprint in the display output is pinned exactly.
+        let printed = grammar.to_string();
+        let lines: Vec<&str> = printed.lines().collect();
+        for expected in golden.expected_lines {
+            assert!(
+                lines.contains(expected),
+                "{}: missing golden line\n  {expected}\nin grammar:\n{printed}",
+                golden.name
+            );
+        }
+        // Compact mode removes the whitespace rule entirely.
+        if golden.compact {
+            assert!(
+                !printed.contains("json_ws"),
+                "{}: compact grammar must not reference json_ws:\n{printed}",
+                golden.name
+            );
+        }
+
+        // Round trip: the printed grammar re-parses, printing is a fixed
+        // point, and the language is unchanged on the probe strings.
+        let reparsed = xg_grammar::parse_ebnf(&printed, "root").unwrap_or_else(|e| {
+            panic!(
+                "{}: printed grammar must reparse: {e}\n{printed}",
+                golden.name
+            )
+        });
+        // Re-parsing may reorder forward-referenced (e.g. recursive) rules,
+        // but the rule set itself must survive the round trip byte for byte.
+        let reprinted = reparsed.to_string();
+        let mut original_lines: Vec<&str> = printed.lines().collect();
+        let mut reprinted_lines: Vec<&str> = reprinted.lines().collect();
+        original_lines.sort_unstable();
+        reprinted_lines.sort_unstable();
+        assert_eq!(
+            original_lines, reprinted_lines,
+            "{}: round trip changed the rule set",
+            golden.name
+        );
+        let pda = build_pda_default(&grammar);
+        let pda_reparsed = build_pda_default(&reparsed);
+        for probe in golden.accepts {
+            assert!(
+                SimpleMatcher::new(&pda).accepts(probe.as_bytes()),
+                "{}: probe {probe:?} must be accepted",
+                golden.name
+            );
+            assert!(
+                SimpleMatcher::new(&pda_reparsed).accepts(probe.as_bytes()),
+                "{}: probe {probe:?} must survive the round trip",
+                golden.name
+            );
+        }
+        for probe in golden.rejects {
+            assert!(
+                !SimpleMatcher::new(&pda).accepts(probe.as_bytes()),
+                "{}: probe {probe:?} must be rejected",
+                golden.name
+            );
+            assert!(
+                !SimpleMatcher::new(&pda_reparsed).accepts(probe.as_bytes()),
+                "{}: probe {probe:?} must stay rejected after the round trip",
+                golden.name
+            );
+        }
+    }
+}
+
+#[test]
+fn custom_separator_config_threads_through_display() {
+    let options = JsonSchemaOptions {
+        whitespace: WhitespaceConfig::Separators {
+            item_separator: ", ".to_string(),
+            key_separator: ": ".to_string(),
+        },
+        ..Default::default()
+    };
+    let schema: serde_json::Value = serde_json::from_str(
+        r#"{"type":"object","properties":{"a":{"type":"integer"},"b":{"type":"boolean"}},"required":["a","b"]}"#,
+    )
+    .unwrap();
+    let grammar = xg_grammar::json_schema_to_grammar_with_options(&schema, &options).unwrap();
+    let pda = build_pda_default(&grammar);
+    assert!(SimpleMatcher::new(&pda).accepts(br#"{"a": 1, "b": false}"#));
+    // Exactly the configured separators — nothing looser, nothing tighter.
+    assert!(!SimpleMatcher::new(&pda).accepts(br#"{"a":1, "b": false}"#));
+    assert!(!SimpleMatcher::new(&pda).accepts(br#"{"a": 1,"b": false}"#));
+}

@@ -87,7 +87,9 @@ macro_rules! impl_int_sample_range {
                 // Debiased multiply-shift would be overkill here; a 128-bit
                 // modulo over a 64-bit draw keeps bias under 2^-64.
                 let draw = rng.next_u64() as u128 % span;
-                (self.start as u128 + draw) as $t
+                // Wrapping add: sign extension makes `start as u128` huge for
+                // negative signed starts; truncation back to $t is exact.
+                (self.start as u128).wrapping_add(draw) as $t
             }
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
@@ -96,7 +98,7 @@ macro_rules! impl_int_sample_range {
                 assert!(start <= end, "gen_range: empty range");
                 let span = (end as u128).wrapping_sub(start as u128) + 1;
                 let draw = rng.next_u64() as u128 % span;
-                (start as u128 + draw) as $t
+                (start as u128).wrapping_add(draw) as $t
             }
         }
     )*};
