@@ -155,7 +155,18 @@ impl ConstrainedBackend for XGrammarBackend {
 
     fn compile(&self, grammar: &Grammar) -> Result<Arc<dyn CompiledConstraint>, BackendError> {
         let key = self.compiler.cache_key(grammar);
-        let compiled = self.compiler.compile_grammar_with_key(key, grammar);
+        // The checked path enforces the compiler's lint mode: in strict mode
+        // a grammar with error-severity diagnostics (unsatisfiable root,
+        // vocabulary dead states, …) is rejected here — at admission — rather
+        // than wedging a decode lane later. The compiled artifact is cached
+        // either way, so resubmissions fail fast.
+        let compiled = self
+            .compiler
+            .compile_grammar_checked_with_key(key, grammar)
+            .map_err(|e| BackendError::UnsupportedGrammar {
+                backend: self.name(),
+                reason: e.to_string(),
+            })?;
         Ok(self.pool_for(PoolKey::Grammar(key), compiled) as Arc<dyn CompiledConstraint>)
     }
 

@@ -6,8 +6,8 @@
 //!
 //! `experiment` is one of `fig9`, `fig10`, `table1`, `table2`, `table3`,
 //! `table4`, `fig11`, `fig12`, `stats`, `cache_serving`, `structural_tag`,
-//! `engine_jump_forward`, `continuous_batching`, `schema_corpus`, or `all`
-//! (default);
+//! `engine_jump_forward`, `continuous_batching`, `schema_corpus`,
+//! `grammar_lint`, or `all` (default);
 //! `--list` prints the available experiments and exits. `--full` uses the
 //! 128k-token vocabulary and larger request counts (slower); `--quick` (the
 //! default) uses a 32k vocabulary so the whole suite finishes in a few
@@ -86,7 +86,7 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
     // Single source of truth for name validation, `--list` and dispatch.
     type Experiment = fn(&Arc<Vocabulary>, &Config);
-    let experiments: [(&str, &str, Experiment); 14] = [
+    let experiments: [(&str, &str, Experiment); 15] = [
         (
             "stats",
             "preprocessing statistics for the JSON grammar (§3.1–§3.3)",
@@ -128,6 +128,11 @@ fn main() {
             "schema_corpus",
             "JSON-Schema conformance corpus by converter feature (PASS-gated)",
             experiment_schema_corpus,
+        ),
+        (
+            "grammar_lint",
+            "static-analysis lint: pathological corpus, clean schemas, strict admission (PASS-gated)",
+            experiment_grammar_lint,
         ),
     ];
     if args.iter().any(|a| a == "--list") {
@@ -1292,5 +1297,207 @@ fn experiment_fig12(vocab: &Arc<Vocabulary>, config: &Config) {
             fmt_ms(unstructured.tpot)
         );
     }
+    println!();
+}
+
+/// Static-analysis lint pass, end to end (PASS-gated). Four parts: (1) every
+/// grammar of the pathological corpus is flagged with its expected
+/// diagnostic code, strict compilation rejects exactly the error-carrying
+/// ones, and the degenerate shapes fail at the builder; (2) every
+/// schema-corpus grammar lints clean of errors through the full compiler
+/// pipeline (default `Warn` mode, vocabulary-aware); (3) a vocabulary gap
+/// surfaces as a `dead-state` error and an unsatisfiable trigger segment as
+/// a `dead-trigger` rejection; (4) a strict-mode scheduler turns an
+/// unsatisfiable grammar into `StreamEvent::Failed` at admission while a
+/// healthy lane in the same batch still completes — no wedged lane.
+fn experiment_grammar_lint(vocab: &Arc<Vocabulary>, config: &Config) {
+    use xg_core::LintMode;
+    use xg_engine::SchedulerConfig;
+    use xg_grammar::analyze;
+
+    println!("## Grammar lint — static analysis before the decode loop");
+
+    // ---- Part 1: pathological corpus, every defect flagged. ----
+    let corpus = xg_datasets::pathological_corpus();
+    let strict = GrammarCompiler::with_config(
+        Arc::clone(vocab),
+        CompilerConfig::default().with_lint_mode(LintMode::Strict),
+    );
+    let mut flagged = 0usize;
+    let mut strict_verdicts_ok = true;
+    let lint_start = Instant::now();
+    for case in &corpus {
+        let analysis = analyze(&case.grammar);
+        let hit = analysis
+            .diagnostics
+            .iter()
+            .any(|d| d.code.as_str() == case.expected_code);
+        flagged += usize::from(hit);
+        if !hit {
+            println!(
+                "  MISSING: case `{}` not flagged with `{}`",
+                case.name, case.expected_code
+            );
+        }
+        let rejected = strict.compile_grammar_checked(&case.grammar).is_err();
+        if rejected != case.expected_error {
+            strict_verdicts_ok = false;
+            println!(
+                "  STRICT MISMATCH: case `{}` rejected={rejected}, expected {}",
+                case.name, case.expected_error
+            );
+        }
+    }
+    let lint_time = lint_start.elapsed();
+    let rejections = xg_datasets::builder_rejections();
+    let corpus_pass = flagged == corpus.len() && strict_verdicts_ok && rejections.len() == 2;
+    println!(
+        "  pathological corpus: {flagged}/{} flagged, strict verdicts {}, \
+         {} degenerate shapes rejected at build ({} ms incl. strict compiles)",
+        corpus.len(),
+        if strict_verdicts_ok { "ok" } else { "BROKEN" },
+        rejections.len(),
+        fmt_ms(lint_time).trim(),
+    );
+
+    // ---- Part 2: the whole schema corpus lints clean of errors. ----
+    let cases = xg_datasets::schema_corpus(config.schema_corpus_cases, 0x5C0);
+    let compiler = GrammarCompiler::new(Arc::clone(vocab)); // default: Warn
+    let mut clean = 0usize;
+    let mut warnings = 0usize;
+    for case in &cases {
+        let compiled = compiler
+            .compile_json_schema(&case.schema)
+            .expect("corpus schemas compile under Warn mode");
+        let report = compiled.lint_report().expect("Warn mode records a report");
+        warnings += report.warning_count();
+        if report.has_errors() {
+            println!(
+                "  DIRTY: schema case `{}` has lint errors: {:?}",
+                case.feature,
+                report.errors().collect::<Vec<_>>()
+            );
+        } else {
+            clean += 1;
+        }
+    }
+    let clean_pass = clean == cases.len();
+    println!(
+        "  schema corpus: {clean}/{} grammars lint clean of errors ({warnings} warnings)",
+        cases.len()
+    );
+
+    // ---- Part 3: vocabulary-aware findings on restricted vocabularies. ----
+    // The grammar needs a "z" after "a", but no token of the vocabulary
+    // contains "z": the post-"a" automaton state admits zero tokens.
+    let gap_grammar = xg_grammar::parse_ebnf(r#"root ::= "a" "z""#, "root").expect("parses");
+    let gap_vocab = Arc::new(Vocabulary::from_tokens(
+        vec![
+            b"a".to_vec(),
+            b"b".to_vec(),
+            b"ab".to_vec(),
+            b"</s>".to_vec(),
+        ],
+        Some(3),
+    ));
+    let gap_report_has_dead = GrammarCompiler::new(Arc::clone(&gap_vocab))
+        .compile_grammar(&gap_grammar)
+        .lint_report()
+        .map(|r| r.dead_states > 0 && r.has_errors())
+        .unwrap_or(false);
+    let full_vocab = Arc::new(Vocabulary::from_tokens(
+        vec![b"a".to_vec(), b"z".to_vec(), b"</s>".to_vec()],
+        Some(2),
+    ));
+    let control_is_clean = GrammarCompiler::new(full_vocab)
+        .compile_grammar(&gap_grammar)
+        .lint_report()
+        .map(|r| r.dead_states == 0)
+        .unwrap_or(false);
+
+    let dead_tag = xg_grammar::StructuralTag::new(vec![xg_grammar::TagSpec {
+        begin: "<f>".into(),
+        content: xg_grammar::TagContent::Ebnf {
+            text: "root ::= \"x\" root".into(),
+            root: "root".into(),
+        },
+        end: "</f>".into(),
+    }]);
+    let dead_trigger_rejected = match strict.compile_tag_dispatch(&dead_tag) {
+        Err(err) => err.to_string().contains("dead-trigger"),
+        Ok(_) => false,
+    };
+    let vocab_pass = gap_report_has_dead && control_is_clean && dead_trigger_rejected;
+    println!(
+        "  vocabulary-aware: dead-state on gap vocab {}, clean on full vocab {}, \
+         dead-trigger rejected {}",
+        if gap_report_has_dead { "ok" } else { "MISSED" },
+        if control_is_clean {
+            "ok"
+        } else {
+            "FALSE POSITIVE"
+        },
+        if dead_trigger_rejected {
+            "ok"
+        } else {
+            "MISSED"
+        },
+    );
+
+    // ---- Part 4: strict admission turns lint errors into failed ----
+    // ---- streams instead of wedged lanes.                        ----
+    let profile = ModelProfile::llama31_8b_h100().scaled(config.time_scale);
+    let strict_backend: Arc<dyn ConstrainedBackend> = Arc::new(XGrammarBackend::with_config(
+        Arc::clone(vocab),
+        CompilerConfig::default().with_lint_mode(LintMode::Strict),
+    ));
+    let engine = ServingEngine::new(strict_backend, profile, ExecutionMode::Overlapped);
+    let scheduler = engine.serve(SchedulerConfig {
+        max_lanes: 4,
+        queue_capacity: 8,
+        admission_workers: 1,
+        mask_workers: 0, // auto
+    });
+    let unsatisfiable = EngineRequest {
+        constraint: LaneConstraint::Grammar(
+            xg_grammar::parse_ebnf(r#"root ::= "x" root"#, "root").expect("parses"),
+        ),
+        prompt_tokens: 16,
+        reference: b"xxxx".to_vec(),
+        max_tokens: 16,
+        seed: 1,
+    };
+    let healthy = schema_requests(1).remove(0);
+    let bad_handle = scheduler.submit(unsatisfiable).expect("submit bad");
+    let good_handle = scheduler.submit(healthy).expect("submit good");
+    let bad_outcome = bad_handle.wait();
+    let good_outcome = good_handle.wait();
+    let metrics = scheduler.metrics();
+    scheduler.shutdown();
+    let admission_pass = bad_outcome.is_err()
+        && good_outcome.is_ok()
+        && metrics.failed == 1
+        && metrics.completed == 1;
+    println!(
+        "  strict admission: unsatisfiable lane {}, healthy lane {}, \
+         metrics failed={} completed={}",
+        match &bad_outcome {
+            Err(_) => "failed at admission (ok)",
+            Ok(_) => "WRONGLY COMPLETED",
+        },
+        match &good_outcome {
+            Ok(_) => "completed (ok)",
+            Err(_) => "WRONGLY FAILED",
+        },
+        metrics.failed,
+        metrics.completed,
+    );
+
+    // ---- The lint gate enforced by CI. ----
+    let pass = corpus_pass && clean_pass && vocab_pass && admission_pass;
+    println!(
+        "  grammar lint (corpus flagged, schemas clean, strict admission rejects): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
     println!();
 }

@@ -18,7 +18,30 @@ use xg_grammar::{Grammar, GrammarError};
 use xg_tokenizer::{SortedVocabulary, TokenId, Vocabulary};
 
 use crate::grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey};
+use crate::lint::{lint_compiled, GrammarLintReport};
 use crate::mask_cache::{build_mask_cache, MaskCache, MaskCacheBuildOptions, MaskCacheStats};
+
+/// How the compiler treats the static-analysis lint pass.
+///
+/// The lint itself is cheap (linear fixpoints over the grammar plus a scan of
+/// the already-built mask cache), so the modes differ in *consequence*, not
+/// cost: `Strict` turns error-severity diagnostics into compile failures,
+/// `Warn` records them on the [`CompiledGrammar`] for callers to inspect,
+/// `Off` skips the pass entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LintMode {
+    /// Skip the lint pass; no report is stored.
+    Off,
+    /// Run the lint and store the [`GrammarLintReport`] on the compiled
+    /// grammar, but never fail compilation.
+    #[default]
+    Warn,
+    /// Run the lint; error-severity diagnostics make the *checked* compile
+    /// entry points ([`GrammarCompiler::compile_grammar_checked`] and the
+    /// `Result`-returning conveniences built on it) fail with
+    /// [`GrammarError::Lint`].
+    Strict,
+}
 
 /// Configuration of the grammar compiler. The four boolean switches are the
 /// ablation axes of the paper's Table 3.
@@ -36,6 +59,10 @@ pub struct CompilerConfig {
     pub enable_context_expansion: bool,
     /// Number of preprocessing threads (0 = available parallelism).
     pub num_threads: usize,
+    /// Static-analysis lint mode (defaults to [`LintMode::Warn`]). The
+    /// vocabulary-aware dead-state check requires the mask cache; with
+    /// `enable_mask_cache = false` only the grammar-level analysis runs.
+    pub lint_mode: LintMode,
 }
 
 impl Default for CompilerConfig {
@@ -46,6 +73,7 @@ impl Default for CompilerConfig {
             enable_mask_cache: true,
             enable_context_expansion: true,
             num_threads: 0,
+            lint_mode: LintMode::Warn,
         }
     }
 }
@@ -59,7 +87,14 @@ impl CompilerConfig {
             enable_mask_cache: false,
             enable_context_expansion: false,
             num_threads: 0,
+            lint_mode: LintMode::Off,
         }
+    }
+
+    /// Returns this configuration with the given lint mode.
+    pub fn with_lint_mode(mut self, mode: LintMode) -> Self {
+        self.lint_mode = mode;
+        self
     }
 
     fn pda_options(&self) -> PdaBuildOptions {
@@ -81,6 +116,8 @@ pub struct CompiledGrammar {
     mask_cache: Option<MaskCache>,
     suffix_fsas: Vec<Fsa>,
     config: CompilerConfig,
+    /// Lint findings (present unless the config's lint mode is `Off`).
+    lint: Option<GrammarLintReport>,
     /// Wall-clock time spent in preprocessing.
     preprocessing_time: std::time::Duration,
 }
@@ -110,6 +147,12 @@ impl CompiledGrammar {
         } else {
             None
         };
+        let lint = match config.lint_mode {
+            LintMode::Off => None,
+            LintMode::Warn | LintMode::Strict => {
+                Some(lint_compiled(grammar, &pda, mask_cache.as_ref()))
+            }
+        };
         CompiledGrammar {
             pda,
             vocab,
@@ -117,6 +160,7 @@ impl CompiledGrammar {
             mask_cache,
             suffix_fsas,
             config: config.clone(),
+            lint,
             preprocessing_time: start.elapsed(),
         }
     }
@@ -149,6 +193,12 @@ impl CompiledGrammar {
     /// The configuration used to compile this grammar.
     pub fn config(&self) -> &CompilerConfig {
         &self.config
+    }
+
+    /// The lint report recorded during compilation, or `None` when the
+    /// configuration's lint mode is [`LintMode::Off`].
+    pub fn lint_report(&self) -> Option<&GrammarLintReport> {
+        self.lint.as_ref()
     }
 
     /// Preprocessing statistics (empty default when the mask cache is
@@ -325,6 +375,51 @@ impl GrammarCompiler {
         compiled
     }
 
+    /// Like [`compile_grammar`](Self::compile_grammar), but enforcing the
+    /// configured [`LintMode`]: in `Strict` mode, error-severity lint
+    /// diagnostics fail the compile instead of being recorded.
+    ///
+    /// The compiled grammar (with its lint report) is cached either way, so
+    /// repeated submissions of a rejected grammar fail fast from the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError::Lint`] carrying the error-severity
+    /// [`Diagnostic`](xg_grammar::Diagnostic)s when the lint mode is
+    /// [`LintMode::Strict`] and the report contains errors.
+    pub fn compile_grammar_checked(
+        &self,
+        grammar: &Grammar,
+    ) -> Result<Arc<CompiledGrammar>, GrammarError> {
+        self.compile_grammar_checked_with_key(self.cache_key(grammar), grammar)
+    }
+
+    /// [`compile_grammar_checked`](Self::compile_grammar_checked) with a
+    /// caller-computed cache key (see
+    /// [`compile_grammar_with_key`](Self::compile_grammar_with_key)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError::Lint`] under the same conditions as
+    /// [`compile_grammar_checked`](Self::compile_grammar_checked).
+    pub fn compile_grammar_checked_with_key(
+        &self,
+        key: GrammarCacheKey,
+        grammar: &Grammar,
+    ) -> Result<Arc<CompiledGrammar>, GrammarError> {
+        let compiled = self.compile_grammar_with_key(key, grammar);
+        if self.config.lint_mode == LintMode::Strict {
+            if let Some(report) = compiled.lint_report() {
+                if report.has_errors() {
+                    return Err(GrammarError::Lint {
+                        diagnostics: report.errors().cloned().collect(),
+                    });
+                }
+            }
+        }
+        Ok(compiled)
+    }
+
     /// Cache counters from *this compiler's* point of view: `hits`/`misses`
     /// count only this compiler's requests (meaningful even when the backing
     /// [`GrammarCache`] is shared), while the `evictions`/`current_bytes`/
@@ -343,27 +438,29 @@ impl GrammarCompiler {
     ///
     /// # Errors
     ///
-    /// Returns the parse/validation error of [`xg_grammar::parse_ebnf`].
+    /// Returns the parse/validation error of [`xg_grammar::parse_ebnf`], or
+    /// [`GrammarError::Lint`] in strict lint mode.
     pub fn compile_ebnf(
         &self,
         text: &str,
         root: &str,
     ) -> Result<Arc<CompiledGrammar>, GrammarError> {
         let grammar = xg_grammar::parse_ebnf(text, root)?;
-        Ok(self.compile_grammar(&grammar))
+        self.compile_grammar_checked(&grammar)
     }
 
     /// Converts and compiles a JSON Schema.
     ///
     /// # Errors
     ///
-    /// Returns the conversion error of [`xg_grammar::json_schema_to_grammar`].
+    /// Returns the conversion error of [`xg_grammar::json_schema_to_grammar`],
+    /// or [`GrammarError::Lint`] in strict lint mode.
     pub fn compile_json_schema(
         &self,
         schema: &serde_json::Value,
     ) -> Result<Arc<CompiledGrammar>, GrammarError> {
         let grammar = xg_grammar::json_schema_to_grammar(schema)?;
-        Ok(self.compile_grammar(&grammar))
+        self.compile_grammar_checked(&grammar)
     }
 
     /// Compiles the built-in unconstrained JSON grammar (ECMA-404).
@@ -465,6 +562,117 @@ mod tests {
         let key = crate::ConstraintFactory::factory_key(&*dispatch);
         assert!(c.has_cached_tag_dispatch(key));
         assert!(!c.has_cached_tag_dispatch(key.wrapping_add(1)));
+    }
+
+    #[test]
+    fn warn_mode_records_diagnostics_without_failing() {
+        let c = compiler();
+        // Unsatisfiable: `a` has no base case. Default mode is Warn.
+        let compiled = c
+            .compile_ebnf(
+                r#"
+                root ::= a
+                a ::= "x" a
+                "#,
+                "root",
+            )
+            .unwrap();
+        let report = compiled.lint_report().unwrap();
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn strict_mode_rejects_unsatisfiable_grammars() {
+        let c = GrammarCompiler::with_config(
+            Arc::new(test_vocabulary(600)),
+            CompilerConfig::default().with_lint_mode(LintMode::Strict),
+        );
+        let err = c
+            .compile_ebnf(
+                r#"
+                root ::= a
+                a ::= "x" a
+                "#,
+                "root",
+            )
+            .unwrap_err();
+        assert!(matches!(err, GrammarError::Lint { .. }));
+        assert!(err.to_string().contains("unsatisfiable-grammar"));
+        // Clean grammars still compile.
+        assert!(c.compile_ebnf(r#"root ::= "ok""#, "root").is_ok());
+    }
+
+    #[test]
+    fn off_mode_skips_the_lint_entirely() {
+        let c = GrammarCompiler::with_config(
+            Arc::new(test_vocabulary(600)),
+            CompilerConfig::default().with_lint_mode(LintMode::Off),
+        );
+        let compiled = c
+            .compile_ebnf(
+                r#"
+                root ::= a
+                a ::= "x" a
+                "#,
+                "root",
+            )
+            .unwrap();
+        assert!(compiled.lint_report().is_none());
+    }
+
+    #[test]
+    fn strict_rejection_is_cached_and_fails_fast() {
+        let c = GrammarCompiler::with_config(
+            Arc::new(test_vocabulary(600)),
+            CompilerConfig::default().with_lint_mode(LintMode::Strict),
+        );
+        let g = xg_grammar::parse_ebnf(
+            r#"
+            root ::= a
+            a ::= "x" a
+            "#,
+            "root",
+        )
+        .unwrap();
+        assert!(c.compile_grammar_checked(&g).is_err());
+        assert!(c.compile_grammar_checked(&g).is_err());
+        // One compile, one cache hit: the rejection is served from cache.
+        let stats = c.local_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn lint_modes_produce_distinct_cache_keys() {
+        let g = xg_grammar::parse_ebnf(r#"root ::= "a""#, "root").unwrap();
+        let vocab = Arc::new(test_vocabulary(600));
+        let warn = GrammarCompiler::new(Arc::clone(&vocab));
+        let off = GrammarCompiler::with_config(
+            Arc::clone(&vocab),
+            CompilerConfig::default().with_lint_mode(LintMode::Off),
+        );
+        assert_ne!(warn.cache_key(&g), off.cache_key(&g));
+    }
+
+    #[test]
+    fn strict_mode_rejects_dead_triggers() {
+        use xg_grammar::{StructuralTag, TagContent, TagSpec};
+        let c = GrammarCompiler::with_config(
+            Arc::new(test_vocabulary(600)),
+            CompilerConfig::default().with_lint_mode(LintMode::Strict),
+        );
+        let tag = StructuralTag::new(vec![TagSpec {
+            begin: "<f>".into(),
+            content: TagContent::Ebnf {
+                // No base case: the segment can never complete.
+                text: "root ::= \"x\" root".into(),
+                root: "root".into(),
+            },
+            end: "</f>".into(),
+        }]);
+        let err = c.compile_tag_dispatch(&tag).unwrap_err();
+        assert!(matches!(err, GrammarError::Lint { .. }));
+        assert!(err.to_string().contains("dead-trigger"));
     }
 
     #[test]

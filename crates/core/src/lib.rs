@@ -17,6 +17,10 @@
 //! * the **grammar matcher and compiler** used by serving engines
 //!   ([`GrammarCompiler`], [`CompiledGrammar`], [`GrammarMatcher`],
 //!   [`TokenBitmask`]), including jump-forward string detection (Appendix B),
+//! * the **static-analysis lint layer**: grammar-level diagnostics from
+//!   [`xg_grammar::analyze`] plus vocabulary-aware dead-state detection over
+//!   the compiled automaton, recorded per compile ([`GrammarLintReport`]) and
+//!   enforced by the compiler's [`LintMode`],
 //! * the **serving concurrency layer** (§5): a budgeted LRU cache of compiled
 //!   grammars with compile-once semantics under contention ([`GrammarCache`])
 //!   and a pool of reusable per-request matchers ([`MatcherPool`]),
@@ -60,6 +64,7 @@ mod constraint;
 mod error;
 pub mod executor;
 mod grammar_cache;
+mod lint;
 mod mask;
 mod mask_cache;
 mod matcher;
@@ -67,10 +72,11 @@ mod matcher_pool;
 mod persistent_stack;
 mod tag_dispatch;
 
-pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler};
+pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler, LintMode};
 pub use constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats, ForcedTokenRun};
 pub use error::{AcceptError, RollbackError};
 pub use grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats};
+pub use lint::GrammarLintReport;
 pub use mask::TokenBitmask;
 pub use mask_cache::{
     build_mask_cache, MaskCache, MaskCacheBuildOptions, MaskCacheStats, NodeMaskEntry,

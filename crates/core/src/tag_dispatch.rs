@@ -152,6 +152,30 @@ impl GrammarCompiler {
             return Ok(Arc::clone(hit));
         }
         let grammars = tag.build_trigger_grammars()?;
+        // Dead-trigger lint: a trigger whose combined segment grammar cannot
+        // derive any terminal string would fire and then wedge the lane (the
+        // segment can never complete). In strict lint mode that fails the
+        // compile up front; the free-text tail appended below cannot repair
+        // an unproductive segment, so checking the strict grammar is exact.
+        if self.config().lint_mode == crate::LintMode::Strict {
+            let mut dead = Vec::new();
+            for (trigger, grammar) in &grammars {
+                let analysis = xg_grammar::analyze(grammar);
+                if analysis.has_errors() {
+                    dead.push(xg_grammar::Diagnostic::new(
+                        xg_grammar::DiagnosticCode::DeadTrigger,
+                        None,
+                        format!(
+                            "trigger `{trigger}` has an unserveable segment grammar: {}",
+                            analysis.error_summary()
+                        ),
+                    ));
+                }
+            }
+            if !dead.is_empty() {
+                return Err(GrammarError::Lint { diagnostics: dead });
+            }
+        }
         let mut triggers = Vec::with_capacity(grammars.len());
         let mut patterns = Vec::with_capacity(grammars.len());
         for (trigger, grammar) in grammars {

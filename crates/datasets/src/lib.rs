@@ -18,6 +18,9 @@
 //! * [`schema_corpus`] — a JSON-Schema conformance corpus grouped by
 //!   converter feature (pattern, format, bounds, `allOf`, `$ref`, ...) with
 //!   known-valid and known-invalid instances,
+//! * [`pathological_corpus`] — defective grammars with known lint verdicts,
+//!   ground truth for the `grammar_lint` experiment and the static-analysis
+//!   pass,
 //! * [`training_corpus`] — mixed text used to train the BPE tokenizer
 //!   substitute.
 
@@ -26,6 +29,7 @@
 
 mod corpus;
 mod json_tasks;
+mod pathological_corpus;
 mod python_tasks;
 mod schema_corpus;
 mod tool_call_tasks;
@@ -33,6 +37,9 @@ mod xml_tasks_mod;
 
 pub use corpus::training_corpus;
 pub use json_tasks::{json_documents, json_mode_eval_like, FunctionCallTask};
+pub use pathological_corpus::{
+    builder_rejections, pathological_corpus, BuilderRejection, PathologicalCase,
+};
 pub use python_tasks::python_dsl_tasks;
 pub use schema_corpus::{schema_corpus, SchemaCase, SCHEMA_FEATURES};
 pub use tool_call_tasks::{

@@ -662,9 +662,14 @@ impl GrammarBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`GrammarError::MissingRoot`] if `root` was never declared, or
+    /// Returns [`GrammarError::MissingRoot`] if `root` was never declared,
     /// [`GrammarError::UndefinedRule`] if any body references an id outside
-    /// the builder (impossible through the public API, kept as a guard).
+    /// the builder (impossible through the public API, kept as a guard),
+    /// [`GrammarError::InvalidRepetition`] if any repetition has `min > max`,
+    /// or [`GrammarError::EmptyChoice`] if any body contains a directly
+    /// constructed choice with zero alternatives (note that
+    /// [`GrammarExpr::choice`] collapses that case to [`GrammarExpr::Empty`],
+    /// so it only arises from hand-built `Choice` values).
     pub fn build(self, root: &str) -> Result<Grammar> {
         let root_id = self
             .by_name
@@ -687,12 +692,43 @@ impl GrammarBuilder {
                     referenced_from: rule.name.clone(),
                 });
             }
+            check_degenerate(&rule.body, &rule.name)?;
         }
         Ok(Grammar {
             rules: self.rules,
             root: root_id,
             by_name: self.by_name,
         })
+    }
+}
+
+/// Rejects structurally degenerate expressions that could only ever match
+/// nothing: repetitions with `min > max` and directly constructed choices
+/// with zero alternatives. Run by [`GrammarBuilder::build`] so such shapes
+/// never compile silently.
+fn check_degenerate(expr: &GrammarExpr, rule: &str) -> Result<()> {
+    match expr {
+        GrammarExpr::Choice(items) if items.is_empty() => Err(GrammarError::EmptyChoice {
+            rule: rule.to_string(),
+        }),
+        GrammarExpr::Sequence(items) | GrammarExpr::Choice(items) => {
+            for it in items {
+                check_degenerate(it, rule)?;
+            }
+            Ok(())
+        }
+        GrammarExpr::Repeat { expr, min, max } => {
+            if let Some(max) = max {
+                if min > max {
+                    return Err(GrammarError::InvalidRepetition {
+                        min: *min,
+                        max: *max,
+                    });
+                }
+            }
+            check_degenerate(expr, rule)
+        }
+        _ => Ok(()),
     }
 }
 
@@ -868,6 +904,61 @@ mod tests {
             GrammarExpr::Choice(items) => assert_eq!(items.len(), 3),
             other => panic!("expected choice, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn degenerate_repetition_fails_build() {
+        let mut b = Grammar::builder();
+        b.add_rule(
+            "root",
+            GrammarExpr::Repeat {
+                expr: Box::new(lit("a")),
+                min: 5,
+                max: Some(2),
+            },
+        );
+        assert!(matches!(
+            b.build("root"),
+            Err(GrammarError::InvalidRepetition { min: 5, max: 2 })
+        ));
+    }
+
+    #[test]
+    fn direct_empty_choice_fails_build() {
+        let mut b = Grammar::builder();
+        b.add_rule("root", GrammarExpr::Choice(vec![]));
+        assert!(matches!(
+            b.build("root"),
+            Err(GrammarError::EmptyChoice { .. })
+        ));
+        // The smart constructor collapses the same input to Empty, which is
+        // fine.
+        let mut b = Grammar::builder();
+        b.add_rule("root", GrammarExpr::choice(vec![]));
+        assert!(b.build("root").is_ok());
+    }
+
+    #[test]
+    fn nested_degenerate_repetition_fails_build() {
+        let mut b = Grammar::builder();
+        b.add_rule(
+            "root",
+            GrammarExpr::seq(vec![
+                lit("x"),
+                GrammarExpr::choice(vec![
+                    lit("y"),
+                    GrammarExpr::Repeat {
+                        expr: Box::new(lit("z")),
+                        min: 3,
+                        max: Some(1),
+                    },
+                ]),
+            ]),
+        );
+        assert!(matches!(
+            b.build("root"),
+            Err(GrammarError::InvalidRepetition { .. })
+        ));
     }
 
     #[test]

@@ -58,6 +58,20 @@ pub enum GrammarError {
         /// Upper bound.
         max: u32,
     },
+    /// A choice with zero alternatives was constructed directly (it matches
+    /// nothing; `GrammarExpr::choice` collapses this case to `Empty`).
+    EmptyChoice {
+        /// Name of the rule containing the empty choice.
+        rule: String,
+    },
+    /// The grammar failed the static-analysis lint pass in strict mode.
+    ///
+    /// Carries the error-severity [`Diagnostic`](crate::Diagnostic)s that
+    /// caused the rejection.
+    Lint {
+        /// The error-severity diagnostics, in rule order.
+        diagnostics: Vec<crate::Diagnostic>,
+    },
     /// The JSON Schema document could not be converted.
     Schema {
         /// JSON-pointer-like path to the offending schema fragment.
@@ -108,6 +122,18 @@ impl fmt::Display for GrammarError {
             }
             GrammarError::InvalidRepetition { min, max } => {
                 write!(f, "repetition lower bound {min} exceeds upper bound {max}")
+            }
+            GrammarError::EmptyChoice { rule } => {
+                write!(f, "rule `{rule}` contains a choice with zero alternatives")
+            }
+            GrammarError::Lint { diagnostics } => {
+                let msgs: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+                write!(
+                    f,
+                    "grammar failed lint with {} error(s): {}",
+                    diagnostics.len(),
+                    msgs.join("; ")
+                )
             }
             GrammarError::Schema { path, message } => {
                 write!(f, "unsupported JSON Schema at `{path}`: {message}")

@@ -941,6 +941,34 @@ impl<'a> Converter<'a> {
         }
     }
 
+    /// Extracts an *exclusive* numeric bound, accepting both the draft-6+
+    /// numeric form (`"exclusiveMinimum": 5`) and the draft-4 boolean form
+    /// (`"exclusiveMinimum": true`, which makes the sibling `base` keyword —
+    /// `minimum`/`maximum` — exclusive). A boolean `false` is a no-op: the
+    /// sibling inclusive bound applies on its own.
+    fn exclusive_numeric_bound(
+        &self,
+        obj: &Map,
+        key: &str,
+        base: &str,
+        path: &str,
+    ) -> Result<Option<f64>> {
+        match obj.get(key) {
+            Some(Value::Bool(true)) => {
+                let v = self.numeric_bound(obj, base, path)?;
+                if v.is_none() && obj.get(base).is_none() && !self.options.lenient {
+                    return Err(self.schema_err(
+                        path,
+                        format!("draft-4 boolean `{key}` requires a sibling `{base}`"),
+                    ));
+                }
+                Ok(v)
+            }
+            Some(Value::Bool(false)) => Ok(None),
+            _ => self.numeric_bound(obj, key, path),
+        }
+    }
+
     fn convert_integer(&mut self, obj: &Map, path: &str) -> Result<GrammarExpr> {
         let mut lo: Option<i64> = None;
         let mut hi: Option<i64> = None;
@@ -948,7 +976,7 @@ impl<'a> Converter<'a> {
             let b = v.ceil() as i64;
             lo = Some(lo.map_or(b, |c| c.max(b)));
         }
-        if let Some(v) = self.numeric_bound(obj, "exclusiveMinimum", path)? {
+        if let Some(v) = self.exclusive_numeric_bound(obj, "exclusiveMinimum", "minimum", path)? {
             let b = v.floor() as i64 + 1;
             lo = Some(lo.map_or(b, |c| c.max(b)));
         }
@@ -956,7 +984,7 @@ impl<'a> Converter<'a> {
             let b = v.floor() as i64;
             hi = Some(hi.map_or(b, |c| c.min(b)));
         }
-        if let Some(v) = self.numeric_bound(obj, "exclusiveMaximum", path)? {
+        if let Some(v) = self.exclusive_numeric_bound(obj, "exclusiveMaximum", "maximum", path)? {
             let b = v.ceil() as i64 - 1;
             hi = Some(hi.map_or(b, |c| c.min(b)));
         }
@@ -1057,9 +1085,17 @@ impl<'a> Converter<'a> {
             ));
         }
         let min_inc = self.number_bound(obj, "minimum", path)?;
-        let min_exc = self.number_bound(obj, "exclusiveMinimum", path)?;
+        let min_exc = self.integer_valued(
+            "exclusiveMinimum",
+            self.exclusive_numeric_bound(obj, "exclusiveMinimum", "minimum", path)?,
+            path,
+        )?;
         let max_inc = self.number_bound(obj, "maximum", path)?;
-        let max_exc = self.number_bound(obj, "exclusiveMaximum", path)?;
+        let max_exc = self.integer_valued(
+            "exclusiveMaximum",
+            self.exclusive_numeric_bound(obj, "exclusiveMaximum", "maximum", path)?,
+            path,
+        )?;
         // The stricter lower bound wins: a larger value, or exclusivity on a tie.
         let lower = match (min_inc, min_exc) {
             (Some(a), Some(b)) if b >= a => Some((b, true)),
@@ -1084,7 +1120,14 @@ impl<'a> Converter<'a> {
     /// Extracts an integer-valued bound for type `number`; fractional bounds
     /// are unsupported (dropped in lenient mode).
     fn number_bound(&self, obj: &Map, key: &str, path: &str) -> Result<Option<i64>> {
-        match self.numeric_bound(obj, key, path)? {
+        let v = self.numeric_bound(obj, key, path)?;
+        self.integer_valued(key, v, path)
+    }
+
+    /// Narrows an extracted `number` bound to an integer value; fractional
+    /// bounds are unsupported (dropped in lenient mode).
+    fn integer_valued(&self, key: &str, value: Option<f64>, path: &str) -> Result<Option<i64>> {
+        match value {
             None => Ok(None),
             Some(v) if v.fract() == 0.0 => Ok(Some(v as i64)),
             Some(_) if self.options.lenient => Ok(None),

@@ -282,10 +282,55 @@ fn fractional_number_bound_is_strict_error() {
 }
 
 #[test]
-fn draft4_boolean_exclusive_minimum_is_rejected() {
-    let schema = json!({"type": "integer", "minimum": 1, "exclusiveMinimum": true});
-    assert!(json_schema_to_grammar(&schema).is_err());
-    assert!(json_schema_to_grammar_with_options(&schema, &lenient()).is_ok());
+fn draft4_boolean_exclusive_minimum_is_accepted() {
+    // Draft-4 spells exclusivity as a boolean modifying the sibling
+    // `minimum`; it must behave exactly like the draft-6 numeric form.
+    let draft4 = json!({"type": "integer", "minimum": 1, "exclusiveMinimum": true});
+    let draft6 = json!({"type": "integer", "exclusiveMinimum": 1});
+    let a = json_schema_to_grammar(&draft4).unwrap();
+    let b = json_schema_to_grammar(&draft6).unwrap();
+    assert_eq!(a.to_string(), b.to_string());
+}
+
+#[test]
+fn draft4_boolean_exclusive_maximum_is_accepted() {
+    let draft4 = json!({"type": "integer", "minimum": 0, "maximum": 10, "exclusiveMaximum": true});
+    let draft6 = json!({"type": "integer", "minimum": 0, "exclusiveMaximum": 10});
+    let a = json_schema_to_grammar(&draft4).unwrap();
+    let b = json_schema_to_grammar(&draft6).unwrap();
+    assert_eq!(a.to_string(), b.to_string());
+}
+
+#[test]
+fn draft4_boolean_false_is_a_no_op() {
+    // `exclusiveMinimum: false` leaves the inclusive `minimum` as-is.
+    let draft4 = json!({"type": "integer", "minimum": 1, "maximum": 9, "exclusiveMinimum": false});
+    let plain = json!({"type": "integer", "minimum": 1, "maximum": 9});
+    let a = json_schema_to_grammar(&draft4).unwrap();
+    let b = json_schema_to_grammar(&plain).unwrap();
+    assert_eq!(a.to_string(), b.to_string());
+}
+
+#[test]
+fn draft4_boolean_exclusive_on_number_type() {
+    let draft4 = json!({"type": "number", "minimum": 0, "maximum": 100, "exclusiveMaximum": true});
+    let draft6 = json!({"type": "number", "minimum": 0, "exclusiveMaximum": 100});
+    let a = json_schema_to_grammar(&draft4).unwrap();
+    let b = json_schema_to_grammar(&draft6).unwrap();
+    assert_eq!(a.to_string(), b.to_string());
+}
+
+#[test]
+fn draft4_boolean_without_sibling_bound_is_rejected() {
+    // A bare boolean `exclusiveMinimum` has nothing to make exclusive.
+    let schema = json!({"type": "integer", "exclusiveMinimum": true});
+    assert!(matches!(
+        json_schema_to_grammar(&schema),
+        Err(GrammarError::Schema { .. })
+    ));
+    // Lenient mode drops the dangling modifier.
+    let g = json_schema_to_grammar_with_options(&schema, &lenient()).unwrap();
+    assert!(g.rule_id("json_integer").is_some());
 }
 
 // ---- multipleOf ----

@@ -5,6 +5,8 @@
 //! executed by `xg-core`:
 //!
 //! * a grammar AST ([`Grammar`], [`GrammarExpr`], [`CharClass`]),
+//! * a static-analysis (lint) pass over grammars — reachability,
+//!   productivity, nullability and structured [`Diagnostic`]s ([`analyze`]),
 //! * a parser for the GBNF-style EBNF text format ([`parse_ebnf`]),
 //! * a JSON Schema → grammar converter ([`json_schema_to_grammar`]),
 //! * structural tags for agentic tool calling — free text interleaved with
@@ -30,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analysis;
 mod ast;
 mod bounded_number;
 pub mod builtin;
@@ -41,6 +44,7 @@ mod json_schema;
 mod pattern;
 mod structural_tag;
 
+pub use analysis::{analyze, Diagnostic, DiagnosticCode, GrammarAnalysis, Severity};
 pub use ast::{
     char_class, char_class_negated, ByteClass, CharClass, CharRange, Grammar, GrammarBuilder,
     GrammarExpr, Rule, RuleId,

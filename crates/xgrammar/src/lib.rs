@@ -59,15 +59,16 @@ pub use xg_core::{
     AcceptError, CompiledGrammar, CompiledTagDispatch, CompiledTrigger, CompilerConfig,
     ConstraintFactory, ConstraintMatcher, ConstraintStats, DispatchMode, ForcedTokenRun,
     GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats, GrammarCompiler,
-    GrammarMatcher, MaskCache, MaskCacheStats, MatcherPool, MatcherStats, NodeMaskEntry,
-    PersistentStackTree, RollbackError, StackHandle, StructuralTagMatcher, TagDispatchStats,
-    TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
+    GrammarLintReport, GrammarMatcher, LintMode, MaskCache, MaskCacheStats, MatcherPool,
+    MatcherStats, NodeMaskEntry, PersistentStackTree, RollbackError, StackHandle,
+    StructuralTagMatcher, TagDispatchStats, TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
 };
 pub use xg_grammar::{
-    builtin, json_schema_to_grammar, json_schema_to_grammar_with_options, parse_ebnf,
-    regex_pattern_to_expr, ByteClass, Grammar, GrammarError, GrammarExpr, JsonSchemaOptions,
-    SegmentExitPolicy, StructuralTag, TagContent, TagSpec, WhitespaceConfig, ANNOTATION_KEYWORDS,
-    SUPPORTED_FORMATS, SUPPORTED_KEYWORDS,
+    analyze, builtin, json_schema_to_grammar, json_schema_to_grammar_with_options, parse_ebnf,
+    regex_pattern_to_expr, ByteClass, Diagnostic, DiagnosticCode, Grammar, GrammarAnalysis,
+    GrammarError, GrammarExpr, JsonSchemaOptions, SegmentExitPolicy, Severity, StructuralTag,
+    TagContent, TagSpec, WhitespaceConfig, ANNOTATION_KEYWORDS, SUPPORTED_FORMATS,
+    SUPPORTED_KEYWORDS,
 };
 pub use xg_tokenizer::{TokenId, Vocabulary};
 
