@@ -86,6 +86,10 @@ pub fn build_pda(grammar: &Grammar, options: &PdaBuildOptions) -> Pda {
     if options.merge_nodes {
         merge_equivalent_nodes(&mut pda);
         debug_assert_eq!(pda.check_consistency(), Ok(()));
+        // Hashcons interning: collapse globally duplicated states (identical
+        // rule/finality/edges) that the local merge above cannot see.
+        crate::intern::intern_states(&mut pda);
+        debug_assert_eq!(pda.check_consistency(), Ok(()));
     }
     let pda = pda.compact();
     debug_assert_eq!(pda.check_consistency(), Ok(()));

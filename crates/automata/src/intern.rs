@@ -1,0 +1,194 @@
+//! Hashcons interning of PDA states.
+//!
+//! Thompson construction (even after epsilon elimination and the local node
+//! merging of [`crate::optimize`]) leaves the automaton with many states
+//! whose *outgoing* structure is identical: same rule, same finality, same
+//! edges. Such states are indistinguishable — any word accepted from one is
+//! accepted from the other — so they can share a single representative.
+//!
+//! [`intern_states`] hashconses states bottom-up: each pass keys every node
+//! by its structural signature `(rule, is_final, edges)` in a hash table,
+//! redirects every reference to a duplicate onto its first (canonical)
+//! occurrence, and repeats until a fixpoint — collapsing a duplicated
+//! sub-DAG one level per pass, exactly like expression hashconsing in
+//! `xg-grammar`. Complementary to
+//! [`merge_equivalent_nodes`](crate::optimize::merge_equivalent_nodes),
+//! which merges *successors* of one node locally; interning dedupes
+//! structure globally across the whole automaton.
+
+use std::collections::HashMap;
+
+use crate::pda::{NodeId, Pda, PdaEdge, PdaRuleId};
+
+/// Counters of one [`intern_states`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateInternStats {
+    /// Signature lookups served by an existing canonical state (the looked-up
+    /// state was a duplicate and got redirected).
+    pub hits: u64,
+    /// Signature lookups that made the state the canonical representative.
+    pub misses: u64,
+    /// Number of states removed (= `hits`, kept separately for readability).
+    pub merged: usize,
+    /// Fixpoint passes executed.
+    pub passes: usize,
+}
+
+impl StateInternStats {
+    /// Fraction of signature lookups that deduplicated a state.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Structural signature of a PDA node: two nodes with equal signatures accept
+/// exactly the same byte strings (with the same stack effects).
+type Signature = (PdaRuleId, bool, Vec<PdaEdge>);
+
+/// Hashconses the states of a PDA in place, then compacts it.
+///
+/// Safe unconditionally: only *incoming* references are redirected, and the
+/// canonical state has identical outgoing behavior by construction.
+///
+/// # Examples
+///
+/// ```
+/// use xg_automata::{build_pda, intern_states, PdaBuildOptions};
+///
+/// // Skip merging so duplicates survive construction.
+/// let options = PdaBuildOptions {
+///     merge_nodes: false,
+///     ..Default::default()
+/// };
+/// let grammar = xg_grammar::parse_ebnf(
+///     r#"root ::= ("ab" | "cb") ("ab" | "cb")"#,
+///     "root",
+/// ).unwrap();
+/// let mut pda = build_pda(&grammar, &options);
+/// let before = pda.node_count();
+/// let stats = intern_states(&mut pda);
+/// assert!(stats.merged > 0);
+/// assert!(pda.node_count() < before);
+/// ```
+pub fn intern_states(pda: &mut Pda) -> StateInternStats {
+    let mut stats = StateInternStats::default();
+    // States already redirected in an earlier pass; they are unreferenced and
+    // must not re-enter the signature table (they would match their canonical
+    // representative forever, preventing the fixpoint from being reached).
+    let mut dead = vec![false; pda.nodes.len()];
+    loop {
+        stats.passes += 1;
+        let mut table: HashMap<Signature, NodeId> = HashMap::with_capacity(pda.nodes.len());
+        let mut redirect: Vec<NodeId> = (0..pda.nodes.len() as u32).map(NodeId).collect();
+        let mut merged_this_pass = 0usize;
+        for (i, node) in pda.nodes.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            let sig = (node.rule, node.is_final, node.edges.clone());
+            match table.get(&sig) {
+                Some(&canonical) => {
+                    stats.hits += 1;
+                    redirect[i] = canonical;
+                    dead[i] = true;
+                    merged_this_pass += 1;
+                }
+                None => {
+                    stats.misses += 1;
+                    table.insert(sig, NodeId(i as u32));
+                }
+            }
+        }
+        if merged_this_pass == 0 {
+            break;
+        }
+        stats.merged += merged_this_pass;
+        for node in &mut pda.nodes {
+            for edge in &mut node.edges {
+                match edge {
+                    PdaEdge::Bytes { target, .. } | PdaEdge::Rule { target, .. } => {
+                        *target = redirect[target.index()];
+                    }
+                }
+            }
+        }
+        for rule in &mut pda.rules {
+            rule.start = redirect[rule.start.index()];
+        }
+    }
+    if stats.merged > 0 {
+        *pda = pda.compact();
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_pda, PdaBuildOptions};
+    use crate::exec::SimpleMatcher;
+
+    fn no_merge_options() -> PdaBuildOptions {
+        PdaBuildOptions {
+            merge_nodes: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn interning_preserves_the_language() {
+        let grammar = xg_grammar::parse_ebnf(
+            r#"
+            root ::= "[" num ("," num)* "]"
+            num  ::= [0-9]+
+            "#,
+            "root",
+        )
+        .unwrap();
+        let mut pda = build_pda(&grammar, &no_merge_options());
+        let reference = pda.clone();
+        let stats = intern_states(&mut pda);
+        assert_eq!(pda.check_consistency(), Ok(()));
+        assert!(stats.passes >= 1);
+        let cases: [&[u8]; 6] = [b"[1]", b"[12,3]", b"[1,2,3]", b"[]", b"[1,]", b"1"];
+        for case in cases {
+            assert_eq!(
+                SimpleMatcher::new(&pda).accepts(case),
+                SimpleMatcher::new(&reference).accepts(case),
+                "language changed on {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_branches_are_shared() {
+        // Two structurally identical alternatives produce duplicated suffix
+        // states that the interner collapses.
+        let grammar =
+            xg_grammar::parse_ebnf(r#"root ::= ("abc" | "xbc") ("abc" | "xbc")"#, "root").unwrap();
+        let mut pda = build_pda(&grammar, &no_merge_options());
+        let before = pda.node_count();
+        let stats = intern_states(&mut pda);
+        assert!(stats.merged > 0, "expected duplicate states to merge");
+        assert_eq!(stats.merged as u64, stats.hits);
+        assert!(pda.node_count() < before);
+        assert!(stats.hit_rate() > 0.0);
+        assert!(SimpleMatcher::new(&pda).accepts(b"abcxbc"));
+        assert!(!SimpleMatcher::new(&pda).accepts(b"abc"));
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let grammar = xg_grammar::builtin::json_grammar();
+        let mut pda = build_pda(&grammar, &no_merge_options());
+        intern_states(&mut pda);
+        let nodes_after_first = pda.node_count();
+        let second = intern_states(&mut pda);
+        assert_eq!(second.merged, 0);
+        assert_eq!(pda.node_count(), nodes_after_first);
+    }
+}

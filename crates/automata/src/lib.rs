@@ -13,6 +13,8 @@
 //! * [`build_pda`] — grammar → PDA compilation including rule inlining and
 //!   epsilon elimination,
 //! * [`optimize`] — node merging (paper §3.4),
+//! * [`intern_states`] — hashcons interning of structurally identical PDA
+//!   states (global dedup, complementing the local node merging),
 //! * [`extract_suffix_fsa`] — expanded-suffix extraction for context
 //!   expansion (paper §3.2, Algorithm 2),
 //! * [`SimpleMatcher`] — a reference multi-stack executor (the "naive PDA"
@@ -36,6 +38,7 @@
 pub mod build;
 pub mod exec;
 pub mod fsa;
+pub mod intern;
 pub mod multipattern;
 pub mod optimize;
 pub mod pda;
@@ -45,6 +48,7 @@ pub mod utf8;
 pub use build::{build_pda, build_pda_default, inline_fragment_rules, PdaBuildOptions};
 pub use exec::{epsilon_closure, MatchStack, SimpleMatcher, StepResult};
 pub use fsa::{Fsa, StateId, SuffixMatch};
+pub use intern::{intern_states, StateInternStats};
 pub use multipattern::{AcState, AhoCorasick, NaiveMultiPattern};
 pub use pda::{NodeId, Pda, PdaEdge, PdaNode, PdaRule, PdaRuleId, PdaStats};
 pub use suffix::{extract_all_suffix_fsas, extract_suffix_fsa};

@@ -154,6 +154,61 @@ pub trait BackendSession: Send + fmt::Debug {
     /// and the request should be aborted).
     fn accept_token(&mut self, token: TokenId) -> bool;
 
+    /// Verifies a speculative draft in one call: accepts the longest valid
+    /// prefix of `tokens` and returns its length. The session advances past
+    /// exactly the accepted prefix; the first rejected token (if any) leaves
+    /// no trace, so the engine can resume ordinary decoding — or roll the
+    /// prefix back, on backends with rollback support — without resync. The
+    /// default drives the per-token [`accept_token`] loop, which already has
+    /// reject-without-advance semantics on every backend.
+    ///
+    /// [`accept_token`]: Self::accept_token
+    fn accept_tokens_speculative(&mut self, tokens: &[TokenId]) -> usize {
+        for (i, &token) in tokens.iter().enumerate() {
+            if !self.accept_token(token) {
+                return i;
+            }
+        }
+        tokens.len()
+    }
+
+    /// A key identifying the session's current mask-generation state:
+    /// sessions with equal keys produce identical context-independent mask
+    /// portions, so a batch scheduler may compute that portion once
+    /// ([`fill_mask_base`]) and serve every lane from it
+    /// ([`fill_mask_from_base`]). `None` (the default) opts the session out
+    /// of batching for this step.
+    ///
+    /// [`fill_mask_base`]: Self::fill_mask_base
+    /// [`fill_mask_from_base`]: Self::fill_mask_from_base
+    fn mask_batch_key(&self) -> Option<u64> {
+        None
+    }
+
+    /// Writes the shared (context-independent) mask portion for the current
+    /// [`mask_batch_key`] state into `base`, returning `false` when the
+    /// session is not batchable right now (the default). The base is valid
+    /// for every session reporting the same key.
+    ///
+    /// [`mask_batch_key`]: Self::mask_batch_key
+    fn fill_mask_base(&mut self, base: &mut TokenBitmask) -> bool {
+        let _ = base;
+        false
+    }
+
+    /// Completes a mask from a shared `base` produced by [`fill_mask_base`]
+    /// on a session with the same [`mask_batch_key`]. The default ignores the
+    /// base and performs a full [`fill_mask`], so callers may use this
+    /// unconditionally once a base exists for the group.
+    ///
+    /// [`fill_mask`]: Self::fill_mask
+    /// [`fill_mask_base`]: Self::fill_mask_base
+    /// [`mask_batch_key`]: Self::mask_batch_key
+    fn fill_mask_from_base(&mut self, mask: &mut TokenBitmask, base: &TokenBitmask) {
+        let _ = base;
+        self.fill_mask(mask);
+    }
+
     /// Returns `true` if the text generated so far is a complete instance of
     /// the structure (end-of-sequence is allowed).
     fn can_terminate(&mut self) -> bool;

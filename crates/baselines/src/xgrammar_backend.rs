@@ -257,6 +257,24 @@ impl BackendSession for XGrammarSession {
         self.matcher().accept_token(token).is_ok()
     }
 
+    fn accept_tokens_speculative(&mut self, tokens: &[TokenId]) -> usize {
+        self.matcher().accept_tokens_speculative(tokens)
+    }
+
+    fn mask_batch_key(&self) -> Option<u64> {
+        self.matcher
+            .as_deref()
+            .and_then(|matcher| matcher.mask_batch_key())
+    }
+
+    fn fill_mask_base(&mut self, base: &mut TokenBitmask) -> bool {
+        self.matcher().fill_mask_base(base)
+    }
+
+    fn fill_mask_from_base(&mut self, mask: &mut TokenBitmask, base: &TokenBitmask) {
+        self.matcher().fill_next_token_bitmask_from_base(mask, base);
+    }
+
     fn can_terminate(&mut self) -> bool {
         self.matcher().can_terminate()
     }
@@ -541,6 +559,58 @@ mod tests {
             naive.compile_structural(&tag),
             Err(BackendError::UnsupportedGrammar { .. })
         ));
+    }
+
+    #[test]
+    fn sessions_expose_speculative_and_batched_mask_paths() {
+        let vocab = small_vocab();
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let compiled = backend
+            .compile(&xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap())
+            .unwrap();
+        let token = |bytes: &[u8]| {
+            vocab
+                .iter()
+                .find(|(_, t)| *t == bytes)
+                .map(|(id, _)| id)
+                .expect("token in vocabulary")
+        };
+        // One-call draft verification: "[12]" is valid, "x" is not.
+        let draft = [
+            token(b"["),
+            token(b"1"),
+            token(b"2"),
+            token(b"]"),
+            token(b"x"),
+        ];
+        let mut session = compiled.new_session();
+        assert_eq!(session.accept_tokens_speculative(&draft), 4);
+        assert!(session.can_terminate());
+        // Each draft token is one rollback unit.
+        assert_eq!(session.rollback_window(), 4);
+        assert!(session.rollback(4));
+        // Two fresh sessions share a batch key; the base-completed mask
+        // matches the full fill bit for bit.
+        let mut a = compiled.new_session();
+        let mut b = compiled.new_session();
+        assert!(a.mask_batch_key().is_some());
+        assert_eq!(a.mask_batch_key(), b.mask_batch_key());
+        let mut base = TokenBitmask::new_all_rejected(vocab.len());
+        assert!(a.fill_mask_base(&mut base));
+        let mut from_base = TokenBitmask::new_all_rejected(vocab.len());
+        b.fill_mask_from_base(&mut from_base, &base);
+        let mut full = TokenBitmask::new_all_rejected(vocab.len());
+        a.fill_mask(&mut full);
+        assert_eq!(from_base, full);
+        // Baseline sessions opt out of batching but keep the speculative
+        // default (per-token loop).
+        let naive = crate::NaivePdaBackend::new(Arc::clone(&vocab));
+        let mut naive_session = naive
+            .compile(&xg_grammar::parse_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root").unwrap())
+            .unwrap()
+            .new_session();
+        assert_eq!(naive_session.mask_batch_key(), None);
+        assert_eq!(naive_session.accept_tokens_speculative(&draft), 4);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `experiment` is one of `fig9`, `fig10`, `table1`, `table2`, `table3`,
 //! `table4`, `fig11`, `fig12`, `stats`, `cache_serving`, `structural_tag`,
 //! `engine_jump_forward`, `continuous_batching`, `schema_corpus`,
-//! `grammar_lint`, or `all` (default);
+//! `grammar_lint`, `mask_throughput`, or `all` (default);
 //! `--list` prints the available experiments and exits. `--full` uses the
 //! 128k-token vocabulary and larger request counts (slower); `--quick` (the
 //! default) uses a 32k vocabulary so the whole suite finishes in a few
@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use xg_baselines::{ConstrainedBackend, XGrammarBackend};
+use xg_baselines::{BackendSession, ConstrainedBackend, XGrammarBackend};
 use xg_bench::{
     ablation_backend, bench_vocabulary, measure_mask_generation, BackendKind, Workload,
 };
@@ -86,7 +86,7 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
     // Single source of truth for name validation, `--list` and dispatch.
     type Experiment = fn(&Arc<Vocabulary>, &Config);
-    let experiments: [(&str, &str, Experiment); 15] = [
+    let experiments: [(&str, &str, Experiment); 16] = [
         (
             "stats",
             "preprocessing statistics for the JSON grammar (§3.1–§3.3)",
@@ -133,6 +133,11 @@ fn main() {
             "grammar_lint",
             "static-analysis lint: pathological corpus, clean schemas, strict admission (PASS-gated)",
             experiment_grammar_lint,
+        ),
+        (
+            "mask_throughput",
+            "mask tokens/sec at 32k/128k/256k vocab, word kernels vs per-token serial (PASS-gated)",
+            experiment_mask_throughput,
         ),
     ];
     if args.iter().any(|a| a == "--list") {
@@ -1500,4 +1505,128 @@ fn experiment_grammar_lint(vocab: &Arc<Vocabulary>, config: &Config) {
         if pass { "PASS" } else { "FAIL" }
     );
     println!();
+}
+
+/// Raw-speed mask path at frontier vocabulary scale (the PR 9 tentpole gate).
+///
+/// For each vocabulary size — 32k, 128k (the paper's Llama-3.1 point) and a
+/// 256k frontier-scale synthetic vocabulary — this measures per-token
+/// mask-generation throughput on the recursive JSON CFG for two paths:
+///
+/// * **word kernels** — the default configuration: the adaptive token-mask
+///   cache applied through word-level bulk bitmask kernels
+///   (`allow_run` / `reject_many` / `copy_from`), plus
+/// * **per-token serial** — `enable_mask_cache = false`, so every token in
+///   the vocabulary is matched individually against the pushdown state at
+///   runtime.
+///
+/// It also reports the shared-base batched fill: eight lockstep lanes served
+/// by one `fill_mask_base` + per-lane `fill_mask_from_base` versus eight
+/// independent full fills (the scheduler's grouped mask-job path).
+///
+/// PASS gate (wired into CI as a smoke step): the word-kernel path must
+/// reach at least 1.5x the per-token serial tokens/sec on the 128k-vocab
+/// configuration. All three sizes run even under `--quick`; quick mode only
+/// shrinks the iteration counts.
+fn experiment_mask_throughput(_vocab: &Arc<Vocabulary>, config: &Config) {
+    println!("## Mask throughput at scale (word kernels vs per-token serial)");
+    let quick = config.time_scale < 1.0;
+    let workload = Workload::CfgJson;
+    let (kernel_refs, kernel_steps) = if quick { (2, 40) } else { (4, 120) };
+    let serial_steps = if quick { 3 } else { 8 };
+    let mut ratio_at_128k = 0.0f64;
+    println!(
+        "  {:>7} {:>15} {:>15} {:>8} {:>10}",
+        "vocab", "kernel tok/s", "serial tok/s", "ratio", "batch x8"
+    );
+    for size in [32_000usize, 128_000, 256_000] {
+        let vocab = if size == 256_000 {
+            Arc::new(xg_tokenizer::frontier_256k_vocabulary())
+        } else {
+            bench_vocabulary(size)
+        };
+        let kernel: Arc<dyn ConstrainedBackend> =
+            Arc::new(XGrammarBackend::new(Arc::clone(&vocab)));
+        let serial: Arc<dyn ConstrainedBackend> = Arc::new(XGrammarBackend::with_config(
+            Arc::clone(&vocab),
+            CompilerConfig {
+                enable_mask_cache: false,
+                ..CompilerConfig::default()
+            },
+        ));
+        let kernel_m = measure_mask_generation(&kernel, workload, kernel_refs, kernel_steps)
+            .expect("word-kernel path handles the JSON CFG");
+        let serial_m = measure_mask_generation(&serial, workload, 1, serial_steps)
+            .expect("per-token serial path handles the JSON CFG");
+        let kernel_tps = 1.0 / kernel_m.per_token.as_secs_f64().max(f64::MIN_POSITIVE);
+        let serial_tps = 1.0 / serial_m.per_token.as_secs_f64().max(f64::MIN_POSITIVE);
+        let ratio = kernel_tps / serial_tps;
+        if size == 128_000 {
+            ratio_at_128k = ratio;
+        }
+        let batch_speedup =
+            measure_shared_base_speedup(&kernel, workload, if quick { 8 } else { 32 });
+        println!(
+            "  {:>6}k {:>15.0} {:>15.0} {:>7.1}x {:>9.2}x",
+            size / 1000,
+            kernel_tps,
+            serial_tps,
+            ratio,
+            batch_speedup
+        );
+    }
+    let pass = ratio_at_128k >= 1.5;
+    println!(
+        "  mask throughput (word-kernel fill >= 1.5x per-token serial at 128k): {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+    println!();
+}
+
+/// Times eight lockstep sessions filled via the shared-base batched path
+/// against eight independent full fills, returning full/batched (>1 means
+/// the batched path is faster). Falls back to 1.0 if the backend exposes no
+/// shareable base (the scheduler makes the same fallback per group).
+fn measure_shared_base_speedup(
+    backend: &Arc<dyn ConstrainedBackend>,
+    workload: Workload,
+    rounds: usize,
+) -> f64 {
+    const LANES: usize = 8;
+    let vocab_size = backend.vocabulary().len();
+    let (grammar, _) = workload.grammar_and_references(1);
+    let compiled = backend.compile(&grammar).expect("grammar compiles");
+    let mut sessions: Vec<Box<dyn BackendSession>> =
+        (0..LANES).map(|_| compiled.new_session()).collect();
+    let mut mask = TokenBitmask::new_all_rejected(vocab_size);
+    let mut base = TokenBitmask::new_all_rejected(vocab_size);
+    // Warm both paths once so first-touch allocation does not skew the ratio.
+    sessions[0].fill_mask(&mut mask);
+    if !sessions[0].fill_mask_base(&mut base) {
+        return 1.0;
+    }
+    sessions[0].fill_mask_from_base(&mut mask, &base);
+
+    let full_start = Instant::now();
+    for _ in 0..rounds {
+        for session in &mut sessions {
+            session.fill_mask(&mut mask);
+        }
+    }
+    let full = full_start.elapsed();
+
+    let batched_start = Instant::now();
+    for _ in 0..rounds {
+        if sessions[0].fill_mask_base(&mut base) {
+            for session in &mut sessions {
+                session.fill_mask_from_base(&mut mask, &base);
+            }
+        } else {
+            for session in &mut sessions {
+                session.fill_mask(&mut mask);
+            }
+        }
+    }
+    let batched = batched_start.elapsed();
+    full.as_secs_f64() / batched.as_secs_f64().max(f64::MIN_POSITIVE)
 }

@@ -104,11 +104,15 @@ impl GrammarCacheKey {
     /// Like [`new`](Self::new) with a pre-computed
     /// [`config_hash`](Self::config_hash) — for hot paths where the
     /// configuration is fixed and only the grammar varies per request.
+    ///
+    /// The grammar component is the hashcons-based
+    /// [`Grammar::structural_fingerprint`]: structurally identical grammars —
+    /// even independently built ones — map to the same key, and a grammar
+    /// that already computed its fingerprint contributes O(1) work per key
+    /// instead of re-serializing its AST.
     pub fn with_config_hash(grammar: &Grammar, vocab_fingerprint: u64, config_hash: u64) -> Self {
-        let mut hasher = DefaultHasher::new();
-        grammar.to_string().hash(&mut hasher);
         GrammarCacheKey {
-            grammar_hash: hasher.finish(),
+            grammar_hash: grammar.structural_fingerprint(),
             vocab_fingerprint,
             config_hash,
         }
@@ -416,6 +420,29 @@ mod tests {
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert!(stats.current_bytes > 0);
         assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn structurally_shared_recompile_hits_interned_artifacts() {
+        // Two *independently built* grammars with identical structure share
+        // one hashcons fingerprint, so the second compile request is a pure
+        // cache hit on the interned artifact (no recompilation).
+        let cache = GrammarCache::new(GrammarCacheConfig::default());
+        let vocab = Arc::new(test_vocabulary(600));
+        let cfg = CompilerConfig::default();
+        let text = r#"root ::= "[" item ("," item)* "]"
+                      item ::= [0-9]+"#;
+        let a = grammar(text);
+        let b = grammar(text);
+        assert_eq!(
+            GrammarCacheKey::new(&a, vocab.fingerprint(), &cfg),
+            GrammarCacheKey::new(&b, vocab.fingerprint(), &cfg)
+        );
+        let ca = cache.get_or_compile(&a, &vocab, &cfg);
+        let cb = cache.get_or_compile(&b, &vocab, &cfg);
+        assert!(Arc::ptr_eq(&ca, &cb));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

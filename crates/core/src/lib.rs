@@ -77,7 +77,7 @@ pub use constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats, Forc
 pub use error::{AcceptError, RollbackError};
 pub use grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats};
 pub use lint::GrammarLintReport;
-pub use mask::TokenBitmask;
+pub use mask::{MaskBatch, TokenBitmask};
 pub use mask_cache::{
     build_mask_cache, MaskCache, MaskCacheBuildOptions, MaskCacheStats, NodeMaskEntry,
 };

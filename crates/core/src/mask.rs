@@ -154,6 +154,256 @@ impl TokenBitmask {
     pub fn memory_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    // -- Bulk word-level kernels -------------------------------------------
+    //
+    // The per-token `allow`/`reject` calls cost a bounds check, a shift and a
+    // read-modify-write each; at 128k–256k vocabularies the mask fill is the
+    // per-token serving hot path (Figure 9), so the operations below work on
+    // whole `u64` words with straight-line inner loops the compiler can
+    // vectorize. All of them preserve the padding invariant (bits past
+    // `vocab_size` in the last word stay clear).
+
+    /// Overwrites this mask with the contents of `other` (word-level copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary sizes differ.
+    pub fn copy_from(&mut self, other: &TokenBitmask) {
+        assert_eq!(self.vocab_size, other.vocab_size, "mask size mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Allows the contiguous id run `[start, start + len)` — whole words in
+    /// the interior, masked edits at the two fringe words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run extends past the vocabulary.
+    pub fn allow_run(&mut self, start: TokenId, len: usize) {
+        let (first, last) = self.run_bounds(start, len);
+        if len == 0 {
+            return;
+        }
+        let lo = start.index();
+        let hi = lo + len; // exclusive
+        if first == last {
+            // Entire run inside one word.
+            let bits = (u64::MAX >> (64 - len)) << (lo % 64);
+            self.words[first] |= bits;
+            return;
+        }
+        self.words[first] |= u64::MAX << (lo % 64);
+        for w in &mut self.words[first + 1..last] {
+            *w = u64::MAX;
+        }
+        let tail = hi % 64;
+        self.words[last] |= if tail == 0 {
+            u64::MAX
+        } else {
+            u64::MAX >> (64 - tail)
+        };
+        self.clear_padding();
+    }
+
+    /// Rejects the contiguous id run `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run extends past the vocabulary.
+    pub fn reject_run(&mut self, start: TokenId, len: usize) {
+        let (first, last) = self.run_bounds(start, len);
+        if len == 0 {
+            return;
+        }
+        let lo = start.index();
+        let hi = lo + len;
+        if first == last {
+            let bits = (u64::MAX >> (64 - len)) << (lo % 64);
+            self.words[first] &= !bits;
+            return;
+        }
+        self.words[first] &= !(u64::MAX << (lo % 64));
+        for w in &mut self.words[first + 1..last] {
+            *w = 0;
+        }
+        let tail = hi % 64;
+        self.words[last] &= if tail == 0 {
+            0
+        } else {
+            !(u64::MAX >> (64 - tail))
+        };
+    }
+
+    fn run_bounds(&self, start: TokenId, len: usize) -> (usize, usize) {
+        let lo = start.index();
+        let hi = lo.checked_add(len).expect("token run overflows");
+        assert!(hi <= self.vocab_size, "token run out of range");
+        if len == 0 {
+            return (0, 0);
+        }
+        (lo / 64, (hi - 1) / 64)
+    }
+
+    /// Allows every token in `tokens` (any order, duplicates fine) in one
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of range.
+    pub fn allow_many(&mut self, tokens: &[TokenId]) {
+        let n = self.vocab_size;
+        for &t in tokens {
+            let i = t.index();
+            assert!(i < n, "token id out of range");
+            self.words[i >> 6] |= 1u64 << (i & 63);
+        }
+    }
+
+    /// Rejects every token in `tokens` (any order, duplicates fine) in one
+    /// pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is out of range.
+    pub fn reject_many(&mut self, tokens: &[TokenId]) {
+        let n = self.vocab_size;
+        for &t in tokens {
+            let i = t.index();
+            assert!(i < n, "token id out of range");
+            self.words[i >> 6] &= !(1u64 << (i & 63));
+        }
+    }
+}
+
+/// A batch of token bitmasks in *transposed* (word-major) layout.
+///
+/// Where `Vec<TokenBitmask>` stores each lane's words contiguously, the batch
+/// stores, for each word index, the words of **all lanes** next to each other
+/// (`words[word_idx * lanes + lane]`). Broadcasting a shared base mask — the
+/// common case when many lanes sit in the same automaton state — then writes
+/// `lanes` consecutive words per source word, and per-lane touch-ups remain
+/// O(1) per token. One pass over the adaptive token-mask cache entry thus
+/// serves the whole batch.
+///
+/// # Examples
+///
+/// ```
+/// use xg_core::{MaskBatch, TokenBitmask};
+/// use xg_tokenizer::TokenId;
+///
+/// let mut base = TokenBitmask::new_all_rejected(100);
+/// base.allow(TokenId(7));
+/// let mut batch = MaskBatch::new(4, 100);
+/// batch.broadcast(&base);
+/// batch.allow(2, TokenId(9)); // lane-specific touch-up
+/// assert!(batch.is_allowed(0, TokenId(7)));
+/// assert!(batch.is_allowed(2, TokenId(9)));
+/// assert!(!batch.is_allowed(1, TokenId(9)));
+/// assert_eq!(batch.extract_lane(2).count_allowed(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskBatch {
+    /// `words[word_idx * lanes + lane]`.
+    words: Vec<u64>,
+    lanes: usize,
+    words_per_lane: usize,
+    vocab_size: usize,
+}
+
+impl MaskBatch {
+    /// Creates a batch of `lanes` all-rejected masks over `vocab_size`.
+    pub fn new(lanes: usize, vocab_size: usize) -> Self {
+        let words_per_lane = vocab_size.div_ceil(64);
+        MaskBatch {
+            words: vec![0; words_per_lane * lanes],
+            lanes,
+            words_per_lane,
+            vocab_size,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Vocabulary size each lane covers.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Copies `base` into **every** lane — the one-pass batched fill. The
+    /// inner loop writes `lanes` contiguous words per source word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vocabulary sizes differ.
+    pub fn broadcast(&mut self, base: &TokenBitmask) {
+        assert_eq!(self.vocab_size, base.vocab_size(), "mask size mismatch");
+        let lanes = self.lanes;
+        for (wi, &w) in base.words().iter().enumerate() {
+            let row = &mut self.words[wi * lanes..(wi + 1) * lanes];
+            for slot in row {
+                *slot = w;
+            }
+        }
+    }
+
+    /// Allows one token in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane or token id is out of range.
+    #[inline]
+    pub fn allow(&mut self, lane: usize, token: TokenId) {
+        let i = token.index();
+        assert!(lane < self.lanes, "lane out of range");
+        assert!(i < self.vocab_size, "token id out of range");
+        self.words[(i >> 6) * self.lanes + lane] |= 1u64 << (i & 63);
+    }
+
+    /// Rejects one token in one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane or token id is out of range.
+    #[inline]
+    pub fn reject(&mut self, lane: usize, token: TokenId) {
+        let i = token.index();
+        assert!(lane < self.lanes, "lane out of range");
+        assert!(i < self.vocab_size, "token id out of range");
+        self.words[(i >> 6) * self.lanes + lane] &= !(1u64 << (i & 63));
+    }
+
+    /// Returns `true` if the token is allowed in the lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is out of range.
+    #[inline]
+    pub fn is_allowed(&self, lane: usize, token: TokenId) -> bool {
+        assert!(lane < self.lanes, "lane out of range");
+        let i = token.index();
+        if i >= self.vocab_size {
+            return false;
+        }
+        self.words[(i >> 6) * self.lanes + lane] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Gathers one lane back into a standalone [`TokenBitmask`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is out of range.
+    pub fn extract_lane(&self, lane: usize) -> TokenBitmask {
+        assert!(lane < self.lanes, "lane out of range");
+        let mut out = TokenBitmask::new_all_rejected(self.vocab_size);
+        for wi in 0..self.words_per_lane {
+            out.words[wi] = self.words[wi * self.lanes + lane];
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +542,91 @@ mod tests {
     fn allow_out_of_range_panics() {
         let mut m = TokenBitmask::new_all_rejected(64);
         m.allow(TokenId(64));
+    }
+
+    #[test]
+    fn runs_match_per_token_loops() {
+        // Every (start, len) combination across word boundaries, including
+        // empty runs and runs ending exactly at the vocabulary edge.
+        let vocab = 200;
+        for start in [0usize, 1, 63, 64, 65, 100, 127, 128, 199] {
+            for len in [0usize, 1, 2, 63, 64, 65, 72] {
+                if start + len > vocab {
+                    continue;
+                }
+                let mut kernel = TokenBitmask::new_all_rejected(vocab);
+                kernel.allow_run(TokenId(start as u32), len);
+                let mut serial = TokenBitmask::new_all_rejected(vocab);
+                for t in start..start + len {
+                    serial.allow(TokenId(t as u32));
+                }
+                assert_eq!(kernel, serial, "allow_run({start}, {len})");
+
+                let mut kernel = TokenBitmask::new_all_allowed(vocab);
+                kernel.reject_run(TokenId(start as u32), len);
+                let mut serial = TokenBitmask::new_all_allowed(vocab);
+                for t in start..start + len {
+                    serial.reject(TokenId(t as u32));
+                }
+                assert_eq!(kernel, serial, "reject_run({start}, {len})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "token run out of range")]
+    fn allow_run_past_vocab_panics() {
+        let mut m = TokenBitmask::new_all_rejected(100);
+        m.allow_run(TokenId(90), 11);
+    }
+
+    #[test]
+    fn many_ops_match_per_token_loops() {
+        let ids: Vec<TokenId> = [170u32, 3, 64, 3, 65, 169, 0]
+            .iter()
+            .map(|&i| TokenId(i))
+            .collect();
+        let mut bulk = TokenBitmask::new_all_rejected(171);
+        bulk.allow_many(&ids);
+        let mut serial = TokenBitmask::new_all_rejected(171);
+        for &t in &ids {
+            serial.allow(t);
+        }
+        assert_eq!(bulk, serial);
+        let mut bulk = TokenBitmask::new_all_allowed(171);
+        bulk.reject_many(&ids);
+        let mut serial = TokenBitmask::new_all_allowed(171);
+        for &t in &ids {
+            serial.reject(t);
+        }
+        assert_eq!(bulk, serial);
+    }
+
+    #[test]
+    fn copy_from_replaces_contents() {
+        let mut a = TokenBitmask::new_all_allowed(130);
+        let mut b = TokenBitmask::new_all_rejected(130);
+        b.allow(TokenId(129));
+        a.copy_from(&b);
+        assert_eq!(a, b);
+        assert_eq!(a.count_allowed(), 1);
+    }
+
+    #[test]
+    fn batch_broadcast_and_extract_roundtrip() {
+        let mut base = TokenBitmask::new_all_rejected(130);
+        base.allow_run(TokenId(10), 70);
+        let mut batch = MaskBatch::new(3, 130);
+        batch.broadcast(&base);
+        for lane in 0..3 {
+            assert_eq!(batch.extract_lane(lane), base, "lane {lane}");
+        }
+        batch.allow(1, TokenId(129));
+        batch.reject(2, TokenId(10));
+        assert_eq!(batch.extract_lane(0), base);
+        assert_eq!(batch.extract_lane(1).count_allowed(), 71);
+        assert_eq!(batch.extract_lane(2).count_allowed(), 69);
+        assert!(batch.is_allowed(1, TokenId(129)));
+        assert!(!batch.is_allowed(0, TokenId(129)));
     }
 }

@@ -187,55 +187,20 @@ impl GrammarMatcher {
         let vocab = compiled.vocabulary();
 
         if self.heads.len() == 1 {
-            // Fast path: single stack, write the mask directly.
+            // Fast path: single stack, write the mask directly. The
+            // context-independent part is filled with the word-level bulk
+            // kernels; only the context-dependent tokens need per-token work.
             let head = self.heads[0];
             let top = self.tree.top(head).expect("heads carry a top node");
             let entry = cache.entry(top);
+            Self::fill_certain(entry, mask);
             let resolved = self.resolve_uncertain(compiled, head, entry.uncertain());
-            match entry {
-                NodeMaskEntry::AcceptHeavy {
-                    rejected,
-                    uncertain,
-                } => {
-                    mask.allow_all();
-                    for &t in rejected {
-                        mask.reject(t);
-                    }
-                    for (i, &t) in uncertain.iter().enumerate() {
-                        if !resolved[i] {
-                            mask.reject(t);
-                        }
-                    }
-                    self.stats.context_independent_hits +=
-                        (vocab.len() - rejected.len() - uncertain.len()) as u64;
-                }
-                NodeMaskEntry::RejectHeavy {
-                    accepted,
-                    uncertain,
-                } => {
-                    for &t in accepted {
-                        mask.allow(t);
-                    }
-                    for (i, &t) in uncertain.iter().enumerate() {
-                        if resolved[i] {
-                            mask.allow(t);
-                        }
-                    }
-                    self.stats.context_independent_hits += accepted.len() as u64;
-                }
-                NodeMaskEntry::Bitset {
-                    accepted,
-                    uncertain,
-                } => {
-                    mask.union_with(accepted);
-                    for (i, &t) in uncertain.iter().enumerate() {
-                        if resolved[i] {
-                            mask.allow(t);
-                        }
-                    }
-                    self.stats.context_independent_hits += accepted.count_allowed() as u64;
+            for (i, &t) in entry.uncertain().iter().enumerate() {
+                if resolved[i] {
+                    mask.allow(t);
                 }
             }
+            self.stats.context_independent_hits += Self::certain_count(entry, vocab.len());
             return;
         }
 
@@ -308,6 +273,141 @@ impl GrammarMatcher {
                 for t in partial_acc {
                     mask.allow(t);
                 }
+            }
+        }
+    }
+
+    /// Writes the *context-independent* portion of a cache entry into `mask`
+    /// using the bulk word kernels. Context-dependent tokens are left
+    /// rejected for the caller to resolve. `mask` must start all-rejected.
+    fn fill_certain(entry: &NodeMaskEntry, mask: &mut TokenBitmask) {
+        match entry {
+            NodeMaskEntry::AcceptHeavy {
+                rejected,
+                uncertain,
+            } => {
+                mask.allow_all();
+                mask.reject_many(rejected);
+                mask.reject_many(uncertain);
+            }
+            NodeMaskEntry::RejectHeavy { accepted, .. } => {
+                mask.allow_many(accepted);
+            }
+            NodeMaskEntry::Bitset { accepted, .. } => {
+                mask.copy_from(accepted);
+            }
+        }
+    }
+
+    /// Number of tokens whose validity the entry answers without runtime
+    /// checks (the `context_independent_hits` statistic).
+    fn certain_count(entry: &NodeMaskEntry, vocab_len: usize) -> u64 {
+        match entry {
+            NodeMaskEntry::AcceptHeavy {
+                rejected,
+                uncertain,
+            } => (vocab_len - rejected.len() - uncertain.len()) as u64,
+            NodeMaskEntry::RejectHeavy { accepted, .. } => accepted.len() as u64,
+            NodeMaskEntry::Bitset { accepted, .. } => accepted.count_allowed() as u64,
+        }
+    }
+
+    /// Key identifying the shared component of this matcher's next mask.
+    ///
+    /// Two matchers returning the same key sit on the same automaton node of
+    /// the same compiled grammar with a single stack each: their next masks
+    /// differ only in the context-dependent tokens and the EOS bit, so one
+    /// [`fill_mask_base`](Self::fill_mask_base) pass over the token-mask
+    /// cache entry can serve all of them. Returns `None` when no shared base
+    /// exists (multiple stacks, no mask cache, or already terminated).
+    pub fn mask_batch_key(&self) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        if self.terminated || self.heads.len() != 1 || self.compiled.mask_cache().is_none() {
+            return None;
+        }
+        let top = self.tree.top(self.heads[0])?;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (Arc::as_ptr(&self.compiled) as usize).hash(&mut h);
+        top.0.hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// Fills `base` with the context-independent portion of the next mask —
+    /// the part shared by every matcher with the same
+    /// [`mask_batch_key`](Self::mask_batch_key). Context-dependent tokens are
+    /// rejected in the base; EOS/special handling is left to
+    /// [`fill_next_token_bitmask_from_base`](Self::fill_next_token_bitmask_from_base).
+    ///
+    /// Returns `false` (leaving `base` untouched) when this matcher has no
+    /// shared base (see [`mask_batch_key`](Self::mask_batch_key)).
+    pub fn fill_mask_base(&mut self, base: &mut TokenBitmask) -> bool {
+        if self.mask_batch_key().is_none() {
+            return false;
+        }
+        assert_eq!(
+            base.vocab_size(),
+            self.compiled.vocabulary().len(),
+            "mask size must match the vocabulary"
+        );
+        let compiled = Arc::clone(&self.compiled);
+        let cache = compiled.mask_cache().expect("checked by mask_batch_key");
+        let top = self
+            .tree
+            .top(self.heads[0])
+            .expect("heads carry a top node");
+        base.reject_all();
+        Self::fill_certain(cache.entry(top), base);
+        true
+    }
+
+    /// Like [`fill_next_token_bitmask`](Self::fill_next_token_bitmask), but
+    /// starting from a shared `base` produced by
+    /// [`fill_mask_base`](Self::fill_mask_base) on a matcher with the same
+    /// [`mask_batch_key`](Self::mask_batch_key): the context-independent
+    /// portion is a word-level copy, and only this matcher's
+    /// context-dependent tokens and EOS bit are computed. The result is
+    /// bit-for-bit identical to a full fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask or base size differs from the vocabulary, or if
+    /// this matcher has no [`mask_batch_key`](Self::mask_batch_key) (callers
+    /// group lanes by key before using the base path).
+    pub fn fill_next_token_bitmask_from_base(
+        &mut self,
+        mask: &mut TokenBitmask,
+        base: &TokenBitmask,
+    ) {
+        let vocab = Arc::clone(self.compiled.vocabulary());
+        assert_eq!(
+            mask.vocab_size(),
+            vocab.len(),
+            "mask size must match the vocabulary"
+        );
+        assert!(
+            self.mask_batch_key().is_some(),
+            "matcher has no shared mask base"
+        );
+        self.stats.masks_generated += 1;
+        mask.copy_from(base);
+        let compiled = Arc::clone(&self.compiled);
+        let cache = compiled.mask_cache().expect("checked by mask_batch_key");
+        let head = self.heads[0];
+        let top = self.tree.top(head).expect("heads carry a top node");
+        let entry = cache.entry(top);
+        let resolved = self.resolve_uncertain(&compiled, head, entry.uncertain());
+        for (i, &t) in entry.uncertain().iter().enumerate() {
+            if resolved[i] {
+                mask.allow(t);
+            }
+        }
+        self.stats.context_independent_hits += Self::certain_count(entry, vocab.len());
+        for special in vocab.special_ids() {
+            mask.reject(special);
+        }
+        if let Some(eos) = vocab.eos() {
+            if self.can_terminate() {
+                mask.allow(eos);
             }
         }
     }
@@ -407,6 +507,57 @@ impl GrammarMatcher {
         self.heads = self.canonicalize_heads(&compiled, heads);
         self.stats.tokens_accepted += 1;
         Ok(())
+    }
+
+    /// Verifies a speculative k-token draft in one call: accepts tokens from
+    /// `tokens` in order until one is rejected, and returns the length of the
+    /// accepted prefix. The matcher ends advanced by exactly that prefix —
+    /// byte-identical to a token-by-token [`accept_token`](Self::accept_token)
+    /// loop — and each accepted token remains an individual rollback unit
+    /// (persistent-stack snapshot), so a caller can
+    /// [`rollback`](Self::rollback) any suffix of the draft afterwards.
+    ///
+    /// This is the fast path for speculative decoding: the per-call setup
+    /// (vocabulary and grammar handles) is hoisted out of the loop and the
+    /// first rejected byte stops the scan without unwinding, so verifying a
+    /// draft costs one call instead of k.
+    pub fn accept_tokens_speculative(&mut self, tokens: &[TokenId]) -> usize {
+        let vocab = Arc::clone(self.compiled.vocabulary());
+        let compiled = Arc::clone(&self.compiled);
+        let mut accepted = 0;
+        for &token in tokens {
+            if self.terminated || token.index() >= vocab.len() {
+                break;
+            }
+            if vocab.is_special(token) {
+                if Some(token) == vocab.eos() && self.can_terminate() {
+                    self.push_history();
+                    self.terminated = true;
+                    self.stats.tokens_accepted += 1;
+                    accepted += 1;
+                    continue;
+                }
+                break;
+            }
+            let bytes = vocab.token_bytes(token);
+            let mut heads = self.heads.clone();
+            let mut ok = true;
+            for &b in bytes {
+                heads = advance_byte(compiled.pda(), &mut self.tree, &heads, b, |_| {});
+                if heads.is_empty() {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                break;
+            }
+            self.push_history();
+            self.heads = self.canonicalize_heads(&compiled, heads);
+            self.stats.tokens_accepted += 1;
+            accepted += 1;
+        }
+        accepted
     }
 
     /// Eagerly pops completed rules whose final node has no further local
@@ -613,6 +764,22 @@ impl ConstraintMatcher for GrammarMatcher {
 
     fn accept_bytes(&mut self, bytes: &[u8]) -> Result<(), AcceptError> {
         GrammarMatcher::accept_bytes(self, bytes)
+    }
+
+    fn accept_tokens_speculative(&mut self, tokens: &[TokenId]) -> usize {
+        GrammarMatcher::accept_tokens_speculative(self, tokens)
+    }
+
+    fn mask_batch_key(&self) -> Option<u64> {
+        GrammarMatcher::mask_batch_key(self)
+    }
+
+    fn fill_mask_base(&mut self, base: &mut TokenBitmask) -> bool {
+        GrammarMatcher::fill_mask_base(self, base)
+    }
+
+    fn fill_next_token_bitmask_from_base(&mut self, mask: &mut TokenBitmask, base: &TokenBitmask) {
+        GrammarMatcher::fill_next_token_bitmask_from_base(self, mask, base)
     }
 
     fn rollback(&mut self, num_tokens: usize) -> Result<(), RollbackError> {
@@ -910,6 +1077,105 @@ mod tests {
         for t in mask.allowed_tokens() {
             assert_eq!(vocab.token_bytes(t)[0], b'[');
         }
+    }
+
+    #[test]
+    fn base_fill_is_bit_identical_to_full_fill() {
+        // Two lanes in the same automaton state: one exports the shared
+        // base, both fill from it, and the results must equal a full fill.
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let compiled = compiler.compile_builtin_json();
+        let mut a = GrammarMatcher::new(Arc::clone(&compiled));
+        let mut b = GrammarMatcher::new(compiled);
+        a.accept_bytes(br#"{"k": ["#).unwrap();
+        b.accept_bytes(br#"{"k": ["#).unwrap();
+        assert_eq!(a.mask_batch_key(), b.mask_batch_key());
+        assert!(a.mask_batch_key().is_some());
+
+        let mut base = TokenBitmask::new_all_rejected(vocab.len());
+        assert!(a.fill_mask_base(&mut base));
+        let mut from_base_a = TokenBitmask::new_all_rejected(vocab.len());
+        let mut from_base_b = TokenBitmask::new_all_rejected(vocab.len());
+        a.fill_next_token_bitmask_from_base(&mut from_base_a, &base);
+        b.fill_next_token_bitmask_from_base(&mut from_base_b, &base);
+
+        let mut full = TokenBitmask::new_all_rejected(vocab.len());
+        a.fill_next_token_bitmask(&mut full);
+        assert_eq!(from_base_a, full);
+        assert_eq!(from_base_b, full);
+    }
+
+    #[test]
+    fn batch_key_distinguishes_states_and_grammars() {
+        let vocab = Arc::new(test_vocabulary(800));
+        let compiler = GrammarCompiler::new(Arc::clone(&vocab));
+        let json = compiler.compile_builtin_json();
+        let other = compiler
+            .compile_ebnf(r#"root ::= "[" [0-9]+ "]""#, "root")
+            .unwrap();
+        let mut a = GrammarMatcher::new(Arc::clone(&json));
+        let mut b = GrammarMatcher::new(Arc::clone(&json));
+        let c = GrammarMatcher::new(other);
+        assert_eq!(a.mask_batch_key(), b.mask_batch_key());
+        assert_ne!(a.mask_batch_key(), c.mask_batch_key());
+        b.accept_bytes(b"{").unwrap();
+        assert_ne!(a.mask_batch_key(), b.mask_batch_key());
+        // A terminated matcher has no shared base.
+        a.accept_bytes(b"{}").unwrap();
+        a.accept_token(vocab.eos().unwrap()).unwrap();
+        assert_eq!(a.mask_batch_key(), None);
+    }
+
+    #[test]
+    fn speculative_accepts_longest_prefix_byte_identically() {
+        let (vocab, mut spec) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        let (_vocab2, mut serial) = setup(r#"root ::= "[" [0-9]+ "]""#);
+        let draft: Vec<TokenId> = [&b"["[..], b"1", b"2", b"3", b"4", b"]", b"x", b"5"]
+            .iter()
+            .map(|b| token_for(&vocab, b))
+            .collect();
+        let accepted = spec.accept_tokens_speculative(&draft);
+        // Token-by-token reference loop.
+        let mut reference = 0;
+        for &t in &draft {
+            if serial.accept_token(t).is_err() {
+                break;
+            }
+            reference += 1;
+        }
+        assert_eq!(accepted, reference);
+        assert_eq!(accepted, 6); // "[1234]" then "x" is rejected
+                                 // Byte-identical state: same next mask, same rollback window.
+        let mut m_spec = TokenBitmask::new_all_rejected(vocab.len());
+        let mut m_serial = TokenBitmask::new_all_rejected(vocab.len());
+        spec.fill_next_token_bitmask(&mut m_spec);
+        serial.fill_next_token_bitmask(&mut m_serial);
+        assert_eq!(m_spec, m_serial);
+        assert_eq!(spec.rollback_window(), serial.rollback_window());
+        // Each draft token is its own rollback unit.
+        spec.rollback(2).unwrap();
+        serial.rollback(2).unwrap();
+        spec.fill_next_token_bitmask(&mut m_spec);
+        serial.fill_next_token_bitmask(&mut m_serial);
+        assert_eq!(m_spec, m_serial);
+    }
+
+    #[test]
+    fn speculative_handles_eos_and_termination() {
+        let (vocab, mut matcher) = setup(r#"root ::= "ok""#);
+        let eos = vocab.eos().unwrap();
+        let draft = [
+            token_for(&vocab, b"o"),
+            token_for(&vocab, b"k"),
+            eos,
+            token_for(&vocab, b"o"),
+        ];
+        // EOS is accepted once the structure completes; nothing after it.
+        assert_eq!(matcher.accept_tokens_speculative(&draft), 3);
+        assert!(matcher.is_terminated());
+        // On a terminated matcher nothing is accepted.
+        assert_eq!(matcher.accept_tokens_speculative(&draft), 0);
     }
 
     #[test]

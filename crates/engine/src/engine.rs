@@ -49,7 +49,7 @@ use crate::scheduler::SchedulerConfig;
 use xg_baselines::{BackendError, BackendSession, ConstrainedBackend};
 use xg_core::{GrammarCacheStats, TokenBitmask};
 use xg_grammar::{Grammar, StructuralTag};
-use xg_tokenizer::SortedVocabulary;
+use xg_tokenizer::{SortedVocabulary, TokenId};
 
 /// Whether grammar work is overlapped with the simulated GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,6 +92,19 @@ pub enum JumpForwardPolicy {
     /// (`tests/engine_jump_forward.rs`) proves it changes nothing but speed.
     #[default]
     Engine,
+}
+
+/// Result of one speculative draft verification
+/// ([`ServingEngine::verify_draft`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DraftVerification {
+    /// Number of draft tokens accepted — the longest prefix of the draft the
+    /// constraint admits from the session's position (an accepted EOS
+    /// counts).
+    pub accepted: usize,
+    /// The accepted prefix's bytes in order, byte-identical to accepting the
+    /// same tokens one by one.
+    pub bytes: Vec<u8>,
 }
 
 /// How one lane of a batch is constrained.
@@ -431,6 +444,33 @@ impl ServingEngine {
     /// [`shutdown`](crate::ContinuousScheduler::shutdown) (or drop).
     pub fn serve(&self, config: SchedulerConfig) -> crate::ContinuousScheduler {
         crate::ContinuousScheduler::start(self, config)
+    }
+
+    /// Verifies a speculative `draft` of tokens against a constrained lane's
+    /// session **in one call** — the constraint-side half of speculative
+    /// decoding: a cheap draft model proposes k tokens per target step, and
+    /// the engine needs the longest grammar-valid prefix without paying k
+    /// round trips through the session interface.
+    ///
+    /// The session advances past exactly the accepted prefix (each accepted
+    /// token stays an individual rollback unit, so the caller can undo the
+    /// tail the target model rejects), and the returned bytes are identical
+    /// to accepting the same prefix token by token. An accepted EOS
+    /// terminates the session and contributes no bytes.
+    pub fn verify_draft(
+        &self,
+        session: &mut dyn BackendSession,
+        draft: &[TokenId],
+    ) -> DraftVerification {
+        let vocab = self.backend.vocabulary();
+        let accepted = session.accept_tokens_speculative(draft);
+        let mut bytes = Vec::new();
+        for &token in &draft[..accepted] {
+            if Some(token) != vocab.eos() {
+                bytes.extend_from_slice(vocab.token_bytes(token));
+            }
+        }
+        DraftVerification { accepted, bytes }
     }
 
     /// Runs a batch of requests to completion through the continuous

@@ -21,6 +21,9 @@
 //!   or a structural tag mixing free text with constrained tool calls),
 //! * [`run_accuracy_experiment`] — the Table 4 syntactic-correctness
 //!   experiment,
+//! * speculative draft verification ([`ServingEngine::verify_draft`]): the
+//!   longest grammar-valid prefix of a k-token draft accepted in one call,
+//!   every accepted token an individual rollback unit,
 //! * engine-level jump-forward decoding ([`JumpForwardPolicy`], default
 //!   [`JumpForwardPolicy::Engine`]): grammar-forced text is re-tokenized and
 //!   injected into the decode loop without sampling, with forced tokens and
@@ -39,8 +42,8 @@ mod scheduler;
 
 pub use accuracy::{run_accuracy_experiment, AccuracyResult, AccuracyTask};
 pub use engine::{
-    BatchMetrics, EngineRequest, ExecutionMode, JumpForwardPolicy, LaneConstraint, RequestResult,
-    ServingEngine,
+    BatchMetrics, DraftVerification, EngineRequest, ExecutionMode, JumpForwardPolicy,
+    LaneConstraint, RequestResult, ServingEngine,
 };
 pub use llm::{LlmBehavior, LlmRequestState, SimulatedLlm};
 pub use profiles::ModelProfile;

@@ -37,7 +37,11 @@
 //! sampling *and* the next simulated GPU step, and the loop only waits on a
 //! collect barrier right before it needs the masks. In `Serial` mode the
 //! loop dispatches and collects all masks before each GPU step, exposing the
-//! full mask wall-clock (the paper's no-overlap baseline).
+//! full mask wall-clock (the paper's no-overlap baseline) — and, because the
+//! whole batch dispatches at once, lanes whose sessions report the same
+//! `mask_batch_key` (same compiled grammar, same automaton state) ride one
+//! worker job that computes the shared context-independent mask base once
+//! and completes every lane from it.
 //!
 //! Byte parity with the fixed loop is by construction — both paths drive
 //! lanes exclusively through [`Lane::start`]/[`Lane::step`], and a lane's
@@ -48,7 +52,7 @@
 //! [`Lane::start`]: crate::lane::Lane::start
 //! [`Lane::step`]: crate::lane::Lane::step
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -265,6 +269,9 @@ pub struct SchedulerMetrics {
     /// CPU time the mask workers spent filling bitmasks (≥ wall wait when
     /// the overlap works).
     pub mask_busy_time: Duration,
+    /// Lane mask fills served through a shared mask base (serial mode groups
+    /// lanes with equal `mask_batch_key` into one worker job).
+    pub batched_mask_lanes: u64,
     /// Wall clock spent in simulated GPU decode steps.
     pub gpu_time: Duration,
     /// Wall clock spent in simulated prefill (paid at lane join).
@@ -323,12 +330,21 @@ struct ReadyLane {
     cache_hit: bool,
 }
 
-/// A mask-fill job: ownership of the lane's backend session and bitmask
-/// transfers to a mask worker and returns via [`MaskDone`].
-struct MaskJob {
+/// One lane's share of a mask-fill job: ownership of the lane's backend
+/// session and bitmask transfers to a mask worker and returns via
+/// [`MaskDone`].
+struct MaskEntry {
     lane: u64,
     session: Box<dyn BackendSession>,
     mask: TokenBitmask,
+}
+
+/// A mask-fill job: one or more lanes whose sessions report the same
+/// `mask_batch_key`, so the worker computes the shared (context-independent)
+/// mask portion once and completes every lane from it. Single-entry jobs take
+/// the ordinary per-lane fill path.
+struct MaskJob {
+    entries: Vec<MaskEntry>,
 }
 
 /// A completed mask-fill job returning to the decode loop.
@@ -349,6 +365,7 @@ struct MaskPool {
     state: Mutex<MaskPoolState>,
     available: Condvar,
     busy_nanos: AtomicU64,
+    batched_lanes: AtomicU64,
 }
 
 impl MaskPool {
@@ -360,6 +377,7 @@ impl MaskPool {
             }),
             available: Condvar::new(),
             busy_nanos: AtomicU64::new(0),
+            batched_lanes: AtomicU64::new(0),
         }
     }
 
@@ -380,14 +398,22 @@ impl MaskPool {
     fn busy_time(&self) -> Duration {
         Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed))
     }
+
+    fn batched_lanes(&self) -> u64 {
+        self.batched_lanes.load(Ordering::Relaxed)
+    }
 }
 
-/// Body of one persistent mask worker: pop a job, fill the bitmask, send the
-/// session and mask back. Exits when the pool shuts down and drains, or when
-/// the decode loop (the receiver) is gone.
+/// Body of one persistent mask worker: pop a job, fill its bitmask(s), send
+/// each session and mask back. Multi-lane jobs (same `mask_batch_key`)
+/// compute the shared mask base once and complete every lane from it; if the
+/// base turns out unavailable (the session advanced into an unbatchable
+/// state) the worker falls back to per-lane fills — the result is
+/// bit-identical either way. Exits when the pool shuts down and drains, or
+/// when the decode loop (the receiver) is gone.
 fn mask_worker(pool: &MaskPool, done: &Sender<MaskDone>) {
     loop {
-        let job = {
+        let MaskJob { mut entries } = {
             let mut state = pool.state.lock().expect("mask pool poisoned");
             loop {
                 if let Some(job) = state.jobs.pop_front() {
@@ -399,26 +425,38 @@ fn mask_worker(pool: &MaskPool, done: &Sender<MaskDone>) {
                 state = pool.available.wait(state).expect("mask pool poisoned");
             }
         };
-        let MaskJob {
-            lane,
-            mut session,
-            mut mask,
-        } = job;
         let start = Instant::now();
-        session.fill_mask(&mut mask);
+        let mut shared_base = None;
+        if entries.len() > 1 {
+            let mut base = TokenBitmask::new_all_rejected(entries[0].mask.vocab_size());
+            if entries[0].session.fill_mask_base(&mut base) {
+                pool.batched_lanes
+                    .fetch_add(entries.len() as u64, Ordering::Relaxed);
+                shared_base = Some(base);
+            }
+        }
+        for entry in &mut entries {
+            match &shared_base {
+                Some(base) => entry.session.fill_mask_from_base(&mut entry.mask, base),
+                None => entry.session.fill_mask(&mut entry.mask),
+            }
+        }
         let busy = start.elapsed();
         pool.busy_nanos
             .fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
-        if done
-            .send(MaskDone {
-                lane,
-                session,
-                mask,
-                busy,
-            })
-            .is_err()
-        {
-            return;
+        let per_entry = busy.div_f64(entries.len() as f64);
+        for entry in entries {
+            if done
+                .send(MaskDone {
+                    lane: entry.lane,
+                    session: entry.session,
+                    mask: entry.mask,
+                    busy: per_entry,
+                })
+                .is_err()
+            {
+                return;
+            }
         }
     }
 }
@@ -689,6 +727,7 @@ impl ContinuousScheduler {
             forced_time: stats.forced_time,
             mask_wait_time: stats.mask_wait_time,
             mask_busy_time: self.mask_pool.busy_time(),
+            batched_mask_lanes: self.mask_pool.batched_lanes(),
             gpu_time: stats.gpu_time,
             prefill_time: stats.prefill_time,
             decode_time: stats.decode_time,
@@ -883,10 +922,10 @@ impl DecodeLoop {
             match self.mode {
                 ExecutionMode::Serial => {
                     // No overlap: dispatch and collect every mask, exposing
-                    // the full mask wall-clock, then run the GPU step.
-                    for lane in lanes.iter_mut() {
-                        dispatch(&self.mask_pool, lane, &mut in_flight, &self.vocab);
-                    }
+                    // the full mask wall-clock, then run the GPU step. The
+                    // whole batch dispatches at once, so lanes sharing a
+                    // mask-batch key ride one job with a shared mask base.
+                    dispatch_grouped(&self.mask_pool, &mut lanes, &mut in_flight, &self.vocab);
                     let wait = Instant::now();
                     collect_all(&self.mask_done, &mut lanes, &mut in_flight);
                     mask_wait += wait.elapsed();
@@ -1053,12 +1092,63 @@ fn dispatch(pool: &MaskPool, al: &mut ActiveLane, in_flight: &mut usize, vocab: 
         .take()
         .unwrap_or_else(|| TokenBitmask::new_all_rejected(vocab.len()));
     pool.push(MaskJob {
-        lane: al.id,
-        session,
-        mask,
+        entries: vec![MaskEntry {
+            lane: al.id,
+            session,
+            mask,
+        }],
     });
     al.mask_in_flight = true;
     *in_flight += 1;
+}
+
+/// Serial-mode dispatch for a whole batch round: lanes whose sessions report
+/// the same `mask_batch_key` (same compiled grammar, same automaton state —
+/// e.g. many requests of one grammar right after join) are dispatched as one
+/// job, so a worker computes the shared mask base once and completes every
+/// lane from it. Keyless lanes go out as ordinary single-lane jobs.
+fn dispatch_grouped(
+    pool: &MaskPool,
+    lanes: &mut [ActiveLane],
+    in_flight: &mut usize,
+    vocab: &Vocabulary,
+) {
+    let mut groups: HashMap<u64, Vec<MaskEntry>> = HashMap::new();
+    for al in lanes.iter_mut() {
+        if al.mask_in_flight || al.lane.finished || !al.lane.is_constrained() {
+            continue;
+        }
+        let key = al
+            .lane
+            .session
+            .as_ref()
+            .and_then(|session| session.mask_batch_key());
+        let session = al
+            .lane
+            .session
+            .take()
+            .expect("constrained lane holds a session");
+        let mask = al
+            .mask
+            .take()
+            .unwrap_or_else(|| TokenBitmask::new_all_rejected(vocab.len()));
+        let entry = MaskEntry {
+            lane: al.id,
+            session,
+            mask,
+        };
+        al.mask_in_flight = true;
+        *in_flight += 1;
+        match key {
+            Some(key) => groups.entry(key).or_default().push(entry),
+            None => pool.push(MaskJob {
+                entries: vec![entry],
+            }),
+        }
+    }
+    for entries in groups.into_values() {
+        pool.push(MaskJob { entries });
+    }
 }
 
 /// Collect barrier: receives every in-flight mask result, restoring each
@@ -1177,6 +1267,35 @@ mod tests {
         let metrics = scheduler.metrics();
         assert_eq!(metrics.rejected, saturated);
         assert_eq!(metrics.completed + metrics.failed, metrics.admitted);
+        scheduler.shutdown();
+    }
+
+    #[test]
+    fn serial_mode_batches_lanes_with_equal_mask_keys() {
+        // Many concurrent requests of one grammar: lanes joining in the same
+        // round march in lockstep (the simulated LLM follows the reference),
+        // so serial-mode rounds dispatch them as one shared-base job. The
+        // outputs must stay byte-identical to solo decoding.
+        let engine = engine(ExecutionMode::Serial);
+        let scheduler = engine.serve(SchedulerConfig {
+            admission_workers: 1,
+            ..SchedulerConfig::default()
+        });
+        let handles: Vec<_> = (0..8)
+            .map(|seed| scheduler.submit(request(seed)).unwrap())
+            .collect();
+        for handle in handles {
+            let done = handle.wait().expect("requests finish");
+            assert_eq!(done.result.output, br#"{"ok": true}"#.to_vec());
+            assert!(done.result.completed);
+        }
+        let metrics = scheduler.metrics();
+        assert_eq!(metrics.completed, 8);
+        assert!(
+            metrics.batched_mask_lanes > 0,
+            "lockstep lanes must share mask bases (got {} batched fills)",
+            metrics.batched_mask_lanes
+        );
         scheduler.shutdown();
     }
 

@@ -385,12 +385,25 @@ pub struct Rule {
 /// assert_eq!(grammar.root(), number);
 /// assert_eq!(grammar.rules().len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Grammar {
     rules: Vec<Rule>,
     root: RuleId,
     by_name: HashMap<String, RuleId>,
+    /// Lazily computed structural fingerprint (see
+    /// [`structural_fingerprint`](Grammar::structural_fingerprint)). Excluded
+    /// from `PartialEq`: two structurally equal grammars must compare equal
+    /// whether or not either has computed its fingerprint yet.
+    fingerprint: std::sync::OnceLock<u64>,
 }
+
+impl PartialEq for Grammar {
+    fn eq(&self, other: &Self) -> bool {
+        self.rules == other.rules && self.root == other.root && self.by_name == other.by_name
+    }
+}
+
+impl Eq for Grammar {}
 
 impl Grammar {
     /// Creates a new [`GrammarBuilder`].
@@ -430,6 +443,20 @@ impl Grammar {
     /// Returns `true` if the grammar has no rules.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
+    }
+
+    /// The hashcons-based structural fingerprint of this grammar.
+    ///
+    /// Computed once by interning every sub-expression in an
+    /// [`ExprInterner`](crate::ExprInterner) and combining the per-rule
+    /// hashcons hashes; subsequent calls return the cached value, making
+    /// repeated cache-key computation O(1) instead of O(grammar size).
+    /// Structurally identical grammars — even ones built independently —
+    /// produce the same fingerprint.
+    pub fn structural_fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| crate::intern::grammar_fingerprint(self))
     }
 
     /// Computes, for every rule, whether it can derive the empty string.
@@ -698,6 +725,7 @@ impl GrammarBuilder {
             rules: self.rules,
             root: root_id,
             by_name: self.by_name,
+            fingerprint: std::sync::OnceLock::new(),
         })
     }
 }

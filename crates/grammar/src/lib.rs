@@ -5,6 +5,8 @@
 //! executed by `xg-core`:
 //!
 //! * a grammar AST ([`Grammar`], [`GrammarExpr`], [`CharClass`]),
+//! * hashcons interning of sub-expressions ([`ExprInterner`]) backing the
+//!   O(1) structural cache key [`Grammar::structural_fingerprint`],
 //! * a static-analysis (lint) pass over grammars — reachability,
 //!   productivity, nullability and structured [`Diagnostic`]s ([`analyze`]),
 //! * a parser for the GBNF-style EBNF text format ([`parse_ebnf`]),
@@ -40,6 +42,7 @@ mod display;
 mod ebnf;
 mod error;
 mod formats;
+mod intern;
 mod json_schema;
 mod pattern;
 mod structural_tag;
@@ -52,6 +55,7 @@ pub use ast::{
 pub use ebnf::parse_ebnf;
 pub use error::{GrammarError, Result};
 pub use formats::SUPPORTED_FORMATS;
+pub use intern::{grammar_fingerprint, ExprId, ExprInterner, InternStats, InternedExpr};
 pub use json_schema::{
     json_schema_to_grammar, json_schema_to_grammar_with_options, JsonSchemaOptions,
     WhitespaceConfig, ANNOTATION_KEYWORDS, SUPPORTED_KEYWORDS,

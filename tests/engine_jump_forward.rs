@@ -286,3 +286,100 @@ proptest! {
         let _ = injections;
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Differential for speculative draft verification (the constraint-side
+    /// half of speculative decoding): on random grammars,
+    /// `accept_tokens_speculative` accepts exactly the longest prefix a
+    /// token-by-token `accept_token` loop would, leaves the session in the
+    /// bit-identical post-prefix state, and — because every accepted token is
+    /// an individual rollback unit — rolling the accepted run back restores
+    /// the pre-draft state exactly.
+    #[test]
+    fn speculative_draft_matches_serial_loop(seed in 0u64..5_000) {
+        let vocab = Arc::new(test_vocabulary(600));
+        let backend = XGrammarBackend::new(Arc::clone(&vocab));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let source = format!("root ::= {}\n", random_expr(&mut rng, 2));
+        let grammar = xg_grammar::parse_ebnf(&source, "root")
+            .unwrap_or_else(|e| panic!("generated grammar must parse: {e}\n{source}"));
+        let compiled = backend.compile(&grammar).expect("xgrammar compiles CFGs");
+
+        // Build a draft the way a draft model would: a grammar-valid prefix
+        // (walked on a probe session) followed by junk tokens the grammar
+        // rejects at that point, when such a token exists.
+        let mut probe = compiled.new_session();
+        let mut mask = TokenBitmask::new_all_rejected(vocab.len());
+        let mut draft = Vec::new();
+        for _ in 0..rng.gen_range(0..=8usize) {
+            probe.fill_mask(&mut mask);
+            let Some(token) = pick_allowed(&vocab, &mask) else { break };
+            if !probe.accept_token(token) {
+                break;
+            }
+            draft.push(token);
+        }
+        let valid_len = draft.len();
+        probe.fill_mask(&mut mask);
+        let junk = (0..vocab.len() as u32)
+            .map(xg_tokenizer::TokenId)
+            .find(|&t| !vocab.is_special(t) && !mask.is_allowed(t));
+        if let Some(junk) = junk {
+            draft.push(junk);
+            draft.push(junk);
+        }
+
+        // Token-by-token reference loop.
+        let mut serial = compiled.new_session();
+        let mut serial_accepted = 0usize;
+        for &token in &draft {
+            if !serial.accept_token(token) {
+                break;
+            }
+            serial_accepted += 1;
+        }
+
+        // Speculative path on a fresh session.
+        let mut spec = compiled.new_session();
+        let mut pre_mask = TokenBitmask::new_all_rejected(vocab.len());
+        spec.fill_mask(&mut pre_mask);
+        let pre_window = spec.rollback_window();
+        let accepted = spec.accept_tokens_speculative(&draft);
+        prop_assert_eq!(
+            accepted, serial_accepted,
+            "speculative prefix length diverged from serial loop (grammar {})",
+            source.trim()
+        );
+        if junk.is_some() {
+            prop_assert_eq!(accepted, valid_len, "junk tail must be rejected");
+        }
+
+        // Post-prefix state parity: both sessions produce the same mask.
+        let mut spec_mask = TokenBitmask::new_all_rejected(vocab.len());
+        spec.fill_mask(&mut spec_mask);
+        serial.fill_mask(&mut mask);
+        prop_assert_eq!(
+            &spec_mask, &mask,
+            "post-draft mask diverged from serial loop (grammar {})",
+            source.trim()
+        );
+
+        // Every accepted token is an individual rollback unit.
+        prop_assert!(
+            spec.rollback_window() >= pre_window + accepted,
+            "accepted run not individually rollbackable"
+        );
+        if accepted > 0 {
+            prop_assert!(spec.rollback(accepted), "rollback refused");
+            spec.fill_mask(&mut spec_mask);
+            prop_assert_eq!(
+                &spec_mask, &pre_mask,
+                "mask diverged after rolling back the draft (grammar {})",
+                source.trim()
+            );
+            prop_assert_eq!(spec.rollback_window(), pre_window);
+        }
+    }
+}

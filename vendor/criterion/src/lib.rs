@@ -56,6 +56,18 @@ impl BenchmarkId {
     }
 }
 
+/// Throughput specification attached to a group, mirroring
+/// `criterion::Throughput`: when set, reports include a derived
+/// elements-per-second (or bytes-per-second) rate computed from the median
+/// sample time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of elements (e.g. tokens, masks) processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
 /// Harness configuration shared by every group, derived from CLI args.
 #[derive(Debug, Clone)]
 struct HarnessConfig {
@@ -108,6 +120,7 @@ impl Criterion {
             sample_size: 100,
             measurement_time: Duration::from_secs(5),
             warm_up_time: Duration::from_secs(3),
+            throughput: None,
             _criterion: std::marker::PhantomData,
         }
     }
@@ -135,6 +148,7 @@ pub struct BenchmarkGroup<'a> {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    throughput: Option<Throughput>,
     _criterion: std::marker::PhantomData<&'a mut Criterion>,
 }
 
@@ -142,6 +156,13 @@ impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput; subsequent benchmarks in this group
+    /// report a derived rate (elements or bytes per second) from the median.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -193,7 +214,7 @@ impl BenchmarkGroup<'_> {
         if self.config.test_mode {
             println!("{full_id}: test ok");
         } else {
-            report(&full_id, &bencher.recorded);
+            report(&full_id, &bencher.recorded, self.throughput);
         }
         self
     }
@@ -272,7 +293,7 @@ impl Bencher {
     }
 }
 
-fn report(id: &str, samples: &[Duration]) {
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
     if samples.is_empty() {
         println!("{id}: no samples");
         return;
@@ -284,14 +305,33 @@ fn report(id: &str, samples: &[Duration]) {
     let mean = total / sorted.len() as u32;
     let min = sorted[0];
     let max = sorted[sorted.len() - 1];
+    let rate = throughput.map_or(String::new(), |t| {
+        let secs = median.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Elements(n) => format!(" | thrpt {} elem/s", fmt_rate(n as f64 / secs)),
+            Throughput::Bytes(n) => format!(" | thrpt {}B/s", fmt_rate(n as f64 / secs)),
+        }
+    });
     println!(
-        "{id}: median {} | mean {} | min {} | max {} ({} samples)",
+        "{id}: median {} | mean {} | min {} | max {} ({} samples){rate}",
         fmt_duration(median),
         fmt_duration(mean),
         fmt_duration(min),
         fmt_duration(max),
         sorted.len()
     );
+}
+
+fn fmt_rate(per_sec: f64) -> String {
+    if per_sec >= 1_000_000_000.0 {
+        format!("{:.2} G", per_sec / 1_000_000_000.0)
+    } else if per_sec >= 1_000_000.0 {
+        format!("{:.2} M", per_sec / 1_000_000.0)
+    } else if per_sec >= 1_000.0 {
+        format!("{:.2} K", per_sec / 1_000.0)
+    } else {
+        format!("{per_sec:.2} ")
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -336,7 +376,10 @@ mod tests {
 
     #[test]
     fn bench_ids_render() {
-        assert_eq!(BenchmarkId::new("xgrammar", "json").render(), "xgrammar/json");
+        assert_eq!(
+            BenchmarkId::new("xgrammar", "json").render(),
+            "xgrammar/json"
+        );
         assert_eq!(BenchmarkId::from_parameter(42).render(), "42");
     }
 
@@ -359,6 +402,27 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn throughput_reports_a_rate() {
+        let mut c = Criterion {
+            config: HarnessConfig {
+                filter: None,
+                test_mode: false,
+            },
+        };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(2));
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("rate", |b| b.iter(|| black_box(2u64 + 2)));
+        group.finish();
+        assert_eq!(fmt_rate(1.5e9), "1.50 G");
+        assert_eq!(fmt_rate(2.5e6), "2.50 M");
+        assert_eq!(fmt_rate(3_200.0), "3.20 K");
+        assert_eq!(fmt_rate(12.0), "12.00 ");
     }
 
     #[test]
