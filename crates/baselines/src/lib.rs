@@ -43,7 +43,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use xg_core::{ForcedTokenRun, GrammarCacheStats, TokenBitmask};
-use xg_grammar::{Grammar, StructuralTag};
+use xg_grammar::{DispatchDelta, Grammar, StructuralTag};
 use xg_tokenizer::{SortedVocabulary, TokenId, Vocabulary};
 
 /// Errors produced when a backend cannot handle a grammar.
@@ -104,6 +104,31 @@ pub trait ConstrainedBackend: Send + Sync + fmt::Debug {
         Err(BackendError::UnsupportedGrammar {
             backend: self.name(),
             reason: "structural tags are not supported by this backend".into(),
+        })
+    }
+
+    /// Applies a registry mutation to an already-served structural-tag
+    /// description: compiles (or fetches) `current`, applies `delta`
+    /// incrementally — recompiling only the touched trigger — and returns
+    /// the mutated description together with its compiled constraint, ready
+    /// for the next turn's requests. Only engines with an incremental tag
+    /// dispatch layer support this; baselines return an error by default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::UnsupportedGrammar`] if the backend has no
+    /// incremental structural-tag support, or if the delta is invalid
+    /// (duplicate tag, missing tag, or a dead added trigger under strict
+    /// lint).
+    fn update_structural(
+        &self,
+        current: &StructuralTag,
+        delta: &DispatchDelta,
+    ) -> Result<(StructuralTag, Arc<dyn CompiledConstraint>), BackendError> {
+        let _ = (current, delta);
+        Err(BackendError::UnsupportedGrammar {
+            backend: self.name(),
+            reason: "incremental structural-tag updates are not supported by this backend".into(),
         })
     }
 

@@ -16,7 +16,7 @@ use xg_core::{
     CompilerConfig, ConstraintFactory, ConstraintMatcher, GrammarCache, GrammarCacheKey,
     GrammarCacheStats, GrammarCompiler, MatcherPool, TokenBitmask,
 };
-use xg_grammar::{Grammar, StructuralTag};
+use xg_grammar::{DispatchDelta, Grammar, StructuralTag};
 use xg_tokenizer::{TokenId, Vocabulary};
 
 use crate::{BackendError, BackendSession, CompiledConstraint, ConstrainedBackend};
@@ -46,18 +46,25 @@ enum PoolKey {
     Structural(usize),
 }
 
-/// The matcher pools plus the cache eviction count at the last prune;
-/// pruning is skipped (and costs nothing) while the count is unchanged — in
-/// particular forever for the default private unbounded cache.
+/// The matcher pools plus, for each cache the pools shadow, the eviction
+/// count at the last prune; pruning is skipped (and costs nothing) while
+/// both counts are unchanged — in particular forever for unbounded caches
+/// under stable registries.
 #[derive(Debug, Default)]
 struct PoolState {
     by_key: HashMap<PoolKey, Arc<XGrammarCompiled>>,
+    /// [`GrammarCache`] eviction count at the last prune.
     pruned_at_eviction_count: u64,
+    /// Compiler [`TagDispatchCache`](xg_core::TagDispatchCache) eviction
+    /// count at the last prune — dispatch evictions (LRU, byte budget, or
+    /// incremental updates displacing old registry versions) must unpin the
+    /// stale structural pools even when no grammar was evicted.
+    dispatch_pruned_at_eviction_count: u64,
 }
 
 /// Cap on structural-tag pools retained by the backend, mirroring the
-/// compiler's tag-dispatch memo cap (stale pools would pin compiled
-/// dispatches the memo has already dropped).
+/// compiler's dispatch-cache entry cap (stale pools would pin compiled
+/// dispatches the cache has already evicted).
 const STRUCTURAL_POOL_CAP: usize = 64;
 
 impl XGrammarBackend {
@@ -99,16 +106,23 @@ impl XGrammarBackend {
         // Prune on every lookup (not just inserts): a workload that settles
         // on a stable grammar set would otherwise never drop pools whose
         // grammars another sharer of the cache has since evicted. Skipped
-        // while the cache's eviction counter is unchanged (always, for the
-        // default unbounded private cache).
+        // while both eviction counters are unchanged (always, for unbounded
+        // caches under stable registries). The dispatch counter matters on
+        // its own: an incremental registry update or dispatch-LRU eviction
+        // drops a registry without evicting any shared sub-grammar, and its
+        // pool must not stay pinned.
         let evictions = cache.eviction_count();
-        if state.pruned_at_eviction_count != evictions {
+        let dispatch_evictions = self.compiler.dispatch_cache().eviction_count();
+        if state.pruned_at_eviction_count != evictions
+            || state.dispatch_pruned_at_eviction_count != dispatch_evictions
+        {
             state.pruned_at_eviction_count = evictions;
+            state.dispatch_pruned_at_eviction_count = dispatch_evictions;
             state.by_key.retain(|k, _| match k {
                 PoolKey::Grammar(key) => cache.contains(key),
                 // Structural pools pin whole compiled dispatches (every
                 // per-trigger grammar plus idle inner matchers); drop them
-                // once the compiler's dispatch memo no longer holds the
+                // once the compiler's dispatch cache no longer holds the
                 // registry, so evicted tool registries do not stay resident
                 // outside the cache budget.
                 PoolKey::Structural(key) => self.compiler.has_cached_tag_dispatch(*key),
@@ -136,6 +150,16 @@ impl XGrammarBackend {
         });
         state.by_key.insert(key, Arc::clone(&entry));
         entry
+    }
+
+    /// Replaces the compiler's structural-tag dispatch cache with one using
+    /// the given budget (builder-style; call before serving). Lets tests and
+    /// memory-constrained deployments bound how many compiled tool
+    /// registries stay resident.
+    #[must_use]
+    pub fn with_dispatch_cache_config(mut self, config: xg_core::TagDispatchCacheConfig) -> Self {
+        self.compiler = self.compiler.with_dispatch_cache_config(config);
+        self
     }
 
     /// Access to the underlying compiler (e.g. for preprocessing statistics).
@@ -186,6 +210,34 @@ impl ConstrainedBackend for XGrammarBackend {
         })?;
         let key = PoolKey::Structural(ConstraintFactory::factory_key(&*compiled));
         Ok(self.pool_for(key, compiled) as Arc<dyn CompiledConstraint>)
+    }
+
+    fn update_structural(
+        &self,
+        current: &StructuralTag,
+        delta: &DispatchDelta,
+    ) -> Result<(StructuralTag, Arc<dyn CompiledConstraint>), BackendError> {
+        let to_backend_error = |e: xg_grammar::GrammarError| BackendError::UnsupportedGrammar {
+            backend: self.name(),
+            reason: e.to_string(),
+        };
+        // `current` is a dispatch-cache hit whenever it has been served (or
+        // updated to) before; a cold base costs one full compile, after
+        // which the delta path recompiles only the touched trigger.
+        let base = self
+            .compiler
+            .compile_tag_dispatch(current)
+            .map_err(to_backend_error)?;
+        let updated = self
+            .compiler
+            .update_tag_dispatch(&base, delta)
+            .map_err(to_backend_error)?;
+        let next = updated.source_tag().clone();
+        let key = PoolKey::Structural(ConstraintFactory::factory_key(&*updated));
+        Ok((
+            next,
+            self.pool_for(key, updated) as Arc<dyn CompiledConstraint>,
+        ))
     }
 
     fn cache_stats(&self) -> Option<GrammarCacheStats> {
@@ -527,6 +579,62 @@ mod tests {
         assert!(state
             .by_key
             .contains_key(&PoolKey::Grammar(backend.compiler.cache_key(&g2))));
+    }
+
+    #[test]
+    fn update_structural_reuses_pools_and_prunes_evicted_registries() {
+        use xg_core::TagDispatchCacheConfig;
+        use xg_grammar::{TagContent, TagSpec};
+
+        let spec = |name: &str| TagSpec {
+            begin: format!("<{name}>"),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: format!("</{name}>"),
+        };
+        let vocab = small_vocab();
+        // One dispatch-cache slot: every registry version displaces the
+        // previous one, so each update is also an eviction.
+        let backend = XGrammarBackend::new(Arc::clone(&vocab)).with_dispatch_cache_config(
+            TagDispatchCacheConfig {
+                max_bytes: usize::MAX,
+                max_entries: 1,
+            },
+        );
+        let base = StructuralTag::new(vec![spec("a")]);
+        backend.compile_structural(&base).unwrap();
+        assert_eq!(backend.pools.lock().unwrap().by_key.len(), 1);
+        // Add a tag: the new registry evicts the old from the one-slot
+        // cache; the old registry's pool must be pruned on the next lookup
+        // even though no *grammar* was evicted.
+        let (next, compiled) = backend
+            .update_structural(&base, &DispatchDelta::AddTag(spec("b")))
+            .unwrap();
+        assert_eq!(next.tags.len(), 2);
+        {
+            let mut session = compiled.new_session();
+            assert!(drive_session_bytes(&vocab, session.as_mut(), b"x <b>7</b>"));
+        }
+        let state = backend.pools.lock().unwrap();
+        assert_eq!(
+            state.by_key.len(),
+            1,
+            "the evicted base registry's pool must not stay pinned"
+        );
+        drop(state);
+        // Removing a tag that is not present is a delta validation error
+        // surfaced through the backend error type.
+        assert!(matches!(
+            backend.update_structural(
+                &next,
+                &DispatchDelta::RemoveTag {
+                    begin: "<missing>".into()
+                }
+            ),
+            Err(BackendError::UnsupportedGrammar { .. })
+        ));
     }
 
     #[test]

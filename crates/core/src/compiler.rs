@@ -268,11 +268,12 @@ pub struct GrammarCompiler {
     /// (e.g. per-batch serving metrics) must not be derived from them.
     local_hits: std::sync::atomic::AtomicU64,
     local_misses: std::sync::atomic::AtomicU64,
-    /// Memoized structural-tag compilations (the combined-grammar *builds*;
-    /// the grammars themselves live in the shared [`GrammarCache`]). See
+    /// Cached structural-tag compilations (the combined-grammar *builds*;
+    /// the grammars themselves live in the shared [`GrammarCache`]). A
+    /// byte-budgeted LRU, not an unbounded memo: churning tool registries
+    /// evict old dispatches instead of leaking them. See
     /// [`compile_tag_dispatch`](Self::compile_tag_dispatch).
-    tag_dispatch_memo:
-        std::sync::Mutex<std::collections::HashMap<String, Arc<crate::CompiledTagDispatch>>>,
+    dispatch_cache: crate::TagDispatchCache,
 }
 
 impl GrammarCompiler {
@@ -310,16 +311,27 @@ impl GrammarCompiler {
             cache,
             local_hits: std::sync::atomic::AtomicU64::new(0),
             local_misses: std::sync::atomic::AtomicU64::new(0),
-            tag_dispatch_memo: std::sync::Mutex::new(std::collections::HashMap::new()),
+            dispatch_cache: crate::TagDispatchCache::new(crate::TagDispatchCacheConfig::default()),
         }
     }
 
-    /// The structural-tag memo table (crate-internal: used by
-    /// [`compile_tag_dispatch`](Self::compile_tag_dispatch)).
-    pub(crate) fn tag_dispatch_memo(
-        &self,
-    ) -> &std::sync::Mutex<std::collections::HashMap<String, Arc<crate::CompiledTagDispatch>>> {
-        &self.tag_dispatch_memo
+    /// Replaces this compiler's structural-tag dispatch cache with one using
+    /// the given budget. Builder-style; call before the compiler is shared.
+    #[must_use]
+    pub fn with_dispatch_cache_config(mut self, config: crate::TagDispatchCacheConfig) -> Self {
+        self.dispatch_cache = crate::TagDispatchCache::new(config);
+        self
+    }
+
+    /// The structural-tag dispatch cache: compiled [`CompiledTagDispatch`]es
+    /// keyed by their full registry description, LRU-evicted under a byte
+    /// budget. Exposes hit/miss/eviction statistics; sidecar state keyed per
+    /// dispatch (matcher pools, metrics) should be pruned when
+    /// [`eviction_count`](crate::TagDispatchCache::eviction_count) moves.
+    ///
+    /// [`CompiledTagDispatch`]: crate::CompiledTagDispatch
+    pub fn dispatch_cache(&self) -> &crate::TagDispatchCache {
+        &self.dispatch_cache
     }
 
     /// The vocabulary this compiler is bound to.
@@ -473,18 +485,14 @@ impl GrammarCompiler {
         self.cache.len()
     }
 
-    /// Returns `true` if a memoized structural-tag compilation with this
+    /// Returns `true` if a cached structural-tag compilation with this
     /// factory identity (see
     /// [`ConstraintFactory::factory_key`](crate::ConstraintFactory::factory_key))
-    /// is still alive in this compiler's dispatch memo. Lets callers holding
+    /// is still alive in this compiler's dispatch cache. Lets callers holding
     /// sidecar state per compiled dispatch (matcher pools, metrics) prune it
-    /// once the memo has dropped the entry.
+    /// once the cache has evicted the entry.
     pub fn has_cached_tag_dispatch(&self, factory_key: usize) -> bool {
-        self.tag_dispatch_memo
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .values()
-            .any(|dispatch| crate::ConstraintFactory::factory_key(&**dispatch) == factory_key)
+        self.dispatch_cache.contains_factory(factory_key)
     }
 }
 

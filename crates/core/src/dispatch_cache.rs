@@ -1,0 +1,384 @@
+//! A bounded LRU cache of compiled structural-tag dispatches.
+//!
+//! [`GrammarCompiler::compile_tag_dispatch`](crate::GrammarCompiler::compile_tag_dispatch)
+//! memoizes whole compiled tool registries so a serving batch that re-submits
+//! its registry skips the schema-to-grammar conversion, combined-grammar
+//! construction and trigger-scanner build. The memo used to be an unbounded
+//! `HashMap` with a clear-on-overflow escape hatch; a process facing
+//! *churning* registries (agentic sessions registering and retiring tools
+//! every few turns) leaked compiled artifacts without bound, and the
+//! occasional full clear threw away every live registry at once.
+//!
+//! [`TagDispatchCache`] applies the same discipline as
+//! [`GrammarCache`](crate::GrammarCache): a byte budget fed by
+//! [`CompiledTagDispatch::memory_bytes`], an entry cap, least-recently-used
+//! eviction, and hit/miss/eviction counters. The eviction counter doubles as
+//! a cheap change signal for sidecar caches (per-registry matcher pools in
+//! `xg-baselines`): while it is unchanged, nothing was evicted and pruning
+//! can be skipped entirely.
+//!
+//! Keys are the full `Debug` rendering of the [`StructuralTag`] description
+//! (stored whole — a truncated hash could silently alias two registries).
+//! Insertion keeps the *first* dispatch stored under a key, so concurrent
+//! identical compiles that race past the lookup still end up sharing one
+//! `Arc`.
+//!
+//! [`StructuralTag`]: xg_grammar::StructuralTag
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::tag_dispatch::CompiledTagDispatch;
+
+/// Configuration of a [`TagDispatchCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagDispatchCacheConfig {
+    /// Byte budget across all cached dispatches, estimated with
+    /// [`CompiledTagDispatch::memory_bytes`]. When an insertion pushes the
+    /// total over the budget, least-recently-used entries are evicted. A
+    /// single entry larger than the budget is still cached until the next
+    /// insertion.
+    pub max_bytes: usize,
+    /// Maximum number of cached dispatches, enforced the same way.
+    pub max_entries: usize,
+}
+
+impl Default for TagDispatchCacheConfig {
+    fn default() -> Self {
+        TagDispatchCacheConfig {
+            // A dispatch pins one compiled grammar per trigger, so the byte
+            // budget is the real bound; the entry cap mirrors the old memo
+            // cap as a backstop for registries with tiny sub-grammars.
+            max_bytes: 64 * 1024 * 1024,
+            max_entries: 64,
+        }
+    }
+}
+
+impl TagDispatchCacheConfig {
+    /// An unbounded cache (no eviction), for tests and short-lived jobs.
+    pub fn unbounded() -> Self {
+        TagDispatchCacheConfig {
+            max_bytes: usize::MAX,
+            max_entries: usize::MAX,
+        }
+    }
+}
+
+/// Counters exposed by a [`TagDispatchCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagDispatchCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then compiles and inserts).
+    pub misses: u64,
+    /// Entries evicted to stay within the byte / entry budget.
+    pub evictions: u64,
+    /// Estimated bytes currently held by cached dispatches.
+    pub current_bytes: u64,
+    /// Number of cached dispatches.
+    pub entries: u64,
+}
+
+impl TagDispatchCacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]` (0 when no
+    /// lookups have been made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot {
+    dispatch: Arc<CompiledTagDispatch>,
+    /// LRU clock value of the most recent access.
+    last_used: u64,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct CacheState {
+    slots: HashMap<String, Slot>,
+    clock: u64,
+    total_bytes: usize,
+}
+
+/// A thread-safe LRU cache of [`CompiledTagDispatch`]es with a byte budget.
+/// See the module docs for the design.
+pub struct TagDispatchCache {
+    config: TagDispatchCacheConfig,
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for TagDispatchCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TagDispatchCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TagDispatchCache {
+    /// Creates a cache with the given budget.
+    pub fn new(config: TagDispatchCacheConfig) -> Self {
+        TagDispatchCache {
+            config,
+            state: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The budget this cache was created with.
+    pub fn config(&self) -> &TagDispatchCacheConfig {
+        &self.config
+    }
+
+    /// Current counters. `hits`/`misses`/`evictions` are monotonically
+    /// increasing; `current_bytes`/`entries` are gauges.
+    pub fn stats(&self) -> TagDispatchCacheStats {
+        let state = self.lock();
+        TagDispatchCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            current_bytes: state.total_bytes as u64,
+            entries: state.slots.len() as u64,
+        }
+    }
+
+    /// Number of cached dispatches.
+    pub fn len(&self) -> usize {
+        self.lock().slots.len()
+    }
+
+    /// Returns `true` if the cache holds no dispatches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total evictions so far (a lock-free read of the counter
+    /// [`stats`](Self::stats) reports). Sidecar caches snapshot this to skip
+    /// pruning entirely while no eviction has happened.
+    pub fn eviction_count(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached dispatch (holders of an `Arc` keep theirs). Every
+    /// removed entry counts as an eviction, so sidecar caches keyed on
+    /// [`eviction_count`](Self::eviction_count) notice the purge; the
+    /// hit/miss counters are not reset.
+    pub fn clear(&self) {
+        let mut state = self.lock();
+        let removed = state.slots.len() as u64;
+        state.slots.clear();
+        state.total_bytes = 0;
+        self.evictions.fetch_add(removed, Ordering::Relaxed);
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing the entry's LRU
+    /// position on a hit. On a miss the caller compiles the dispatch and
+    /// stores it with [`insert`](Self::insert).
+    pub fn get(&self, key: &str) -> Option<Arc<CompiledTagDispatch>> {
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        match state.slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.dispatch))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Returns `true` if `key` is currently cached, without counting a
+    /// hit/miss or touching the LRU position. Admission control uses this to
+    /// classify cache-hit admissions.
+    pub fn peek(&self, key: &str) -> bool {
+        self.lock().slots.contains_key(key)
+    }
+
+    /// Returns `true` if some cached dispatch has this factory identity (see
+    /// [`ConstraintFactory::factory_key`](crate::ConstraintFactory::factory_key)).
+    /// Sidecar caches keyed per compiled dispatch use this to prune state
+    /// for evicted registries.
+    pub fn contains_factory(&self, factory_key: usize) -> bool {
+        self.lock()
+            .slots
+            .values()
+            .any(|slot| crate::ConstraintFactory::factory_key(&*slot.dispatch) == factory_key)
+    }
+
+    /// Stores `dispatch` under `key` and returns the cached instance. When a
+    /// concurrent identical compile raced past the lookup and inserted
+    /// first, the *first-stored* dispatch wins and is returned, so every
+    /// caller shares one `Arc`. Inserting may evict least-recently-used
+    /// entries to stay within budget (the key just inserted is exempt).
+    pub fn insert(
+        &self,
+        key: String,
+        dispatch: Arc<CompiledTagDispatch>,
+    ) -> Arc<CompiledTagDispatch> {
+        let mut state = self.lock();
+        state.clock += 1;
+        let clock = state.clock;
+        if let Some(slot) = state.slots.get_mut(&key) {
+            slot.last_used = clock;
+            return Arc::clone(&slot.dispatch);
+        }
+        let bytes = dispatch.memory_bytes() + key.len();
+        let stored = Arc::clone(&dispatch);
+        state.slots.insert(
+            key.clone(),
+            Slot {
+                dispatch,
+                last_used: clock,
+                bytes,
+            },
+        );
+        state.total_bytes += bytes;
+        self.evict_over_budget(&mut state, &key);
+        stored
+    }
+
+    /// Evicts least-recently-used entries until the cache is within budget.
+    /// `just_inserted` is exempted so a fresh entry is not immediately
+    /// bounced by its own insertion.
+    fn evict_over_budget(&self, state: &mut CacheState, just_inserted: &str) {
+        let over = |state: &CacheState| {
+            state.total_bytes > self.config.max_bytes || state.slots.len() > self.config.max_entries
+        };
+        while over(state) {
+            let victim = state
+                .slots
+                .iter()
+                .filter(|(k, _)| k.as_str() != just_inserted)
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else {
+                break; // Only the just-inserted entry remains.
+            };
+            if let Some(slot) = state.slots.remove(&victim) {
+                state.total_bytes = state.total_bytes.saturating_sub(slot.bytes);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GrammarCompiler;
+    use xg_grammar::{StructuralTag, TagContent, TagSpec};
+    use xg_tokenizer::test_vocabulary;
+
+    fn tag(name: &str) -> StructuralTag {
+        StructuralTag::new(vec![TagSpec {
+            begin: format!("<{name}>"),
+            content: TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: format!("</{name}>"),
+        }])
+    }
+
+    fn compile(compiler: &GrammarCompiler, name: &str) -> Arc<CompiledTagDispatch> {
+        compiler.compile_tag_dispatch(&tag(name)).unwrap()
+    }
+
+    #[test]
+    fn get_insert_and_lru_eviction() {
+        let compiler = GrammarCompiler::new(Arc::new(test_vocabulary(512)));
+        let cache = TagDispatchCache::new(TagDispatchCacheConfig {
+            max_bytes: usize::MAX,
+            max_entries: 2,
+        });
+        let a = compile(&compiler, "a");
+        let b = compile(&compiler, "b");
+        let c = compile(&compiler, "c");
+        assert!(cache.get("a").is_none());
+        cache.insert("a".into(), Arc::clone(&a));
+        cache.insert("b".into(), Arc::clone(&b));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), Arc::clone(&c));
+        assert!(cache.peek("a"));
+        assert!(!cache.peek("b"), "LRU entry must be evicted");
+        assert!(cache.peek("c"));
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert!(stats.current_bytes > 0);
+    }
+
+    #[test]
+    fn byte_budget_is_enforced() {
+        let compiler = GrammarCompiler::new(Arc::new(test_vocabulary(512)));
+        let a = compile(&compiler, "a");
+        let budget = a.memory_bytes() + a.memory_bytes() / 2;
+        let cache = TagDispatchCache::new(TagDispatchCacheConfig {
+            max_bytes: budget,
+            max_entries: usize::MAX,
+        });
+        cache.insert("a".into(), a);
+        cache.insert("b".into(), compile(&compiler, "b"));
+        cache.insert("c".into(), compile(&compiler, "c"));
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "expected evictions, got {stats:?}");
+        assert!(stats.current_bytes <= budget as u64);
+    }
+
+    #[test]
+    fn insert_keeps_the_first_stored_dispatch() {
+        let compiler = GrammarCompiler::new(Arc::new(test_vocabulary(512)));
+        let cache = TagDispatchCache::new(TagDispatchCacheConfig::default());
+        let first = cache.insert("k".into(), compile(&compiler, "a"));
+        // A racing identical compile produced its own Arc; the cache keeps
+        // the first and hands it back.
+        let second_arc = {
+            let fresh = GrammarCompiler::new(Arc::new(test_vocabulary(512)));
+            compile(&fresh, "a")
+        };
+        let second = cache.insert("k".into(), second_arc);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn factory_membership_and_clear() {
+        let compiler = GrammarCompiler::new(Arc::new(test_vocabulary(512)));
+        let cache = TagDispatchCache::new(TagDispatchCacheConfig::default());
+        let a = compile(&compiler, "a");
+        let key = crate::ConstraintFactory::factory_key(&*a);
+        cache.insert("a".into(), Arc::clone(&a));
+        assert!(cache.contains_factory(key));
+        assert!(!cache.contains_factory(key.wrapping_add(1)));
+        let evictions_before = cache.eviction_count();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.eviction_count(), evictions_before + 1);
+        assert!(!cache.contains_factory(key));
+        assert_eq!(cache.stats().current_bytes, 0);
+    }
+}

@@ -61,6 +61,7 @@
 
 mod compiler;
 mod constraint;
+mod dispatch_cache;
 mod error;
 pub mod executor;
 mod grammar_cache;
@@ -74,6 +75,7 @@ mod tag_dispatch;
 
 pub use compiler::{CompiledGrammar, CompilerConfig, GrammarCompiler, LintMode};
 pub use constraint::{ConstraintFactory, ConstraintMatcher, ConstraintStats, ForcedTokenRun};
+pub use dispatch_cache::{TagDispatchCache, TagDispatchCacheConfig, TagDispatchCacheStats};
 pub use error::{AcceptError, RollbackError};
 pub use grammar_cache::{GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats};
 pub use lint::GrammarLintReport;

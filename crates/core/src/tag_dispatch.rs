@@ -36,7 +36,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use xg_automata::{AcState, AhoCorasick};
-use xg_grammar::{GrammarError, SegmentExitPolicy, StructuralTag};
+use xg_grammar::{DispatchDelta, GrammarError, SegmentExitPolicy, StructuralTag, TagSpec};
 use xg_tokenizer::{TokenId, Vocabulary};
 
 use crate::compiler::{CompiledGrammar, GrammarCompiler};
@@ -79,17 +79,25 @@ impl CompiledTrigger {
 /// A [`StructuralTag`] compiled against a vocabulary: the trigger strings,
 /// their combined grammars and matcher pools, and the Aho–Corasick scanner
 /// over all triggers, ready to instantiate [`StructuralTagMatcher`]s.
+///
+/// Per-trigger state is `Arc`-shared so an incrementally updated dispatch
+/// (see [`GrammarCompiler::update_tag_dispatch`]) reuses the untouched
+/// triggers of its base — including their warm [`MatcherPool`]s — instead of
+/// recompiling and re-pooling the whole registry.
 #[derive(Debug)]
 pub struct CompiledTagDispatch {
-    triggers: Vec<CompiledTrigger>,
+    triggers: Vec<Arc<CompiledTrigger>>,
     scanner: AhoCorasick,
     vocab: Arc<Vocabulary>,
     exit: SegmentExitPolicy,
+    /// The registry description this dispatch was compiled from; deltas are
+    /// applied against it.
+    source: StructuralTag,
 }
 
 impl CompiledTagDispatch {
     /// The compiled triggers, in `StructuralTag::effective_triggers` order.
-    pub fn triggers(&self) -> &[CompiledTrigger] {
+    pub fn triggers(&self) -> &[Arc<CompiledTrigger>] {
         &self.triggers
     }
 
@@ -108,6 +116,31 @@ impl CompiledTagDispatch {
     /// The vocabulary the sub-grammars were compiled against.
     pub fn vocabulary(&self) -> &Arc<Vocabulary> {
         &self.vocab
+    }
+
+    /// The [`StructuralTag`] description this dispatch was compiled from.
+    /// [`GrammarCompiler::update_tag_dispatch`] applies registry deltas
+    /// against it.
+    pub fn source_tag(&self) -> &StructuralTag {
+        &self.source
+    }
+
+    /// Estimated heap memory pinned by this dispatch: the per-trigger
+    /// compiled segment grammars (dominant — each carries an adaptive mask
+    /// cache) plus the trigger strings and the Aho–Corasick scanner. Used by
+    /// [`TagDispatchCache`](crate::TagDispatchCache) to enforce its byte
+    /// budget. Sub-grammars shared with the
+    /// [`GrammarCache`](crate::GrammarCache) are counted here too: the
+    /// dispatch pins them beyond that cache's budget, so they are this
+    /// cache's responsibility for as long as the dispatch lives.
+    pub fn memory_bytes(&self) -> usize {
+        let grammars: usize = self
+            .triggers
+            .iter()
+            .map(|t| t.grammar.memory_bytes() + t.trigger.len())
+            .sum();
+        // Each scanner state holds a 256-way transition row plus match data.
+        grammars + self.scanner.state_count() * 256
     }
 }
 
@@ -130,10 +163,14 @@ impl GrammarCompiler {
     /// grammar (begin-tag remainder, content, end tag over the dispatched
     /// tags, plus the free-text continuation tail) runs through the ordinary
     /// cached compile path, so shared tool schemas are compiled once per
-    /// [`GrammarCache`](crate::GrammarCache). The dispatch description itself
-    /// is memoized per compiler, so serving batches that re-submit the same
-    /// tool registry skip the schema-to-grammar conversion, combined-grammar
-    /// construction and trigger-scanner build too.
+    /// [`GrammarCache`](crate::GrammarCache) — *across registries too*:
+    /// segment-grammar rule names depend only on the trigger's own tags, so
+    /// two registries sharing a tool share its compiled sub-grammar. The
+    /// dispatch as a whole is cached in this compiler's budgeted
+    /// [`TagDispatchCache`](crate::TagDispatchCache), so serving batches
+    /// that re-submit the same tool registry skip the schema-to-grammar
+    /// conversion, combined-grammar construction and trigger-scanner build
+    /// too.
     ///
     /// # Errors
     ///
@@ -145,106 +182,190 @@ impl GrammarCompiler {
     ) -> Result<Arc<CompiledTagDispatch>, GrammarError> {
         // The description holds serde_json values and grammars with no Hash
         // impls; their Debug rendering is deterministic and captures every
-        // distinguishing field, so it serves as the memo key (stored in
+        // distinguishing field, so it serves as the cache key (stored in
         // full — a truncated hash could silently alias two registries).
         let key = format!("{tag:?}");
-        if let Some(hit) = self.tag_dispatch_memo().lock().unwrap().get(&key) {
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = self.dispatch_cache().get(&key) {
+            return Ok(hit);
         }
-        let grammars = tag.build_trigger_grammars()?;
+        let triggers = tag.effective_triggers();
+        let assignments = tag.trigger_assignments()?;
+        let mut compiled_triggers = Vec::with_capacity(triggers.len());
+        for (trigger, tag_indices) in triggers.iter().zip(&assignments) {
+            compiled_triggers.push(self.compile_trigger_segment(tag, trigger, tag_indices)?);
+        }
+        Ok(self.assemble_dispatch(tag, key, compiled_triggers))
+    }
+
+    /// Incrementally recompiles a registry mutation: applies `delta` to
+    /// `base`'s source description, recompiles *only* the triggers whose
+    /// dispatched tag set actually changed (for [`DispatchDelta::AddTag`]
+    /// with per-tag triggers, exactly one), reuses every untouched
+    /// [`CompiledTrigger`] of `base` — compiled segment grammar and warm
+    /// [`MatcherPool`] included — and rebuilds the Aho–Corasick scanner over
+    /// the new trigger set. The result is cached like a full compile, so a
+    /// later [`compile_tag_dispatch`](Self::compile_tag_dispatch) of the
+    /// mutated registry (e.g. at request admission) is a cache hit.
+    ///
+    /// The strict-mode dead-trigger lint runs on exactly the recompiled
+    /// triggers: an added tag whose segment grammar cannot terminate is
+    /// rejected here just as a full compile would, while untouched triggers
+    /// (already linted when `base` was compiled) are not re-analyzed.
+    ///
+    /// `base` should come from this compiler; a base compiled against a
+    /// different vocabulary is handled gracefully by falling back to a full
+    /// compile of the mutated registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StructuralTag`](GrammarError::StructuralTag) validation
+    /// errors from [`xg_grammar::StructuralTag::apply_delta`], content
+    /// grammar errors of recompiled triggers, or
+    /// [`GrammarError::Lint`] (strict mode, dead added trigger).
+    pub fn update_tag_dispatch(
+        &self,
+        base: &Arc<CompiledTagDispatch>,
+        delta: &DispatchDelta,
+    ) -> Result<Arc<CompiledTagDispatch>, GrammarError> {
+        let next = base.source_tag().apply_delta(delta)?;
+        if base.vocab.fingerprint() != self.vocabulary().fingerprint() || base.exit != next.exit {
+            // A foreign base pins grammars compiled against another
+            // vocabulary; reusing them would produce wrong masks.
+            return self.compile_tag_dispatch(&next);
+        }
+        let key = format!("{next:?}");
+        if let Some(hit) = self.dispatch_cache().get(&key) {
+            return Ok(hit);
+        }
+        let old_tag = base.source_tag();
+        let old_triggers = old_tag.effective_triggers();
+        // `base` compiled, so its assignments validated then; `next` passed
+        // `apply_delta` validation above.
+        let old_assignments = old_tag.trigger_assignments()?;
+        let new_triggers = next.effective_triggers();
+        let new_assignments = next.trigger_assignments()?;
+        let specs = |tag: &StructuralTag, indices: &[usize]| -> Vec<TagSpec> {
+            indices.iter().map(|&i| tag.tags[i].clone()).collect()
+        };
+        let mut compiled_triggers = Vec::with_capacity(new_triggers.len());
+        for (trigger, tag_indices) in new_triggers.iter().zip(&new_assignments) {
+            let reusable = old_triggers
+                .iter()
+                .position(|t| t == trigger)
+                .filter(|&old_idx| {
+                    specs(old_tag, &old_assignments[old_idx]) == specs(&next, tag_indices)
+                })
+                .map(|old_idx| Arc::clone(&base.triggers[old_idx]));
+            match reusable {
+                Some(existing) => compiled_triggers.push(existing),
+                None => compiled_triggers.push(self.compile_trigger_segment(
+                    &next,
+                    trigger,
+                    tag_indices,
+                )?),
+            }
+        }
+        Ok(self.assemble_dispatch(&next, key, compiled_triggers))
+    }
+
+    /// Compiles one trigger's segment: combined grammar construction, the
+    /// strict-mode dead-trigger lint, the exit-policy tail, the cached
+    /// grammar compile, and a fresh inner matcher pool. Shared by the full
+    /// and incremental compile paths, so the delta path lints and compiles
+    /// exactly like a full compile would for the triggers it touches.
+    fn compile_trigger_segment(
+        &self,
+        tag: &StructuralTag,
+        trigger: &str,
+        tag_indices: &[usize],
+    ) -> Result<Arc<CompiledTrigger>, GrammarError> {
+        let grammar = tag.build_grammar_for_trigger(trigger, tag_indices)?;
         // Dead-trigger lint: a trigger whose combined segment grammar cannot
         // derive any terminal string would fire and then wedge the lane (the
         // segment can never complete). In strict lint mode that fails the
         // compile up front; the free-text tail appended below cannot repair
         // an unproductive segment, so checking the strict grammar is exact.
         if self.config().lint_mode == crate::LintMode::Strict {
-            let mut dead = Vec::new();
-            for (trigger, grammar) in &grammars {
-                let analysis = xg_grammar::analyze(grammar);
-                if analysis.has_errors() {
-                    dead.push(xg_grammar::Diagnostic::new(
+            let analysis = xg_grammar::analyze(&grammar);
+            if analysis.has_errors() {
+                return Err(GrammarError::Lint {
+                    diagnostics: vec![xg_grammar::Diagnostic::new(
                         xg_grammar::DiagnosticCode::DeadTrigger,
                         None,
                         format!(
                             "trigger `{trigger}` has an unserveable segment grammar: {}",
                             analysis.error_summary()
                         ),
-                    ));
-                }
-            }
-            if !dead.is_empty() {
-                return Err(GrammarError::Lint { diagnostics: dead });
+                    )],
+                });
             }
         }
-        let mut triggers = Vec::with_capacity(grammars.len());
-        let mut patterns = Vec::with_capacity(grammars.len());
-        for (trigger, grammar) in grammars {
-            // Eager exit: the free-text tail turns the end-of-segment mask
-            // into the union with the prose continuation; acceptance is
-            // untouched because the matcher closes the segment eagerly,
-            // before the tail is ever entered across a token boundary.
-            // Greedy exit: the grammar stays *strict* (no tail) — the
-            // matcher needs its exact termination points to find the longest
-            // match, and a tail would keep it terminable (and byte-hungry)
-            // forever; the mask union with prose is built at mask time
-            // instead, from the segment's exitability.
-            let segment_grammar = match tag.exit {
-                SegmentExitPolicy::Eager => xg_grammar::append_free_text_tail(&grammar),
-                SegmentExitPolicy::Greedy => grammar,
-            };
-            let compiled = self.compile_grammar(&segment_grammar);
-            let pool = Arc::new(MatcherPool::with_rollback_window(
-                Arc::clone(&compiled) as Arc<dyn ConstraintFactory>,
-                INNER_POOL_MAX_IDLE,
-                // Inner matchers keep one rollback unit per byte. The window
-                // is nominally unbounded so the matcher never self-trims;
-                // `prune_unreachable_segments` trims it to exactly the units
-                // the outer rollback window can still reach.
-                usize::MAX,
-            ));
-            patterns.push(trigger.clone().into_bytes());
-            triggers.push(CompiledTrigger {
-                trigger: trigger.into_bytes(),
-                grammar: compiled,
-                pool,
-            });
-        }
+        // Eager exit: the free-text tail turns the end-of-segment mask
+        // into the union with the prose continuation; acceptance is
+        // untouched because the matcher closes the segment eagerly,
+        // before the tail is ever entered across a token boundary.
+        // Greedy exit: the grammar stays *strict* (no tail) — the
+        // matcher needs its exact termination points to find the longest
+        // match, and a tail would keep it terminable (and byte-hungry)
+        // forever; the mask union with prose is built at mask time
+        // instead, from the segment's exitability.
+        let segment_grammar = match tag.exit {
+            SegmentExitPolicy::Eager => xg_grammar::append_free_text_tail(&grammar),
+            SegmentExitPolicy::Greedy => grammar,
+        };
+        let compiled = self.compile_grammar(&segment_grammar);
+        let pool = Arc::new(MatcherPool::with_rollback_window(
+            Arc::clone(&compiled) as Arc<dyn ConstraintFactory>,
+            INNER_POOL_MAX_IDLE,
+            // Inner matchers keep one rollback unit per byte. The window
+            // is nominally unbounded so the matcher never self-trims;
+            // `prune_unreachable_segments` trims it to exactly the units
+            // the outer rollback window can still reach.
+            usize::MAX,
+        ));
+        Ok(Arc::new(CompiledTrigger {
+            trigger: trigger.as_bytes().to_vec(),
+            grammar: compiled,
+            pool,
+        }))
+    }
+
+    /// Builds the scanner over `triggers`, wraps everything into a
+    /// [`CompiledTagDispatch`] and stores it in the dispatch cache under
+    /// `key`. Concurrent identical compiles may race past the lookup; the
+    /// underlying grammars still compile once ([`GrammarCache`]), and the
+    /// cache keeps the first-inserted dispatch so every caller shares one
+    /// `Arc`.
+    ///
+    /// [`GrammarCache`]: crate::GrammarCache
+    fn assemble_dispatch(
+        &self,
+        tag: &StructuralTag,
+        key: String,
+        triggers: Vec<Arc<CompiledTrigger>>,
+    ) -> Arc<CompiledTagDispatch> {
+        let patterns: Vec<Vec<u8>> = triggers.iter().map(|t| t.trigger.clone()).collect();
         let scanner = AhoCorasick::new(&patterns);
         let compiled = Arc::new(CompiledTagDispatch {
             triggers,
             scanner,
             vocab: Arc::clone(self.vocabulary()),
             exit: tag.exit,
+            source: tag.clone(),
         });
-        let mut memo = self.tag_dispatch_memo().lock().unwrap();
-        // The memo pins its compiled grammars beyond the GrammarCache's
-        // budget, so keep it small: a serving process sees a handful of tool
-        // registries, and a full reset on overflow just costs a rebuild.
-        if memo.len() >= TAG_DISPATCH_MEMO_CAP {
-            memo.clear();
-        }
-        // Concurrent identical compiles may race past the lookup above; the
-        // underlying grammars still compile once (GrammarCache), and keeping
-        // the first-inserted dispatch makes every caller share one Arc.
-        Ok(Arc::clone(memo.entry(key).or_insert(compiled)))
+        self.dispatch_cache().insert(key, compiled)
     }
 
-    /// Returns `true` if this compiler's dispatch memo already holds the
+    /// Returns `true` if this compiler's dispatch cache already holds the
     /// compiled form of `tag` — i.e.
-    /// [`compile_tag_dispatch`](Self::compile_tag_dispatch) would be a memo
-    /// hit. Probes only; compiles nothing. Admission control uses this to
-    /// classify cache-hit admissions.
+    /// [`compile_tag_dispatch`](Self::compile_tag_dispatch) would be a cache
+    /// hit. Probes only; compiles nothing and does not touch hit/miss
+    /// counters or LRU order. Admission control uses this to classify
+    /// cache-hit admissions.
     pub fn has_cached_tag_dispatch_for(&self, tag: &StructuralTag) -> bool {
-        let key = format!("{tag:?}");
-        self.tag_dispatch_memo()
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .contains_key(&key)
+        self.dispatch_cache().peek(&format!("{tag:?}"))
     }
 }
-
-/// Upper bound on memoized structural-tag compilations per compiler.
-const TAG_DISPATCH_MEMO_CAP: usize = 64;
 
 /// Runtime statistics of a [`StructuralTagMatcher`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

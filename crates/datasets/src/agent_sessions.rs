@@ -1,0 +1,264 @@
+//! Multi-turn agent sessions whose tool catalogs mutate between turns.
+//!
+//! This is the XGrammar-2 dynamic-registry workload: an agentic session
+//! starts with a catalog of registered tools, and between turns the harness
+//! adds or removes tools (a new skill is loaded, a deprecated one retired).
+//! Each turn then decodes a transcript calling a *currently registered*
+//! tool, so the serving engine must keep the compiled dispatch in step with
+//! the catalog — ideally via [`DispatchDelta`]s that recompile only the
+//! touched trigger rather than the whole registry.
+//!
+//! Unlike [`tool_call_tasks`](crate::tool_call_tasks) (one shared
+//! `"<function="` trigger over a fixed catalog), these catalogs use the
+//! default per-tag triggers — one `<function=NAME>` trigger per tool — so
+//! every tool owns its segment grammar and catalogs sharing tools share
+//! compiled sub-grammars.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use xg_grammar::{DispatchDelta, StructuralTag, TagContent, TagSpec};
+
+use crate::{GenerationTask, ToolFunction, TOOL_CALL_END};
+
+/// The `i`-th deterministic agent tool: a unique name (`tool_017`) and a
+/// unique one-field argument schema (`{"arg_017": <integer>}`), so every
+/// tool compiles to its own segment grammar and two catalogs share compiled
+/// artifacts exactly for the tools they share.
+pub fn agent_tool(i: usize) -> ToolFunction {
+    let arg = format!("arg_{i:03}");
+    ToolFunction {
+        name: format!("tool_{i:03}"),
+        schema: json!({
+            "type": "object",
+            "properties": { arg: { "type": "integer" } },
+            "required": [arg],
+        }),
+    }
+}
+
+/// The [`TagSpec`] registering one tool: begin `<function=NAME>`, content
+/// constrained by the argument schema, end `</function>`.
+pub fn agent_tag_spec(tool: &ToolFunction) -> TagSpec {
+    TagSpec {
+        begin: tool.begin_tag(),
+        content: TagContent::JsonSchema(tool.schema.clone()),
+        end: TOOL_CALL_END.to_string(),
+    }
+}
+
+/// Builds the catalog [`StructuralTag`] for a set of tools, with the default
+/// per-tag triggers (each tool's begin tag is its own trigger; the begins
+/// end in `>` and tool names are distinct, so the trigger set is infix-free
+/// and validates).
+pub fn agent_catalog(tools: &[ToolFunction]) -> StructuralTag {
+    StructuralTag::new(tools.iter().map(agent_tag_spec).collect())
+}
+
+/// Two catalogs of `total` tools each sharing exactly `shared` tools
+/// (`shared <= total`): the first holds tools `0..total`, the second ends at
+/// the same `shared` tools but replaces the rest with fresh ones. Used to
+/// measure cross-registry sub-grammar sharing (a 90%-overlap pair should hit
+/// the shared grammar cache ~90% of the time).
+pub fn overlapping_catalogs(total: usize, shared: usize) -> (StructuralTag, StructuralTag) {
+    assert!(
+        shared <= total,
+        "shared tools cannot exceed the catalog size"
+    );
+    let a: Vec<ToolFunction> = (0..total).map(agent_tool).collect();
+    let b: Vec<ToolFunction> = (total - shared..2 * total - shared)
+        .map(agent_tool)
+        .collect();
+    (agent_catalog(&a), agent_catalog(&b))
+}
+
+/// One turn of an agent session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentTurn {
+    /// The registry mutation applied *before* this turn's request (`None`
+    /// for turns that keep the previous catalog).
+    pub delta: Option<DispatchDelta>,
+    /// The catalog in force for this turn (the previous turn's catalog with
+    /// `delta` applied). Always equal to what
+    /// [`StructuralTag::apply_delta`] produces, so an engine tracking the
+    /// catalog incrementally and one compiling this description fresh
+    /// constrain identically.
+    pub catalog: StructuralTag,
+    /// The turn's request: prose interleaved with one call to a tool that is
+    /// registered in `catalog`.
+    pub task: GenerationTask,
+}
+
+/// A multi-turn agent session with a mutating tool catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgentSession {
+    /// The catalog registered before the first turn.
+    pub initial: StructuralTag,
+    /// The session's turns, in order.
+    pub turns: Vec<AgentTurn>,
+}
+
+const PREAMBLES: &[&str] = &[
+    "Let me call the right tool for that. ",
+    "Checking with the registered tool now. ",
+    "I will run that lookup. ",
+    "On it — invoking the tool. ",
+];
+
+const POSTAMBLES: &[&str] = &[
+    " I will summarize once it returns.",
+    " Done; ask away if you need more.",
+    " That request is in flight.",
+    " Results incoming shortly.",
+];
+
+/// Generates `sessions` deterministic agent sessions. Each starts from a
+/// catalog of `catalog_size` tools (sessions overlap heavily in their
+/// catalogs, like tenants sharing a tool library) and runs `turns` turns;
+/// between turns the catalog mutates with probability ½ — alternating
+/// between registering a fresh tool ([`DispatchDelta::AddTag`]) and
+/// retiring a random live one ([`DispatchDelta::RemoveTag`]) so the size
+/// stays near `catalog_size`. Every turn's reference calls a tool live in
+/// that turn's catalog.
+///
+/// # Panics
+///
+/// Panics if `catalog_size` is zero (a session needs at least one tool to
+/// call).
+pub fn agent_sessions(
+    sessions: usize,
+    catalog_size: usize,
+    turns: usize,
+    seed: u64,
+) -> Vec<AgentSession> {
+    assert!(catalog_size > 0, "agent sessions need a non-empty catalog");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Fresh tools added mid-session come from an id range no initial catalog
+    // uses, so AddTag never collides with a live registration.
+    let mut next_fresh = 10 * (catalog_size + sessions);
+    (0..sessions)
+        .map(|s| {
+            // Session catalogs are overlapping windows into one tool list.
+            let mut tools: Vec<ToolFunction> = (s..s + catalog_size).map(agent_tool).collect();
+            let initial = agent_catalog(&tools);
+            let mut catalog = initial.clone();
+            let mut add_next = true;
+            let turns = (0..turns)
+                .map(|_| {
+                    let delta = if rng.gen_bool(0.5) {
+                        // Keep the catalog non-empty: adds are forced once
+                        // it shrinks to a single tool.
+                        if add_next || tools.len() <= 1 {
+                            add_next = false;
+                            let tool = agent_tool(next_fresh);
+                            next_fresh += 1;
+                            let delta = DispatchDelta::AddTag(agent_tag_spec(&tool));
+                            tools.push(tool);
+                            Some(delta)
+                        } else {
+                            add_next = true;
+                            let victim = tools.remove(rng.gen_range(0..tools.len()));
+                            Some(DispatchDelta::RemoveTag {
+                                begin: victim.begin_tag(),
+                            })
+                        }
+                    } else {
+                        None
+                    };
+                    if let Some(delta) = &delta {
+                        catalog = catalog
+                            .apply_delta(delta)
+                            .expect("generated deltas are valid");
+                    }
+                    let callee = &tools[rng.gen_range(0..tools.len())];
+                    let args =
+                        json!({ format!("arg_{}", &callee.name[5..]): rng.gen_range(0..1000) });
+                    let mut reference = Vec::new();
+                    reference
+                        .extend_from_slice(PREAMBLES[rng.gen_range(0..PREAMBLES.len())].as_bytes());
+                    reference.extend_from_slice(callee.begin_tag().as_bytes());
+                    reference.extend_from_slice(&serde_json::to_vec(&args).expect("serializable"));
+                    reference.extend_from_slice(TOOL_CALL_END.as_bytes());
+                    reference.extend_from_slice(
+                        POSTAMBLES[rng.gen_range(0..POSTAMBLES.len())].as_bytes(),
+                    );
+                    AgentTurn {
+                        delta,
+                        catalog: catalog.clone(),
+                        task: GenerationTask::new(
+                            format!(
+                                "Call {} by writing <function=NAME>{{json arguments}}\
+                                 </function> inline in your answer.",
+                                callee.name
+                            ),
+                            reference,
+                        ),
+                    }
+                })
+                .collect();
+            AgentSession { initial, turns }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_are_deterministic_per_seed() {
+        assert_eq!(agent_sessions(4, 6, 5, 9), agent_sessions(4, 6, 5, 9));
+        assert_ne!(agent_sessions(4, 6, 5, 9), agent_sessions(4, 6, 5, 10));
+    }
+
+    #[test]
+    fn turn_catalogs_follow_the_deltas_and_validate() {
+        for session in agent_sessions(5, 4, 8, 42) {
+            session.initial.validate().expect("initial validates");
+            let mut catalog = session.initial.clone();
+            let mut mutated = 0;
+            for turn in &session.turns {
+                if let Some(delta) = &turn.delta {
+                    catalog = catalog.apply_delta(delta).expect("delta applies");
+                    mutated += 1;
+                }
+                assert_eq!(catalog, turn.catalog, "catalog must track the deltas");
+                turn.catalog.validate().expect("turn catalog validates");
+                assert!(!turn.catalog.tags.is_empty());
+            }
+            assert!(mutated <= session.turns.len());
+        }
+    }
+
+    #[test]
+    fn references_call_only_live_tools() {
+        for session in agent_sessions(6, 3, 6, 7) {
+            for turn in &session.turns {
+                let text = String::from_utf8(turn.task.reference.clone()).unwrap();
+                let begin = turn
+                    .catalog
+                    .tags
+                    .iter()
+                    .find(|t| text.contains(&t.begin))
+                    .expect("reference calls a registered tool");
+                // The payload satisfies the called tool's one-field shape.
+                let payload = text
+                    .split(begin.begin.as_str())
+                    .nth(1)
+                    .and_then(|rest| rest.split(TOOL_CALL_END).next())
+                    .unwrap();
+                let parsed: serde_json::Value = serde_json::from_str(payload).unwrap();
+                assert!(parsed.as_object().is_some_and(|o| o.len() == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_catalogs_share_exactly_the_requested_tools() {
+        let (a, b) = overlapping_catalogs(10, 9);
+        assert_eq!(a.tags.len(), 10);
+        assert_eq!(b.tags.len(), 10);
+        let shared = b.tags.iter().filter(|t| a.tags.contains(t)).count();
+        assert_eq!(shared, 9);
+    }
+}

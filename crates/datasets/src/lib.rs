@@ -11,6 +11,9 @@
 //! * [`tool_call_tasks`] — agentic tool-calling transcripts: free prose
 //!   interleaved with `<function=NAME>{json}</function>` segments plus the
 //!   structural-tag description of the function registry,
+//! * [`agent_sessions`] — multi-turn agent sessions whose tool catalogs
+//!   mutate between turns ([`DispatchDelta`](xg_grammar::DispatchDelta)
+//!   adds/removes), the dynamic-registry workload,
 //! * [`xml_tasks`] — XML code-generation tasks for the CFG (XML) workload,
 //! * [`python_dsl_tasks`] — Python-DSL generation tasks,
 //! * [`json_documents`] — free-form JSON documents for the CFG (JSON)
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod agent_sessions;
 mod corpus;
 mod json_tasks;
 mod pathological_corpus;
@@ -35,6 +39,10 @@ mod schema_corpus;
 mod tool_call_tasks;
 mod xml_tasks_mod;
 
+pub use agent_sessions::{
+    agent_catalog, agent_sessions, agent_tag_spec, agent_tool, overlapping_catalogs, AgentSession,
+    AgentTurn,
+};
 pub use corpus::training_corpus;
 pub use json_tasks::{json_documents, json_mode_eval_like, FunctionCallTask};
 pub use pathological_corpus::{

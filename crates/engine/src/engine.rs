@@ -404,6 +404,29 @@ impl ServingEngine {
         &self.backend
     }
 
+    /// Applies a tool-registry mutation between turns of an agentic session:
+    /// the backend updates the compiled dispatch incrementally (only the
+    /// touched trigger's segment grammar is recompiled; see
+    /// [`ConstrainedBackend::update_structural`]) and caches the result, so
+    /// requests submitted next with the returned catalog — to
+    /// [`run_batch`](Self::run_batch) or a live
+    /// [`serve`](Self::serve) scheduler — admit as cache hits. Returns the
+    /// mutated catalog to use for those requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the backend's error if it has no incremental structural-tag
+    /// support or the delta is invalid (duplicate tag, missing tag, dead
+    /// added trigger under strict lint).
+    pub fn update_tool_registry(
+        &self,
+        current: &xg_grammar::StructuralTag,
+        delta: &xg_grammar::DispatchDelta,
+    ) -> Result<xg_grammar::StructuralTag, BackendError> {
+        let (next, _compiled) = self.backend.update_structural(current, delta)?;
+        Ok(next)
+    }
+
     /// The latency profile of the simulated GPU.
     pub(crate) fn profile(&self) -> &ModelProfile {
         &self.profile

@@ -257,26 +257,111 @@ impl StructuralTag {
         let assignments = self.trigger_assignments()?;
         let mut out = Vec::with_capacity(triggers.len());
         for (trigger, tag_indices) in triggers.into_iter().zip(assignments) {
-            let mut builder = Grammar::builder();
-            let root = builder.declare("tag_dispatch");
-            let mut arms = Vec::with_capacity(tag_indices.len());
-            for tag_idx in tag_indices {
-                let tag = &self.tags[tag_idx];
-                let content = tag.content.to_grammar()?;
-                content.validate()?;
-                let content_root = import_rules(&mut builder, &content, &format!("tag{tag_idx}_"));
-                let begin_rest = &tag.begin[trigger.len()..];
-                arms.push(GrammarExpr::seq(vec![
-                    literal_or_empty(begin_rest),
-                    GrammarExpr::RuleRef(content_root),
-                    literal_or_empty(&tag.end),
-                ]));
-            }
-            builder.set_body(root, GrammarExpr::choice(arms));
-            out.push((trigger, builder.build("tag_dispatch")?));
+            let grammar = self.build_grammar_for_trigger(&trigger, &tag_indices)?;
+            out.push((trigger, grammar));
         }
         Ok(out)
     }
+
+    /// Builds the combined grammar of one trigger over the given tag indices
+    /// (see [`build_trigger_grammars`](Self::build_trigger_grammars) for the
+    /// shape). `tag_indices` index into [`tags`](Self::tags), normally one
+    /// entry of [`trigger_assignments`](Self::trigger_assignments).
+    ///
+    /// The result depends only on the trigger string and the *ordered list of
+    /// dispatched [`TagSpec`]s* — imported content rules are namespaced by
+    /// their local position among the dispatched tags, not by their global
+    /// registry index. Two different registries sharing a tool therefore
+    /// build structurally identical (fingerprint-equal) segment grammars for
+    /// that tool's trigger, so their compilations share one grammar-cache
+    /// entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the content grammars' resolution/validation errors.
+    pub fn build_grammar_for_trigger(
+        &self,
+        trigger: &str,
+        tag_indices: &[usize],
+    ) -> Result<Grammar> {
+        let mut builder = Grammar::builder();
+        let root = builder.declare("tag_dispatch");
+        let mut arms = Vec::with_capacity(tag_indices.len());
+        for (arm_idx, &tag_idx) in tag_indices.iter().enumerate() {
+            let tag = &self.tags[tag_idx];
+            let content = tag.content.to_grammar()?;
+            content.validate()?;
+            let content_root = import_rules(&mut builder, &content, &format!("tag{arm_idx}_"));
+            let begin_rest = &tag.begin[trigger.len()..];
+            arms.push(GrammarExpr::seq(vec![
+                literal_or_empty(begin_rest),
+                GrammarExpr::RuleRef(content_root),
+                literal_or_empty(&tag.end),
+            ]));
+        }
+        builder.set_body(root, GrammarExpr::choice(arms));
+        builder.build("tag_dispatch")
+    }
+
+    /// Applies a [`DispatchDelta`], returning the mutated registry. The
+    /// receiver is unchanged; triggers, exit policy and untouched tags carry
+    /// over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GrammarError::StructuralTag`] when the delta does not apply
+    /// (adding an exact duplicate of a registered tag, removing a begin
+    /// string no tag carries) or when the mutated registry fails
+    /// [`trigger_assignments`](Self::trigger_assignments) validation — e.g.
+    /// removing the only tag, or adding a tag no explicit trigger covers.
+    pub fn apply_delta(&self, delta: &DispatchDelta) -> Result<StructuralTag> {
+        fn err(message: impl Into<String>) -> GrammarError {
+            GrammarError::StructuralTag {
+                message: message.into(),
+            }
+        }
+        let mut next = self.clone();
+        match delta {
+            DispatchDelta::AddTag(spec) => {
+                if next.tags.contains(spec) {
+                    return Err(err(format!(
+                        "tag {:?} is already registered (exact duplicate)",
+                        spec.begin
+                    )));
+                }
+                next.tags.push(spec.clone());
+            }
+            DispatchDelta::RemoveTag { begin } => {
+                let before = next.tags.len();
+                next.tags.retain(|t| &t.begin != begin);
+                if next.tags.len() == before {
+                    return Err(err(format!("no registered tag has begin string {begin:?}")));
+                }
+            }
+        }
+        next.trigger_assignments()?;
+        Ok(next)
+    }
+}
+
+/// One mutation of a [`StructuralTag`] tool registry, applied with
+/// [`StructuralTag::apply_delta`] (or incrementally compiled by
+/// `xg-core`'s `GrammarCompiler::update_tag_dispatch`): agentic sessions
+/// register and retire tools mid-session, and a delta names exactly the
+/// changed tag so the compiler can leave every other trigger's compiled
+/// segment grammar untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DispatchDelta {
+    /// Register a new tag. With default (begin-string) triggers this also
+    /// adds the tag's trigger; with explicit triggers, an existing trigger
+    /// must cover the new begin string.
+    AddTag(TagSpec),
+    /// Remove every registered tag whose begin string equals `begin` (and,
+    /// with default triggers, the corresponding trigger).
+    RemoveTag {
+        /// The begin string of the tag(s) to remove.
+        begin: String,
+    },
 }
 
 /// Wraps `grammar` as *grammar · any-byte\** — the combined segment grammar
@@ -492,6 +577,104 @@ mod tests {
         // original root stays non-nullable, the tail adds nothing mandatory.
         let nullable = tailed.nullable_rules();
         assert!(!nullable[tailed.root().index()]);
+    }
+
+    #[test]
+    fn registry_position_does_not_change_trigger_grammar_fingerprints() {
+        // The same tool in two different registries (different global tag
+        // indices) must build fingerprint-identical segment grammars, so the
+        // registries share one compiled artifact per overlapping tool.
+        let mk = |name: &str| TagSpec {
+            begin: format!("<tool:{name}>"),
+            content: TagContent::JsonSchema(json_city_schema()),
+            end: "</tool>".into(),
+        };
+        let a = StructuralTag::new(vec![mk("alpha"), mk("shared")]);
+        let b = StructuralTag::new(vec![mk("beta"), mk("gamma"), mk("shared")]);
+        let shared_a = a
+            .build_trigger_grammars()
+            .unwrap()
+            .into_iter()
+            .find(|(t, _)| t == "<tool:shared>")
+            .unwrap()
+            .1;
+        let shared_b = b
+            .build_trigger_grammars()
+            .unwrap()
+            .into_iter()
+            .find(|(t, _)| t == "<tool:shared>")
+            .unwrap()
+            .1;
+        assert_eq!(
+            shared_a.structural_fingerprint(),
+            shared_b.structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn apply_delta_adds_and_removes_tags() {
+        let mk = |name: &str| TagSpec {
+            begin: format!("<tool:{name}>"),
+            content: TagContent::JsonSchema(json_city_schema()),
+            end: "</tool>".into(),
+        };
+        let base = StructuralTag::new(vec![mk("alpha"), mk("beta")]);
+
+        let grown = base
+            .apply_delta(&DispatchDelta::AddTag(mk("gamma")))
+            .unwrap();
+        assert_eq!(grown.tags.len(), 3);
+        assert_eq!(grown.effective_triggers().len(), 3);
+        // Untouched fields carry over.
+        assert_eq!(grown.exit, base.exit);
+        assert_eq!(grown.tags[0], base.tags[0]);
+
+        let shrunk = grown
+            .apply_delta(&DispatchDelta::RemoveTag {
+                begin: "<tool:beta>".into(),
+            })
+            .unwrap();
+        assert_eq!(shrunk.tags.len(), 2);
+        assert!(shrunk.tags.iter().all(|t| t.begin != "<tool:beta>"));
+
+        // Duplicates and missing begins are rejected.
+        assert!(base
+            .apply_delta(&DispatchDelta::AddTag(mk("alpha")))
+            .is_err());
+        assert!(base
+            .apply_delta(&DispatchDelta::RemoveTag {
+                begin: "<tool:nope>".into()
+            })
+            .is_err());
+        // Removing the last tag leaves an invalid registry.
+        let single = StructuralTag::new(vec![mk("only")]);
+        assert!(single
+            .apply_delta(&DispatchDelta::RemoveTag {
+                begin: "<tool:only>".into()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn apply_delta_respects_explicit_triggers() {
+        let mk = |name: &str| TagSpec {
+            begin: format!("<function={name}>"),
+            content: TagContent::JsonSchema(json_city_schema()),
+            end: "</function>".into(),
+        };
+        let base = StructuralTag::with_triggers(vec![mk("alpha")], vec!["<function=".into()]);
+        // Covered by the shared trigger: fine.
+        let grown = base
+            .apply_delta(&DispatchDelta::AddTag(mk("beta")))
+            .unwrap();
+        assert_eq!(grown.trigger_assignments().unwrap(), vec![vec![0, 1]]);
+        // A begin string no explicit trigger covers is rejected.
+        let uncovered = TagSpec {
+            begin: "<other>".into(),
+            content: TagContent::JsonSchema(json_city_schema()),
+            end: "</other>".into(),
+        };
+        assert!(base.apply_delta(&DispatchDelta::AddTag(uncovered)).is_err());
     }
 
     #[test]

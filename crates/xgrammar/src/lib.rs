@@ -61,13 +61,14 @@ pub use xg_core::{
     GrammarCache, GrammarCacheConfig, GrammarCacheKey, GrammarCacheStats, GrammarCompiler,
     GrammarLintReport, GrammarMatcher, LintMode, MaskCache, MaskCacheStats, MatcherPool,
     MatcherStats, NodeMaskEntry, PersistentStackTree, RollbackError, StackHandle,
-    StructuralTagMatcher, TagDispatchStats, TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
+    StructuralTagMatcher, TagDispatchCache, TagDispatchCacheConfig, TagDispatchCacheStats,
+    TagDispatchStats, TokenBitmask, DEFAULT_MAX_ROLLBACK_TOKENS,
 };
 pub use xg_grammar::{
     analyze, builtin, json_schema_to_grammar, json_schema_to_grammar_with_options, parse_ebnf,
-    regex_pattern_to_expr, ByteClass, Diagnostic, DiagnosticCode, Grammar, GrammarAnalysis,
-    GrammarError, GrammarExpr, JsonSchemaOptions, SegmentExitPolicy, Severity, StructuralTag,
-    TagContent, TagSpec, WhitespaceConfig, ANNOTATION_KEYWORDS, SUPPORTED_FORMATS,
+    regex_pattern_to_expr, ByteClass, Diagnostic, DiagnosticCode, DispatchDelta, Grammar,
+    GrammarAnalysis, GrammarError, GrammarExpr, JsonSchemaOptions, SegmentExitPolicy, Severity,
+    StructuralTag, TagContent, TagSpec, WhitespaceConfig, ANNOTATION_KEYWORDS, SUPPORTED_FORMATS,
     SUPPORTED_KEYWORDS,
 };
 pub use xg_tokenizer::{TokenId, Vocabulary};
@@ -113,6 +114,32 @@ mod tests {
         assert_eq!(matcher.mode(), crate::DispatchMode::FreeText);
         matcher.accept_bytes(b"free text <n>42</n> more").unwrap();
         assert!(matcher.can_terminate());
+    }
+
+    #[test]
+    fn facade_exposes_incremental_registry_updates() {
+        use std::sync::Arc;
+        let vocab = Arc::new(crate::tokenizer::test_vocabulary(600));
+        let compiler = crate::GrammarCompiler::new(Arc::clone(&vocab))
+            .with_dispatch_cache_config(crate::TagDispatchCacheConfig::default());
+        let spec = |name: &str| crate::TagSpec {
+            begin: format!("<{name}>"),
+            content: crate::TagContent::Ebnf {
+                text: "root ::= [0-9]+".into(),
+                root: "root".into(),
+            },
+            end: format!("</{name}>"),
+        };
+        let base = compiler
+            .compile_tag_dispatch(&crate::StructuralTag::new(vec![spec("a")]))
+            .unwrap();
+        let updated = compiler
+            .update_tag_dispatch(&base, &crate::DispatchDelta::AddTag(spec("b")))
+            .unwrap();
+        assert_eq!(updated.triggers().len(), 2);
+        assert!(compiler.has_cached_tag_dispatch_for(updated.source_tag()));
+        let stats = compiler.dispatch_cache().stats();
+        assert_eq!(stats.entries, 2);
     }
 
     #[test]
